@@ -1,0 +1,188 @@
+"""Ablations of Pro-Temp's design choices (DESIGN.md section 6).
+
+Not paper figures — these quantify the knobs the paper fixes implicitly:
+
+* Eq. 5's gradient weight (power vs spatial-uniformity trade),
+* sensor noise in the control loop (robustness of round-up lookups),
+* Phase-1 grid resolution (performance yes, safety no),
+* DFS period (reactive overshoot vs proactive feasibility),
+* per-step constraint thinning (fidelity of `step_subsample`),
+* unmodeled leakage (guarantee stress + guard-band remediation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import bench_duration, print_header, save_result
+
+from repro.analysis.ablations import (
+    ablate_dfs_period,
+    ablate_gradient_weight,
+    ablate_leakage_stress,
+    ablate_sensor_noise,
+    ablate_step_subsample,
+    ablate_table_resolution,
+)
+
+
+def test_ablation_gradient_weight(benchmark, platform):
+    result = benchmark.pedantic(
+        ablate_gradient_weight, args=(platform,), rounds=1, iterations=1
+    )
+    lines = ["weight  gradient(C)  total power(W)"]
+    for w, g, p in zip(result.weights, result.gradients, result.total_power):
+        lines.append(f"{w:6.1f}  {g:11.3f}  {p:14.3f}")
+    body = "\n".join(lines)
+    print_header("Ablation: gradient weight", "Eq. 5 trades power for uniformity")
+    print(body)
+    save_result("ablation_gradient_weight", body)
+
+    assert result.gradients[0] >= result.gradients[-1] - 1e-6
+    assert result.total_power[-1] >= result.total_power[0] - 1e-6
+
+
+def test_ablation_sensor_noise(benchmark, platform, table):
+    result = benchmark.pedantic(
+        ablate_sensor_noise,
+        args=(platform, table),
+        kwargs={"duration": bench_duration(20.0)},
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["noise std (C)  violations  peak (C)"]
+    for std, v, peak in zip(
+        result.noise_stds, result.violation_fractions, result.peaks
+    ):
+        lines.append(f"{std:13.1f}  {v * 100:9.3f}%  {peak:8.2f}")
+    body = "\n".join(lines)
+    print_header(
+        "Ablation: sensor noise",
+        "round-up lookup absorbs bounded sensor error",
+    )
+    print(body)
+    save_result("ablation_sensor_noise", body)
+
+    assert result.violation_fractions[0] == 0.0
+    # Moderate (<= 1 C) noise must stay essentially violation-free.
+    idx = list(result.noise_stds).index(1.0)
+    assert result.violation_fractions[idx] < 0.01
+
+
+def test_ablation_table_resolution(benchmark, platform, table):
+    result = benchmark.pedantic(
+        ablate_table_resolution,
+        args=(platform, table),
+        kwargs={"duration": bench_duration(20.0)},
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["grid           cells  mean MHz  completed  violations"]
+    for label, cells, f, done, v in zip(
+        result.labels,
+        result.cells,
+        result.mean_frequency_mhz,
+        result.completed_tasks,
+        result.violations,
+    ):
+        lines.append(
+            f"{label:13s} {cells:6d}  {f:8.0f}  {done:9d}  {v * 100:9.3f}%"
+        )
+    body = "\n".join(lines)
+    print_header(
+        "Ablation: table resolution",
+        "denser grids serve more performance; safety is grid-independent",
+    )
+    print(body)
+    save_result("ablation_table_resolution", body)
+
+    assert all(v == 0.0 for v in result.violations)
+    assert result.mean_frequency_mhz[1] >= result.mean_frequency_mhz[0] - 1.0
+
+
+def test_ablation_dfs_period(benchmark, platform):
+    result = benchmark.pedantic(
+        ablate_dfs_period,
+        args=(platform,),
+        kwargs={"duration": bench_duration(20.0)},
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["window (ms)  basic >tmax  basic peak  protemp boundary @85C"]
+    for w, v, peak, b in zip(
+        result.windows,
+        result.basic_violation_fractions,
+        result.basic_peaks,
+        result.protemp_boundaries_mhz,
+    ):
+        lines.append(
+            f"{w * 1e3:11.0f}  {v * 100:10.1f}%  {peak:10.1f}  {b:14.0f} MHz"
+        )
+    body = "\n".join(lines)
+    print_header(
+        "Ablation: DFS period",
+        "longer windows worsen reactive overshoot and shrink proactive "
+        "feasibility",
+    )
+    print(body)
+    save_result("ablation_dfs_period", body)
+
+    assert result.basic_peaks[-1] >= result.basic_peaks[0] - 1.0
+    assert (
+        result.protemp_boundaries_mhz[0]
+        >= result.protemp_boundaries_mhz[-1]
+    )
+
+
+def test_ablation_step_subsample(benchmark, platform):
+    result = benchmark.pedantic(
+        ablate_step_subsample, args=(platform,), rounds=1, iterations=1
+    )
+    lines = ["subsample  boundary MHz  worst overshoot (C)"]
+    for s, b, o in zip(
+        result.subsamples, result.boundaries_mhz, result.worst_overshoot
+    ):
+        lines.append(f"{s:9d}  {b:12.1f}  {o:+19.6f}")
+    body = "\n".join(lines)
+    print_header(
+        "Ablation: constraint thinning",
+        "every-step constraints (paper) vs thinned; overshoot stays "
+        "negligible",
+    )
+    print(body)
+    save_result("ablation_step_subsample", body)
+
+    assert result.worst_overshoot[0] <= 1e-6  # paper-exact: no overshoot
+    assert max(result.worst_overshoot) < 0.1
+
+
+def test_ablation_leakage_stress(benchmark, platform, table):
+    result = benchmark.pedantic(
+        ablate_leakage_stress,
+        args=(platform, table),
+        kwargs={"duration": bench_duration(20.0)},
+        rounds=1,
+        iterations=1,
+    )
+    body = "\n".join(
+        [
+            f"unmodeled leakage: violations {result.leak_violation * 100:.3f}%"
+            f", peak {result.leak_peak:.2f} C",
+            f"with {result.margin:.0f} C guard-band table: violations "
+            f"{result.guarded_violation * 100:.3f}%, peak "
+            f"{result.guarded_peak:.2f} C",
+        ]
+    )
+    print_header(
+        "Ablation: unmodeled leakage",
+        "guarantee stressed by leakage the optimizer ignored; a guard-band "
+        "restores it",
+    )
+    print(body)
+    save_result("ablation_leakage", body)
+
+    # The stress must visibly break the unguarded table's guarantee...
+    assert result.leak_violation > 0.0
+    assert result.leak_peak > platform.t_max
+    # ...and the guard-band must restore it.
+    assert result.guarded_violation == 0.0
+    assert result.guarded_peak <= platform.t_max

@@ -1,0 +1,52 @@
+"""Figure 1 — thermal snapshot of traditional (Basic) DFS.
+
+Paper: with t_max = 100 C and a 90 C shutdown threshold, the reactive scheme
+lets cores run past the limit between DFS instants; the snapshot shows
+repeated excursions peaking near ~127 C.
+
+Shape asserted: violations occur, and the peak lands in the calibrated
+overshoot band (threshold + one-window full-power rise).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_duration, print_header, save_result
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.experiments import run_snapshot
+
+
+def run(platform):
+    return run_snapshot(
+        "basic", duration=bench_duration(60.0), platform=platform
+    )
+
+
+def test_fig01_basic_dfs_snapshot(benchmark, platform):
+    result = benchmark.pedantic(
+        run, args=(platform,), rounds=1, iterations=1
+    )
+    over = (result.temperature > result.t_max).mean()
+    body = "\n".join(
+        [
+            result.text(),
+            f"measured: {over * 100:.1f}% of P1 samples above t_max, "
+            f"peak {result.peak:.1f} C",
+            ascii_plot(
+                result.times,
+                {"P1": result.temperature},
+                hline=result.t_max,
+                y_label="Temperature (C)",
+                x_label="time (s)",
+            ),
+        ]
+    )
+    print_header(
+        "Figure 1",
+        "Basic-DFS violates 100 C for sustained periods; peaks ~127 C",
+    )
+    print(body)
+    save_result("fig01_basic_dfs_snapshot", body)
+
+    assert result.violation_fraction > 0.02, "expected sustained violations"
+    assert 105.0 <= result.peak <= 140.0, "peak outside Figure 1's regime"

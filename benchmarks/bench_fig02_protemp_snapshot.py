@@ -1,0 +1,52 @@
+"""Figure 2 — thermal snapshot of the Pro-Temp method.
+
+Paper: same workload as Figure 1, but "the maximum temperature constraint is
+met at all time instances".
+
+Shape asserted: literally zero violations; the peak stays at or below
+t_max = 100 C.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_duration, print_header, save_result
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.experiments import run_snapshot
+
+
+def run(platform, table):
+    return run_snapshot(
+        "protemp",
+        duration=bench_duration(60.0),
+        platform=platform,
+        table=table,
+    )
+
+
+def test_fig02_protemp_snapshot(benchmark, platform, table):
+    result = benchmark.pedantic(
+        run, args=(platform, table), rounds=1, iterations=1
+    )
+    body = "\n".join(
+        [
+            result.text(),
+            f"measured: peak {result.peak:.2f} C, violation fraction "
+            f"{result.violation_fraction:.6f}",
+            ascii_plot(
+                result.times,
+                {"P1": result.temperature},
+                hline=result.t_max,
+                y_label="Temperature (C)",
+                x_label="time (s)",
+            ),
+        ]
+    )
+    print_header(
+        "Figure 2", "Pro-Temp never exceeds 100 C at any time instant"
+    )
+    print(body)
+    save_result("fig02_protemp_snapshot", body)
+
+    assert result.violation_fraction == 0.0, "the guarantee must hold"
+    assert result.peak <= result.t_max + 1e-9

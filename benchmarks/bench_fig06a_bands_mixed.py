@@ -1,0 +1,51 @@
+"""Figure 6a — time per temperature band, mixed benchmark.
+
+Paper: for a mix of tasks from different benchmarks, No-TC and Basic-DFS
+spend a significant share of time above the 100 C maximum, while Pro-Temp
+never does.
+
+Shape asserted: Pro-Temp's >100 band is exactly zero; both baselines' >100
+bands are positive, with No-TC at least as bad as Basic-DFS.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_duration, print_header, save_result
+
+from repro.analysis.experiments import run_band_comparison
+from repro.sim import PAPER_BAND_LABELS
+
+
+def run(platform, table):
+    return run_band_comparison(
+        "mixed",
+        duration=bench_duration(40.0),
+        platform=platform,
+        table=table,
+    )
+
+
+def test_fig06a_bands_mixed(benchmark, platform, table):
+    result = benchmark.pedantic(
+        run, args=(platform, table), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'policy':<10s} " + " ".join(f"{b:>7s}" for b in PAPER_BAND_LABELS)
+    ]
+    for name, fr in result.fractions.items():
+        lines.append(
+            f"{name:<10s} " + " ".join(f"{v * 100:6.1f}%" for v in fr)
+        )
+    body = "\n".join(lines)
+    print_header(
+        "Figure 6a",
+        "mixed benchmark: baselines spend significant time > 100 C, "
+        "Pro-Temp none",
+    )
+    print(body)
+    save_result("fig06a_bands_mixed", body)
+
+    over = {name: fr[3] for name, fr in result.fractions.items()}
+    assert over["Pro-Temp"] == 0.0
+    assert over["Basic-DFS"] > 0.0
+    assert over["No-TC"] >= over["Basic-DFS"] - 1e-9

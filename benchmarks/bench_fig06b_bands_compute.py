@@ -1,0 +1,51 @@
+"""Figure 6b — time per temperature band, most computation-intensive
+benchmark.
+
+Paper: "For the most computation intensive benchmark, the Basic-DFS scheme
+spends up to 40% of the time above the maximum threshold"; Pro-Temp stays
+below 100 C throughout.
+
+Shape asserted: Basic-DFS >100 band is large (>= 25%, the paper's "tens of
+percent" regime); Pro-Temp's is exactly zero; No-TC is the worst.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_duration, print_header, save_result
+
+from repro.analysis.experiments import run_band_comparison
+from repro.sim import PAPER_BAND_LABELS
+
+
+def run(platform, table):
+    return run_band_comparison(
+        "compute",
+        duration=bench_duration(40.0),
+        platform=platform,
+        table=table,
+    )
+
+
+def test_fig06b_bands_compute(benchmark, platform, table):
+    result = benchmark.pedantic(
+        run, args=(platform, table), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'policy':<10s} " + " ".join(f"{b:>7s}" for b in PAPER_BAND_LABELS)
+    ]
+    for name, fr in result.fractions.items():
+        lines.append(
+            f"{name:<10s} " + " ".join(f"{v * 100:6.1f}%" for v in fr)
+        )
+    body = "\n".join(lines)
+    print_header(
+        "Figure 6b",
+        "compute-intensive: Basic-DFS up to ~40% above 100 C, Pro-Temp 0%",
+    )
+    print(body)
+    save_result("fig06b_bands_compute", body)
+
+    over = {name: fr[3] for name, fr in result.fractions.items()}
+    assert over["Pro-Temp"] == 0.0
+    assert over["Basic-DFS"] >= 0.25
+    assert over["No-TC"] >= over["Basic-DFS"] - 1e-9

@@ -1,0 +1,38 @@
+"""Figure 7 — average task waiting time, normalized to Basic-DFS.
+
+Paper: "The proposed scheme results in 60% reduction in the task waiting
+times" (normalized Pro-Temp wait ~= 0.4), because Basic-DFS's shutdown
+oscillation wastes most of the thermal headroom.
+
+Shape asserted: Pro-Temp waits strictly less; the normalized ratio falls in
+the 0.2-0.7 band around the paper's 0.4.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_duration, print_header, save_result
+
+from repro.analysis.experiments import run_waiting_comparison
+
+
+def run(platform, table):
+    return run_waiting_comparison(
+        duration=bench_duration(40.0), platform=platform, table=table
+    )
+
+
+def test_fig07_waiting_time(benchmark, platform, table):
+    result = benchmark.pedantic(
+        run, args=(platform, table), rounds=1, iterations=1
+    )
+    body = result.text()
+    print_header(
+        "Figure 7", "Pro-Temp cuts mean task waiting time ~60% (ratio ~0.4)"
+    )
+    print(body)
+    save_result("fig07_waiting_time", body)
+
+    assert result.protemp_wait < result.basic_wait
+    assert 0.2 <= result.normalized <= 0.7, (
+        f"normalized waiting {result.normalized:.2f} outside the paper band"
+    )

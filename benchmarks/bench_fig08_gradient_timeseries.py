@@ -1,0 +1,52 @@
+"""Figure 8 — P1 and P2 temperatures over time under Pro-Temp.
+
+Paper: "the temperature gradient across the processors is low" — the two
+traces track each other closely.
+
+Shape asserted: the P1/P2 gap stays small in the mean and bounded at the
+peak, and both cores respect t_max throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import bench_duration, print_header, save_result
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.experiments import run_gradient_timeseries
+
+
+def run(platform, table):
+    return run_gradient_timeseries(
+        duration=bench_duration(60.0), platform=platform, table=table
+    )
+
+
+def test_fig08_gradient_timeseries(benchmark, platform, table):
+    result = benchmark.pedantic(
+        run, args=(platform, table), rounds=1, iterations=1
+    )
+    body = "\n".join(
+        [
+            result.text(),
+            f"P1 range {result.p1.min():.1f}-{result.p1.max():.1f} C, "
+            f"P2 range {result.p2.min():.1f}-{result.p2.max():.1f} C",
+            ascii_plot(
+                result.times,
+                {"P1": result.p1, "P2": result.p2},
+                hline=platform.t_max,
+                y_label="Temperature (C)",
+                x_label="time (s)",
+            ),
+        ]
+    )
+    print_header(
+        "Figure 8", "P1/P2 under Pro-Temp track closely (small gradient)"
+    )
+    print(body)
+    save_result("fig08_gradient_timeseries", body)
+
+    assert result.mean_gap < 2.0
+    assert result.max_gap < 8.0
+    assert result.p1.max() <= platform.t_max + 1e-9
+    assert result.p2.max() <= platform.t_max + 1e-9

@@ -1,0 +1,39 @@
+"""Figure 10 — optimizer-chosen frequencies for P1 vs P2.
+
+Paper: "the processor P1 runs significantly faster than P2 to achieve a
+similar thermal behavior" — the periphery core (next to buffer/cache) gets
+the higher frequency at every starting temperature, and both curves decline
+with temperature.
+
+Shape asserted: P1 > P2 at every binding design point; both monotone
+non-increasing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_header, save_result
+
+from repro.analysis.experiments import run_per_core_frequency
+
+
+def run(platform):
+    return run_per_core_frequency(platform=platform)
+
+
+def test_fig10_per_core_frequency(benchmark, platform):
+    result = benchmark.pedantic(run, args=(platform,), rounds=1, iterations=1)
+    gaps = result.p1_mhz / result.p2_mhz
+    body = "\n".join(
+        [result.text(), f"P1/P2 ratio: {gaps.min():.3f} - {gaps.max():.3f}"]
+    )
+    print_header(
+        "Figure 10",
+        "periphery core P1 runs faster than middle core P2 at all points",
+    )
+    print(body)
+    save_result("fig10_per_core_frequency", body)
+
+    assert np.all(result.p1_mhz > result.p2_mhz)
+    assert np.all(np.diff(result.p1_mhz) <= 1e-6)
+    assert np.all(np.diff(result.p2_mhz) <= 1e-6)

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments whose setuptools/pip lack the
+PEP 660 editable-wheel path (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Pro-Temp reproduction: convex-optimization thermal control of multi-cores.
+
+Reproduction of Murali et al., "Temperature Control of High-Performance
+Multi-core Platforms Using Convex Optimization" (DATE 2008).
+
+Top-level convenience exports cover the common workflow:
+
+>>> from repro import Platform
+>>> platform = Platform.niagara8()
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+from repro.platform import Platform
+
+__version__ = "1.0.0"
+
+__all__ = ["Platform", "__version__"]

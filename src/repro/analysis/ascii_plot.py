@@ -1,0 +1,91 @@
+"""Minimal ASCII line plots for terminal-rendered figures.
+
+The paper's Figures 1, 2 and 8 are time-series plots; the CLI and examples
+render them as text so the reproduction needs no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ascii_plot(
+    x: np.ndarray,
+    series: dict[str, np.ndarray],
+    *,
+    width: int = 72,
+    height: int = 18,
+    y_label: str = "",
+    x_label: str = "",
+    hline: float | None = None,
+) -> str:
+    """Render one or more series as an ASCII plot.
+
+    Args:
+        x: shared x values, shape (n,).
+        series: label -> y values (each shape (n,)); the first eight series
+            get distinct glyphs.
+        width: plot width in characters (excluding the axis gutter).
+        height: plot height in rows.
+        y_label: y-axis caption.
+        x_label: x-axis caption.
+        hline: optional horizontal reference line (e.g. t_max) drawn
+            with ``-``.
+
+    Returns:
+        The rendered plot.
+    """
+    x = np.asarray(x, dtype=float)
+    if len(series) == 0 or len(x) == 0:
+        return "(empty plot)"
+    glyphs = "*o+x#@%&"
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    y_min = float(np.min(all_y))
+    y_max = float(np.max(all_y))
+    if hline is not None:
+        y_min = min(y_min, hline)
+        y_max = max(y_max, hline)
+    if y_max - y_min < 1e-12:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x.min()), float(x.max())
+    if x_max - x_min < 1e-12:
+        x_max = x_min + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def to_col(xv: float) -> int:
+        return min(width - 1, int((xv - x_min) / (x_max - x_min) * (width - 1)))
+
+    def to_row(yv: float) -> int:
+        frac = (yv - y_min) / (y_max - y_min)
+        return min(height - 1, height - 1 - int(frac * (height - 1)))
+
+    if hline is not None:
+        row = to_row(hline)
+        for col in range(width):
+            canvas[row][col] = "-"
+
+    for idx, (label, y) in enumerate(series.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        y = np.asarray(y, dtype=float)
+        for xv, yv in zip(x, y):
+            canvas[to_row(yv)][to_col(xv)] = glyph
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for row_idx, row in enumerate(canvas):
+        frac = 1.0 - row_idx / (height - 1)
+        y_tick = y_min + frac * (y_max - y_min)
+        lines.append(f"{y_tick:8.1f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 9 + f"{x_min:<12.1f}" + " " * max(0, width - 24) + f"{x_max:>12.1f}"
+    )
+    if x_label:
+        lines.append(" " * 9 + x_label)
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)

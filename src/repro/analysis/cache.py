@@ -1,0 +1,85 @@
+"""Caching for the expensive Phase-1 table builds.
+
+Phase 1 is a design-time activity ("performed only once for a system at
+design time", section 3.2) — the paper quotes hours on 2007 hardware.  Our
+build takes tens of seconds, but experiments and benchmarks share tables, so
+this module provides an in-process cache plus optional JSON persistence.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.protemp import ProTempOptimizer
+from repro.core.table import FrequencyTable, build_frequency_table
+from repro.platform import Platform
+from repro.units import mhz
+
+#: Default Phase-1 grid: start temperatures in Celsius.  Denser near t_max
+#: where the feasible frequency changes fastest.
+DEFAULT_T_GRID = (50.0, 60.0, 70.0, 75.0, 80.0, 85.0, 90.0, 92.5, 95.0, 97.5, 100.0)
+
+#: Default Phase-1 grid: average-frequency targets in Hz (50 MHz steps).
+DEFAULT_F_GRID = tuple(mhz(f) for f in range(50, 1001, 50))
+
+_memory_cache: dict[tuple, FrequencyTable] = {}
+
+
+def default_optimizer(
+    platform: Platform, *, mode: str = "variable", step_subsample: int = 5
+) -> ProTempOptimizer:
+    """The optimizer configuration shared by experiments and benchmarks."""
+    return ProTempOptimizer(
+        platform, mode=mode, step_subsample=step_subsample  # type: ignore[arg-type]
+    )
+
+
+def cached_table(
+    platform: Platform,
+    *,
+    mode: str = "variable",
+    t_grid: tuple[float, ...] = DEFAULT_T_GRID,
+    f_grid: tuple[float, ...] = DEFAULT_F_GRID,
+    cache_path: str | Path | None = None,
+) -> FrequencyTable:
+    """Phase-1 table for `platform`, cached in memory and optionally on disk.
+
+    Args:
+        platform: the platform (its name participates in the cache key).
+        mode: ``"variable"`` or ``"uniform"`` assignment.
+        t_grid: starting-temperature grid (Celsius).
+        f_grid: frequency-target grid (Hz).
+        cache_path: optional JSON file; loaded when present, written after a
+            fresh build.
+
+    Returns:
+        The :class:`FrequencyTable`.
+    """
+    key = (platform.name, mode, t_grid, f_grid, platform.t_max)
+    if key in _memory_cache:
+        return _memory_cache[key]
+    if cache_path is not None:
+        path = Path(cache_path)
+        if path.exists():
+            table = FrequencyTable.load_json(path)
+            if (
+                tuple(table.t_grid) == t_grid
+                and tuple(table.f_grid) == f_grid
+                and table.metadata.get("platform") == platform.name
+                and table.metadata.get("mode") == mode
+            ):
+                _memory_cache[key] = table
+                return table
+    optimizer = default_optimizer(platform, mode=mode)
+    table = build_frequency_table(optimizer, list(t_grid), list(f_grid))
+    _memory_cache[key] = table
+    if cache_path is not None:
+        path = Path(cache_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        table.save_json(path)
+    return table
+
+
+def clear_memory_cache() -> None:
+    """Drop all in-process cached tables (used by tests)."""
+    _memory_cache.clear()

@@ -1,0 +1,83 @@
+"""Plain-text and CSV rendering of experiment results.
+
+The paper's figures are bar charts and line plots; a terminal reproduction
+reports the same numbers as aligned ASCII tables plus optional CSV files so
+they can be re-plotted elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: column names.
+        rows: cell values (converted with ``str``; floats pre-format them).
+        title: optional title line.
+
+    Returns:
+        The formatted table as a single string.
+    """
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> None:
+    """Write rows to a CSV file (for external re-plotting)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def format_band_bars(
+    labels: Sequence[str],
+    fractions_by_policy: dict[str, Sequence[float]],
+    *,
+    width: int = 40,
+) -> str:
+    """Textual stacked-bar rendering of Figure 6-style band fractions."""
+    lines = []
+    for policy, fractions in fractions_by_policy.items():
+        lines.append(f"{policy}:")
+        for label, fraction in zip(labels, fractions):
+            bar = "#" * int(round(fraction * width))
+            lines.append(f"  {label:>7s} {fraction * 100:6.2f}% {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""Command-line interface: ``protemp <experiment>`` / ``python -m repro``.
+
+Runs any of the paper's experiments end-to-end and prints the figure's data
+as text (optionally CSV).  Heavy experiments accept ``--duration`` to trade
+fidelity for speed; the defaults match EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import (
+    ascii_plot,
+    cached_table,
+    make_platform,
+    run_assignment_effect,
+    run_band_comparison,
+    run_feasibility_sweep,
+    run_gradient_timeseries,
+    run_per_core_frequency,
+    run_snapshot,
+    run_waiting_comparison,
+)
+from repro.thermal.calibration import calibration_report, format_report
+
+EXPERIMENTS = (
+    "fig1",
+    "fig2",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "calibration",
+    "table",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="protemp",
+        description=(
+            "Pro-Temp reproduction (Murali et al., DATE 2008): run the "
+            "paper's experiments on the simulated Niagara-8 platform."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS,
+        help="which experiment to run (figN of the paper)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated seconds for trace-driven experiments",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload random seed"
+    )
+    parser.add_argument(
+        "--table-cache",
+        default=None,
+        help="JSON file for caching the Phase-1 table",
+    )
+    return parser
+
+
+def _snapshot_plot(result) -> str:
+    return ascii_plot(
+        result.times,
+        {"P1": result.temperature},
+        hline=result.t_max,
+        y_label="Temperature (C)",
+        x_label="time (s)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    started = time.time()
+    platform = make_platform()
+
+    def table():
+        return cached_table(platform, cache_path=args.table_cache)
+
+    duration = args.duration
+    if args.experiment == "fig1":
+        result = run_snapshot(
+            "basic", duration=duration or 60.0, seed=args.seed,
+            platform=platform,
+        )
+        print(result.text())
+        print(_snapshot_plot(result))
+    elif args.experiment == "fig2":
+        result = run_snapshot(
+            "protemp", duration=duration or 60.0, seed=args.seed,
+            platform=platform, table=table(),
+        )
+        print(result.text())
+        print(_snapshot_plot(result))
+    elif args.experiment in ("fig6a", "fig6b"):
+        kind = "mixed" if args.experiment == "fig6a" else "compute"
+        result = run_band_comparison(
+            kind, duration=duration or 40.0, seed=args.seed,
+            platform=platform, table=table(),
+        )
+        print(result.text())
+    elif args.experiment == "fig7":
+        result = run_waiting_comparison(
+            duration=duration or 40.0, seed=args.seed,
+            platform=platform, table=table(),
+        )
+        print(result.text())
+    elif args.experiment == "fig8":
+        result = run_gradient_timeseries(
+            duration=duration or 60.0, seed=args.seed,
+            platform=platform, table=table(),
+        )
+        print(result.text())
+        print(
+            ascii_plot(
+                result.times,
+                {"P1": result.p1, "P2": result.p2},
+                y_label="Temperature (C)",
+                x_label="time (s)",
+            )
+        )
+    elif args.experiment == "fig9":
+        print(run_feasibility_sweep(platform=platform).text())
+    elif args.experiment == "fig10":
+        print(run_per_core_frequency(platform=platform).text())
+    elif args.experiment == "fig11":
+        result = run_assignment_effect(
+            duration=duration or 40.0, seed=args.seed,
+            platform=platform, table=table(),
+        )
+        print(result.text())
+    elif args.experiment == "calibration":
+        print(format_report(calibration_report(platform), platform.core_names))
+    elif args.experiment == "table":
+        print(table().format())
+    print(f"[{args.experiment} finished in {time.time() - started:.1f}s]",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

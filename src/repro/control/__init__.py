@@ -1,0 +1,19 @@
+"""Run-time DFS policies and the thermal management unit."""
+
+from repro.control.basic_dfs import BasicDFSPolicy
+from repro.control.manager import (
+    ThermalManagementUnit,
+    required_average_frequency,
+)
+from repro.control.policy import ControlContext, DFSPolicy, NoTCPolicy
+from repro.control.protemp_policy import ProTempPolicy
+
+__all__ = [
+    "BasicDFSPolicy",
+    "ControlContext",
+    "DFSPolicy",
+    "NoTCPolicy",
+    "ProTempPolicy",
+    "ThermalManagementUnit",
+    "required_average_frequency",
+]

@@ -1,0 +1,75 @@
+"""Basic-DFS: the reactive threshold policy the paper compares against.
+
+Section 5.2: "the frequencies of the cores are matched to the application
+performance levels.  The temperature control [is] performed when a core
+reaches a threshold temperature level.  In this case, the core shuts down
+for the time-period until the next DFS is applied."
+
+Semantics implemented here (and their Figure 1 consequence):
+
+* at each DFS boundary every core whose sensor reads at or above
+  ``threshold`` (90 C in the paper) is shut down (frequency 0) for the whole
+  coming window;
+* all other cores run at the workload-required frequency;
+* between boundaries nothing reacts, so a core that was just below the
+  threshold at the boundary can heat far beyond ``t_max`` before the next
+  check — exactly the violations in Figure 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control.policy import ControlContext, DFSPolicy
+from repro.errors import SimulationError
+
+
+class BasicDFSPolicy(DFSPolicy):
+    """Reactive threshold-shutdown DFS.
+
+    Args:
+        threshold: shutdown threshold (Celsius); the paper uses 90 with
+            ``t_max`` 100.
+        resume_threshold: optional lower threshold a shut core must cool to
+            before it may run again (hysteresis).  The paper's description
+            re-checks the single threshold each window, which is the
+            default (``None`` = same as `threshold`).
+    """
+
+    name = "Basic-DFS"
+
+    def __init__(
+        self, threshold: float = 90.0, resume_threshold: float | None = None
+    ) -> None:
+        if resume_threshold is not None and resume_threshold > threshold:
+            raise SimulationError(
+                "resume_threshold must not exceed threshold"
+            )
+        self.threshold = float(threshold)
+        self.resume_threshold = (
+            float(resume_threshold) if resume_threshold is not None else None
+        )
+        self._shut = None  # lazily sized boolean mask
+
+    def reset(self) -> None:
+        self._shut = None
+
+    def frequencies(self, context: ControlContext) -> np.ndarray:
+        temps = context.core_temperatures
+        n = len(temps)
+        if self._shut is None or len(self._shut) != n:
+            self._shut = np.zeros(n, dtype=bool)
+
+        if self.resume_threshold is None:
+            self._shut = temps >= self.threshold
+        else:
+            # Hysteresis: trip at `threshold`, release at `resume_threshold`.
+            self._shut = np.where(
+                self._shut,
+                temps > self.resume_threshold,
+                temps >= self.threshold,
+            )
+
+        freqs = np.full(n, context.required_frequency)
+        freqs[self._shut] = 0.0
+        return freqs

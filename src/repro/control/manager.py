@@ -1,0 +1,124 @@
+"""Thermal management unit: sensing + demand estimation + policy.
+
+Paper section 3.3: "In each time period, the utilization of the different
+processors is tracked by the thermal management unit.  The unit also
+monitors the workload of the tasks waiting in the task queue ...  Based on
+these information, the required average operating frequency across all the
+processors for the next period is calculated."
+
+The demand estimate implemented by :func:`required_average_frequency` is the
+frequency at which the currently known backlog (remaining work on the cores
+plus everything queued) would complete within exactly one DFS window; it is
+capped at ``f_max``.  The TMU feeds that estimate plus the sensor readings
+to its policy at every window boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.control.policy import ControlContext, DFSPolicy
+from repro.errors import SimulationError
+from repro.thermal.sensors import IdealSensor, NoisySensor
+
+
+def required_average_frequency(
+    backlog_seconds: float,
+    parallelism: int,
+    window: float,
+    f_max: float,
+) -> float:
+    """Average frequency needed to drain `backlog_seconds` in one window.
+
+    Args:
+        backlog_seconds: total remaining work, expressed in seconds of
+            execution at `f_max` (the paper's definition of workload).
+        parallelism: number of cores that can actually share the work —
+            ``min(n_cores, runnable tasks)``.  Using the raw core count here
+            would under-estimate demand whenever fewer tasks than cores are
+            runnable (a lone 5 ms task on 8 cores would be asked to run at
+            f/8 and never finish within a window).
+        window: DFS period (s).
+        f_max: maximum core frequency (Hz).
+
+    Returns:
+        The capped requirement
+        ``min(f_max, backlog * f_max / (parallelism * window))``.
+    """
+    if backlog_seconds < 0:
+        raise SimulationError("backlog_seconds must be >= 0")
+    if parallelism < 1 or window <= 0 or f_max <= 0:
+        raise SimulationError("parallelism, window, f_max must be positive")
+    return min(f_max, backlog_seconds * f_max / (parallelism * window))
+
+
+@dataclass
+class ThermalManagementUnit:
+    """Centralized controller invoked at each DFS boundary.
+
+    Attributes:
+        policy: the frequency policy to consult.
+        f_max: platform maximum frequency (Hz).
+        t_max: maximum allowed temperature (Celsius).
+        window: DFS period (s).
+        sensor: temperature sensor model (ideal by default).
+    """
+
+    policy: DFSPolicy
+    f_max: float
+    t_max: float
+    window: float
+    sensor: IdealSensor | NoisySensor = field(default_factory=IdealSensor)
+
+    def reset(self) -> None:
+        """Reset policy state before a fresh run."""
+        self.policy.reset()
+
+    def decide(
+        self,
+        window_index: int,
+        time: float,
+        core_temperatures: np.ndarray,
+        backlog_seconds: float,
+        runnable_tasks: int | None = None,
+    ) -> np.ndarray:
+        """Frequencies for the coming window.
+
+        Args:
+            window_index: 0-based index of the window about to start.
+            time: simulation time (s).
+            core_temperatures: true core temperatures (the TMU reads them
+                through its sensor model).
+            backlog_seconds: current backlog in seconds-at-f_max.
+            runnable_tasks: running + queued task count, used to bound the
+                achievable parallelism; None assumes full parallelism.
+
+        Returns:
+            Per-core frequencies (Hz), clipped to ``[0, f_max]``.
+        """
+        readings = self.sensor.read(core_temperatures)
+        n_cores = len(core_temperatures)
+        if runnable_tasks is None:
+            parallelism = n_cores
+        else:
+            parallelism = max(1, min(n_cores, runnable_tasks))
+        f_req = required_average_frequency(
+            backlog_seconds, parallelism, self.window, self.f_max
+        )
+        context = ControlContext(
+            window_index=window_index,
+            time=time,
+            core_temperatures=readings,
+            required_frequency=f_req,
+            f_max=self.f_max,
+            t_max=self.t_max,
+        )
+        freqs = np.asarray(self.policy.frequencies(context), dtype=float)
+        if freqs.shape != core_temperatures.shape:
+            raise SimulationError(
+                f"policy {self.policy.name!r} returned {freqs.shape}, "
+                f"expected {core_temperatures.shape}"
+            )
+        return np.clip(freqs, 0.0, self.f_max)

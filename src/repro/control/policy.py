@@ -1,0 +1,68 @@
+"""DFS policy interface and the No-TC baseline.
+
+A policy is consulted once per DFS window by the simulator's thermal
+management unit with a :class:`ControlContext` snapshot (sensor readings,
+required average frequency, window index) and returns the per-core
+frequencies to apply for the next window.  Policies may also expose a
+per-thermal-step hook for intra-window actions; the paper's policies do not
+need one (Basic-DFS's shutdown decision happens at window boundaries, which
+is what lets cores sail past the threshold mid-window — Figure 1).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ControlContext:
+    """Snapshot handed to a policy at a DFS window boundary.
+
+    Attributes:
+        window_index: index of the window about to start (0-based).
+        time: simulation time at the boundary (s).
+        core_temperatures: sensor readings for each core (Celsius).
+        required_frequency: average core frequency needed to serve the
+            backlog and expected arrivals (Hz), already capped at f_max.
+        f_max: platform maximum core frequency (Hz).
+        t_max: maximum allowed temperature (Celsius).
+    """
+
+    window_index: int
+    time: float
+    core_temperatures: np.ndarray
+    required_frequency: float
+    f_max: float
+    t_max: float
+
+
+class DFSPolicy(abc.ABC):
+    """Base class for window-granularity frequency policies."""
+
+    #: Human-readable policy name (used in reports and figures).
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def frequencies(self, context: ControlContext) -> np.ndarray:
+        """Per-core frequencies (Hz) to apply for the coming window."""
+
+    def reset(self) -> None:
+        """Clear any internal state before a fresh simulation run."""
+
+
+class NoTCPolicy(DFSPolicy):
+    """No temperature control (the paper's "No-TC" reference).
+
+    Frequencies are scaled only to match the application performance level:
+    every core runs at the required average frequency, with no thermal
+    feedback whatsoever.
+    """
+
+    name = "No-TC"
+
+    def frequencies(self, context: ControlContext) -> np.ndarray:
+        n = len(context.core_temperatures)
+        return np.full(n, context.required_frequency)

@@ -1,0 +1,57 @@
+"""Pro-Temp run-time policy: table lookup at every DFS boundary (Phase 2).
+
+Paper section 3.3: at each DFS application the thermal management unit takes
+the maximum core temperature and the required average frequency, and picks
+the pre-computed assignment from the Phase-1 table, backing off to the next
+lower feasible frequency column when necessary.
+
+The safety argument for using only the *maximum* temperature: the table row
+was solved for a uniform start at the grid temperature ``t_row >= max core
+temp >= every node temp``, and the thermal step matrix is elementwise
+non-negative, so the true trajectory is dominated by the table's worst-case
+trajectory — which the optimizer constrained below ``t_max``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control.policy import ControlContext, DFSPolicy
+from repro.core.table import FrequencyTable, LookupResult
+
+
+class ProTempPolicy(DFSPolicy):
+    """Table-driven proactive DVFS (the paper's contribution).
+
+    Args:
+        table: Phase-1 frequency table.
+        name: display name override.
+    """
+
+    name = "Pro-Temp"
+
+    def __init__(self, table: FrequencyTable, name: str | None = None) -> None:
+        self.table = table
+        if name is not None:
+            self.name = name
+        self.last_lookup: LookupResult | None = None
+        self.lookups = 0
+        self.shutdown_windows = 0
+        self.backoff_windows = 0
+
+    def reset(self) -> None:
+        self.last_lookup = None
+        self.lookups = 0
+        self.shutdown_windows = 0
+        self.backoff_windows = 0
+
+    def frequencies(self, context: ControlContext) -> np.ndarray:
+        t_hot = float(np.max(context.core_temperatures))
+        result = self.table.lookup(t_hot, context.required_frequency)
+        self.last_lookup = result
+        self.lookups += 1
+        if result.shutdown:
+            self.shutdown_windows += 1
+        elif result.satisfied_target < context.required_frequency - 1e-6:
+            self.backoff_windows += 1
+        return result.frequencies.copy()

@@ -1,0 +1,192 @@
+"""Affine temperature response over a DFS window (the optimizer's substrate).
+
+With constant per-core power ``p`` over a window of ``m`` thermal steps, the
+discrete dynamics ``t_{k+1} = A t_k + B (E p) + c`` unroll to::
+
+    t_k = A^k t_0 + M_k p + v_k,
+    M_k = sum_{j<k} A^j B E,    v_k = sum_{j<k} A^j c
+
+where ``E`` is the power-injection matrix mapping core powers to node powers
+(including the 30% non-core background — see
+`repro.power.model.PlatformPowerModel.injection_matrix`).  Every temperature
+at every step is therefore **affine in p**, which is what makes the paper's
+Eq. 3 a convex program: all temperature and gradient constraints are linear
+in power space, and only the average-frequency requirement is non-linear
+(concave, handled by `repro.solver.problem.SqrtSumConstraint`).
+
+:class:`WindowResponse` precomputes ``M_k``, ``v_k`` and the uniform-start
+response ``r_k = A^k 1`` once per platform/horizon and then builds the
+stacked constraint matrices for any starting temperature in O(size of the
+matrices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.platform import Platform
+from repro.thermal.constants import PAPER_DFS_PERIOD
+
+
+@dataclass(frozen=True)
+class StackedConstraints:
+    """Linear temperature data stacked over selected steps.
+
+    For steps ``k_1 < ... < k_s`` and all nodes::
+
+        temperatures = offset + W p   (rows: step-major, node-minor)
+
+    Attributes:
+        w: response matrix, shape (s * n_nodes, n_cores).
+        offset: constant part, shape (s * n_nodes,).
+        steps: the step indices included.
+        n_nodes: number of thermal nodes per step.
+    """
+
+    w: np.ndarray
+    offset: np.ndarray
+    steps: np.ndarray
+    n_nodes: int
+
+    def temperatures(self, p: np.ndarray) -> np.ndarray:
+        """Evaluate temperatures for core-power vector `p`.
+
+        Returns shape (len(steps), n_nodes).
+        """
+        flat = self.offset + self.w @ p
+        return flat.reshape(len(self.steps), self.n_nodes)
+
+
+class WindowResponse:
+    """Precomputed affine response of a platform over one DFS window.
+
+    Args:
+        platform: the platform to model.
+        horizon: window length in seconds (default: the paper's 100 ms).
+        step_subsample: include every k-th thermal step in the constraint
+            set (the final step is always included).  1 reproduces the
+            paper's "every time-step" constraints exactly; larger values
+            trade a slightly sparser constraint envelope for speed.
+
+    Raises:
+        SolverError: if the horizon is not a positive multiple of the
+            thermal step.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        horizon: float = PAPER_DFS_PERIOD,
+        step_subsample: int = 1,
+    ) -> None:
+        if horizon <= 0:
+            raise SolverError("horizon must be positive")
+        if step_subsample < 1:
+            raise SolverError("step_subsample must be >= 1")
+        m = int(round(horizon / platform.thermal.dt))
+        if m < 1 or abs(m * platform.thermal.dt - horizon) > 1e-9:
+            raise SolverError(
+                f"horizon {horizon:g}s is not a positive multiple of the "
+                f"thermal step {platform.thermal.dt:g}s"
+            )
+        self.platform = platform
+        self.horizon = horizon
+        self.m = m
+        self.step_subsample = step_subsample
+
+        a = platform.thermal.a_matrix
+        b = platform.thermal.b_vector
+        c = platform.thermal.c_vector
+        e = platform.power.injection_matrix()
+        be = b[:, None] * e  # B E, shape (n_nodes, n_cores)
+
+        n = platform.thermal.n
+        steps = list(range(step_subsample, m + 1, step_subsample))
+        if steps[-1] != m:
+            steps.append(m)
+        self.steps = np.array(steps, dtype=int)
+
+        # Iterate the recursions, capturing selected steps.
+        m_k = np.zeros((n, platform.n_cores))
+        v_k = np.zeros(n)
+        powk = np.eye(n)  # A^k
+        keep = set(steps)
+        m_list, v_list, powk_list = [], [], []
+        for k in range(1, m + 1):
+            m_k = a @ m_k + be
+            v_k = a @ v_k + c
+            powk = a @ powk
+            if k in keep:
+                m_list.append(m_k.copy())
+                v_list.append(v_k.copy())
+                powk_list.append(powk.copy())
+        self._m_stack = np.array(m_list)  # (s, n, n_cores)
+        self._v_stack = np.array(v_list)  # (s, n)
+        self._powk_stack = np.array(powk_list)  # (s, n, n)
+        self.n_nodes = n
+
+    # -- constraint assembly -------------------------------------------------
+
+    def stacked(self, t_start: float | np.ndarray) -> StackedConstraints:
+        """Stacked affine response for a given start temperature.
+
+        Args:
+            t_start: scalar (uniform start — the Pro-Temp table case) or a
+                full node vector.
+
+        Returns:
+            A :class:`StackedConstraints` over the selected steps.
+        """
+        n = self.n_nodes
+        if np.isscalar(t_start):
+            t0 = np.full(n, float(t_start))
+        else:
+            t0 = np.asarray(t_start, dtype=float)
+            if t0.shape != (n,):
+                raise SolverError(f"t_start must be scalar or shape ({n},)")
+        s = len(self.steps)
+        offset = (self._powk_stack @ t0 + self._v_stack).reshape(s * n)
+        w = self._m_stack.reshape(s * n, -1)
+        return StackedConstraints(
+            w=w, offset=offset, steps=self.steps, n_nodes=n
+        )
+
+    def core_rows(self) -> np.ndarray:
+        """Flat row indices (into the stacked system) of core nodes."""
+        core = np.asarray(self.platform.core_indices, dtype=int)
+        s = len(self.steps)
+        return (
+            np.arange(s)[:, None] * self.n_nodes + core[None, :]
+        ).reshape(-1)
+
+    def gradient_rows(
+        self, stacked: StackedConstraints
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pairwise core temperature-difference system (Eq. 4 lhs).
+
+        Returns ``(d, g)`` with rows ``d p + g = t_{k,i} - t_{k,j}`` for all
+        ordered core pairs ``i != j`` and all selected steps.  The Eq. 4
+        constraint is then ``d p + g <= t_grad``.
+        """
+        core = np.asarray(self.platform.core_indices, dtype=int)
+        s = len(self.steps)
+        w3 = stacked.w.reshape(s, self.n_nodes, -1)[:, core, :]
+        off3 = stacked.offset.reshape(s, self.n_nodes)[:, core]
+        n_cores = len(core)
+        pairs = [
+            (i, j)
+            for i in range(n_cores)
+            for j in range(n_cores)
+            if i != j
+        ]
+        d = np.concatenate(
+            [w3[:, i, :] - w3[:, j, :] for (i, j) in pairs], axis=0
+        )
+        g = np.concatenate(
+            [off3[:, i] - off3[:, j] for (i, j) in pairs], axis=0
+        )
+        return d, g

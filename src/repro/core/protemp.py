@@ -1,0 +1,540 @@
+"""The Pro-Temp convex optimization (paper section 4, Eqs. 3-5).
+
+Solves, for one DFS window, the frequency-assignment problem::
+
+    minimize    sum_i p_i  (+ lambda * t_grad)                (Eq. 3 / Eq. 5)
+    subject to  t_{k} = affine(p)          (thermal dynamics, Eq. 1)
+                t_{k,node} <= t_max        for every step k and node
+                t_{k,i} - t_{k,j} <= t_grad  for all core pairs (Eq. 4)
+                sum_i f_i >= n f_target    (performance, via sqrt in p-space)
+                0 <= p_i <= p_max,  f_i = f_max sqrt(p_i / p_max)   (Eq. 2)
+
+in **power space**, where everything except the frequency requirement is
+linear (see `repro.core.formulation`).  Eq. 2 is imposed as the definition
+of the recovered frequency rather than an inequality: since the objective
+minimizes power and temperatures increase with power, the paper's relaxed
+form ``p_max f_i^2 / f_max^2 <= p_i`` is always tight at an optimum.
+
+Two assignment modes (paper section 5.3):
+
+* ``variable`` — each core gets its own frequency (the full program above);
+* ``uniform`` — all cores share one frequency, as in Niagara-class designs.
+  The program then has a single scalar degree of freedom and minimizing
+  power forces ``f = f_target`` exactly, so the solve reduces to a closed-
+  form feasibility check (no iterative solver needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.core.formulation import WindowResponse
+from repro.platform import Platform
+from repro.solver.barrier import BarrierOptions, solve_barrier
+from repro.solver.newton import NewtonOptions
+from repro.solver.problem import (
+    BoxConstraint,
+    LinearInequality,
+    LinearObjective,
+    NegativeSqrtObjective,
+    SqrtSumConstraint,
+)
+from repro.solver.result import SolveStatus
+from repro.solver.scipy_backend import solve_scipy
+from repro.thermal.constants import PAPER_DFS_PERIOD
+
+Mode = Literal["variable", "uniform"]
+Backend = Literal["barrier", "scipy"]
+
+#: Strictly positive floor on core power (W) keeping sqrt derivatives finite.
+POWER_FLOOR = 1e-9
+
+#: Upper bound on the t_grad variable (Celsius); loose, never binding.
+T_GRAD_CEILING = 500.0
+
+
+@dataclass(frozen=True)
+class FrequencyAssignment:
+    """Result of one Pro-Temp solve (one table cell of Figure 4).
+
+    Attributes:
+        feasible: whether the (t_start, f_target) point is achievable.
+        frequencies: per-core frequencies (Hz), floorplan core order; zeros
+            when infeasible.
+        core_power: per-core power (W) implied by Eq. 2.
+        predicted_peak: model-predicted max node temperature over the window
+            (Celsius); +inf when infeasible.
+        predicted_gradient: model-predicted max pairwise core temperature
+            difference over the window (Celsius).
+        objective: solver objective value (total power, plus the gradient
+            term when enabled).
+        t_start: starting temperature the solve assumed (Celsius).
+        f_target: required average frequency (Hz).
+        status: underlying solver status.
+        iterations: Newton iterations spent.
+    """
+
+    feasible: bool
+    frequencies: np.ndarray
+    core_power: np.ndarray
+    predicted_peak: float
+    predicted_gradient: float
+    objective: float
+    t_start: float
+    f_target: float
+    status: SolveStatus
+    iterations: int = 0
+
+    @property
+    def average_frequency(self) -> float:
+        """Mean core frequency (Hz)."""
+        return float(np.mean(self.frequencies))
+
+
+class ProTempOptimizer:
+    """Design-time frequency-assignment optimizer (paper Phase 1).
+
+    Args:
+        platform: the multi-core platform.
+        horizon: DFS window length in seconds (default 100 ms).
+        mode: ``"variable"`` per-core frequencies or ``"uniform"`` one
+            shared frequency.
+        minimize_gradient: include the Eq. 4/5 spatial-gradient variable and
+            objective term.
+        gradient_weight: objective weight ``lambda`` on ``t_grad`` (the
+            paper's Eq. 5 uses an unweighted sum, i.e. 1.0).
+        t_grad_cap: optional hard upper bound on the allowed pairwise
+            gradient (Celsius); None leaves it to the objective.
+        step_subsample: constrain every k-th thermal step (1 = every step,
+            exactly the paper's formulation).
+        backend: ``"barrier"`` (native interior point) or ``"scipy"``
+            (cross-check backend).
+        barrier_options: solver tuning for the barrier backend.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        horizon: float = PAPER_DFS_PERIOD,
+        mode: Mode = "variable",
+        minimize_gradient: bool = True,
+        gradient_weight: float = 1.0,
+        t_grad_cap: float | None = None,
+        step_subsample: int = 1,
+        backend: Backend = "barrier",
+        barrier_options: BarrierOptions | None = None,
+    ) -> None:
+        if mode not in ("variable", "uniform"):
+            raise SolverError(f"unknown mode {mode!r}")
+        if backend not in ("barrier", "scipy"):
+            raise SolverError(f"unknown backend {backend!r}")
+        if gradient_weight < 0:
+            raise SolverError("gradient_weight must be >= 0")
+        if t_grad_cap is not None and t_grad_cap <= 0:
+            raise SolverError("t_grad_cap must be positive")
+        self.platform = platform
+        self.mode: Mode = mode
+        self.minimize_gradient = minimize_gradient
+        self.gradient_weight = gradient_weight
+        self.t_grad_cap = t_grad_cap
+        self.backend: Backend = backend
+        if barrier_options is None:
+            # A gentle schedule (t_initial=1, mu=20) tracks the central path
+            # reliably for this problem family; more aggressive schedules
+            # were observed to stall Newton against the thousands of thermal
+            # constraint rows and return badly off-optimal points.  The gap
+            # tolerance is ample for watt-scale objectives and MHz-scale
+            # decisions.
+            barrier_options = BarrierOptions(
+                gap_tol=1e-6,
+                newton=NewtonOptions(tol=1e-9, max_iterations=120),
+            )
+        self.barrier_options = barrier_options
+        self.response = WindowResponse(
+            platform, horizon=horizon, step_subsample=step_subsample
+        )
+
+    # -- public API -----------------------------------------------------------
+
+    def solve(
+        self, t_start: float | np.ndarray, f_target: float
+    ) -> FrequencyAssignment:
+        """Optimal frequency assignment for one design point.
+
+        Args:
+            t_start: starting temperature — scalar for the table's uniform
+                worst-case start, or a full node vector.
+            f_target: required average core frequency (Hz), in
+                ``[0, f_max]``.
+
+        Returns:
+            A :class:`FrequencyAssignment` (``feasible=False`` when the
+            design point cannot satisfy the constraints).
+        """
+        self._check_target(f_target)
+        if self.mode == "uniform":
+            return self._solve_uniform(t_start, f_target)
+        return self._solve_variable(t_start, f_target)
+
+    def is_feasible(
+        self, t_start: float | np.ndarray, f_target: float
+    ) -> bool:
+        """Fast feasibility check (no full optimization).
+
+        Variable mode compares against the feasibility boundary (one convex
+        solve, memoization-friendly); uniform mode uses the closed form.
+        """
+        self._check_target(f_target)
+        if self.mode == "uniform":
+            return self._uniform_feasible(t_start, f_target)
+        return f_target <= self._max_feasible_variable(t_start) * (1 - 1e-9)
+
+    def max_feasible_target(
+        self,
+        t_start: float | np.ndarray,
+        *,
+        tolerance: float = 1e6,
+    ) -> float:
+        """Largest feasible average frequency at `t_start` (Fig. 9's y-axis).
+
+        For the uniform mode this is a bisection on the closed-form
+        feasibility check.  For the variable mode it is a *single* convex
+        solve: maximize ``sum_i f_i = (f_max/sqrt(p_max)) sum_i sqrt(p_i)``
+        subject to the temperature and box constraints — the optimum divided
+        by ``n`` is exactly the feasibility threshold of Eq. 3's average-
+        frequency constraint.
+
+        Args:
+            t_start: starting temperature.
+            tolerance: bisection resolution in Hz for the uniform mode
+                (default 1 MHz).
+
+        Returns:
+            The feasibility threshold in Hz (0.0 when even an idle window
+            violates the temperature cap).
+        """
+        if self.mode == "uniform":
+            return self._max_feasible_uniform(t_start, tolerance)
+        return self._max_feasible_variable(t_start)
+
+    def _max_feasible_uniform(
+        self, t_start: float | np.ndarray, tolerance: float
+    ) -> float:
+        lo, hi = 0.0, self.platform.f_max
+        if self._uniform_feasible(t_start, hi):
+            return hi
+        if not self._uniform_feasible(t_start, lo):
+            return 0.0
+        while hi - lo > tolerance:
+            mid = 0.5 * (lo + hi)
+            if self._uniform_feasible(t_start, mid):
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def _max_feasible_variable(self, t_start: float | np.ndarray) -> float:
+        result = self._max_sqrt_solve(t_start)
+        if result is None:
+            return 0.0
+        avg_frequency, _p_star = result
+        return min(avg_frequency, self.platform.f_max)
+
+    def _max_sqrt_solve(
+        self, t_start: float | np.ndarray
+    ) -> tuple[float, np.ndarray] | None:
+        """Maximize the average frequency under the temperature cap.
+
+        Returns ``(max average frequency, maximizing power vector)`` or
+        None when even near-zero power violates the cap.  This single solve
+        both yields the Figure 9 boundary and seeds the main solve's
+        strictly feasible start (see :meth:`_interior_start`).
+        """
+        platform = self.platform
+        n = platform.n_cores
+        p_max = platform.power.p_max
+        f_max = platform.f_max
+
+        stacked = self.response.stacked(t_start)
+        blocks = [
+            LinearInequality(stacked.w, platform.t_max - stacked.offset),
+            BoxConstraint(
+                lower=np.full(n, POWER_FLOOR),
+                upper=np.full(n, p_max),
+                indices=np.arange(n),
+            ),
+        ]
+        objective = NegativeSqrtObjective(
+            weights=np.full(n, f_max / np.sqrt(p_max)),
+            indices=np.arange(n),
+            n_vars=n,
+        )
+        x0 = np.full(n, POWER_FLOOR * 10.0)
+        if self.backend == "scipy":
+            result = solve_scipy(objective, blocks, x0)
+        else:
+            result = solve_barrier(objective, blocks, x0, self.barrier_options)
+        if not result.ok:
+            return None
+        return -result.objective / n, np.asarray(result.x, dtype=float)
+
+    # -- uniform mode ----------------------------------------------------------
+
+    def _uniform_temperatures(
+        self, t_start: float | np.ndarray, f_target: float
+    ) -> np.ndarray:
+        scaling = self.platform.power.scaling
+        p_shared = float(scaling.power(f_target))
+        stacked = self.response.stacked(t_start)
+        p = np.full(self.platform.n_cores, p_shared)
+        return stacked.temperatures(p)
+
+    def _uniform_feasible(
+        self, t_start: float | np.ndarray, f_target: float
+    ) -> bool:
+        temps = self._uniform_temperatures(t_start, f_target)
+        return bool(np.max(temps) <= self.platform.t_max)
+
+    def _solve_uniform(
+        self, t_start: float | np.ndarray, f_target: float
+    ) -> FrequencyAssignment:
+        n = self.platform.n_cores
+        scaling = self.platform.power.scaling
+        temps = self._uniform_temperatures(t_start, f_target)
+        core_temps = temps[:, self.platform.core_indices]
+        gradient = float(
+            np.max(core_temps.max(axis=1) - core_temps.min(axis=1))
+        )
+        feasible = bool(np.max(temps) <= self.platform.t_max)
+        if self.t_grad_cap is not None and gradient > self.t_grad_cap:
+            feasible = False
+        p_shared = float(scaling.power(f_target))
+        if not feasible:
+            return self._infeasible(t_start, f_target)
+        frequencies = np.full(n, f_target)
+        objective = n * p_shared + (
+            self.gradient_weight * gradient if self.minimize_gradient else 0.0
+        )
+        return FrequencyAssignment(
+            feasible=True,
+            frequencies=frequencies,
+            core_power=np.full(n, p_shared),
+            predicted_peak=float(np.max(temps)),
+            predicted_gradient=gradient,
+            objective=objective,
+            t_start=self._scalar_start(t_start),
+            f_target=f_target,
+            status=SolveStatus.OPTIMAL,
+        )
+
+    # -- variable mode -----------------------------------------------------------
+
+    def _variable_blocks(
+        self, t_start: float | np.ndarray, f_target: float
+    ) -> tuple[list, int]:
+        platform = self.platform
+        n = platform.n_cores
+        p_max = platform.power.p_max
+        f_max = platform.f_max
+        with_grad = self.minimize_gradient or self.t_grad_cap is not None
+        n_vars = n + 1 if with_grad else n
+
+        stacked = self.response.stacked(t_start)
+        rows = stacked.w
+        offset = stacked.offset
+        if with_grad:
+            rows = np.hstack([rows, np.zeros((rows.shape[0], 1))])
+        blocks: list = [
+            LinearInequality(rows, platform.t_max - offset)
+        ]
+
+        if with_grad:
+            d, g = self.response.gradient_rows(stacked)
+            grad_rows = np.hstack([d, -np.ones((d.shape[0], 1))])
+            blocks.append(LinearInequality(grad_rows, -g))
+            cap = (
+                self.t_grad_cap if self.t_grad_cap is not None else T_GRAD_CEILING
+            )
+            blocks.append(
+                BoxConstraint(
+                    lower=np.array([0.0]),
+                    upper=np.array([cap]),
+                    indices=np.array([n]),
+                )
+            )
+
+        if f_target > 0:
+            blocks.append(
+                SqrtSumConstraint(
+                    weights=np.full(n, f_max / np.sqrt(p_max)),
+                    indices=np.arange(n),
+                    target=n * f_target,
+                )
+            )
+        blocks.append(
+            BoxConstraint(
+                lower=np.full(n, POWER_FLOOR),
+                upper=np.full(n, p_max),
+                indices=np.arange(n),
+            )
+        )
+        return blocks, n_vars
+
+    def _interior_start(
+        self,
+        t_start: float | np.ndarray,
+        f_target: float,
+        p_star: np.ndarray,
+        s_star: float,
+    ) -> np.ndarray | None:
+        """Strictly feasible start by blending toward the boundary point.
+
+        ``p_star`` maximizes the (concave) weighted sqrt-sum under the
+        temperature constraints; a low uniform power ``p_low`` satisfies
+        them with slack.  Any convex blend keeps the temperature rows
+        strictly satisfied (they are affine and both endpoints satisfy
+        them, one strictly), and by concavity the blend's sqrt-sum is at
+        least the blend of the endpoint sums — so choosing the blend weight
+        above the frequency requirement's interpolation point makes *every*
+        constraint strictly feasible.  This avoids the generic phase-I
+        machinery entirely, which was observed to stall on this problem's
+        scaling.
+
+        Returns None when the requirement sits on/over the boundary.
+        """
+        platform = self.platform
+        n = platform.n_cores
+        weight = platform.f_max / np.sqrt(platform.power.p_max)
+        s_req = n * f_target
+        p_low = np.full(n, POWER_FLOOR * 10.0)
+        s_low = float(weight * np.sqrt(p_low).sum())
+        if s_star <= max(s_req, s_low) * (1 + 1e-9):
+            return None
+        needed = max((s_req - s_low) / (s_star - s_low), 0.0)
+        if needed >= 0.995:
+            return None
+        alpha = needed + 0.5 * (0.995 - needed)
+        p0 = alpha * p_star + (1 - alpha) * p_low
+
+        with_grad = self.minimize_gradient or self.t_grad_cap is not None
+        if not with_grad:
+            return p0
+        stacked = self.response.stacked(t_start)
+        temps = stacked.temperatures(p0)[:, platform.core_indices]
+        gradient = float(np.max(temps.max(axis=1) - temps.min(axis=1)))
+        cap = (
+            self.t_grad_cap if self.t_grad_cap is not None else T_GRAD_CEILING
+        )
+        tgrad0 = min(gradient + 1.0, cap - 1e-6)
+        if tgrad0 <= gradient:
+            # A hard gradient cap tighter than the blend's gradient: no
+            # analytic interior point; let generic phase I try from here.
+            tgrad0 = cap * 0.5
+        return np.concatenate([p0, [tgrad0]])
+
+    def _solve_variable(
+        self, t_start: float | np.ndarray, f_target: float
+    ) -> FrequencyAssignment:
+        platform = self.platform
+        n = platform.n_cores
+
+        blocks, n_vars = self._variable_blocks(t_start, f_target)
+        with_grad = n_vars == n + 1
+        c = np.ones(n_vars)
+        if with_grad:
+            c[n] = self.gradient_weight if self.minimize_gradient else 0.0
+        objective = LinearObjective(c=c)
+
+        if self.backend == "scipy":
+            # SLSQP accepts infeasible starts (and cannot reliably solve
+            # the boundary pre-problem), so go straight at the program.
+            p_guess = max(
+                POWER_FLOOR * 10.0,
+                platform.power.p_max * (f_target / platform.f_max) ** 2 * 0.9,
+            )
+            x0 = np.full(n_vars, p_guess)
+            if with_grad:
+                cap = (
+                    self.t_grad_cap
+                    if self.t_grad_cap is not None
+                    else T_GRAD_CEILING
+                )
+                x0[n] = cap / 2.0
+            result = solve_scipy(objective, blocks, x0)
+        else:
+            boundary = self._max_sqrt_solve(t_start)
+            if boundary is None:
+                return self._infeasible(t_start, f_target)
+            boundary_avg, p_star = boundary
+            if f_target > boundary_avg * (1 - 1e-9):
+                return self._infeasible(t_start, f_target)
+            x0 = self._interior_start(
+                t_start, f_target, p_star, n * boundary_avg
+            )
+            if x0 is None:
+                return self._infeasible(t_start, f_target)
+            result = solve_barrier(
+                objective, blocks, x0, self.barrier_options
+            )
+        if not result.ok:
+            return self._infeasible(t_start, f_target, result.status)
+
+        p = np.clip(result.x[:n], 0.0, platform.power.p_max)
+        frequencies = np.asarray(
+            platform.power.scaling.frequency_for_power(p), dtype=float
+        )
+        stacked = self.response.stacked(t_start)
+        temps = stacked.temperatures(p)
+        core_temps = temps[:, platform.core_indices]
+        gradient = float(
+            np.max(core_temps.max(axis=1) - core_temps.min(axis=1))
+        )
+        return FrequencyAssignment(
+            feasible=True,
+            frequencies=frequencies,
+            core_power=p,
+            predicted_peak=float(np.max(temps)),
+            predicted_gradient=gradient,
+            objective=result.objective,
+            t_start=self._scalar_start(t_start),
+            f_target=f_target,
+            status=result.status,
+            iterations=result.iterations,
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check_target(self, f_target: float) -> None:
+        if not 0 <= f_target <= self.platform.f_max * (1 + 1e-9):
+            raise SolverError(
+                f"f_target must lie in [0, f_max={self.platform.f_max:g}]"
+            )
+
+    def _scalar_start(self, t_start: float | np.ndarray) -> float:
+        if np.isscalar(t_start):
+            return float(t_start)
+        return float(np.max(np.asarray(t_start, dtype=float)))
+
+    def _infeasible(
+        self,
+        t_start: float | np.ndarray,
+        f_target: float,
+        status: SolveStatus = SolveStatus.INFEASIBLE,
+    ) -> FrequencyAssignment:
+        n = self.platform.n_cores
+        return FrequencyAssignment(
+            feasible=False,
+            frequencies=np.zeros(n),
+            core_power=np.zeros(n),
+            predicted_peak=np.inf,
+            predicted_gradient=np.inf,
+            objective=np.inf,
+            t_start=self._scalar_start(t_start),
+            f_target=f_target,
+            status=status,
+        )

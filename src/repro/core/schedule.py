@@ -1,0 +1,322 @@
+"""Multi-window frequency schedules (extension, after reference [24]).
+
+The Pro-Temp table assigns frequencies one DFS window at a time.  When the
+controller *knows* the demand profile for the next few windows (e.g. a
+decode pipeline with a scheduled burst), it can do better: solve one convex
+program over a horizon of ``H`` windows with piecewise-constant per-window
+core powers — the formulation of the authors' companion paper, "Temperature-
+aware processor frequency assignment for MPSoCs using convex optimization"
+(CODES+ISSS 2007, reference [24]).
+
+The program::
+
+    minimize    sum_{w,i} p_{w,i}
+    subject to  thermal dynamics across all H windows   (affine in p)
+                t <= t_max at every step of every window
+                sum_i f_{w,i} >= n * f_target[w]        for each window
+                0 <= p_{w,i} <= p_max
+
+remains convex for exactly the same reason as the single-window program:
+temperatures are affine in the stacked power vector, and each per-window
+frequency requirement is a concave sqrt-sum constraint.
+
+A classic use: *pre-cooling* — when a heavy window is announced, the
+optimizer lowers earlier windows' frequencies so the burst window starts
+cooler and can legally run faster (see ``examples/schedule_precooling.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.formulation import WindowResponse
+from repro.errors import SolverError
+from repro.platform import Platform
+from repro.solver.barrier import BarrierOptions, solve_barrier
+from repro.solver.newton import NewtonOptions
+from repro.solver.problem import (
+    BoxConstraint,
+    LinearInequality,
+    LinearObjective,
+    SqrtSumConstraint,
+)
+from repro.solver.result import SolveStatus
+from repro.solver.scipy_backend import solve_scipy
+from repro.thermal.constants import PAPER_DFS_PERIOD
+
+#: Strictly positive floor on per-window core power (W).
+POWER_FLOOR = 1e-9
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Optimal multi-window schedule.
+
+    Attributes:
+        feasible: whether the demand profile is achievable.
+        frequencies: per-window, per-core frequencies (Hz), shape (H, n).
+        core_power: per-window core powers (W), shape (H, n).
+        window_peaks: model-predicted max temperature per window (Celsius).
+        objective: total power objective value.
+        status: underlying solver status.
+    """
+
+    feasible: bool
+    frequencies: np.ndarray
+    core_power: np.ndarray
+    window_peaks: np.ndarray
+    objective: float
+    status: SolveStatus
+
+    @property
+    def average_frequencies(self) -> np.ndarray:
+        """Mean core frequency per window (Hz), shape (H,)."""
+        return self.frequencies.mean(axis=1)
+
+
+class ScheduleOptimizer:
+    """Horizon-H frequency-schedule optimizer.
+
+    Args:
+        platform: the multi-core platform.
+        horizon_windows: number of DFS windows to schedule (H >= 1).
+        window: DFS period in seconds.
+        step_subsample: thermal-step thinning inside each window.
+        backend: ``"barrier"`` or ``"scipy"``.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        horizon_windows: int = 3,
+        window: float = PAPER_DFS_PERIOD,
+        step_subsample: int = 5,
+        backend: str = "barrier",
+    ) -> None:
+        if horizon_windows < 1:
+            raise SolverError("horizon_windows must be >= 1")
+        if backend not in ("barrier", "scipy"):
+            raise SolverError(f"unknown backend {backend!r}")
+        self.platform = platform
+        self.h = horizon_windows
+        self.backend = backend
+        self.response = WindowResponse(
+            platform, horizon=window, step_subsample=step_subsample
+        )
+        self._barrier_options = BarrierOptions(
+            gap_tol=1e-6,
+            newton=NewtonOptions(tol=1e-9, max_iterations=120),
+        )
+
+    def solve(
+        self,
+        t_start: float | np.ndarray,
+        f_targets: np.ndarray,
+    ) -> ScheduleResult:
+        """Optimal schedule for a known per-window demand profile.
+
+        Args:
+            t_start: starting temperature (scalar or node vector).
+            f_targets: required average frequency per window (Hz),
+                shape (H,).
+
+        Returns:
+            A :class:`ScheduleResult` (``feasible=False`` when no schedule
+            satisfies the caps and the demands).
+        """
+        platform = self.platform
+        n = platform.n_cores
+        h = self.h
+        f_targets = np.asarray(f_targets, dtype=float)
+        if f_targets.shape != (h,):
+            raise SolverError(f"f_targets must have shape ({h},)")
+        if np.any(f_targets < 0) or np.any(
+            f_targets > platform.f_max * (1 + 1e-9)
+        ):
+            raise SolverError("f_targets must lie in [0, f_max]")
+
+        rows, offsets = self._stacked_horizon(t_start)
+        n_vars = h * n
+        p_max = platform.power.p_max
+        f_max = platform.f_max
+
+        blocks: list = [
+            LinearInequality(rows, platform.t_max - offsets),
+            BoxConstraint(
+                lower=np.full(n_vars, POWER_FLOOR),
+                upper=np.full(n_vars, p_max),
+                indices=np.arange(n_vars),
+            ),
+        ]
+        for w in range(h):
+            if f_targets[w] > 0:
+                blocks.append(
+                    SqrtSumConstraint(
+                        weights=np.full(n, f_max / np.sqrt(p_max)),
+                        indices=np.arange(w * n, (w + 1) * n),
+                        target=n * f_targets[w],
+                    )
+                )
+
+        objective = LinearObjective(c=np.ones(n_vars))
+        x0 = self._greedy_interior_start(t_start, f_targets)
+        if x0 is None:
+            x0 = np.full(n_vars, p_max * 0.25)
+        if self.backend == "scipy":
+            result = solve_scipy(objective, blocks, x0)
+        else:
+            result = solve_barrier(
+                objective, blocks, x0, self._barrier_options
+            )
+        if not result.ok:
+            return ScheduleResult(
+                feasible=False,
+                frequencies=np.zeros((h, n)),
+                core_power=np.zeros((h, n)),
+                window_peaks=np.full(h, np.inf),
+                objective=np.inf,
+                status=result.status,
+            )
+
+        p = np.clip(result.x, 0.0, p_max).reshape(h, n)
+        freqs = np.asarray(
+            platform.power.scaling.frequency_for_power(p), dtype=float
+        )
+        temps = (offsets + rows @ result.x).reshape(
+            h, len(self.response.steps), self.response.n_nodes
+        )
+        peaks = temps.max(axis=(1, 2))
+        return ScheduleResult(
+            feasible=True,
+            frequencies=freqs,
+            core_power=p,
+            window_peaks=peaks,
+            objective=result.objective,
+            status=result.status,
+        )
+
+    def _greedy_interior_start(
+        self,
+        t_start: float | np.ndarray,
+        f_targets: np.ndarray,
+    ) -> np.ndarray | None:
+        """Construct a strictly feasible schedule window by window.
+
+        For each window in order, solve the *single-window* boundary
+        problem from the propagated state (maximize the sqrt-sum under the
+        temperature rows — robust; see
+        :meth:`repro.core.protemp.ProTempOptimizer._max_sqrt_solve`) and
+        blend slightly above the window's requirement, exactly as the
+        single-window optimizer seeds itself.  Earlier windows choose
+        near-minimal power, which by trajectory monotonicity leaves later
+        windows as cool (as feasible) as possible.
+
+        Returns None when any window's requirement exceeds its greedy
+        boundary — the joint program may still be infeasible or (rarely)
+        feasible via a non-greedy path, in which case the generic phase-I
+        machinery takes over.
+        """
+        from repro.core.protemp import ProTempOptimizer
+
+        platform = self.platform
+        n = platform.n_cores
+        single = ProTempOptimizer(
+            platform,
+            horizon=self.response.horizon,
+            step_subsample=self.response.step_subsample,
+            minimize_gradient=False,
+            backend="barrier",
+        )
+        weight = platform.f_max / np.sqrt(platform.power.p_max)
+        p_low = np.full(n, POWER_FLOOR * 10.0)
+        s_low = float(weight * np.sqrt(p_low).sum())
+
+        if np.isscalar(t_start):
+            state = np.full(self.response.n_nodes, float(t_start))
+        else:
+            state = np.asarray(t_start, dtype=float).copy()
+        p_full = self.response._powk_stack[-1]
+        m_full = self.response._m_stack[-1]
+        v_full = self.response._v_stack[-1]
+
+        chunks = []
+        for w in range(self.h):
+            boundary = single._max_sqrt_solve(state)
+            if boundary is None:
+                return None
+            boundary_avg, p_star = boundary
+            s_star = n * boundary_avg
+            s_req = n * float(f_targets[w])
+            if s_star <= max(s_req, s_low) * (1 + 1e-9):
+                return None
+            needed = max((s_req - s_low) / (s_star - s_low), 0.0)
+            if needed >= 0.99:
+                return None
+            # Stay just above the requirement: coolest for later windows.
+            alpha = needed + 0.1 * (0.99 - needed)
+            p_w = alpha * p_star + (1 - alpha) * p_low
+            chunks.append(p_w)
+            state = p_full @ state + m_full @ p_w + v_full
+        return np.concatenate(chunks)
+
+    # -- horizon assembly -------------------------------------------------
+
+    def _stacked_horizon(
+        self, t_start: float | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stack the affine response of all H windows over (p_0..p_{H-1}).
+
+        Window ``w`` starts from the end state of window ``w-1``; the end
+        state is affine in the earlier windows' powers, so each row block
+        composes the single-window response with the window-to-window
+        propagation.
+        """
+        platform = self.platform
+        n = platform.n_cores
+        n_nodes = self.response.n_nodes
+        s = len(self.response.steps)
+        h = self.h
+
+        if np.isscalar(t_start):
+            t0 = np.full(n_nodes, float(t_start))
+        else:
+            t0 = np.asarray(t_start, dtype=float)
+            if t0.shape != (n_nodes,):
+                raise SolverError(
+                    f"t_start must be scalar or shape ({n_nodes},)"
+                )
+
+        # Single-window pieces at the selected steps.
+        m_stack = self.response._m_stack  # (s, n_nodes, n)
+        v_stack = self.response._v_stack  # (s, n_nodes)
+        powk = self.response._powk_stack  # (s, n_nodes, n_nodes)
+        # Full-window propagation (the final selected step is step m).
+        p_full = powk[-1]
+        m_full = m_stack[-1]
+        v_full = v_stack[-1]
+
+        rows = np.zeros((h * s * n_nodes, h * n))
+        offsets = np.zeros(h * s * n_nodes)
+
+        # State at the start of window w: t_w = base_w + sum_u coef_w[u] p_u
+        base = t0.copy()
+        coefs: list[np.ndarray] = []  # per earlier window: (n_nodes, n)
+        for w in range(h):
+            block = slice(w * s * n_nodes, (w + 1) * s * n_nodes)
+            # temps in window w at step k: powk[k] t_w + m_stack[k] p_w + v_k
+            offsets[block] = (powk @ base + v_stack).reshape(-1)
+            for u, coef in enumerate(coefs):
+                rows[block, u * n : (u + 1) * n] = (powk @ coef).reshape(
+                    s * n_nodes, n
+                )
+            rows[block, w * n : (w + 1) * n] = m_stack.reshape(
+                s * n_nodes, n
+            )
+            # Propagate to the next window start.
+            coefs = [p_full @ coef for coef in coefs]
+            coefs.append(m_full.copy())
+            base = p_full @ base + v_full
+        return rows, offsets

@@ -1,0 +1,406 @@
+"""Phase-1 frequency table (paper Figure 4) and its run-time lookup.
+
+Phase 1 sweeps a grid of (starting temperature, target average frequency)
+design points, solving the Pro-Temp program at each; the results are stored
+in a :class:`FrequencyTable`.  At run time (paper section 3.3) the thermal
+management unit:
+
+1. measures the maximum core temperature and rounds it **up** to the next
+   grid row (safe by trajectory monotonicity — see
+   `repro.thermal.model.ThermalModel.is_monotone`);
+2. rounds the required average frequency **up** to the next grid column
+   (serving at least the demanded performance);
+3. if that cell is infeasible, walks **down** the frequency columns until a
+   feasible cell is found ("the unit chooses the next lower frequency point
+   in the table that can support the temperature constraints");
+4. if no column is feasible — or the temperature exceeds the top grid row —
+   the cores are shut down for the window (zero frequency), the maximally
+   safe fallback.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import TableError
+from repro.core.protemp import FrequencyAssignment, ProTempOptimizer
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One cell of the Phase-1 table.
+
+    Attributes:
+        t_start: grid starting temperature (Celsius).
+        f_target: grid average-frequency requirement (Hz).
+        feasible: whether the convex program was feasible.
+        frequencies: per-core frequency vector (Hz); zeros when infeasible.
+        total_power: sum of core powers (W).
+        predicted_peak: model-predicted peak temperature (Celsius).
+        predicted_gradient: model-predicted max core gradient (Celsius).
+    """
+
+    t_start: float
+    f_target: float
+    feasible: bool
+    frequencies: tuple[float, ...]
+    total_power: float
+    predicted_peak: float
+    predicted_gradient: float
+
+    @classmethod
+    def from_assignment(cls, assignment: FrequencyAssignment) -> "TableEntry":
+        """Build a table entry from an optimizer result."""
+        return cls(
+            t_start=assignment.t_start,
+            f_target=assignment.f_target,
+            feasible=assignment.feasible,
+            frequencies=tuple(float(f) for f in assignment.frequencies),
+            total_power=float(np.sum(assignment.core_power)),
+            predicted_peak=float(assignment.predicted_peak),
+            predicted_gradient=float(assignment.predicted_gradient),
+        )
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of a run-time table lookup.
+
+    Attributes:
+        frequencies: per-core frequencies to apply (Hz); zeros mean a
+            shutdown window.
+        entry: the table cell used (None for the shutdown fallback).
+        satisfied_target: the grid frequency actually served (Hz); may be
+            below the requested one when the controller had to back off.
+        shutdown: True when the fallback (all cores off) was taken.
+    """
+
+    frequencies: np.ndarray
+    entry: TableEntry | None
+    satisfied_target: float
+    shutdown: bool
+
+
+class FrequencyTable:
+    """The Phase-1 output: feasible frequency vectors over a design grid.
+
+    Args:
+        t_grid: strictly increasing starting temperatures (Celsius).
+        f_grid: strictly increasing average-frequency targets (Hz).
+        entries: mapping ``(t_index, f_index) -> TableEntry`` covering the
+            full grid.
+        n_cores: number of cores the vectors apply to.
+        metadata: free-form provenance (platform name, horizon, mode...).
+    """
+
+    def __init__(
+        self,
+        t_grid: list[float],
+        f_grid: list[float],
+        entries: dict[tuple[int, int], TableEntry],
+        n_cores: int,
+        metadata: dict | None = None,
+    ) -> None:
+        if sorted(t_grid) != list(t_grid) or len(set(t_grid)) != len(t_grid):
+            raise TableError("t_grid must be strictly increasing")
+        if sorted(f_grid) != list(f_grid) or len(set(f_grid)) != len(f_grid):
+            raise TableError("f_grid must be strictly increasing")
+        for ti in range(len(t_grid)):
+            for fi in range(len(f_grid)):
+                if (ti, fi) not in entries:
+                    raise TableError(f"missing table entry ({ti}, {fi})")
+        self.t_grid = [float(t) for t in t_grid]
+        self.f_grid = [float(f) for f in f_grid]
+        self.entries = dict(entries)
+        self.n_cores = int(n_cores)
+        self.metadata = dict(metadata or {})
+
+    # -- lookup -----------------------------------------------------------
+
+    def lookup(self, t_current: float, f_required: float) -> LookupResult:
+        """Run-time lookup (see module docstring for the semantics).
+
+        Args:
+            t_current: current maximum core temperature (Celsius).
+            f_required: required average frequency (Hz).
+
+        Returns:
+            A :class:`LookupResult`; `shutdown` is True when no feasible
+            cell exists for this temperature.
+        """
+        ti = bisect_left(self.t_grid, t_current - 1e-9)
+        if ti >= len(self.t_grid):
+            return self._shutdown()
+        fi = bisect_left(self.f_grid, f_required - 1e-9)
+        fi = min(fi, len(self.f_grid) - 1)
+        while fi >= 0:
+            entry = self.entries[(ti, fi)]
+            if entry.feasible:
+                return LookupResult(
+                    frequencies=np.array(entry.frequencies),
+                    entry=entry,
+                    satisfied_target=self.f_grid[fi],
+                    shutdown=False,
+                )
+            fi -= 1
+        return self._shutdown()
+
+    def _shutdown(self) -> LookupResult:
+        return LookupResult(
+            frequencies=np.zeros(self.n_cores),
+            entry=None,
+            satisfied_target=0.0,
+            shutdown=True,
+        )
+
+    # -- views ------------------------------------------------------------------
+
+    def max_feasible_target(self, t_start: float) -> float:
+        """Highest feasible grid frequency at the row covering `t_start`.
+
+        Returns 0.0 when no column is feasible (shutdown row).
+        """
+        ti = bisect_left(self.t_grid, t_start - 1e-9)
+        if ti >= len(self.t_grid):
+            return 0.0
+        for fi in reversed(range(len(self.f_grid))):
+            if self.entries[(ti, fi)].feasible:
+                return self.f_grid[fi]
+        return 0.0
+
+    def feasibility_matrix(self) -> np.ndarray:
+        """Boolean matrix (len(t_grid), len(f_grid)) of cell feasibility."""
+        out = np.zeros((len(self.t_grid), len(self.f_grid)), dtype=bool)
+        for (ti, fi), entry in self.entries.items():
+            out[ti, fi] = entry.feasible
+        return out
+
+    def format(self) -> str:
+        """Figure 4-style ASCII rendering."""
+        lines = ["Starting temp (C) | target (MHz) -> per-core MHz"]
+        for ti, t in enumerate(self.t_grid):
+            for fi, f in enumerate(self.f_grid):
+                entry = self.entries[(ti, fi)]
+                if entry.feasible:
+                    freqs = ", ".join(
+                        f"{v / 1e6:.0f}" for v in entry.frequencies
+                    )
+                    lines.append(f"  <= {t:5.1f} | {f / 1e6:6.0f} -> {freqs}")
+                else:
+                    lines.append(f"  <= {t:5.1f} | {f / 1e6:6.0f} -> infeasible")
+        return "\n".join(lines)
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data (JSON-compatible) representation."""
+        return {
+            "t_grid": self.t_grid,
+            "f_grid": self.f_grid,
+            "n_cores": self.n_cores,
+            "metadata": self.metadata,
+            "entries": [
+                {
+                    "ti": ti,
+                    "fi": fi,
+                    "t_start": e.t_start,
+                    "f_target": e.f_target,
+                    "feasible": e.feasible,
+                    "frequencies": list(e.frequencies),
+                    "total_power": e.total_power,
+                    "predicted_peak": _json_float(e.predicted_peak),
+                    "predicted_gradient": _json_float(e.predicted_gradient),
+                }
+                for (ti, fi), e in sorted(self.entries.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FrequencyTable":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            entries = {
+                (item["ti"], item["fi"]): TableEntry(
+                    t_start=item["t_start"],
+                    f_target=item["f_target"],
+                    feasible=item["feasible"],
+                    frequencies=tuple(item["frequencies"]),
+                    total_power=item["total_power"],
+                    predicted_peak=_parse_float(item["predicted_peak"]),
+                    predicted_gradient=_parse_float(
+                        item["predicted_gradient"]
+                    ),
+                )
+                for item in data["entries"]
+            }
+            return cls(
+                t_grid=data["t_grid"],
+                f_grid=data["f_grid"],
+                entries=entries,
+                n_cores=data["n_cores"],
+                metadata=data.get("metadata", {}),
+            )
+        except (KeyError, TypeError) as exc:
+            raise TableError(f"malformed table data: {exc}") from exc
+
+    def save_json(self, path: str | Path) -> None:
+        """Write the table to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "FrequencyTable":
+        """Read a table written by :meth:`save_json`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def quantize_table(
+    table: FrequencyTable, ladder: "FrequencyLadder"
+) -> FrequencyTable:
+    """Snap every stored frequency down to a discrete hardware ladder.
+
+    Real DVFS hardware supports a finite set of operating points; the
+    continuous optimizer output must be quantized.  Rounding **down** keeps
+    the table's guarantee intact: lower frequency means lower power (Eq. 2)
+    and, by the thermal model's monotonicity, lower temperatures everywhere.
+
+    Cells whose quantized vector would be all-zero (every frequency below
+    the lowest ladder level and the ladder's floor clamps upward) are kept
+    feasible only if the *clamped-up* lowest level still satisfies — we do
+    not re-solve here, so such cells are conservatively marked infeasible.
+
+    Args:
+        table: a Phase-1 table with continuous frequencies.
+        ladder: the hardware's discrete frequency levels.
+
+    Returns:
+        A new :class:`FrequencyTable`; grids and metadata are preserved
+        (with a ``"quantized"`` marker added).
+    """
+    from repro.power.dvfs import FrequencyLadder  # local: avoid cycle
+
+    if not isinstance(ladder, FrequencyLadder):
+        raise TableError("quantize_table needs a FrequencyLadder")
+    entries: dict[tuple[int, int], TableEntry] = {}
+    for key, entry in table.entries.items():
+        if not entry.feasible:
+            entries[key] = entry
+            continue
+        quantized = []
+        feasible = True
+        for f in entry.frequencies:
+            if f < ladder.f_min * (1 - 1e-12):
+                # floor() would clamp *up* to f_min, which could violate
+                # the thermal guarantee; treat as unachievable.
+                feasible = False
+                break
+            quantized.append(ladder.floor(f))
+        if not feasible:
+            entries[key] = TableEntry(
+                t_start=entry.t_start,
+                f_target=entry.f_target,
+                feasible=False,
+                frequencies=tuple(0.0 for _ in entry.frequencies),
+                total_power=0.0,
+                predicted_peak=np.inf,
+                predicted_gradient=np.inf,
+            )
+            continue
+        entries[key] = TableEntry(
+            t_start=entry.t_start,
+            f_target=entry.f_target,
+            feasible=True,
+            frequencies=tuple(quantized),
+            total_power=entry.total_power,
+            predicted_peak=entry.predicted_peak,
+            predicted_gradient=entry.predicted_gradient,
+        )
+    metadata = dict(table.metadata)
+    metadata["quantized"] = [float(level) for level in ladder.levels]
+    return FrequencyTable(
+        t_grid=table.t_grid,
+        f_grid=table.f_grid,
+        entries=entries,
+        n_cores=table.n_cores,
+        metadata=metadata,
+    )
+
+
+def _json_float(value: float) -> float | str:
+    return "inf" if np.isinf(value) else float(value)
+
+
+def _parse_float(value: float | str) -> float:
+    return np.inf if value == "inf" else float(value)
+
+
+def build_frequency_table(
+    optimizer: ProTempOptimizer,
+    t_grid: list[float],
+    f_grid: list[float],
+    *,
+    progress: Callable[[int, int], None] | None = None,
+    prune_infeasible: bool = True,
+) -> FrequencyTable:
+    """Run Phase 1: solve every grid point and assemble the table.
+
+    Args:
+        optimizer: configured :class:`ProTempOptimizer`.
+        t_grid: starting temperatures (Celsius), strictly increasing.
+        f_grid: average-frequency targets (Hz), strictly increasing.
+        progress: optional callback ``(done, total)`` for long sweeps.
+        prune_infeasible: compute each row's feasibility boundary first
+            (one convex solve) and mark cells above it infeasible without
+            running the full optimization.  Sound because feasibility is
+            monotone in the frequency target — raising the target only
+            tightens Eq. 3 — and it skips exactly the cells whose phase-I
+            certification is slowest.
+
+    Returns:
+        The assembled :class:`FrequencyTable`.
+    """
+    entries: dict[tuple[int, int], TableEntry] = {}
+    total = len(t_grid) * len(f_grid)
+    done = 0
+    for ti, t_start in enumerate(t_grid):
+        boundary = (
+            optimizer.max_feasible_target(t_start)
+            if prune_infeasible
+            else None
+        )
+        for fi, f_target in enumerate(f_grid):
+            if boundary is not None and f_target > boundary:
+                entries[(ti, fi)] = TableEntry(
+                    t_start=float(t_start),
+                    f_target=float(f_target),
+                    feasible=False,
+                    frequencies=tuple([0.0] * optimizer.platform.n_cores),
+                    total_power=0.0,
+                    predicted_peak=np.inf,
+                    predicted_gradient=np.inf,
+                )
+            else:
+                assignment = optimizer.solve(t_start, f_target)
+                entries[(ti, fi)] = TableEntry.from_assignment(assignment)
+            done += 1
+            if progress is not None:
+                progress(done, total)
+    platform = optimizer.platform
+    return FrequencyTable(
+        t_grid=list(t_grid),
+        f_grid=list(f_grid),
+        entries=entries,
+        n_cores=platform.n_cores,
+        metadata={
+            "platform": platform.name,
+            "mode": optimizer.mode,
+            "horizon_s": optimizer.response.horizon,
+            "t_max": platform.t_max,
+            "f_max": platform.f_max,
+        },
+    )

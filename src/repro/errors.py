@@ -1,0 +1,55 @@
+"""Exception hierarchy for the Pro-Temp reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration mistakes from numerical
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class FloorplanError(ReproError):
+    """A floorplan is malformed (overlaps, bad dimensions, unknown blocks)."""
+
+
+class ThermalModelError(ReproError):
+    """A thermal model could not be built or is numerically unusable."""
+
+
+class StabilityError(ThermalModelError):
+    """The explicit-Euler discretization is unstable at the requested step."""
+
+
+class PowerModelError(ReproError):
+    """A power model received inconsistent parameters."""
+
+
+class SolverError(ReproError):
+    """The convex solver failed to converge or received a bad problem."""
+
+
+class InfeasibleError(SolverError):
+    """The convex program has an empty feasible set.
+
+    Phase 1 of Pro-Temp relies on this signal: an infeasible
+    (start-temperature, target-frequency) design point is recorded as such in
+    the frequency table, and the run-time controller falls back to the next
+    lower frequency row (paper section 3.3).
+    """
+
+
+class TableError(ReproError):
+    """A frequency table lookup or (de)serialization failed."""
+
+
+class SimulationError(ReproError):
+    """The multi-core simulator was configured inconsistently."""
+
+
+class WorkloadError(ReproError):
+    """A workload/trace generator received invalid parameters."""

@@ -1,0 +1,42 @@
+"""Floorplan geometry, block models and built-in layouts."""
+
+from repro.floorplan.floorplan import (
+    Adjacency,
+    Block,
+    BlockKind,
+    Floorplan,
+    cores_of,
+    validate_cover,
+)
+from repro.floorplan.generators import (
+    core_grid,
+    core_grid_with_cache_ring,
+    core_row,
+)
+from repro.floorplan.geometry import Rect, bounding_box
+from repro.floorplan.niagara import (
+    CORE_NAMES,
+    MIDDLE_CORES,
+    PERIPHERY_CORES,
+    NiagaraConfig,
+    build_niagara8,
+)
+
+__all__ = [
+    "Adjacency",
+    "Block",
+    "BlockKind",
+    "Floorplan",
+    "Rect",
+    "NiagaraConfig",
+    "CORE_NAMES",
+    "PERIPHERY_CORES",
+    "MIDDLE_CORES",
+    "bounding_box",
+    "build_niagara8",
+    "core_grid",
+    "core_grid_with_cache_ring",
+    "core_row",
+    "cores_of",
+    "validate_cover",
+]

@@ -1,0 +1,310 @@
+"""Block-level floorplan model.
+
+A :class:`Floorplan` is an ordered collection of named, non-overlapping
+rectangular :class:`Block` instances.  It is the single geometric input to the
+thermal RC construction (`repro.thermal.rc`): lateral conductances follow the
+block adjacency computed here, exactly as in HotSpot-style block models
+(Skadron et al. [17] in the paper's references).
+
+Blocks are classified by :class:`BlockKind`; the Pro-Temp optimizer treats
+``CORE`` blocks as frequency-controllable and everything else as fixed
+background power (the paper's "other cores ... around 30% of the power
+consumption of the processing cores").
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import FloorplanError
+from repro.floorplan.geometry import GEOM_TOL, Rect, bounding_box
+
+
+class BlockKind(enum.Enum):
+    """Functional classification of a floorplan block."""
+
+    CORE = "core"
+    CACHE = "cache"
+    BUFFER = "buffer"
+    INTERCONNECT = "interconnect"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class Block:
+    """A named rectangular floorplan block.
+
+    Attributes:
+        name: unique identifier within the floorplan (e.g. ``"P1"``).
+        rect: geometric footprint.
+        kind: functional classification.
+    """
+
+    name: str
+    rect: Rect
+    kind: BlockKind = BlockKind.OTHER
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FloorplanError("block name must be non-empty")
+
+    @property
+    def area(self) -> float:
+        """Block area in m^2."""
+        return self.rect.area
+
+    @property
+    def is_core(self) -> bool:
+        """True for frequency-controllable processing cores."""
+        return self.kind is BlockKind.CORE
+
+
+@dataclass(frozen=True)
+class Adjacency:
+    """A shared edge between two blocks.
+
+    Attributes:
+        first: index of the first block (always < `second`).
+        second: index of the second block.
+        shared_length: length of the common edge (m).
+        center_distance: centre-to-centre distance (m).
+    """
+
+    first: int
+    second: int
+    shared_length: float
+    center_distance: float
+
+
+@dataclass
+class Floorplan:
+    """An ordered set of non-overlapping blocks plus derived adjacency.
+
+    The block order is significant: the thermal model state vector and the
+    optimizer's power vector follow it.  Core blocks keep their floorplan
+    order in the derived `core_indices` list, which is the P1..Pn order used
+    throughout the paper's figures.
+
+    Args:
+        blocks: blocks to place; validated for uniqueness and non-overlap.
+        name: human-readable floorplan name.
+
+    Raises:
+        FloorplanError: on duplicate names or overlapping blocks.
+    """
+
+    blocks: list[Block]
+    name: str = "floorplan"
+    _adjacencies: list[Adjacency] = field(init=False, repr=False)
+    _index: dict[str, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise FloorplanError("a floorplan needs at least one block")
+        self._index = {}
+        for i, block in enumerate(self.blocks):
+            if block.name in self._index:
+                raise FloorplanError(f"duplicate block name {block.name!r}")
+            self._index[block.name] = i
+        for i, a in enumerate(self.blocks):
+            for b in self.blocks[i + 1 :]:
+                if a.rect.overlaps(b.rect):
+                    raise FloorplanError(
+                        f"blocks {a.name!r} and {b.name!r} overlap"
+                    )
+        self._adjacencies = self._compute_adjacencies()
+
+    # -- construction helpers ---------------------------------------------
+
+    def _compute_adjacencies(self) -> list[Adjacency]:
+        result: list[Adjacency] = []
+        for i, a in enumerate(self.blocks):
+            for j in range(i + 1, len(self.blocks)):
+                b = self.blocks[j]
+                shared = a.rect.shared_edge_length(b.rect)
+                if shared > GEOM_TOL:
+                    result.append(
+                        Adjacency(
+                            first=i,
+                            second=j,
+                            shared_length=shared,
+                            center_distance=a.rect.center_distance(b.rect),
+                        )
+                    )
+        return result
+
+    # -- basic queries -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+    def index_of(self, name: str) -> int:
+        """Index of the block called `name`.
+
+        Raises:
+            FloorplanError: if no block has that name.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise FloorplanError(f"unknown block {name!r}") from None
+
+    def block(self, name: str) -> Block:
+        """The block called `name`."""
+        return self.blocks[self.index_of(name)]
+
+    @property
+    def adjacencies(self) -> list[Adjacency]:
+        """All shared edges between block pairs (first < second)."""
+        return list(self._adjacencies)
+
+    def neighbors(self, name_or_index: str | int) -> list[int]:
+        """Indices of blocks sharing an edge with the given block.
+
+        This is the paper's ``Adj_i`` set from Eq. 1.
+        """
+        if isinstance(name_or_index, str):
+            idx = self.index_of(name_or_index)
+        else:
+            idx = name_or_index
+            if not 0 <= idx < len(self.blocks):
+                raise FloorplanError(f"block index {idx} out of range")
+        result = []
+        for adj in self._adjacencies:
+            if adj.first == idx:
+                result.append(adj.second)
+            elif adj.second == idx:
+                result.append(adj.first)
+        return result
+
+    # -- core-oriented views ------------------------------------------------
+
+    @property
+    def core_indices(self) -> list[int]:
+        """Indices of CORE blocks, in floorplan (P1..Pn) order."""
+        return [i for i, b in enumerate(self.blocks) if b.is_core]
+
+    @property
+    def core_names(self) -> list[str]:
+        """Names of CORE blocks, in floorplan order."""
+        return [b.name for b in self.blocks if b.is_core]
+
+    @property
+    def n_cores(self) -> int:
+        """Number of CORE blocks."""
+        return len(self.core_indices)
+
+    # -- geometric aggregates ------------------------------------------------
+
+    @property
+    def bounds(self) -> Rect:
+        """Bounding box of all blocks (the die outline)."""
+        return bounding_box([b.rect for b in self.blocks])
+
+    @property
+    def total_area(self) -> float:
+        """Sum of block areas (m^2)."""
+        return sum(b.area for b in self.blocks)
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of the bounding box covered by blocks (<= 1)."""
+        return self.total_area / self.bounds.area
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data representation (JSON-compatible)."""
+        return {
+            "name": self.name,
+            "blocks": [
+                {
+                    "name": b.name,
+                    "kind": b.kind.value,
+                    "x": b.rect.x,
+                    "y": b.rect.y,
+                    "width": b.rect.width,
+                    "height": b.rect.height,
+                }
+                for b in self.blocks
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Floorplan":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            FloorplanError: on missing keys or invalid geometry.
+        """
+        try:
+            blocks = [
+                Block(
+                    name=item["name"],
+                    kind=BlockKind(item.get("kind", "other")),
+                    rect=Rect(
+                        item["x"], item["y"], item["width"], item["height"]
+                    ),
+                )
+                for item in data["blocks"]
+            ]
+            name = data.get("name", "floorplan")
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FloorplanError(f"malformed floorplan data: {exc}") from exc
+        return cls(blocks=blocks, name=name)
+
+    def save_json(self, path: str | Path) -> None:
+        """Write the floorplan to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "Floorplan":
+        """Read a floorplan from a JSON file written by :meth:`save_json`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # -- pretty printing -------------------------------------------------------
+
+    def summary(self) -> str:
+        """Multi-line human-readable description."""
+        lines = [f"Floorplan {self.name!r}: {len(self.blocks)} blocks, "
+                 f"{self.n_cores} cores"]
+        for block in self.blocks:
+            r = block.rect
+            lines.append(
+                f"  {block.name:<14s} {block.kind.value:<12s} "
+                f"({r.x * 1e3:6.2f}, {r.y * 1e3:6.2f}) mm  "
+                f"{r.width * 1e3:5.2f} x {r.height * 1e3:5.2f} mm"
+            )
+        return "\n".join(lines)
+
+
+def validate_cover(floorplan: Floorplan, *, min_fill: float = 0.95) -> None:
+    """Check that blocks tile (almost all of) the die bounding box.
+
+    HotSpot-style RC models assume the floorplan covers the die; large gaps
+    mean heat paths are missing.  This is a soft sanity check used by the
+    built-in floorplans' tests rather than a hard constructor requirement,
+    because partially specified floorplans are still useful for
+    experimentation.
+
+    Raises:
+        FloorplanError: if the fill ratio is below `min_fill`.
+    """
+    ratio = floorplan.fill_ratio
+    if ratio < min_fill:
+        raise FloorplanError(
+            f"floorplan {floorplan.name!r} covers only {ratio:.1%} of its "
+            f"bounding box (need >= {min_fill:.1%})"
+        )
+
+
+def cores_of(floorplan: Floorplan) -> Iterable[Block]:
+    """Iterate over CORE blocks in floorplan order."""
+    return (b for b in floorplan.blocks if b.is_core)

@@ -1,0 +1,125 @@
+"""Parametric floorplan generators.
+
+These produce small synthetic floorplans used by tests, examples and
+ablations: pure core grids, core rows, and grids surrounded by a cache ring
+(a miniature of the Niagara structure).  They let the optimizer and thermal
+model be exercised on 2-16 core platforms without hand-writing layouts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FloorplanError
+from repro.floorplan.floorplan import Block, BlockKind, Floorplan
+from repro.floorplan.geometry import Rect
+from repro.units import mm
+
+
+def core_row(
+    n_cores: int,
+    *,
+    core_width: float = mm(2.5),
+    core_height: float = mm(2.5),
+    name: str = "row",
+) -> Floorplan:
+    """A single row of `n_cores` cores named C1..Cn.
+
+    Args:
+        n_cores: number of cores (>= 1).
+        core_width: per-core width (m).
+        core_height: per-core height (m).
+        name: floorplan name.
+
+    Raises:
+        FloorplanError: if `n_cores` < 1.
+    """
+    if n_cores < 1:
+        raise FloorplanError("core_row needs n_cores >= 1")
+    blocks = [
+        Block(
+            f"C{i + 1}",
+            Rect(i * core_width, 0.0, core_width, core_height),
+            BlockKind.CORE,
+        )
+        for i in range(n_cores)
+    ]
+    return Floorplan(blocks=blocks, name=name)
+
+
+def core_grid(
+    rows: int,
+    cols: int,
+    *,
+    core_width: float = mm(2.5),
+    core_height: float = mm(2.5),
+    name: str = "grid",
+) -> Floorplan:
+    """A `rows` x `cols` grid of cores named C1..C(rows*cols), row-major.
+
+    Raises:
+        FloorplanError: if rows or cols < 1.
+    """
+    if rows < 1 or cols < 1:
+        raise FloorplanError("core_grid needs rows >= 1 and cols >= 1")
+    blocks = []
+    for r in range(rows):
+        for c in range(cols):
+            idx = r * cols + c + 1
+            blocks.append(
+                Block(
+                    f"C{idx}",
+                    Rect(c * core_width, r * core_height, core_width, core_height),
+                    BlockKind.CORE,
+                )
+            )
+    return Floorplan(blocks=blocks, name=name)
+
+
+def core_grid_with_cache_ring(
+    rows: int,
+    cols: int,
+    *,
+    core_width: float = mm(2.5),
+    core_height: float = mm(2.5),
+    ring_width: float = mm(2.0),
+    name: str = "grid_ring",
+) -> Floorplan:
+    """A core grid surrounded by four cache strips (N/S/E/W).
+
+    The ring reproduces, in miniature, the Niagara property that periphery
+    cores border cooler low-power blocks.
+
+    Raises:
+        FloorplanError: if any dimension argument is non-positive.
+    """
+    if ring_width <= 0:
+        raise FloorplanError("ring_width must be positive")
+    inner = core_grid(
+        rows, cols, core_width=core_width, core_height=core_height
+    )
+    grid_w = cols * core_width
+    grid_h = rows * core_height
+    blocks = [
+        Block(b.name, Rect(b.rect.x + ring_width, b.rect.y + ring_width,
+                           b.rect.width, b.rect.height), b.kind)
+        for b in inner.blocks
+    ]
+    total_w = grid_w + 2 * ring_width
+    blocks += [
+        Block("CACHE_S", Rect(0.0, 0.0, total_w, ring_width), BlockKind.CACHE),
+        Block(
+            "CACHE_N",
+            Rect(0.0, ring_width + grid_h, total_w, ring_width),
+            BlockKind.CACHE,
+        ),
+        Block(
+            "CACHE_W",
+            Rect(0.0, ring_width, ring_width, grid_h),
+            BlockKind.CACHE,
+        ),
+        Block(
+            "CACHE_E",
+            Rect(ring_width + grid_w, ring_width, ring_width, grid_h),
+            BlockKind.CACHE,
+        ),
+    ]
+    return Floorplan(blocks=blocks, name=name)

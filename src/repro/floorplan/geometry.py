@@ -1,0 +1,151 @@
+"""Axis-aligned rectangle geometry used by floorplans.
+
+Floorplans in this library are collections of non-overlapping axis-aligned
+rectangles (blocks).  The thermal RC construction needs three geometric
+primitives, all provided here:
+
+* overlap detection (floorplan validation),
+* shared-edge length between two touching rectangles (lateral thermal
+  conductance is proportional to it),
+* centre-to-centre distance (lateral thermal resistance is proportional to
+  it).
+
+All coordinates are in metres.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import FloorplanError
+
+#: Geometric tolerance in metres (1 nm).  Floorplan coordinates come from
+#: millimetre-scale layouts, so anything below this is numerical noise.
+GEOM_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle anchored at its lower-left corner.
+
+    Attributes:
+        x: lower-left corner x coordinate (m).
+        y: lower-left corner y coordinate (m).
+        width: extent along x (m), strictly positive.
+        height: extent along y (m), strictly positive.
+    """
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if not (self.width > GEOM_TOL and self.height > GEOM_TOL):
+            raise FloorplanError(
+                f"rectangle must have positive dimensions, got "
+                f"{self.width} x {self.height}"
+            )
+        for value in (self.x, self.y, self.width, self.height):
+            if not math.isfinite(value):
+                raise FloorplanError("rectangle coordinates must be finite")
+
+    # -- derived coordinates --------------------------------------------
+
+    @property
+    def x2(self) -> float:
+        """Right edge x coordinate."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        """Top edge y coordinate."""
+        return self.y + self.height
+
+    @property
+    def area(self) -> float:
+        """Area in m^2."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Centre point (m, m)."""
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    # -- relations -------------------------------------------------------
+
+    def overlaps(self, other: "Rect") -> bool:
+        """Return True if the interiors of the two rectangles intersect.
+
+        Rectangles that merely share an edge or a corner do NOT overlap.
+        """
+        return (
+            self.x < other.x2 - GEOM_TOL
+            and other.x < self.x2 - GEOM_TOL
+            and self.y < other.y2 - GEOM_TOL
+            and other.y < self.y2 - GEOM_TOL
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        """Return True if `other` lies entirely inside (or on) this rect."""
+        return (
+            other.x >= self.x - GEOM_TOL
+            and other.y >= self.y - GEOM_TOL
+            and other.x2 <= self.x2 + GEOM_TOL
+            and other.y2 <= self.y2 + GEOM_TOL
+        )
+
+    def shared_edge_length(self, other: "Rect") -> float:
+        """Length of the boundary shared with `other` (m).
+
+        Two rectangles share an edge when they touch along a vertical or
+        horizontal line over a segment of positive length.  Corner contact
+        counts as zero.  Overlapping rectangles also return 0; overlap is a
+        validation error handled elsewhere.
+        """
+        if self.overlaps(other):
+            return 0.0
+        # Vertical contact: my right edge on their left edge, or vice versa.
+        if abs(self.x2 - other.x) <= GEOM_TOL or abs(other.x2 - self.x) <= GEOM_TOL:
+            lo = max(self.y, other.y)
+            hi = min(self.y2, other.y2)
+            return max(0.0, hi - lo)
+        # Horizontal contact: my top edge on their bottom edge, or vice versa.
+        if abs(self.y2 - other.y) <= GEOM_TOL or abs(other.y2 - self.y) <= GEOM_TOL:
+            lo = max(self.x, other.x)
+            hi = min(self.x2, other.x2)
+            return max(0.0, hi - lo)
+        return 0.0
+
+    def is_adjacent(self, other: "Rect") -> bool:
+        """True when the two rectangles share an edge of positive length."""
+        return self.shared_edge_length(other) > GEOM_TOL
+
+    def center_distance(self, other: "Rect") -> float:
+        """Euclidean centre-to-centre distance (m)."""
+        cx1, cy1 = self.center
+        cx2, cy2 = other.center
+        return math.hypot(cx2 - cx1, cy2 - cy1)
+
+    def union_bounds(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both."""
+        x = min(self.x, other.x)
+        y = min(self.y, other.y)
+        x2 = max(self.x2, other.x2)
+        y2 = max(self.y2, other.y2)
+        return Rect(x, y, x2 - x, y2 - y)
+
+
+def bounding_box(rects: list[Rect]) -> Rect:
+    """Smallest rectangle covering all `rects`.
+
+    Raises:
+        FloorplanError: if `rects` is empty.
+    """
+    if not rects:
+        raise FloorplanError("cannot compute the bounding box of zero rectangles")
+    box = rects[0]
+    for rect in rects[1:]:
+        box = box.union_bounds(rect)
+    return box

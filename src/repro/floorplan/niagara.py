@@ -1,0 +1,122 @@
+"""Sun Niagara (UltraSPARC T1) 8-core floorplan from Figure 5 of the paper.
+
+The paper evaluates Pro-Temp on a model of Sun's 8-core Niagara [2].  Figure 5
+shows the structure this module encodes:
+
+* two rows of four processing cores (P1-P4 bottom, P5-P8 top),
+* L2 cache banks above the top row and below the bottom row,
+* small L2 buffers flanking each core row,
+* a full-width interconnect / DRAM-bridge strip between the core rows.
+
+The thermally relevant property (paper section 5.3): P1, P4, P5 and P8 sit at
+the row ends next to the cooler buffer blocks and the die edge, while P2, P3,
+P6 and P7 are sandwiched between two hot cores, so the optimizer assigns the
+periphery cores higher frequencies (Figure 10).
+
+Dimensions are parameterized through :class:`NiagaraConfig`; the defaults are
+a plausible 90 nm-era layout with ~6 mm^2 cores.  Absolute sizes only shift
+the thermal calibration; the adjacency structure is what the experiments rely
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.floorplan.floorplan import Block, BlockKind, Floorplan
+from repro.floorplan.geometry import Rect
+from repro.units import mm
+
+#: Names of the processing cores in paper order.
+CORE_NAMES = ("P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8")
+
+#: Cores adjacent to cooler cache/buffer structure (paper section 5.3).
+PERIPHERY_CORES = ("P1", "P4", "P5", "P8")
+
+#: Cores sandwiched between two other cores.
+MIDDLE_CORES = ("P2", "P3", "P6", "P7")
+
+
+@dataclass(frozen=True)
+class NiagaraConfig:
+    """Dimensions (in metres) of the Niagara-8 floorplan of Figure 5.
+
+    Attributes:
+        core_width: width of each processing core.
+        core_height: height of each processing core.
+        buffer_width: width of the L2 buffer strips flanking the core rows.
+        cache_height: height of the top/bottom L2 cache rows.
+        xbar_height: height of the central interconnect/DRAM-bridge strip.
+    """
+
+    core_width: float = mm(2.5)
+    core_height: float = mm(2.5)
+    buffer_width: float = mm(1.0)
+    cache_height: float = mm(3.0)
+    xbar_height: float = mm(2.0)
+
+    @property
+    def die_width(self) -> float:
+        """Total die width: four cores plus two flanking buffers."""
+        return 4 * self.core_width + 2 * self.buffer_width
+
+    @property
+    def die_height(self) -> float:
+        """Total die height: two cache rows, two core rows, one crossbar."""
+        return 2 * self.cache_height + 2 * self.core_height + self.xbar_height
+
+
+def build_niagara8(config: NiagaraConfig | None = None) -> Floorplan:
+    """Build the Figure 5 floorplan.
+
+    Block order: P1..P8 first (so core state indices are 0..7), then caches,
+    buffers and the interconnect strip.
+
+    Args:
+        config: dimensions; defaults to :class:`NiagaraConfig`.
+
+    Returns:
+        A validated :class:`Floorplan` named ``"niagara8"``.
+    """
+    cfg = config or NiagaraConfig()
+    w_core, h_core = cfg.core_width, cfg.core_height
+    w_buf = cfg.buffer_width
+    h_cache, h_xbar = cfg.cache_height, cfg.xbar_height
+    die_w = cfg.die_width
+
+    y_cache_bot = 0.0
+    y_row1 = h_cache
+    y_xbar = y_row1 + h_core
+    y_row2 = y_xbar + h_xbar
+    y_cache_top = y_row2 + h_core
+
+    def core_row(names: tuple[str, ...], y: float) -> list[Block]:
+        blocks = []
+        for i, name in enumerate(names):
+            x = w_buf + i * w_core
+            blocks.append(
+                Block(name, Rect(x, y, w_core, h_core), BlockKind.CORE)
+            )
+        return blocks
+
+    cores = core_row(CORE_NAMES[:4], y_row1) + core_row(CORE_NAMES[4:], y_row2)
+
+    caches = [
+        Block("L2_SW", Rect(0.0, y_cache_bot, die_w / 2, h_cache), BlockKind.CACHE),
+        Block("L2_SE", Rect(die_w / 2, y_cache_bot, die_w / 2, h_cache), BlockKind.CACHE),
+        Block("L2_NW", Rect(0.0, y_cache_top, die_w / 2, h_cache), BlockKind.CACHE),
+        Block("L2_NE", Rect(die_w / 2, y_cache_top, die_w / 2, h_cache), BlockKind.CACHE),
+    ]
+
+    buffers = [
+        Block("BUF_W1", Rect(0.0, y_row1, w_buf, h_core), BlockKind.BUFFER),
+        Block("BUF_E1", Rect(die_w - w_buf, y_row1, w_buf, h_core), BlockKind.BUFFER),
+        Block("BUF_W2", Rect(0.0, y_row2, w_buf, h_core), BlockKind.BUFFER),
+        Block("BUF_E2", Rect(die_w - w_buf, y_row2, w_buf, h_core), BlockKind.BUFFER),
+    ]
+
+    xbar = [
+        Block("XBAR", Rect(0.0, y_xbar, die_w, h_xbar), BlockKind.INTERCONNECT),
+    ]
+
+    return Floorplan(blocks=cores + caches + buffers + xbar, name="niagara8")

@@ -1,0 +1,174 @@
+"""Platform: floorplan + thermal model + power model in one object.
+
+Everything downstream (the Pro-Temp optimizer, the run-time controllers, the
+multi-core simulator and the experiment runners) consumes a
+:class:`Platform`.  :meth:`Platform.niagara8` builds the paper's evaluation
+platform: the Figure 5 floorplan, the calibrated thermal RC model at the
+paper's 0.4 ms step, and 1 GHz / 4 W cores with 30% non-core power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.niagara import NiagaraConfig, build_niagara8
+from repro.power.dvfs import QuadraticScaling
+from repro.power.leakage import LeakageModel
+from repro.power.model import PlatformPowerModel
+from repro.thermal.calibration import NIAGARA_THERMAL_CONFIG
+from repro.thermal.constants import PAPER_TIME_STEP
+from repro.thermal.model import ThermalModel
+from repro.thermal.rc import ThermalPackageConfig, build_rc_network
+from repro.units import ghz
+
+
+@dataclass
+class Platform:
+    """A complete simulated multi-core platform.
+
+    Attributes:
+        floorplan: block floorplan (node order source of truth).
+        thermal: discrete-time thermal model over the floorplan's nodes.
+        power: frequency -> node power mapping.
+        t_max: maximum allowed temperature (Celsius); the paper uses 100.
+        name: human-readable platform name.
+    """
+
+    floorplan: Floorplan
+    thermal: ThermalModel
+    power: PlatformPowerModel
+    t_max: float = 100.0
+    name: str = "platform"
+
+    def __post_init__(self) -> None:
+        if self.thermal.n != len(self.floorplan):
+            raise ValueError(
+                "thermal model node count does not match the floorplan"
+            )
+        if self.power.floorplan is not self.floorplan:
+            # Allow equal-but-distinct floorplans as long as shapes agree.
+            if self.power.n_nodes != len(self.floorplan):
+                raise ValueError(
+                    "power model node count does not match the floorplan"
+                )
+
+    # -- convenience views ---------------------------------------------------
+
+    @property
+    def n_cores(self) -> int:
+        """Number of controllable cores."""
+        return self.floorplan.n_cores
+
+    @property
+    def core_indices(self) -> list[int]:
+        """Thermal-node indices of the cores, P1..Pn order."""
+        return self.floorplan.core_indices
+
+    @property
+    def core_names(self) -> list[str]:
+        """Core names, P1..Pn order."""
+        return self.floorplan.core_names
+
+    @property
+    def f_max(self) -> float:
+        """Core maximum frequency (Hz)."""
+        return self.power.f_max
+
+    @property
+    def dt(self) -> float:
+        """Thermal simulation step (s)."""
+        return self.thermal.dt
+
+    @property
+    def ambient(self) -> float:
+        """Ambient temperature (Celsius)."""
+        return self.thermal.network.ambient
+
+    def core_temperatures(self, node_temps: np.ndarray) -> np.ndarray:
+        """Extract core temperatures from a node temperature vector."""
+        return np.asarray(node_temps, dtype=float)[self.core_indices]
+
+    # -- builders ---------------------------------------------------------------
+
+    @classmethod
+    def niagara8(
+        cls,
+        *,
+        dt: float = PAPER_TIME_STEP,
+        thermal_config: ThermalPackageConfig | None = None,
+        floorplan_config: NiagaraConfig | None = None,
+        f_max: float = ghz(1.0),
+        p_max: float = 4.0,
+        other_power_ratio: float = 0.3,
+        idle_fraction: float = 0.1,
+        t_max: float = 100.0,
+        leakage: LeakageModel | None = None,
+    ) -> "Platform":
+        """The paper's evaluation platform (section 5).
+
+        Defaults: Figure 5 floorplan, calibrated thermal package (see
+        `repro.thermal.calibration`), 1 GHz / 4 W cores, non-core power 30%
+        of core power, t_max = 100 C, thermal step 0.4 ms.
+        """
+        floorplan = build_niagara8(floorplan_config)
+        network = build_rc_network(
+            floorplan, thermal_config or NIAGARA_THERMAL_CONFIG
+        )
+        thermal = ThermalModel(network, dt=dt)
+        power = PlatformPowerModel(
+            floorplan=floorplan,
+            scaling=QuadraticScaling(f_max=f_max, p_max=p_max),
+            other_power_ratio=other_power_ratio,
+            idle_fraction=idle_fraction,
+            leakage=leakage,
+        )
+        return cls(
+            floorplan=floorplan,
+            thermal=thermal,
+            power=power,
+            t_max=t_max,
+            name="niagara8",
+        )
+
+    @classmethod
+    def from_floorplan(
+        cls,
+        floorplan: Floorplan,
+        *,
+        dt: float = PAPER_TIME_STEP,
+        thermal_config: ThermalPackageConfig | None = None,
+        f_max: float = ghz(1.0),
+        p_max: float = 4.0,
+        other_power_ratio: float = 0.3,
+        idle_fraction: float = 0.1,
+        t_max: float = 100.0,
+        leakage: LeakageModel | None = None,
+        name: str | None = None,
+    ) -> "Platform":
+        """Build a platform around an arbitrary floorplan.
+
+        Uses the same defaults as :meth:`niagara8` for everything but the
+        geometry — handy for custom layouts and the generator-produced
+        grids.
+        """
+        network = build_rc_network(
+            floorplan, thermal_config or NIAGARA_THERMAL_CONFIG
+        )
+        thermal = ThermalModel(network, dt=dt)
+        power = PlatformPowerModel(
+            floorplan=floorplan,
+            scaling=QuadraticScaling(f_max=f_max, p_max=p_max),
+            other_power_ratio=other_power_ratio,
+            idle_fraction=idle_fraction,
+            leakage=leakage,
+        )
+        return cls(
+            floorplan=floorplan,
+            thermal=thermal,
+            power=power,
+            t_max=t_max,
+            name=name or floorplan.name,
+        )

@@ -1,0 +1,12 @@
+"""Power and DVFS models."""
+
+from repro.power.dvfs import FrequencyLadder, QuadraticScaling
+from repro.power.leakage import LeakageModel
+from repro.power.model import PlatformPowerModel
+
+__all__ = [
+    "FrequencyLadder",
+    "LeakageModel",
+    "PlatformPowerModel",
+    "QuadraticScaling",
+]

@@ -1,0 +1,129 @@
+"""Voltage/frequency scaling relations (the paper's Eq. 2).
+
+The paper assumes "the square of the voltage scales linearly with the
+frequency of operation" [23], so dynamic power ``P = C V^2 f`` becomes
+quadratic in frequency::
+
+    p(f) = p_max * (f / f_max)^2                       (Eq. 2)
+
+:class:`QuadraticScaling` implements that law and its inverse;
+:class:`FrequencyLadder` models the discrete frequency points hardware
+actually supports (and that the Phase-1 table is indexed by).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PowerModelError
+
+
+@dataclass(frozen=True)
+class QuadraticScaling:
+    """Quadratic frequency-to-power scaling for one core.
+
+    Attributes:
+        f_max: maximum operating frequency (Hz).
+        p_max: power at `f_max` (W).
+    """
+
+    f_max: float
+    p_max: float
+
+    def __post_init__(self) -> None:
+        if self.f_max <= 0 or self.p_max <= 0:
+            raise PowerModelError("f_max and p_max must be positive")
+
+    def power(self, frequency: float | np.ndarray) -> float | np.ndarray:
+        """Power at `frequency` (Eq. 2).  Accepts scalars or arrays."""
+        freq = np.asarray(frequency, dtype=float)
+        if np.any(freq < 0) or np.any(freq > self.f_max * (1 + 1e-9)):
+            raise PowerModelError(
+                f"frequency must lie in [0, f_max={self.f_max:g}]"
+            )
+        result = self.p_max * (freq / self.f_max) ** 2
+        return float(result) if np.isscalar(frequency) else result
+
+    def frequency_for_power(
+        self, power: float | np.ndarray
+    ) -> float | np.ndarray:
+        """Inverse of :meth:`power`: ``f = f_max sqrt(p / p_max)``."""
+        p = np.asarray(power, dtype=float)
+        if np.any(p < 0) or np.any(p > self.p_max * (1 + 1e-9)):
+            raise PowerModelError(
+                f"power must lie in [0, p_max={self.p_max:g}]"
+            )
+        result = self.f_max * np.sqrt(np.clip(p, 0.0, self.p_max) / self.p_max)
+        return float(result) if np.isscalar(power) else result
+
+    def voltage_ratio(self, frequency: float) -> float:
+        """``V(f) / V(f_max)`` under the paper's ``V^2 ∝ f`` assumption."""
+        if not 0 <= frequency <= self.f_max * (1 + 1e-9):
+            raise PowerModelError("frequency out of range")
+        return float(np.sqrt(frequency / self.f_max))
+
+
+@dataclass(frozen=True)
+class FrequencyLadder:
+    """A sorted set of discrete operating frequencies (Hz).
+
+    Attributes:
+        levels: allowed frequencies, strictly increasing, all positive.
+    """
+
+    levels: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise PowerModelError("a frequency ladder needs at least one level")
+        if any(f <= 0 for f in self.levels):
+            raise PowerModelError("all frequency levels must be positive")
+        if any(
+            b <= a for a, b in zip(self.levels, self.levels[1:])
+        ):
+            raise PowerModelError("levels must be strictly increasing")
+
+    @classmethod
+    def linear(cls, f_min: float, f_max: float, n_levels: int) -> "FrequencyLadder":
+        """Evenly spaced ladder from `f_min` to `f_max` inclusive."""
+        if n_levels < 1:
+            raise PowerModelError("n_levels must be >= 1")
+        if n_levels == 1:
+            return cls(levels=(float(f_max),))
+        if not 0 < f_min < f_max:
+            raise PowerModelError("need 0 < f_min < f_max")
+        return cls(levels=tuple(np.linspace(f_min, f_max, n_levels)))
+
+    @property
+    def f_max(self) -> float:
+        """Highest level."""
+        return self.levels[-1]
+
+    @property
+    def f_min(self) -> float:
+        """Lowest level."""
+        return self.levels[0]
+
+    def floor(self, frequency: float) -> float:
+        """Largest level <= `frequency`, or the lowest level if none is."""
+        idx = bisect.bisect_right(self.levels, frequency * (1 + 1e-12)) - 1
+        return self.levels[max(idx, 0)]
+
+    def ceil(self, frequency: float) -> float:
+        """Smallest level >= `frequency`, or the highest level if none is."""
+        idx = bisect.bisect_left(self.levels, frequency * (1 - 1e-12))
+        return self.levels[min(idx, len(self.levels) - 1)]
+
+    def lower_neighbor(self, frequency: float) -> float | None:
+        """Largest level strictly below `frequency`, or None.
+
+        This is the paper's run-time fallback ("the unit chooses the next
+        lower frequency point in the table", section 3.3).
+        """
+        idx = bisect.bisect_left(self.levels, frequency * (1 - 1e-12)) - 1
+        if idx < 0:
+            return None
+        return self.levels[idx]

@@ -1,0 +1,71 @@
+"""Temperature-dependent leakage power (extension beyond the paper).
+
+The paper's convex program treats core power as purely frequency-determined
+(Eq. 2).  Real silicon adds leakage that grows with temperature, which is a
+positive feedback the guarantee should be robust to.  This module provides an
+exponential leakage model (the usual sub-threshold fit, cf. reference [18] of
+the paper) and a conservative linearized bound.  The simulator can enable it
+to stress-test Pro-Temp tables generated with a leakage margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PowerModelError
+
+
+@dataclass(frozen=True)
+class LeakageModel:
+    """Exponential temperature-dependent leakage.
+
+    ``p_leak(T) = p_ref * exp(alpha * (T - t_ref))``
+
+    Attributes:
+        p_ref: leakage at the reference temperature (W).
+        alpha: exponential temperature coefficient (1/K); 0.01-0.02 is a
+            typical sub-threshold slope at 90 nm.
+        t_ref: reference temperature (Celsius).
+    """
+
+    p_ref: float
+    alpha: float = 0.012
+    t_ref: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.p_ref < 0:
+            raise PowerModelError("p_ref must be >= 0")
+        if self.alpha < 0:
+            raise PowerModelError("alpha must be >= 0")
+
+    def power(self, temperature: float | np.ndarray) -> float | np.ndarray:
+        """Leakage power at `temperature`.
+
+        The exponent is clamped (at +50, i.e. astronomically beyond any
+        physical temperature) so that a simulated thermal runaway — which
+        this model *can* produce when its feedback slope exceeds the
+        package's heat-removal conductance — saturates instead of
+        overflowing to infinity.
+        """
+        temps = np.asarray(temperature, dtype=float)
+        exponent = np.minimum(self.alpha * (temps - self.t_ref), 50.0)
+        result = self.p_ref * np.exp(exponent)
+        return float(result) if np.isscalar(temperature) else result
+
+    def linear_bound(self, t_low: float, t_high: float) -> tuple[float, float]:
+        """Chord coefficients ``(c0, c1)`` with ``c0 + c1 T >= p_leak(T)``
+        on ``[t_low, t_high]``.
+
+        Because exp is convex, the chord through the interval endpoints upper
+        bounds it on the interval — usable as a conservative linear leakage
+        term inside the (linear-in-power) Pro-Temp formulation.
+        """
+        if t_low >= t_high:
+            raise PowerModelError("need t_low < t_high")
+        p_low = float(self.power(t_low))
+        p_high = float(self.power(t_high))
+        c1 = (p_high - p_low) / (t_high - t_low)
+        c0 = p_low - c1 * t_low
+        return c0, c1

@@ -1,0 +1,44 @@
+"""Multi-core task execution and thermal co-simulation."""
+
+from repro.sim.engine import (
+    MulticoreSimulator,
+    SimulationConfig,
+    SimulationResult,
+    TemperatureTimeseries,
+)
+from repro.sim.metrics import (
+    PAPER_BAND_EDGES,
+    PAPER_BAND_LABELS,
+    BandAccumulator,
+    GradientAccumulator,
+    SimulationMetrics,
+    WaitingTimeStats,
+)
+from repro.sim.queueing import (
+    AssignmentPolicy,
+    CoolestFirstAssignment,
+    FirstIdleAssignment,
+    RandomAssignment,
+    TaskQueue,
+)
+from repro.sim.task import Task, TaskTrace
+
+__all__ = [
+    "PAPER_BAND_EDGES",
+    "PAPER_BAND_LABELS",
+    "AssignmentPolicy",
+    "BandAccumulator",
+    "CoolestFirstAssignment",
+    "FirstIdleAssignment",
+    "GradientAccumulator",
+    "MulticoreSimulator",
+    "RandomAssignment",
+    "SimulationConfig",
+    "SimulationMetrics",
+    "SimulationResult",
+    "Task",
+    "TaskQueue",
+    "TaskTrace",
+    "TemperatureTimeseries",
+    "WaitingTimeStats",
+]

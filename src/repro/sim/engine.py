@@ -1,0 +1,321 @@
+"""Closed-loop multi-core simulator.
+
+Couples, at the paper's 0.4 ms thermal granularity:
+
+* task arrivals, queueing and assignment (`repro.sim.queueing`),
+* task execution at the current per-core frequencies (progress rate
+  ``f / f_max``),
+* the platform power model (busy/idle cores, non-core background,
+  optional leakage),
+* the thermal RC model (`repro.thermal.model`),
+* a thermal management unit consulted at every DFS window boundary
+  (`repro.control.manager`).
+
+Semantics worth calling out (all documented consequences of the paper's
+setup):
+
+* The TMU acts **only at window boundaries** (every 100 ms by default).
+  Nothing reacts in between, which is what lets reactive policies overshoot
+  (Figure 1).
+* A core with no task is *idle* and assignable regardless of its frequency
+  setting; a task assigned to a 0-frequency (shut-down) core waits there
+  until the next window raises the frequency.  The task-assignment unit in
+  the paper is frequency-agnostic.
+* A task's waiting time is ``start - arrival`` (Figure 7).  Tasks that
+  never start before the simulation horizon are censored at the horizon,
+  so an overloaded policy cannot hide its backlog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.control.manager import ThermalManagementUnit
+from repro.errors import SimulationError
+from repro.platform import Platform
+from repro.sim.metrics import (
+    BandAccumulator,
+    GradientAccumulator,
+    SimulationMetrics,
+    WaitingTimeStats,
+)
+from repro.sim.queueing import AssignmentPolicy, FirstIdleAssignment, TaskQueue
+from repro.sim.task import Task, TaskTrace
+from repro.thermal.constants import PAPER_DFS_PERIOD
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Simulator settings.
+
+    Attributes:
+        window: DFS period (s); the paper uses 100 ms.
+        t_initial: initial uniform temperature of all nodes (Celsius).
+        max_time: hard simulation horizon (s); None runs until the trace
+            drains (plus `drain_grace`) — avoid None for overloaded traces.
+        drain_grace: extra time allowed past the last arrival when
+            `max_time` is None (s).
+        record_interval_steps: thermal steps between time-series samples.
+        censor_unstarted: record horizon-censored waits for tasks that
+            never started (see module docstring).
+    """
+
+    window: float = PAPER_DFS_PERIOD
+    t_initial: float = 45.0
+    max_time: float | None = None
+    drain_grace: float = 10.0
+    record_interval_steps: int = 25
+    censor_unstarted: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise SimulationError("window must be positive")
+        if self.record_interval_steps < 1:
+            raise SimulationError("record_interval_steps must be >= 1")
+        if self.max_time is not None and self.max_time <= 0:
+            raise SimulationError("max_time must be positive when given")
+
+
+@dataclass
+class TemperatureTimeseries:
+    """Sub-sampled temperature history of the cores.
+
+    Attributes:
+        times: sample times (s), shape (k,).
+        core_temperatures: Celsius, shape (k, n_cores).
+    """
+
+    times: np.ndarray
+    core_temperatures: np.ndarray
+
+    def core(self, index: int) -> np.ndarray:
+        """History of a single core."""
+        return self.core_temperatures[:, index]
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produces.
+
+    Attributes:
+        policy_name: the DFS policy that ran.
+        assignment_name: the task-assignment policy that ran.
+        trace_name: workload label.
+        metrics: aggregate metrics (bands, waits, violations...).
+        timeseries: sub-sampled core temperature history.
+        end_time: simulation time at exit (s).
+        queue_length_end: tasks still queued at exit.
+        t_max: the platform's limit (for violation interpretation).
+    """
+
+    policy_name: str
+    assignment_name: str
+    trace_name: str
+    metrics: SimulationMetrics
+    timeseries: TemperatureTimeseries
+    end_time: float
+    queue_length_end: int
+    t_max: float
+
+    @property
+    def band_fractions(self) -> np.ndarray:
+        """Mean per-band time fractions (the Figure 6 bars)."""
+        return self.metrics.bands.mean_fractions()
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Average task waiting time (s) — the Figure 7 metric."""
+        return self.metrics.waiting.mean
+
+
+class MulticoreSimulator:
+    """Discrete-time closed-loop simulator for one platform.
+
+    Args:
+        platform: the platform under test.
+        tmu: thermal management unit (policy + sensor + demand estimator).
+        assignment: task-assignment policy (default: the paper's
+            first-idle rule).
+        config: simulation settings.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        tmu: ThermalManagementUnit,
+        assignment: AssignmentPolicy | None = None,
+        config: SimulationConfig | None = None,
+    ) -> None:
+        self.platform = platform
+        self.tmu = tmu
+        self.assignment = assignment or FirstIdleAssignment()
+        self.config = config or SimulationConfig()
+        dt = platform.thermal.dt
+        ratio = self.config.window / dt
+        self.steps_per_window = int(round(ratio))
+        if abs(self.steps_per_window - ratio) > 1e-6 or self.steps_per_window < 1:
+            raise SimulationError(
+                f"window {self.config.window:g}s must be a positive multiple "
+                f"of the thermal step {dt:g}s"
+            )
+
+    def run(self, trace: TaskTrace) -> SimulationResult:
+        """Simulate the platform executing `trace`.
+
+        The input trace is not mutated (an internal fresh copy runs).
+
+        Returns:
+            A :class:`SimulationResult`.
+        """
+        platform = self.platform
+        cfg = self.config
+        trace = trace.fresh_copy()
+        self.tmu.reset()
+
+        dt = platform.thermal.dt
+        n_cores = platform.n_cores
+        core_idx = np.asarray(platform.core_indices, dtype=int)
+        a_matrix = platform.thermal.a_matrix
+        b_vector = platform.thermal.b_vector
+        c_vector = platform.thermal.c_vector
+        injection = platform.power.injection_matrix()
+        idle_fraction = platform.power.idle_fraction
+        f_max = platform.f_max
+        t_max = platform.t_max
+        leakage = platform.power.leakage
+
+        if cfg.max_time is not None:
+            end_time = cfg.max_time
+        else:
+            end_time = trace.duration + cfg.drain_grace
+        total_steps = int(np.ceil(end_time / dt))
+
+        temps = np.full(platform.thermal.n, float(cfg.t_initial))
+        queue = TaskQueue()
+        running: list[Task | None] = [None] * n_cores
+        remaining = np.zeros(n_cores)
+        freqs = np.zeros(n_cores)
+        p_busy = np.zeros(n_cores)
+        rates = np.zeros(n_cores)
+
+        metrics = SimulationMetrics(
+            bands=BandAccumulator(n_cores),
+            gradient=GradientAccumulator(),
+            waiting=WaitingTimeStats(),
+            violation_steps=np.zeros(n_cores, dtype=np.int64),
+        )
+        rec_times: list[float] = []
+        rec_temps: list[np.ndarray] = []
+
+        tasks = trace.tasks
+        next_arrival = 0
+        n_tasks = len(tasks)
+        completed = 0
+        time = 0.0
+
+        for step in range(total_steps):
+            # --- DFS boundary: consult the TMU -------------------------------
+            if step % self.steps_per_window == 0:
+                backlog = float(remaining.sum()) + queue.backlog
+                runnable = sum(t is not None for t in running) + len(queue)
+                freqs = self.tmu.decide(
+                    step // self.steps_per_window,
+                    time,
+                    temps[core_idx],
+                    backlog,
+                    runnable_tasks=runnable,
+                )
+                p_busy = platform.power.core_power(freqs)
+                rates = freqs / f_max
+                metrics.window_frequencies.append(float(freqs.mean()))
+
+            # --- arrivals -----------------------------------------------------
+            while next_arrival < n_tasks and tasks[next_arrival].arrival <= time:
+                queue.push(tasks[next_arrival])
+                next_arrival += 1
+
+            # --- assignment ----------------------------------------------------
+            if len(queue) > 0:
+                idle = [i for i in range(n_cores) if running[i] is None]
+                core_temps_now = temps[core_idx]
+                while idle and len(queue) > 0:
+                    task = queue.pop()
+                    core = self.assignment.choose_core(idle, core_temps_now)
+                    idle.remove(core)
+                    task.start_time = time
+                    task.core = core
+                    metrics.waiting.record(time - task.arrival)
+                    running[core] = task
+                    remaining[core] = task.workload
+
+            # --- execution -------------------------------------------------------
+            busy = np.array([t is not None for t in running])
+            if busy.any():
+                progress = rates * dt
+                remaining = np.where(busy, remaining - progress, remaining)
+                for core in range(n_cores):
+                    task = running[core]
+                    if task is not None and remaining[core] <= 1e-12:
+                        task.finish_time = time + dt
+                        running[core] = None
+                        remaining[core] = 0.0
+                        completed += 1
+
+            # --- power and thermal step ---------------------------------------------
+            core_power = np.where(busy, p_busy, idle_fraction * p_busy)
+            metrics.total_core_energy += float(core_power.sum()) * dt
+            node_power = injection @ core_power
+            if leakage is not None:
+                node_power[core_idx] += leakage.power(temps[core_idx])
+            temps = a_matrix @ temps + b_vector * node_power + c_vector
+
+            # --- metrics ------------------------------------------------------------
+            core_temps_now = temps[core_idx]
+            metrics.bands.record(core_temps_now)
+            metrics.gradient.record(core_temps_now)
+            metrics.violation_steps += core_temps_now > t_max
+            metrics.total_steps += 1
+            peak = float(core_temps_now.max())
+            if peak > metrics.peak_temperature:
+                metrics.peak_temperature = peak
+            if step % cfg.record_interval_steps == 0:
+                rec_times.append(time + dt)
+                rec_temps.append(core_temps_now.copy())
+
+            time += dt
+            if (
+                cfg.max_time is None
+                and next_arrival >= n_tasks
+                and len(queue) == 0
+                and completed == n_tasks
+            ):
+                break
+
+        # --- censored waits for tasks that never started ------------------------
+        metrics.arrived_tasks = next_arrival
+        metrics.completed_tasks = completed
+        if cfg.censor_unstarted:
+            for task in tasks[:next_arrival]:
+                if task.start_time is None:
+                    metrics.waiting.record(time - task.arrival)
+
+        timeseries = TemperatureTimeseries(
+            times=np.array(rec_times),
+            core_temperatures=(
+                np.array(rec_temps)
+                if rec_temps
+                else np.zeros((0, n_cores))
+            ),
+        )
+        return SimulationResult(
+            policy_name=self.tmu.policy.name,
+            assignment_name=self.assignment.name,
+            trace_name=trace.name,
+            metrics=metrics,
+            timeseries=timeseries,
+            end_time=time,
+            queue_length_end=len(queue),
+            t_max=t_max,
+        )

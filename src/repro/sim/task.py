@@ -1,0 +1,122 @@
+"""Tasks and task traces.
+
+The paper defines a task's *workload* as "the total amount of time required
+for running the task, at the highest operating frequency" (section 3.1); on
+a core running at frequency ``f`` the task progresses at rate ``f / f_max``.
+Benchmarks are traces of tasks with arrival times — the experiments use a
+trace of ~60,000 tasks covering several hundred seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+@dataclass
+class Task:
+    """One unit of work.
+
+    Attributes:
+        task_id: unique id within a trace.
+        arrival: arrival time (s).
+        workload: execution time at f_max (s).
+        start_time: when a core first started it (filled by the simulator).
+        finish_time: completion time (filled by the simulator).
+        core: index of the core that executed it (filled by the simulator).
+    """
+
+    task_id: int
+    arrival: float
+    workload: float
+    start_time: float | None = None
+    finish_time: float | None = None
+    core: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise WorkloadError("task arrival must be >= 0")
+        if self.workload <= 0:
+            raise WorkloadError("task workload must be positive")
+
+    @property
+    def waiting_time(self) -> float | None:
+        """Queueing delay (start - arrival), None until started."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.arrival
+
+    @property
+    def turnaround(self) -> float | None:
+        """Arrival-to-completion latency, None until finished."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.arrival
+
+    def fresh_copy(self) -> "Task":
+        """Copy with runtime fields cleared (for re-running a trace)."""
+        return Task(
+            task_id=self.task_id, arrival=self.arrival, workload=self.workload
+        )
+
+
+@dataclass
+class TaskTrace:
+    """An arrival-ordered sequence of tasks.
+
+    Attributes:
+        tasks: tasks sorted by arrival time.
+        name: provenance label (benchmark name).
+    """
+
+    tasks: list[Task]
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        if any(
+            b.arrival < a.arrival
+            for a, b in zip(self.tasks, self.tasks[1:])
+        ):
+            self.tasks = sorted(self.tasks, key=lambda t: t.arrival)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last arrival (s); 0 for an empty trace."""
+        return self.tasks[-1].arrival if self.tasks else 0.0
+
+    @property
+    def total_work(self) -> float:
+        """Total workload (s at f_max)."""
+        return sum(t.workload for t in self.tasks)
+
+    def offered_load(self, n_cores: int) -> float:
+        """Average demand as a fraction of ``n_cores`` running at f_max."""
+        if not self.tasks or self.duration == 0:
+            return 0.0
+        return self.total_work / (self.duration * n_cores)
+
+    def fresh_copy(self) -> "TaskTrace":
+        """Deep copy with all runtime fields cleared."""
+        return TaskTrace(
+            tasks=[t.fresh_copy() for t in self.tasks], name=self.name
+        )
+
+    def summary(self) -> str:
+        """One-line statistics string."""
+        if not self.tasks:
+            return f"trace {self.name!r}: empty"
+        loads = np.array([t.workload for t in self.tasks])
+        return (
+            f"trace {self.name!r}: {len(self.tasks)} tasks over "
+            f"{self.duration:.1f}s, workload {loads.mean() * 1e3:.2f} ms avg "
+            f"({loads.min() * 1e3:.2f}-{loads.max() * 1e3:.2f} ms)"
+        )

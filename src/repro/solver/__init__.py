@@ -1,0 +1,41 @@
+"""Convex optimization: barrier interior-point solver and scipy cross-check."""
+
+from repro.solver.barrier import (
+    BarrierOptions,
+    find_strictly_feasible,
+    solve_barrier,
+)
+from repro.solver.kkt import KKTResiduals, kkt_residuals
+from repro.solver.newton import NewtonOptions, NewtonOutcome, minimize_newton
+from repro.solver.problem import (
+    BoxConstraint,
+    LinearInequality,
+    LinearObjective,
+    QuadraticObjective,
+    SqrtSumConstraint,
+    max_violation,
+    total_constraints,
+)
+from repro.solver.result import SolveResult, SolveStatus
+from repro.solver.scipy_backend import solve_scipy
+
+__all__ = [
+    "BarrierOptions",
+    "BoxConstraint",
+    "KKTResiduals",
+    "LinearInequality",
+    "LinearObjective",
+    "NewtonOptions",
+    "NewtonOutcome",
+    "QuadraticObjective",
+    "SolveResult",
+    "SolveStatus",
+    "SqrtSumConstraint",
+    "find_strictly_feasible",
+    "kkt_residuals",
+    "max_violation",
+    "minimize_newton",
+    "solve_barrier",
+    "solve_scipy",
+    "total_constraints",
+]

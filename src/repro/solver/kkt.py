@@ -1,0 +1,93 @@
+"""KKT residual checks for verified optimality.
+
+For a convex program ``min f0(x) s.t. f_i(x) <= 0`` a point is optimal iff
+there exist multipliers ``lambda_i >= 0`` with
+
+* stationarity:       ``grad f0(x) + sum_i lambda_i grad f_i(x) = 0``
+* complementarity:    ``lambda_i f_i(x) = 0``
+* primal feasibility: ``f_i(x) <= 0``
+
+The barrier method produces multiplier estimates ``lambda_i = 1/(t (-f_i))``;
+this module evaluates the three residuals so tests can assert optimality
+independently of the solver's own convergence claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solver.barrier import _residual_derivatives
+from repro.solver.problem import ConstraintBlock, Objective
+
+
+@dataclass(frozen=True)
+class KKTResiduals:
+    """Residuals of the KKT conditions at a candidate optimum.
+
+    Attributes:
+        stationarity: infinity norm of the Lagrangian gradient.
+        complementarity: max of ``|lambda_i * f_i(x)|``.
+        primal: max constraint violation (<= 0 means feasible).
+        dual: most negative multiplier (>= 0 means dual feasible).
+    """
+
+    stationarity: float
+    complementarity: float
+    primal: float
+    dual: float
+
+    def satisfied(
+        self,
+        *,
+        stationarity_tol: float = 1e-4,
+        complementarity_tol: float = 1e-4,
+        feasibility_tol: float = 1e-7,
+    ) -> bool:
+        """True when all four conditions hold within tolerances."""
+        return (
+            self.stationarity <= stationarity_tol
+            and self.complementarity <= complementarity_tol
+            and self.primal <= feasibility_tol
+            and self.dual >= -feasibility_tol
+        )
+
+
+def kkt_residuals(
+    objective: Objective,
+    blocks: list[ConstraintBlock],
+    x: np.ndarray,
+    dual_variables: np.ndarray,
+) -> KKTResiduals:
+    """Evaluate KKT residuals at `x` with the given multipliers.
+
+    Args:
+        objective: the objective.
+        blocks: constraint blocks, same order as used in the solve.
+        x: candidate primal point.
+        dual_variables: multipliers, concatenated across blocks in order.
+
+    Returns:
+        A :class:`KKTResiduals`.
+    """
+    x = np.asarray(x, dtype=float)
+    lagrangian_grad = objective.gradient(x).astype(float).copy()
+    comp = 0.0
+    primal = -np.inf
+    offset = 0
+    for block in blocks:
+        res, jac, _hess = _residual_derivatives(block, x)
+        k = len(res)
+        lam = np.asarray(dual_variables[offset : offset + k], dtype=float)
+        offset += k
+        lagrangian_grad += jac.T @ lam
+        comp = max(comp, float(np.max(np.abs(lam * res))) if k else 0.0)
+        primal = max(primal, float(np.max(res)) if k else -np.inf)
+    dual_min = float(np.min(dual_variables)) if len(dual_variables) else 0.0
+    return KKTResiduals(
+        stationarity=float(np.max(np.abs(lagrangian_grad))),
+        complementarity=comp,
+        primal=primal,
+        dual=dual_min,
+    )

@@ -1,0 +1,45 @@
+"""Thermal RC modeling: network construction, simulation, validation."""
+
+from repro.thermal.calibration import (
+    NIAGARA_THERMAL_CONFIG,
+    CalibrationReport,
+    calibration_report,
+)
+from repro.thermal.constants import (
+    AMBIENT_CELSIUS,
+    PAPER_DFS_PERIOD,
+    PAPER_TIME_STEP,
+)
+from repro.thermal.grid import RefinedFloorplan, refine_floorplan
+from repro.thermal.model import ThermalModel
+from repro.thermal.rc import (
+    RCNetwork,
+    ThermalPackageConfig,
+    build_rc_network,
+)
+from repro.thermal.reference import (
+    LayeredPackageConfig,
+    build_layered_network,
+    exact_trajectory,
+)
+from repro.thermal.sensors import IdealSensor, NoisySensor
+
+__all__ = [
+    "AMBIENT_CELSIUS",
+    "PAPER_DFS_PERIOD",
+    "PAPER_TIME_STEP",
+    "NIAGARA_THERMAL_CONFIG",
+    "CalibrationReport",
+    "IdealSensor",
+    "LayeredPackageConfig",
+    "NoisySensor",
+    "RCNetwork",
+    "RefinedFloorplan",
+    "ThermalModel",
+    "ThermalPackageConfig",
+    "build_layered_network",
+    "build_rc_network",
+    "calibration_report",
+    "exact_trajectory",
+    "refine_floorplan",
+]

@@ -1,0 +1,139 @@
+"""Calibrated thermal package for the Niagara-8 evaluation platform.
+
+The paper does not publish its RC coefficients; it cites HotSpot [17] and the
+MPSoC thermal tool of [19].  We therefore calibrate our package parameters so
+the *operating regime* of the paper's experiments is reproduced (shape, not
+absolute numbers — see DESIGN.md):
+
+1. All cores sustained at f_max must push core temperatures well above
+   t_max = 100 C (the paper's No-TC case spends most of its time > 100 C;
+   Figure 1 shows excursions to ~127 C from 45 C ambient).
+2. Core thermal time constants must be a few hundred milliseconds: long
+   enough that a 100 ms DFS window sees a partial transient (so the feasible
+   frequency depends strongly on the starting temperature — Figure 9's
+   declining curve), short enough that a core released at ~90 C can overshoot
+   past 100 C within one window (Figure 1's Basic-DFS violations).
+3. The feasible average frequency should fall from roughly 700-800 MHz at a
+   27 C start to a few hundred MHz at a 97 C start (Figure 9), with the
+   variable (per-core) assignment beating the uniform one.
+
+`NIAGARA_THERMAL_CONFIG` pins the calibrated values;
+:func:`calibration_report` recomputes the regime numbers so tests (and the
+curious) can verify targets 1-2 directly.  Target 3 is checked end-to-end by
+the Figure 9 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.thermal.constants import PAPER_DFS_PERIOD
+from repro.thermal.rc import ThermalPackageConfig
+
+#: Calibrated package parameters for the Niagara-8 platform.  Compared with
+#: the raw defaults in `repro.thermal.constants` these choose the effective
+#: vertical resistance and lumped capacitance; both were tuned against the
+#: targets in the module docstring using `calibration_report`:
+#:
+#: * one-window rise from a uniform 90 C at full power: ~37 C, so a
+#:   Basic-DFS core released just below the 90 C threshold peaks near 127 C —
+#:   the Figure 1 peak;
+#: * one-window cooldown from 110 C with idle cores: ~9 C, i.e. cooling is
+#:   about 4x slower than heating (the asymmetry the paper uses to explain
+#:   Basic-DFS's poor performance in section 5.2);
+#: * single-window feasible average frequency declines from f_max at cool
+#:   starts to ~480 MHz at a 97 C start.  (At starts below ~57 C one 100 ms
+#:   window cannot consume the full thermal headroom at any frequency, so
+#:   the curve saturates at f_max there; the paper's Figure 9 decline is
+#:   reproduced over the 57-97 C range.)
+NIAGARA_THERMAL_CONFIG = ThermalPackageConfig(
+    vertical_resistance_per_area=8.5e-4,
+    capacitance_scale=0.95,
+    ambient=45.0,
+)
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Key regime numbers for a platform (see module docstring).
+
+    Attributes:
+        steady_full_power: per-core steady-state temperature with every core
+            busy at f_max (Celsius), floorplan core order.
+        hottest_core: name of the hottest core at full power.
+        core_time_constants: dominant thermal time constants (s).
+        one_window_rise_from_90: temperature rise of the hottest core over
+            one DFS window starting from a uniform 90 C at full power
+            (Celsius) — the Basic-DFS overshoot scale.
+        one_window_cooldown_from_110: temperature drop of the hottest core
+            over one DFS window starting from a uniform 110 C with all cores
+            shut down (Celsius) — the Basic-DFS recovery scale.
+    """
+
+    steady_full_power: np.ndarray
+    hottest_core: str
+    core_time_constants: np.ndarray
+    one_window_rise_from_90: float
+    one_window_cooldown_from_110: float
+
+
+def calibration_report(platform) -> CalibrationReport:
+    """Compute the calibration regime numbers for `platform`.
+
+    Args:
+        platform: a `repro.platform.Platform`.
+
+    Returns:
+        A :class:`CalibrationReport`.
+    """
+    thermal = platform.thermal
+    power = platform.power
+    core_idx = platform.core_indices
+
+    p_full = power.max_node_power()
+    steady = thermal.steady_state(p_full)
+    steady_cores = steady[core_idx]
+    hottest = platform.core_names[int(np.argmax(steady_cores))]
+
+    taus = thermal.network.thermal_time_constants()
+
+    m = int(round(PAPER_DFS_PERIOD / thermal.dt))
+    traj_hot = thermal.simulate(90.0, p_full, m)
+    rise = float(
+        np.max(traj_hot[-1][core_idx]) - 90.0
+    )
+
+    idle_freqs = np.zeros(platform.n_cores)
+    p_idle = power.node_power(idle_freqs)
+    traj_cool = thermal.simulate(110.0, p_idle, m)
+    drop = float(110.0 - np.max(traj_cool[-1][core_idx]))
+
+    return CalibrationReport(
+        steady_full_power=steady_cores,
+        hottest_core=hottest,
+        core_time_constants=taus[-4:],
+        one_window_rise_from_90=rise,
+        one_window_cooldown_from_110=drop,
+    )
+
+
+def format_report(report: CalibrationReport, core_names: list[str]) -> str:
+    """Human-readable rendering of a :class:`CalibrationReport`."""
+    lines = ["Thermal calibration report"]
+    lines.append("  steady state, all cores at f_max:")
+    for name, temp in zip(core_names, report.steady_full_power):
+        lines.append(f"    {name}: {temp:7.1f} C")
+    lines.append(f"  hottest core: {report.hottest_core}")
+    taus = ", ".join(f"{t * 1e3:.0f} ms" for t in report.core_time_constants)
+    lines.append(f"  slowest time constants: {taus}")
+    lines.append(
+        f"  one-window rise from 90 C at full power: "
+        f"{report.one_window_rise_from_90:5.1f} C"
+    )
+    lines.append(
+        f"  one-window cooldown from 110 C, cores idle: "
+        f"{report.one_window_cooldown_from_110:5.1f} C"
+    )
+    return "\n".join(lines)

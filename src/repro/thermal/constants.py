@@ -1,0 +1,58 @@
+"""Material and package constants for thermal RC construction.
+
+Values follow the HotSpot compact-model literature (Skadron et al., TACO
+2004 — reference [17] of the paper) and standard silicon/copper data.  The
+package-level values (`R_VERTICAL_PER_AREA`, `CAPACITANCE_SCALE`) lump the
+heat spreader, heat sink and convection into an effective per-area vertical
+path; `repro.thermal.calibration` documents how they were tuned so the
+Niagara-8 platform reproduces the paper's operating regime.
+"""
+
+from __future__ import annotations
+
+from repro.units import mm
+
+#: Thermal conductivity of silicon (W / (m K)).  HotSpot uses 100-150
+#: depending on temperature; 130 is a common mid-range choice.
+K_SILICON = 130.0
+
+#: Volumetric heat capacity of silicon (J / (m^3 K)).
+VOL_HEAT_CAPACITY_SILICON = 1.75e6
+
+#: Thermal conductivity of copper (W / (m K)) — used by the layered
+#: reference model's heat spreader.
+K_COPPER = 400.0
+
+#: Volumetric heat capacity of copper (J / (m^3 K)).
+VOL_HEAT_CAPACITY_COPPER = 3.55e6
+
+#: Die (active silicon) thickness (m).
+DIE_THICKNESS = mm(0.5)
+
+#: Effective junction-to-ambient vertical resistance, normalized per unit
+#: area (K m^2 / W).  Dividing by a block's area gives that block's vertical
+#: resistance to ambient.  For the default ~160 mm^2 Niagara die this works
+#: out to ~0.9 K/W junction-to-ambient for the whole chip, a plausible
+#: forced-convection package.
+R_VERTICAL_PER_AREA = 1.4e-4
+
+#: Multiplier applied to the bare-die thermal capacitance of every node to
+#: lump in the thermal mass of the package layers that the single-layer
+#: compact model does not represent explicitly.  Calibrated (see
+#: `repro.thermal.calibration`) so core thermal time constants land near
+#: 0.2-0.3 s, the regime in which the paper's 100 ms DFS window shows both a
+#: meaningful transient and meaningful heat removal.
+CAPACITANCE_SCALE = 2.0
+
+#: Ambient (package/air) temperature in Celsius.  The paper's figures start
+#: near 45 C, a typical in-chassis ambient.
+AMBIENT_CELSIUS = 45.0
+
+#: Thermal-model time step from the paper (section 4): "in order to achieve
+#: numerical stability, the thermal equation had to be solved with a time
+#: step of 0.4 ms".
+PAPER_TIME_STEP = 0.4e-3
+
+#: DFS application period from the paper (sections 3.1 and 4): 100 ms,
+#: i.e. m = 250 thermal steps per DFS window.
+PAPER_DFS_PERIOD = 100e-3

@@ -1,0 +1,225 @@
+"""Discrete-time thermal model (the paper's Eq. 1).
+
+Explicit-Euler discretization of the RC network at a fixed step ``dt``::
+
+    t_{k+1} = A t_k + B p_k + c
+
+with ``A = I - dt C^-1 L``, ``B = dt C^-1`` (diagonal, stored as a vector)
+and ``c = dt C^-1 G_amb t_amb``.  Expanded per node this is exactly Eq. 1 of
+the paper::
+
+    t_{k+1,i} = t_{k,i} + sum_{j in Adj_i} a_ij (t_{k,j} - t_{k,i}) + b_i p_i
+
+with ``a_ij = dt G_ij / C_i``, ``b_i = dt / C_i``, and the ambient included
+as an extra neighbour at fixed temperature (see `repro.thermal.rc`).
+
+Two properties matter beyond simulation accuracy:
+
+* **Stability** — explicit Euler requires ``dt`` below a threshold set by the
+  fastest RC time constant; :meth:`ThermalModel.max_stable_dt` exposes it and
+  the constructor enforces it (the paper reports needing 0.4 ms).
+* **Monotonicity** — when all entries of ``A`` are non-negative, trajectories
+  are monotone in the initial condition and in power.  This is what makes
+  Pro-Temp's single-starting-temperature simplification sound (paper
+  section 3.2): a table entry computed for start temperature ``t`` is safe
+  for any start at-or-below ``t``.  :attr:`ThermalModel.is_monotone` checks
+  it, and the Phase-1 generator asserts it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import StabilityError, ThermalModelError
+from repro.thermal.constants import PAPER_TIME_STEP
+from repro.thermal.rc import RCNetwork, _symmetrize
+
+PowerInput = np.ndarray | Callable[[int], np.ndarray]
+
+
+class ThermalModel:
+    """Explicit-Euler discrete-time thermal model of an RC network.
+
+    Args:
+        network: the RC network to discretize.
+        dt: time step in seconds (default: the paper's 0.4 ms).
+        check_stability: refuse construction when ``dt`` exceeds the Euler
+            stability limit (default True).
+
+    Raises:
+        StabilityError: when `check_stability` and `dt` is too large.
+        ThermalModelError: on non-positive `dt`.
+    """
+
+    def __init__(
+        self,
+        network: RCNetwork,
+        dt: float = PAPER_TIME_STEP,
+        *,
+        check_stability: bool = True,
+    ) -> None:
+        if dt <= 0:
+            raise ThermalModelError(f"dt must be positive, got {dt}")
+        self.network = network
+        self.dt = float(dt)
+        lap = network.laplacian()
+        inv_c = 1.0 / network.capacitance
+        self._a = np.eye(network.n) - self.dt * inv_c[:, None] * lap
+        self._b = self.dt * inv_c
+        self._c = (
+            self.dt * inv_c * network.ambient_conductance * network.ambient
+        )
+        if check_stability and not self.is_stable:
+            raise StabilityError(
+                f"dt={dt:g}s exceeds the explicit-Euler stability limit "
+                f"{self.max_stable_dt:g}s for this network"
+            )
+
+    # -- matrices ----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of thermal nodes."""
+        return self.network.n
+
+    @property
+    def a_matrix(self) -> np.ndarray:
+        """State-transition matrix ``A`` (copy)."""
+        return self._a.copy()
+
+    @property
+    def b_vector(self) -> np.ndarray:
+        """Power-injection coefficients ``b_i = dt / C_i`` (copy)."""
+        return self._b.copy()
+
+    @property
+    def c_vector(self) -> np.ndarray:
+        """Constant ambient drive ``c_i`` (copy)."""
+        return self._c.copy()
+
+    def a_coefficient(self, i: int, j: int) -> float:
+        """The paper's ``a_ij = dt G_ij / C_i`` for a neighbour pair."""
+        if i == j:
+            raise ThermalModelError("a_ij is defined for i != j")
+        return self.dt * self.network.conductance[i, j] / self.network.capacitance[i]
+
+    # -- numerical properties -----------------------------------------------
+
+    @property
+    def max_stable_dt(self) -> float:
+        """Largest explicit-Euler-stable step (s).
+
+        Euler on ``dT/dt = -M T + ...`` is stable iff ``dt < 2 / lambda_max``
+        where ``lambda_max`` is the largest eigenvalue of ``M`` (real and
+        positive since the network is passive).
+        """
+        lam_max = float(np.linalg.eigvalsh(_symmetrize(self.network))[-1])
+        if lam_max <= 0:
+            return np.inf
+        return 2.0 / lam_max
+
+    @property
+    def is_stable(self) -> bool:
+        """True when the discretization step is below the stability limit."""
+        return self.dt < self.max_stable_dt
+
+    @property
+    def spectral_radius(self) -> float:
+        """Spectral radius of ``A`` (< 1 for a stable discretization)."""
+        return float(np.max(np.abs(np.linalg.eigvals(self._a))))
+
+    @property
+    def is_monotone(self) -> bool:
+        """True when ``A`` is elementwise non-negative.
+
+        See the module docstring: this is the property backing Pro-Temp's
+        max-temperature table simplification.
+        """
+        return bool(np.all(self._a >= -1e-15))
+
+    # -- dynamics ------------------------------------------------------------
+
+    def step(self, temps: np.ndarray, power: np.ndarray) -> np.ndarray:
+        """One Euler step: ``t_{k+1} = A t_k + B p + c``.
+
+        Args:
+            temps: temperatures at step k, shape (n,), Celsius.
+            power: per-node power during the step, shape (n,), watts.
+
+        Returns:
+            Temperatures at step k+1, shape (n,).
+        """
+        return self._a @ temps + self._b * power + self._c
+
+    def simulate(
+        self,
+        t0: np.ndarray | float,
+        power: PowerInput,
+        n_steps: int,
+        *,
+        record_every: int = 1,
+    ) -> np.ndarray:
+        """Simulate `n_steps` Euler steps from `t0`.
+
+        Args:
+            t0: initial temperatures — scalar (uniform) or shape (n,).
+            power: constant power vector (n,), a (n_steps, n) array of
+                per-step powers, or a callable ``k -> power vector``.
+            n_steps: number of steps to take (>= 0).
+            record_every: keep every k-th state (plus the initial and final
+                states) to bound memory for long runs.
+
+        Returns:
+            Array of recorded temperatures; row 0 is ``t0``, the last row is
+            the state after `n_steps` steps.
+        """
+        if n_steps < 0:
+            raise ThermalModelError("n_steps must be >= 0")
+        if record_every < 1:
+            raise ThermalModelError("record_every must be >= 1")
+        temps = self._expand_t0(t0)
+        get_power = self._power_getter(power, n_steps)
+        recorded = [temps.copy()]
+        for k in range(n_steps):
+            temps = self.step(temps, get_power(k))
+            if (k + 1) % record_every == 0 or k + 1 == n_steps:
+                recorded.append(temps.copy())
+        return np.array(recorded)
+
+    def steady_state(self, power: np.ndarray) -> np.ndarray:
+        """Equilibrium temperatures for constant `power`.
+
+        Solves ``L T = p + G_amb t_amb``.
+        """
+        power = np.asarray(power, dtype=float)
+        if power.shape != (self.n,):
+            raise ThermalModelError(f"power must have shape ({self.n},)")
+        rhs = power + self.network.ambient_conductance * self.network.ambient
+        return np.linalg.solve(self.network.laplacian(), rhs)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _expand_t0(self, t0: np.ndarray | float) -> np.ndarray:
+        if np.isscalar(t0):
+            return np.full(self.n, float(t0))
+        arr = np.asarray(t0, dtype=float).copy()
+        if arr.shape != (self.n,):
+            raise ThermalModelError(f"t0 must be scalar or shape ({self.n},)")
+        return arr
+
+    def _power_getter(
+        self, power: PowerInput, n_steps: int
+    ) -> Callable[[int], np.ndarray]:
+        if callable(power):
+            return power
+        arr = np.asarray(power, dtype=float)
+        if arr.shape == (self.n,):
+            return lambda _k: arr
+        if arr.shape == (n_steps, self.n):
+            return lambda k: arr[k]
+        raise ThermalModelError(
+            f"power must have shape ({self.n},) or ({n_steps}, {self.n}), "
+            f"or be a callable; got shape {arr.shape}"
+        )

@@ -1,0 +1,211 @@
+"""RC thermal network construction from a floorplan.
+
+This is the HotSpot-style compact model construction the paper relies on
+(references [17] and [19]):
+
+* every floorplan block becomes one thermal node with capacitance
+  ``C_i = c_v * area_i * die_thickness * capacitance_scale``;
+* every pair of adjacent blocks gets a lateral conductance
+  ``G_ij = k_si * die_thickness * shared_edge / centre_distance``;
+* every block gets a vertical conductance to the ambient node
+  ``G_amb,i = area_i / r_vertical_per_area`` lumping spreader, sink and
+  convection.
+
+The continuous-time heat equation for the network is::
+
+    C_i dT_i/dt = sum_j G_ij (T_j - T_i) + G_amb,i (T_amb - T_i) + p_i
+
+which, discretized by explicit Euler at step ``dt`` (done in
+`repro.thermal.model`), is exactly the paper's Eq. 1 with
+``a_ij = dt G_ij / C_i`` and ``b_i = dt / C_i`` — plus the ambient neighbour
+the paper leaves implicit (without it Eq. 1 has no heat removal and
+temperature grows without bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ThermalModelError
+from repro.floorplan.floorplan import Floorplan
+from repro.thermal import constants
+
+
+@dataclass(frozen=True)
+class ThermalPackageConfig:
+    """Material and package parameters for RC construction.
+
+    Attributes:
+        silicon_conductivity: lateral conduction coefficient (W/(m K)).
+        volumetric_heat_capacity: silicon volumetric heat capacity
+            (J/(m^3 K)).
+        die_thickness: silicon die thickness (m).
+        vertical_resistance_per_area: junction-to-ambient vertical
+            resistance normalized per area (K m^2 / W).
+        capacitance_scale: multiplier lumping package thermal mass into the
+            die nodes (dimensionless, >= 1 in practice).
+        ambient: ambient temperature (Celsius).
+    """
+
+    silicon_conductivity: float = constants.K_SILICON
+    volumetric_heat_capacity: float = constants.VOL_HEAT_CAPACITY_SILICON
+    die_thickness: float = constants.DIE_THICKNESS
+    vertical_resistance_per_area: float = constants.R_VERTICAL_PER_AREA
+    capacitance_scale: float = constants.CAPACITANCE_SCALE
+    ambient: float = constants.AMBIENT_CELSIUS
+
+    def __post_init__(self) -> None:
+        positive = {
+            "silicon_conductivity": self.silicon_conductivity,
+            "volumetric_heat_capacity": self.volumetric_heat_capacity,
+            "die_thickness": self.die_thickness,
+            "vertical_resistance_per_area": self.vertical_resistance_per_area,
+            "capacitance_scale": self.capacitance_scale,
+        }
+        for key, value in positive.items():
+            if not value > 0:
+                raise ThermalModelError(f"{key} must be positive, got {value}")
+
+
+@dataclass
+class RCNetwork:
+    """A lumped RC thermal network.
+
+    Attributes:
+        node_names: one name per node, floorplan order.
+        capacitance: per-node thermal capacitance (J/K), shape (n,).
+        conductance: symmetric matrix of lateral conductances (W/K), shape
+            (n, n), zero diagonal.
+        ambient_conductance: per-node conductance to ambient (W/K), shape
+            (n,).  May contain zeros for internal nodes of layered models.
+        ambient: ambient temperature (Celsius).
+    """
+
+    node_names: list[str]
+    capacitance: np.ndarray
+    conductance: np.ndarray
+    ambient_conductance: np.ndarray
+    ambient: float
+
+    def __post_init__(self) -> None:
+        n = len(self.node_names)
+        self.capacitance = np.asarray(self.capacitance, dtype=float)
+        self.conductance = np.asarray(self.conductance, dtype=float)
+        self.ambient_conductance = np.asarray(
+            self.ambient_conductance, dtype=float
+        )
+        if self.capacitance.shape != (n,):
+            raise ThermalModelError("capacitance must have shape (n,)")
+        if self.conductance.shape != (n, n):
+            raise ThermalModelError("conductance must have shape (n, n)")
+        if self.ambient_conductance.shape != (n,):
+            raise ThermalModelError("ambient_conductance must have shape (n,)")
+        if np.any(self.capacitance <= 0):
+            raise ThermalModelError("all capacitances must be positive")
+        if np.any(self.conductance < 0) or np.any(self.ambient_conductance < 0):
+            raise ThermalModelError("conductances must be non-negative")
+        if not np.allclose(self.conductance, self.conductance.T):
+            raise ThermalModelError("lateral conductance matrix must be symmetric")
+        if np.any(np.diagonal(self.conductance) != 0.0):
+            raise ThermalModelError("conductance diagonal must be zero")
+        if np.all(self.ambient_conductance == 0.0):
+            raise ThermalModelError(
+                "at least one node must couple to ambient (no heat removal "
+                "path otherwise)"
+            )
+
+    @property
+    def n(self) -> int:
+        """Number of thermal nodes."""
+        return len(self.node_names)
+
+    def index_of(self, name: str) -> int:
+        """Index of the node called `name`."""
+        try:
+            return self.node_names.index(name)
+        except ValueError:
+            raise ThermalModelError(f"unknown thermal node {name!r}") from None
+
+    def laplacian(self) -> np.ndarray:
+        """Conduction Laplacian ``L`` with ambient coupling on the diagonal.
+
+        ``L = diag(row_sums(G) + G_amb) - G``; the continuous dynamics are
+        ``C dT/dt = -L T + G_amb * T_amb + p``.
+        """
+        degree = self.conductance.sum(axis=1) + self.ambient_conductance
+        return np.diag(degree) - self.conductance
+
+    def system_matrix(self) -> np.ndarray:
+        """Continuous-time rate matrix ``M = C^-1 L`` (1/s)."""
+        return self.laplacian() / self.capacitance[:, None]
+
+    def thermal_time_constants(self) -> np.ndarray:
+        """Time constants 1/eig(M), sorted ascending (s).
+
+        Useful for choosing simulation steps and DFS window lengths.
+        """
+        eigvals = np.linalg.eigvalsh(_symmetrize(self))
+        eigvals = eigvals[eigvals > 1e-12]
+        return np.sort(1.0 / eigvals)
+
+
+def _symmetrize(network: RCNetwork) -> np.ndarray:
+    """Similarity-transformed symmetric form ``C^-1/2 L C^-1/2``.
+
+    ``M = C^-1 L`` is similar to this symmetric positive semidefinite matrix,
+    so M's eigenvalues are real and non-negative — the network is passive.
+    """
+    inv_sqrt_c = 1.0 / np.sqrt(network.capacitance)
+    lap = network.laplacian()
+    return inv_sqrt_c[:, None] * lap * inv_sqrt_c[None, :]
+
+
+def build_rc_network(
+    floorplan: Floorplan,
+    config: ThermalPackageConfig | None = None,
+) -> RCNetwork:
+    """Build the single-layer compact RC network for a floorplan.
+
+    Args:
+        floorplan: validated block floorplan.
+        config: material/package parameters (defaults are the calibrated
+            Niagara values; see `repro.thermal.calibration`).
+
+    Returns:
+        An :class:`RCNetwork` whose node order matches the floorplan block
+        order.
+    """
+    cfg = config or ThermalPackageConfig()
+    n = len(floorplan)
+    names = [b.name for b in floorplan.blocks]
+    areas = np.array([b.area for b in floorplan.blocks])
+
+    capacitance = (
+        cfg.volumetric_heat_capacity
+        * areas
+        * cfg.die_thickness
+        * cfg.capacitance_scale
+    )
+
+    conductance = np.zeros((n, n))
+    for adj in floorplan.adjacencies:
+        g = (
+            cfg.silicon_conductivity
+            * cfg.die_thickness
+            * adj.shared_length
+            / adj.center_distance
+        )
+        conductance[adj.first, adj.second] = g
+        conductance[adj.second, adj.first] = g
+
+    ambient_conductance = areas / cfg.vertical_resistance_per_area
+
+    return RCNetwork(
+        node_names=names,
+        capacitance=capacitance,
+        conductance=conductance,
+        ambient_conductance=ambient_conductance,
+        ambient=cfg.ambient,
+    )

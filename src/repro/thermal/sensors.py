@@ -1,0 +1,64 @@
+"""Thermal sensor models.
+
+The paper assumes "at least one thermal sensor for each core" read by a
+centralized thermal management unit (section 3.1).  The experiments assume
+ideal sensing; this module additionally provides a realistic sensor with
+Gaussian noise, quantization and saturation so the control loop can be
+stress-tested against imperfect measurements (an extension the paper's
+guarantee implicitly depends on — the run-time lookup rounds the measured
+maximum temperature *up* to the next table grid point, which absorbs bounded
+sensor error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class IdealSensor:
+    """Pass-through sensor: reads the true node temperatures."""
+
+    def read(self, true_temps: np.ndarray) -> np.ndarray:
+        """Return the true temperatures unchanged (copy)."""
+        return np.asarray(true_temps, dtype=float).copy()
+
+
+@dataclass
+class NoisySensor:
+    """Sensor with additive Gaussian noise, quantization and saturation.
+
+    Attributes:
+        noise_std: standard deviation of the additive noise (Celsius).
+        quantization: reading granularity (Celsius); 0 disables quantization.
+        min_reading: lower saturation bound (Celsius).
+        max_reading: upper saturation bound (Celsius).
+        seed: RNG seed for reproducible noise.
+    """
+
+    noise_std: float = 0.5
+    quantization: float = 1.0
+    min_reading: float = 0.0
+    max_reading: float = 150.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.noise_std < 0:
+            raise SimulationError("noise_std must be >= 0")
+        if self.quantization < 0:
+            raise SimulationError("quantization must be >= 0")
+        if self.min_reading >= self.max_reading:
+            raise SimulationError("min_reading must be < max_reading")
+        self._rng = np.random.default_rng(self.seed)
+
+    def read(self, true_temps: np.ndarray) -> np.ndarray:
+        """Return noisy, quantized, saturated readings."""
+        temps = np.asarray(true_temps, dtype=float)
+        readings = temps + self._rng.normal(0.0, self.noise_std, temps.shape)
+        if self.quantization > 0:
+            readings = np.round(readings / self.quantization) * self.quantization
+        return np.clip(readings, self.min_reading, self.max_reading)

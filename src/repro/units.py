@@ -1,0 +1,74 @@
+"""Unit conventions and conversion helpers.
+
+The library uses SI units internally everywhere:
+
+===============  ==========================
+quantity         unit
+===============  ==========================
+length           metre (m)
+area             square metre (m^2)
+time             second (s)
+frequency        hertz (Hz)
+power            watt (W)
+temperature      degree Celsius (linear RC models are offset-invariant,
+                 so Celsius and Kelvin are interchangeable; we follow the
+                 paper and report Celsius)
+thermal R        kelvin per watt (K/W)
+thermal C        joule per kelvin (J/K)
+===============  ==========================
+
+The paper quotes frequencies in MHz/GHz, times in milliseconds and lengths in
+millimetres; these helpers keep call sites readable without a heavyweight
+units package.
+"""
+
+from __future__ import annotations
+
+# -- scale factors (multiply to convert INTO the SI base unit) ---------------
+
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+
+def mm(value: float) -> float:
+    """Millimetres to metres."""
+    return value * MILLI
+
+
+def mm2(value: float) -> float:
+    """Square millimetres to square metres."""
+    return value * MILLI * MILLI
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return value * MILLI
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * MICRO
+
+
+def mhz(value: float) -> float:
+    """Megahertz to hertz."""
+    return value * MEGA
+
+
+def ghz(value: float) -> float:
+    """Gigahertz to hertz."""
+    return value * GIGA
+
+
+def to_mhz(value_hz: float) -> float:
+    """Hertz to megahertz (for reporting, matching the paper's axes)."""
+    return value_hz / MEGA
+
+
+def to_ms(value_s: float) -> float:
+    """Seconds to milliseconds (for reporting)."""
+    return value_s / MILLI

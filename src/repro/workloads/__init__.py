@@ -1,0 +1,41 @@
+"""Workload and benchmark trace generation."""
+
+from repro.workloads.benchmarks import (
+    compute_benchmark,
+    merge_traces,
+    mixed_benchmark,
+    multimedia_benchmark,
+    paper_scale_trace,
+    server_benchmark,
+    web_benchmark,
+)
+from repro.workloads.trace_gen import (
+    WorkloadDistribution,
+    arrival_rate_for_load,
+    bursty_trace,
+    poisson_trace,
+)
+from repro.workloads.trace_io import (
+    load_trace_csv,
+    load_trace_jsonl,
+    save_trace_csv,
+    save_trace_jsonl,
+)
+
+__all__ = [
+    "WorkloadDistribution",
+    "arrival_rate_for_load",
+    "bursty_trace",
+    "compute_benchmark",
+    "load_trace_csv",
+    "load_trace_jsonl",
+    "merge_traces",
+    "mixed_benchmark",
+    "multimedia_benchmark",
+    "paper_scale_trace",
+    "poisson_trace",
+    "save_trace_csv",
+    "save_trace_jsonl",
+    "server_benchmark",
+    "web_benchmark",
+]

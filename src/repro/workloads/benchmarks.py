@@ -1,0 +1,181 @@
+"""Named benchmark workloads mirroring the paper's evaluation traces.
+
+Section 5: "We use the execution characteristics of tasks from a mix of
+different benchmarks, ranging from web-accessing to playing multimedia
+files [26].  The maximum task/thread lengths of the benchmarks is around
+10 ms.  The experiments are conducted using a large trace with around
+60,000 tasks, modeling several hundred seconds of actual system execution."
+
+We model each benchmark class by its arrival pattern and task-length
+profile, and provide:
+
+* :func:`web_benchmark` — bursty, short requests (1-4 ms);
+* :func:`multimedia_benchmark` — steady frame-processing tasks (5-10 ms);
+* :func:`compute_benchmark` — sustained heavy computation (4-10 ms), the
+  paper's "most computation intensive benchmark" (Figure 6b);
+* :func:`mixed_benchmark` — the web+multimedia+compute mix used for
+  Figures 1, 2, 6a and 8;
+* :func:`paper_scale_trace` — a ~60,000-task mixed trace (~= the paper's
+  full experiment scale).
+
+Offered loads are expressed relative to the platform's full-speed capacity.
+On the calibrated Niagara-8, the *thermally sustainable* load at
+t_max = 100 C is roughly 0.48, so the compute benchmark (0.6 by default) is
+beyond sustainable — the regime where the policies differ most — while the
+mixed benchmark averages ~0.55 with bursts above 1.0.  At 0.6 the measured
+Figure 7 waiting-time ratio lands at the paper's ~0.4.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.sim.task import Task, TaskTrace
+from repro.workloads.trace_gen import (
+    WorkloadDistribution,
+    bursty_trace,
+    poisson_trace,
+)
+
+
+def merge_traces(traces: list[TaskTrace], name: str) -> TaskTrace:
+    """Interleave several traces into one, re-numbering task ids."""
+    if not traces:
+        raise WorkloadError("merge_traces needs at least one trace")
+    tasks = sorted(
+        (t for trace in traces for t in trace.tasks), key=lambda t: t.arrival
+    )
+    renumbered = [
+        Task(task_id=i, arrival=t.arrival, workload=t.workload)
+        for i, t in enumerate(tasks)
+    ]
+    return TaskTrace(tasks=renumbered, name=name)
+
+
+def web_benchmark(
+    duration: float, n_cores: int, *, seed: int = 0
+) -> TaskTrace:
+    """Bursty short-request workload (web serving)."""
+    return bursty_trace(
+        duration,
+        burst_load=0.7,
+        idle_load=0.05,
+        n_cores=n_cores,
+        burst_length=1.5,
+        idle_length=3.5,
+        workload=WorkloadDistribution(1e-3, 4e-3),
+        seed=seed,
+        name="web",
+    )
+
+
+def multimedia_benchmark(
+    duration: float, n_cores: int, *, seed: int = 0
+) -> TaskTrace:
+    """Steady medium-length workload (media playback/encode)."""
+    return poisson_trace(
+        duration,
+        offered_load=0.12,
+        n_cores=n_cores,
+        workload=WorkloadDistribution(5e-3, 10e-3),
+        seed=seed,
+        name="multimedia",
+    )
+
+
+def compute_benchmark(
+    duration: float, n_cores: int, *, seed: int = 0, offered_load: float = 0.6
+) -> TaskTrace:
+    """The paper's most computation-intensive benchmark (Figure 6b).
+
+    Sustained demand far above the thermally sustainable load, with long
+    tasks; the No-TC and Basic-DFS policies spend large fractions of time
+    above t_max here.
+    """
+    return poisson_trace(
+        duration,
+        offered_load=offered_load,
+        n_cores=n_cores,
+        workload=WorkloadDistribution(4e-3, 10e-3),
+        seed=seed,
+        name="compute",
+    )
+
+
+def server_benchmark(
+    duration: float,
+    n_cores: int,
+    *,
+    seed: int = 0,
+    offered_load: float = 0.15,
+) -> TaskTrace:
+    """Sparse long-running jobs (thread-level, 100-400 ms) — section 5.4.
+
+    The paper's Figure 11 experiment integrates the thread-level
+    temperature-aware assignment of Coskun et al. [26].  Assignment choice
+    only moves heat when individual jobs are long relative to the DFS
+    window and cores are partially occupied; with the paper's 1-10 ms tasks
+    and a shared frequency the per-core power differences are negligible
+    (we verified this in simulation — see EXPERIMENTS.md).  This benchmark
+    therefore models [26]'s workload class directly: Poisson arrivals of
+    100-400 ms jobs at low occupancy, so each job runs near f_max on one
+    core for several windows and *where* it lands decides whether a
+    pre-heated core overshoots.
+    """
+    return poisson_trace(
+        duration,
+        offered_load=offered_load,
+        n_cores=n_cores,
+        workload=WorkloadDistribution(100e-3, 400e-3),
+        seed=seed,
+        name="server",
+    )
+
+
+def mixed_benchmark(
+    duration: float, n_cores: int, *, seed: int = 0
+) -> TaskTrace:
+    """The web + multimedia + background-compute mix (Figures 1/2/6a/8)."""
+    parts = [
+        web_benchmark(duration, n_cores, seed=seed),
+        multimedia_benchmark(duration, n_cores, seed=seed + 1),
+        bursty_trace(
+            duration,
+            burst_load=0.5,
+            idle_load=0.02,
+            n_cores=n_cores,
+            burst_length=2.5,
+            idle_length=4.5,
+            workload=WorkloadDistribution(4e-3, 10e-3),
+            seed=seed + 2,
+            name="background-compute",
+        ),
+    ]
+    return merge_traces(parts, name="mixed")
+
+
+def paper_scale_trace(
+    n_cores: int, *, seed: int = 0, target_tasks: int = 60_000
+) -> TaskTrace:
+    """A mixed trace with roughly the paper's 60,000 tasks.
+
+    The mixed benchmark produces ~330 tasks/s on 8 cores, so the duration is
+    chosen as ``target_tasks / rate`` and the result trimmed.
+    """
+    if target_tasks < 1:
+        raise WorkloadError("target_tasks must be >= 1")
+    probe = mixed_benchmark(30.0, n_cores, seed=seed)
+    rate = max(len(probe) / 30.0, 1e-9)
+    duration = target_tasks / rate * 1.1
+    trace = mixed_benchmark(duration, n_cores, seed=seed)
+    # Burstiness makes the first estimate noisy; extend until covered.
+    for _ in range(8):
+        if len(trace) >= target_tasks:
+            break
+        duration *= 1.3
+        trace = mixed_benchmark(duration, n_cores, seed=seed)
+    if len(trace) < target_tasks:
+        raise WorkloadError(
+            f"could not generate {target_tasks} tasks (got {len(trace)})"
+        )
+    tasks = trace.tasks[:target_tasks]
+    return TaskTrace(tasks=tasks, name=f"paper-scale-{target_tasks}")

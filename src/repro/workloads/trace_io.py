@@ -1,0 +1,133 @@
+"""Task-trace persistence (CSV and JSON lines).
+
+Traces are the experiment inputs; persisting them makes runs auditable and
+lets externally captured traces (e.g. real scheduler logs reduced to
+arrival/workload pairs) drive the simulator.  Two formats:
+
+* **CSV** — ``task_id,arrival_s,workload_s`` with a header row; friendly to
+  spreadsheets and awk;
+* **JSONL** — one JSON object per line, with a leading metadata line
+  carrying the trace name (richer, still streamable).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.errors import WorkloadError
+from repro.sim.task import Task, TaskTrace
+
+CSV_HEADER = ("task_id", "arrival_s", "workload_s")
+
+
+def save_trace_csv(trace: TaskTrace, path: str | Path) -> None:
+    """Write a trace as CSV (see module docstring for the schema)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_HEADER)
+        for task in trace:
+            writer.writerow([task.task_id, repr(task.arrival), repr(task.workload)])
+
+
+def load_trace_csv(path: str | Path, *, name: str | None = None) -> TaskTrace:
+    """Read a trace written by :func:`save_trace_csv`.
+
+    Args:
+        path: CSV file path.
+        name: trace name; defaults to the file stem.
+
+    Raises:
+        WorkloadError: on malformed rows or a wrong header.
+    """
+    path = Path(path)
+    tasks: list[Task] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = tuple(next(reader))
+        except StopIteration:
+            raise WorkloadError(f"{path}: empty trace file") from None
+        if header != CSV_HEADER:
+            raise WorkloadError(
+                f"{path}: expected header {CSV_HEADER}, got {header}"
+            )
+        for row_num, row in enumerate(reader, start=2):
+            try:
+                task_id, arrival, workload = row
+                tasks.append(
+                    Task(
+                        task_id=int(task_id),
+                        arrival=float(arrival),
+                        workload=float(workload),
+                    )
+                )
+            except (ValueError, WorkloadError) as exc:
+                raise WorkloadError(
+                    f"{path}:{row_num}: bad trace row {row!r}: {exc}"
+                ) from exc
+    return TaskTrace(tasks=tasks, name=name or path.stem)
+
+
+def save_trace_jsonl(trace: TaskTrace, path: str | Path) -> None:
+    """Write a trace as JSON lines with a metadata header line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        handle.write(
+            json.dumps({"kind": "trace-meta", "name": trace.name,
+                        "tasks": len(trace)})
+            + "\n"
+        )
+        for task in trace:
+            handle.write(
+                json.dumps(
+                    {
+                        "id": task.task_id,
+                        "arrival": task.arrival,
+                        "workload": task.workload,
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_trace_jsonl(path: str | Path) -> TaskTrace:
+    """Read a trace written by :func:`save_trace_jsonl`.
+
+    Raises:
+        WorkloadError: on malformed lines or missing metadata.
+    """
+    path = Path(path)
+    tasks: list[Task] = []
+    name = path.stem
+    with path.open() as handle:
+        for line_num, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise WorkloadError(
+                    f"{path}:{line_num}: invalid JSON: {exc}"
+                ) from exc
+            if obj.get("kind") == "trace-meta":
+                name = obj.get("name", name)
+                continue
+            try:
+                tasks.append(
+                    Task(
+                        task_id=int(obj["id"]),
+                        arrival=float(obj["arrival"]),
+                        workload=float(obj["workload"]),
+                    )
+                )
+            except (KeyError, ValueError, WorkloadError) as exc:
+                raise WorkloadError(
+                    f"{path}:{line_num}: bad task record: {exc}"
+                ) from exc
+    return TaskTrace(tasks=tasks, name=name)

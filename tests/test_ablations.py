@@ -1,0 +1,69 @@
+"""Light tests of the ablation experiments (full versions in benchmarks/)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ablations import (
+    ablate_dfs_period,
+    ablate_gradient_weight,
+    ablate_sensor_noise,
+    ablate_step_subsample,
+)
+from repro.units import mhz
+
+
+class TestGradientWeight:
+    def test_gradient_monotone_decreasing_in_weight(self, niagara):
+        result = ablate_gradient_weight(
+            niagara, weights=(0.0, 1.0, 20.0)
+        )
+        assert result.gradients[0] >= result.gradients[-1] - 1e-6
+        # Equalizing temperatures costs (or at least never saves) power.
+        assert result.total_power[-1] >= result.total_power[0] - 1e-6
+
+
+class TestSensorNoise:
+    def test_ideal_sensor_keeps_guarantee(self, niagara, coarse_table):
+        result = ablate_sensor_noise(
+            niagara, coarse_table, noise_stds=(0.0,), duration=6.0
+        )
+        assert result.violation_fractions[0] == 0.0
+
+    def test_moderate_noise_stays_mild(self, niagara, coarse_table):
+        result = ablate_sensor_noise(
+            niagara, coarse_table, noise_stds=(1.0,), duration=6.0
+        )
+        # The coarse grid's round-up absorbs +-1 C noise almost entirely.
+        assert result.violation_fractions[0] < 0.01
+        assert result.peaks[0] < niagara.t_max + 2.0
+
+
+class TestDfsPeriod:
+    def test_boundary_shrinks_with_longer_window(self, niagara):
+        result = ablate_dfs_period(
+            niagara, windows=(0.05, 0.2), duration=6.0
+        )
+        assert (
+            result.protemp_boundaries_mhz[0]
+            >= result.protemp_boundaries_mhz[1]
+        )
+        assert all(v > 0 for v in result.basic_violation_fractions)
+
+
+class TestSubsample:
+    def test_thinning_never_underestimates_boundary(self, niagara):
+        result = ablate_step_subsample(niagara, subsamples=(1, 10))
+        # Fewer constraints -> weakly larger feasible set.
+        assert result.boundaries_mhz[1] >= result.boundaries_mhz[0] - 1.0
+
+    def test_full_resolution_has_no_overshoot(self, niagara):
+        result = ablate_step_subsample(niagara, subsamples=(1,))
+        assert result.worst_overshoot[0] <= 1e-6
+
+    def test_thinned_overshoot_is_tiny(self, niagara):
+        result = ablate_step_subsample(niagara, subsamples=(10,))
+        # Between-constraint peaks are bounded by the per-step dynamics;
+        # at 4 ms spacing the overshoot is far below a degree.
+        assert result.worst_overshoot[0] < 0.1

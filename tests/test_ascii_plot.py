@@ -1,0 +1,46 @@
+"""Tests for the ASCII plot renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_renders_series_and_legend(self):
+        x = np.linspace(0, 10, 50)
+        text = ascii_plot(
+            x,
+            {"P1": 50 + 10 * np.sin(x), "P2": 60 + np.cos(x)},
+            y_label="Temp (C)",
+            x_label="time (s)",
+        )
+        assert "P1" in text and "P2" in text
+        assert "Temp (C)" in text
+        assert "*" in text and "o" in text
+
+    def test_hline_reference(self):
+        x = np.linspace(0, 1, 10)
+        text = ascii_plot(x, {"y": x * 100}, hline=50.0)
+        assert "-" in text
+
+    def test_constant_series_does_not_crash(self):
+        x = np.linspace(0, 1, 5)
+        text = ascii_plot(x, {"flat": np.full(5, 3.0)})
+        assert "flat" in text
+
+    def test_single_point(self):
+        text = ascii_plot(np.array([1.0]), {"dot": np.array([2.0])})
+        assert "dot" in text
+
+    def test_empty_inputs(self):
+        assert ascii_plot(np.zeros(0), {}) == "(empty plot)"
+
+    def test_axis_ticks_span_data(self):
+        x = np.linspace(5, 15, 20)
+        text = ascii_plot(x, {"y": np.linspace(100, 200, 20)})
+        assert "5.0" in text
+        assert "15.0" in text
+        assert "200.0" in text
+        assert "100.0" in text

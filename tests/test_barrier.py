@@ -1,0 +1,216 @@
+"""Tests for the barrier interior-point solver (vs analytic optima & scipy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solver import (
+    BarrierOptions,
+    BoxConstraint,
+    LinearInequality,
+    LinearObjective,
+    QuadraticObjective,
+    SolveStatus,
+    SqrtSumConstraint,
+    find_strictly_feasible,
+    kkt_residuals,
+    solve_barrier,
+    solve_scipy,
+)
+
+
+def box(n, lo=0.0, hi=1.0):
+    return BoxConstraint(
+        lower=np.full(n, lo), upper=np.full(n, hi), indices=np.arange(n)
+    )
+
+
+class TestAnalyticProblems:
+    def test_lp_corner(self):
+        """min -x-y s.t. x+y <= 1, box [0,1]^2: optimum on the face x+y=1."""
+        obj = LinearObjective(c=np.array([-1.0, -1.0]))
+        blocks = [
+            LinearInequality(a=np.array([[1.0, 1.0]]), b=np.array([1.0])),
+            box(2),
+        ]
+        result = solve_barrier(obj, blocks, np.array([0.2, 0.2]))
+        assert result.ok
+        assert result.objective == pytest.approx(-1.0, abs=1e-5)
+
+    def test_qp_interior_optimum(self):
+        """min (x-0.3)^2 + (y-0.4)^2 inside the unit box: unconstrained opt."""
+        q = 2 * np.eye(2)
+        c = np.array([-0.6, -0.8])
+        obj = QuadraticObjective(q=q, c=c)
+        result = solve_barrier(obj, [box(2)], np.array([0.9, 0.9]))
+        assert result.ok
+        assert np.allclose(result.x, [0.3, 0.4], atol=1e-5)
+
+    def test_active_constraint(self):
+        """min x s.t. x >= 1 (as -x <= -1): optimum at the boundary."""
+        obj = LinearObjective(c=np.array([1.0]))
+        blocks = [
+            LinearInequality(a=np.array([[-1.0]]), b=np.array([-1.0])),
+            BoxConstraint(
+                lower=np.array([0.0]), upper=np.array([10.0]),
+                indices=np.array([0]),
+            ),
+        ]
+        result = solve_barrier(obj, blocks, np.array([5.0]))
+        assert result.ok
+        assert result.x[0] == pytest.approx(1.0, abs=1e-5)
+
+    def test_sqrt_constraint_analytic(self):
+        """min sum p s.t. sum sqrt(p) >= 2, p in [0, 4]^2.
+
+        By symmetry the optimum splits evenly: sqrt(p_i) = 1 -> p = (1, 1).
+        """
+        obj = LinearObjective(c=np.ones(2))
+        blocks = [
+            SqrtSumConstraint(
+                weights=np.ones(2), indices=np.arange(2), target=2.0
+            ),
+            box(2, lo=1e-9, hi=4.0),
+        ]
+        result = solve_barrier(obj, blocks, np.array([2.0, 2.0]))
+        assert result.ok
+        assert np.allclose(result.x, [1.0, 1.0], atol=1e-4)
+
+    def test_weighted_sqrt_constraint_kkt(self):
+        """Asymmetric weights: verify by KKT instead of symmetry."""
+        obj = LinearObjective(c=np.ones(2))
+        blocks = [
+            SqrtSumConstraint(
+                weights=np.array([1.0, 2.0]), indices=np.arange(2), target=2.0
+            ),
+            box(2, lo=1e-9, hi=4.0),
+        ]
+        result = solve_barrier(obj, blocks, np.array([1.0, 1.0]))
+        assert result.ok
+        kkt = kkt_residuals(obj, blocks, result.x, result.dual_variables)
+        assert kkt.satisfied(stationarity_tol=1e-3, complementarity_tol=1e-3)
+
+
+class TestInfeasibility:
+    def test_contradictory_linear(self):
+        """x <= 0 and x >= 1 cannot hold."""
+        obj = LinearObjective(c=np.array([1.0]))
+        blocks = [
+            LinearInequality(
+                a=np.array([[1.0], [-1.0]]), b=np.array([0.0, -1.0])
+            ),
+        ]
+        result = solve_barrier(obj, blocks, np.array([0.5]))
+        assert result.status is SolveStatus.INFEASIBLE
+        assert result.max_violation > 0
+
+    def test_sqrt_demand_beyond_box(self):
+        """sum sqrt(p) >= 10 impossible with p <= 1 on two variables."""
+        obj = LinearObjective(c=np.ones(2))
+        blocks = [
+            SqrtSumConstraint(
+                weights=np.ones(2), indices=np.arange(2), target=10.0
+            ),
+            box(2, lo=1e-9, hi=1.0),
+        ]
+        result = solve_barrier(obj, blocks, np.full(2, 0.5))
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_feasibility_threshold_is_sharp(self):
+        """Max of sum sqrt(p) with p <= 4 on 2 vars is exactly 4."""
+        obj = LinearObjective(c=np.ones(2))
+
+        def attempt(target):
+            blocks = [
+                SqrtSumConstraint(
+                    weights=np.ones(2), indices=np.arange(2), target=target
+                ),
+                box(2, lo=1e-9, hi=4.0),
+            ]
+            return solve_barrier(obj, blocks, np.full(2, 2.0))
+
+        assert attempt(3.95).ok
+        assert attempt(4.05).status is SolveStatus.INFEASIBLE
+
+
+class TestPhaseOne:
+    def test_finds_interior_point(self):
+        blocks = [
+            LinearInequality(a=np.array([[1.0, 1.0]]), b=np.array([1.0])),
+            box(2, lo=0.0, hi=1.0),
+        ]
+        x, violation = find_strictly_feasible(blocks, np.array([5.0, 5.0]))
+        assert x is not None
+        assert violation < 0
+
+    def test_certifies_infeasible(self):
+        blocks = [
+            LinearInequality(
+                a=np.array([[1.0], [-1.0]]), b=np.array([0.0, -1.0])
+            ),
+        ]
+        x, violation = find_strictly_feasible(blocks, np.array([0.3]))
+        assert x is None
+        assert violation >= 0.49  # best achievable is 0.5
+
+    def test_already_feasible_start_returned(self):
+        blocks = [box(2)]
+        x0 = np.array([0.5, 0.5])
+        x, violation = find_strictly_feasible(blocks, x0)
+        assert np.allclose(x, x0)
+        assert violation < 0
+
+    def test_sqrt_stage_two(self):
+        """Start at tiny p where the sqrt constraint is badly violated."""
+        blocks = [
+            SqrtSumConstraint(
+                weights=np.ones(3), indices=np.arange(3), target=3.0
+            ),
+            box(3, lo=1e-9, hi=4.0),
+        ]
+        x, violation = find_strictly_feasible(blocks, np.full(3, 1e-6))
+        assert x is not None
+        assert violation < 0
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_protemp_shaped_problems(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 6
+        w = rng.uniform(0.05, 1.0, (30, n))
+        h = rng.uniform(3.0, 8.0, 30)
+        target = rng.uniform(0.3, 1.2) * n
+        obj = LinearObjective(c=np.ones(n))
+        blocks = [
+            LinearInequality(w, h),
+            SqrtSumConstraint(
+                weights=np.ones(n), indices=np.arange(n), target=target
+            ),
+            box(n, lo=1e-9, hi=4.0),
+        ]
+        x0 = np.full(n, 0.5)
+        mine = solve_barrier(obj, blocks, x0)
+        ref = solve_scipy(obj, blocks, x0)
+        assert mine.status == ref.status
+        if mine.ok:
+            assert mine.objective == pytest.approx(ref.objective, abs=1e-4)
+            assert np.allclose(mine.x, ref.x, atol=1e-3)
+
+    def test_gap_tolerance_respected(self):
+        obj = LinearObjective(c=np.ones(2))
+        blocks = [box(2, lo=0.1, hi=1.0)]
+        result = solve_barrier(
+            obj, blocks, np.full(2, 0.5), BarrierOptions(gap_tol=1e-9)
+        )
+        assert result.ok
+        assert result.duality_gap <= 1e-9
+        assert result.objective == pytest.approx(0.2, abs=1e-6)
+
+    def test_dual_variables_shape(self):
+        obj = LinearObjective(c=np.ones(2))
+        blocks = [box(2, lo=0.1, hi=1.0)]
+        result = solve_barrier(obj, blocks, np.full(2, 0.5))
+        assert len(result.dual_variables) == 4
+        assert np.all(result.dual_variables >= 0)

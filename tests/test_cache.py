@@ -1,0 +1,50 @@
+"""Tests for the Phase-1 table cache."""
+
+from __future__ import annotations
+
+from repro.analysis.cache import cached_table, clear_memory_cache
+from repro.units import mhz
+
+SMALL_T = (80.0, 100.0)
+SMALL_F = (mhz(300), mhz(700))
+
+
+class TestCachedTable:
+    def test_memory_cache_returns_same_object(self, niagara):
+        a = cached_table(niagara, t_grid=SMALL_T, f_grid=SMALL_F)
+        b = cached_table(niagara, t_grid=SMALL_T, f_grid=SMALL_F)
+        assert a is b
+
+    def test_disk_cache_roundtrip(self, niagara, tmp_path):
+        path = tmp_path / "table.json"
+        a = cached_table(
+            niagara, t_grid=SMALL_T, f_grid=SMALL_F, cache_path=path
+        )
+        assert path.exists()
+        clear_memory_cache()
+        b = cached_table(
+            niagara, t_grid=SMALL_T, f_grid=SMALL_F, cache_path=path
+        )
+        assert a is not b
+        assert b.t_grid == list(SMALL_T)
+        assert b.metadata["platform"] == "niagara8"
+
+    def test_stale_disk_cache_rebuilt(self, niagara, tmp_path):
+        path = tmp_path / "table.json"
+        cached_table(niagara, t_grid=SMALL_T, f_grid=SMALL_F, cache_path=path)
+        clear_memory_cache()
+        other = cached_table(
+            niagara,
+            t_grid=(85.0, 100.0),
+            f_grid=SMALL_F,
+            cache_path=path,
+        )
+        assert other.t_grid == [85.0, 100.0]
+
+    def test_mode_differentiates_cache_key(self, niagara):
+        a = cached_table(niagara, t_grid=SMALL_T, f_grid=SMALL_F)
+        b = cached_table(
+            niagara, mode="uniform", t_grid=SMALL_T, f_grid=SMALL_F
+        )
+        assert a is not b
+        assert b.metadata["mode"] == "uniform"

@@ -1,0 +1,63 @@
+"""Regression tests pinning the calibrated Niagara-8 operating regime.
+
+If these fail after a thermal-model change, the paper's figures will no
+longer reproduce — see `repro.thermal.calibration` for the targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.thermal.calibration import calibration_report, format_report
+from repro.thermal.constants import PAPER_TIME_STEP
+
+
+@pytest.fixture(scope="module")
+def report(niagara):
+    return calibration_report(niagara)
+
+
+class TestRegime:
+    def test_full_power_exceeds_tmax_substantially(self, niagara, report):
+        """Target 1: No-TC at f_max must violate 100 C badly."""
+        assert np.min(report.steady_full_power) > niagara.t_max + 50
+
+    def test_middle_cores_hotter_than_periphery(self, niagara, report):
+        temps = dict(zip(niagara.core_names, report.steady_full_power))
+        middle = np.mean([temps[n] for n in ("P2", "P3", "P6", "P7")])
+        periphery = np.mean([temps[n] for n in ("P1", "P4", "P5", "P8")])
+        assert middle > periphery
+
+    def test_hottest_core_is_a_middle_core(self, report):
+        assert report.hottest_core in ("P2", "P3", "P6", "P7")
+
+    def test_basic_dfs_overshoot_scale(self, report):
+        """Target 2: one-window rise from 90 C lands near Figure 1's peak."""
+        assert 25 <= report.one_window_rise_from_90 <= 50
+
+    def test_cooling_slower_than_heating(self, report):
+        """Paper 5.2: 'the cooling period is relatively longer'."""
+        assert (
+            report.one_window_cooldown_from_110
+            < report.one_window_rise_from_90 / 2
+        )
+        assert report.one_window_cooldown_from_110 > 2.0
+
+    def test_time_constants_hundreds_of_ms(self, report):
+        slowest = report.core_time_constants[-1]
+        assert 0.05 <= slowest <= 2.0
+
+    def test_paper_time_step_stable_with_margin(self, niagara):
+        assert niagara.thermal.max_stable_dt > 10 * PAPER_TIME_STEP
+
+    def test_model_monotone(self, niagara):
+        assert niagara.thermal.is_monotone
+
+
+class TestReportRendering:
+    def test_format_mentions_all_cores(self, niagara, report):
+        text = format_report(report, niagara.core_names)
+        for name in niagara.core_names:
+            assert name in text
+        assert "hottest core" in text

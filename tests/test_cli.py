@@ -1,0 +1,39 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_known_experiments(self):
+        parser = build_parser()
+        for exp in EXPERIMENTS:
+            args = parser.parse_args([exp])
+            assert args.experiment == exp
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig99"])
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["fig7", "--duration", "5", "--seed", "3"]
+        )
+        assert args.duration == 5.0
+        assert args.seed == 3
+
+
+class TestMain:
+    def test_calibration_runs(self, capsys):
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "hottest core" in out
+
+    def test_fig10_runs(self, capsys):
+        assert main(["fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "P1" in out and "P2" in out

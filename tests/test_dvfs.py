@@ -1,0 +1,118 @@
+"""Tests for voltage/frequency scaling (Eq. 2) and frequency ladders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PowerModelError
+from repro.power import FrequencyLadder, QuadraticScaling
+from repro.units import ghz, mhz
+
+
+@pytest.fixture
+def scaling():
+    return QuadraticScaling(f_max=ghz(1.0), p_max=4.0)
+
+
+class TestQuadraticScaling:
+    def test_power_at_fmax(self, scaling):
+        assert scaling.power(ghz(1.0)) == pytest.approx(4.0)
+
+    def test_power_quadratic(self, scaling):
+        assert scaling.power(mhz(500)) == pytest.approx(1.0)
+
+    def test_power_zero(self, scaling):
+        assert scaling.power(0.0) == 0.0
+
+    def test_power_array(self, scaling):
+        out = scaling.power(np.array([0.0, mhz(500), ghz(1.0)]))
+        assert np.allclose(out, [0.0, 1.0, 4.0])
+
+    def test_inverse(self, scaling):
+        assert scaling.frequency_for_power(1.0) == pytest.approx(mhz(500))
+
+    def test_power_out_of_range(self, scaling):
+        with pytest.raises(PowerModelError):
+            scaling.power(ghz(1.5))
+        with pytest.raises(PowerModelError):
+            scaling.power(-1.0)
+
+    def test_inverse_out_of_range(self, scaling):
+        with pytest.raises(PowerModelError):
+            scaling.frequency_for_power(5.0)
+        with pytest.raises(PowerModelError):
+            scaling.frequency_for_power(-0.1)
+
+    def test_voltage_ratio_sqrt(self, scaling):
+        # V^2 proportional to f: quarter frequency -> half voltage.
+        assert scaling.voltage_ratio(mhz(250)) == pytest.approx(0.5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(PowerModelError):
+            QuadraticScaling(f_max=0.0, p_max=4.0)
+        with pytest.raises(PowerModelError):
+            QuadraticScaling(f_max=ghz(1), p_max=-1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_roundtrip(self, fraction):
+        scaling = QuadraticScaling(f_max=ghz(1.0), p_max=4.0)
+        f = fraction * scaling.f_max
+        assert scaling.frequency_for_power(scaling.power(f)) == pytest.approx(
+            f, abs=1e-3
+        )
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_power_monotone(self, fraction):
+        scaling = QuadraticScaling(f_max=ghz(1.0), p_max=4.0)
+        f = fraction * scaling.f_max
+        assert scaling.power(f) <= scaling.power(scaling.f_max) + 1e-12
+
+
+class TestFrequencyLadder:
+    def test_linear_builder(self):
+        ladder = FrequencyLadder.linear(mhz(200), ghz(1.0), 5)
+        assert len(ladder.levels) == 5
+        assert ladder.f_min == pytest.approx(mhz(200))
+        assert ladder.f_max == pytest.approx(ghz(1.0))
+
+    def test_single_level(self):
+        ladder = FrequencyLadder.linear(mhz(200), ghz(1.0), 1)
+        assert ladder.levels == (ghz(1.0),)
+
+    def test_floor_ceil(self):
+        ladder = FrequencyLadder(levels=(mhz(200), mhz(500), ghz(1.0)))
+        assert ladder.floor(mhz(600)) == pytest.approx(mhz(500))
+        assert ladder.ceil(mhz(600)) == pytest.approx(ghz(1.0))
+        assert ladder.floor(mhz(500)) == pytest.approx(mhz(500))
+        assert ladder.ceil(mhz(500)) == pytest.approx(mhz(500))
+
+    def test_floor_below_lowest_clamps(self):
+        ladder = FrequencyLadder(levels=(mhz(200), mhz(500)))
+        assert ladder.floor(mhz(100)) == pytest.approx(mhz(200))
+
+    def test_ceil_above_highest_clamps(self):
+        ladder = FrequencyLadder(levels=(mhz(200), mhz(500)))
+        assert ladder.ceil(mhz(900)) == pytest.approx(mhz(500))
+
+    def test_lower_neighbor(self):
+        ladder = FrequencyLadder(levels=(mhz(200), mhz(500), ghz(1.0)))
+        assert ladder.lower_neighbor(mhz(500)) == pytest.approx(mhz(200))
+        assert ladder.lower_neighbor(mhz(700)) == pytest.approx(mhz(500))
+        assert ladder.lower_neighbor(mhz(200)) is None
+
+    @pytest.mark.parametrize(
+        "levels",
+        [(), (0.0,), (-1.0, 2.0), (2.0, 1.0), (1.0, 1.0)],
+    )
+    def test_invalid_levels(self, levels):
+        with pytest.raises(PowerModelError):
+            FrequencyLadder(levels=levels)
+
+    def test_invalid_linear_args(self):
+        with pytest.raises(PowerModelError):
+            FrequencyLadder.linear(mhz(500), mhz(200), 3)
+        with pytest.raises(PowerModelError):
+            FrequencyLadder.linear(mhz(200), mhz(500), 0)

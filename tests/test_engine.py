@@ -1,0 +1,225 @@
+"""Tests for the closed-loop multi-core simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control import BasicDFSPolicy, NoTCPolicy, ThermalManagementUnit
+from repro.errors import SimulationError
+from repro.sim import (
+    CoolestFirstAssignment,
+    MulticoreSimulator,
+    SimulationConfig,
+    Task,
+    TaskTrace,
+)
+from repro.units import ghz
+
+
+def make_tmu(platform, policy=None):
+    return ThermalManagementUnit(
+        policy=policy or NoTCPolicy(),
+        f_max=platform.f_max,
+        t_max=platform.t_max,
+        window=0.1,
+    )
+
+
+def simple_trace(n_tasks=20, spacing=0.05, workload=5e-3):
+    return TaskTrace(
+        tasks=[
+            Task(task_id=i, arrival=i * spacing, workload=workload)
+            for i in range(n_tasks)
+        ],
+        name="simple",
+    )
+
+
+class TestBasicOperation:
+    def test_all_tasks_complete_under_light_load(self, small_platform):
+        sim = MulticoreSimulator(
+            small_platform,
+            make_tmu(small_platform),
+            config=SimulationConfig(max_time=2.0),
+        )
+        result = sim.run(simple_trace())
+        assert result.metrics.completed_tasks == 20
+        assert result.metrics.arrived_tasks == 20
+        assert result.queue_length_end == 0
+
+    def test_input_trace_not_mutated(self, small_platform):
+        trace = simple_trace()
+        sim = MulticoreSimulator(
+            small_platform,
+            make_tmu(small_platform),
+            config=SimulationConfig(max_time=1.0),
+        )
+        sim.run(trace)
+        assert all(t.start_time is None for t in trace.tasks)
+
+    def test_no_tasks_stays_near_ambient(self, small_platform):
+        sim = MulticoreSimulator(
+            small_platform,
+            make_tmu(small_platform),
+            config=SimulationConfig(max_time=1.0, t_initial=45.0),
+        )
+        result = sim.run(TaskTrace(tasks=[], name="idle"))
+        assert result.metrics.peak_temperature < 46.0
+        assert result.metrics.completed_tasks == 0
+
+    def test_waiting_times_non_negative(self, small_platform):
+        sim = MulticoreSimulator(
+            small_platform,
+            make_tmu(small_platform),
+            config=SimulationConfig(max_time=2.0),
+        )
+        result = sim.run(simple_trace(spacing=0.001))
+        assert all(w >= 0 for w in result.metrics.waiting.waits)
+        assert result.metrics.waiting.count == 20
+
+    def test_drain_mode_stops_early(self, small_platform):
+        sim = MulticoreSimulator(
+            small_platform,
+            make_tmu(small_platform),
+            config=SimulationConfig(max_time=None, drain_grace=5.0),
+        )
+        trace = simple_trace(n_tasks=4, spacing=0.01)
+        result = sim.run(trace)
+        assert result.metrics.completed_tasks == 4
+        assert result.end_time < 1.0  # finished long before the grace cap
+
+    def test_timeseries_recorded(self, small_platform):
+        cfg = SimulationConfig(max_time=0.5, record_interval_steps=50)
+        sim = MulticoreSimulator(small_platform, make_tmu(small_platform), config=cfg)
+        result = sim.run(simple_trace(n_tasks=5))
+        ts = result.timeseries
+        assert len(ts.times) > 0
+        assert ts.core_temperatures.shape[1] == small_platform.n_cores
+        assert np.all(np.diff(ts.times) > 0)
+
+    def test_energy_accumulates(self, small_platform):
+        sim = MulticoreSimulator(
+            small_platform,
+            make_tmu(small_platform),
+            config=SimulationConfig(max_time=1.0),
+        )
+        result = sim.run(simple_trace())
+        assert result.metrics.total_core_energy > 0
+
+
+class TestWindowBehavior:
+    def test_one_decision_per_window(self, small_platform):
+        cfg = SimulationConfig(max_time=1.0)
+        sim = MulticoreSimulator(small_platform, make_tmu(small_platform), config=cfg)
+        result = sim.run(simple_trace(n_tasks=5))
+        assert len(result.metrics.window_frequencies) == 10
+
+    def test_basic_dfs_shuts_down_in_simulation(self, small_platform):
+        """Force a hot start; the first window must run at zero frequency."""
+        policy = BasicDFSPolicy(threshold=90.0)
+        cfg = SimulationConfig(max_time=0.2, t_initial=95.0)
+        sim = MulticoreSimulator(
+            small_platform, make_tmu(small_platform, policy), config=cfg
+        )
+        result = sim.run(simple_trace(n_tasks=3, spacing=0.0))
+        assert result.metrics.window_frequencies[0] == 0.0
+
+    def test_censored_waits_counted(self, small_platform):
+        """A swamped platform must report censored waits, not hide them."""
+        trace = TaskTrace(
+            tasks=[
+                Task(task_id=i, arrival=0.0, workload=0.05)
+                for i in range(50)
+            ]
+        )
+        cfg = SimulationConfig(max_time=0.3, censor_unstarted=True)
+        sim = MulticoreSimulator(small_platform, make_tmu(small_platform), config=cfg)
+        result = sim.run(trace)
+        assert result.metrics.waiting.count == 50
+        assert result.queue_length_end > 0
+
+    def test_censoring_disabled(self, small_platform):
+        trace = TaskTrace(
+            tasks=[
+                Task(task_id=i, arrival=0.0, workload=0.05)
+                for i in range(50)
+            ]
+        )
+        cfg = SimulationConfig(max_time=0.3, censor_unstarted=False)
+        sim = MulticoreSimulator(small_platform, make_tmu(small_platform), config=cfg)
+        result = sim.run(trace)
+        assert result.metrics.waiting.count < 50
+
+
+class TestAccounting:
+    def test_task_conservation(self, small_platform):
+        trace = simple_trace(n_tasks=30, spacing=0.004, workload=8e-3)
+        cfg = SimulationConfig(max_time=0.35)
+        sim = MulticoreSimulator(small_platform, make_tmu(small_platform), config=cfg)
+        result = sim.run(trace)
+        m = result.metrics
+        running = (
+            m.arrived_tasks - m.completed_tasks - result.queue_length_end
+        )
+        assert 0 <= running <= small_platform.n_cores
+
+    def test_assignment_policy_used(self, small_platform):
+        cfg = SimulationConfig(max_time=2.0)
+        sim = MulticoreSimulator(
+            small_platform,
+            make_tmu(small_platform),
+            assignment=CoolestFirstAssignment(),
+            config=cfg,
+        )
+        result = sim.run(simple_trace())
+        assert result.assignment_name == "coolest-first"
+        assert result.metrics.completed_tasks == 20
+
+
+class TestValidation:
+    def test_window_not_multiple_of_dt(self, small_platform):
+        tmu = ThermalManagementUnit(
+            policy=NoTCPolicy(),
+            f_max=small_platform.f_max,
+            t_max=small_platform.t_max,
+            window=0.1,
+        )
+        with pytest.raises(SimulationError, match="multiple"):
+            MulticoreSimulator(
+                small_platform,
+                tmu,
+                config=SimulationConfig(window=small_platform.dt * 2.5),
+            )
+
+    def test_bad_config(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(window=0.0)
+        with pytest.raises(SimulationError):
+            SimulationConfig(record_interval_steps=0)
+        with pytest.raises(SimulationError):
+            SimulationConfig(max_time=-1.0)
+
+
+class TestLeakageIntegration:
+    def test_leakage_heats_more(self):
+        from repro.floorplan import core_row
+        from repro.platform import Platform
+        from repro.power import LeakageModel
+
+        # Feedback slope p_ref * alpha must stay below the per-core ambient
+        # conductance (~7.4e-3 W/K) or the platform genuinely runs away.
+        base = Platform.from_floorplan(core_row(2), name="base")
+        leaky = Platform.from_floorplan(
+            core_row(2),
+            name="leaky",
+            leakage=LeakageModel(p_ref=0.3, alpha=0.005, t_ref=45.0),
+        )
+        trace = simple_trace(n_tasks=10, spacing=0.01)
+        cfg = SimulationConfig(max_time=1.0)
+        r_base = MulticoreSimulator(base, make_tmu(base), config=cfg).run(trace)
+        r_leaky = MulticoreSimulator(leaky, make_tmu(leaky), config=cfg).run(trace)
+        assert (
+            r_leaky.metrics.peak_temperature
+            > r_base.metrics.peak_temperature
+        )

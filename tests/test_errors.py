@@ -1,0 +1,36 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.FloorplanError,
+            errors.ThermalModelError,
+            errors.StabilityError,
+            errors.PowerModelError,
+            errors.SolverError,
+            errors.InfeasibleError,
+            errors.TableError,
+            errors.SimulationError,
+            errors.WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_stability_is_thermal(self):
+        assert issubclass(errors.StabilityError, errors.ThermalModelError)
+
+    def test_infeasible_is_solver(self):
+        assert issubclass(errors.InfeasibleError, errors.SolverError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.TableError("boom")

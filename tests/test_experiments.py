@@ -1,0 +1,117 @@
+"""Light end-to-end tests of the per-figure experiment runners.
+
+These use short horizons and the session-scoped coarse table; the full-scale
+versions live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    run_assignment_effect,
+    run_band_comparison,
+    run_feasibility_sweep,
+    run_gradient_timeseries,
+    run_per_core_frequency,
+    run_snapshot,
+    run_waiting_comparison,
+)
+
+DURATION = 6.0
+
+
+class TestSnapshots:
+    def test_fig1_basic_dfs_violates(self, niagara):
+        result = run_snapshot(
+            "basic", duration=DURATION, platform=niagara
+        )
+        assert result.policy_name == "Basic-DFS"
+        assert len(result.times) == len(result.temperature)
+        assert result.peak > 0
+
+    def test_fig2_protemp_never_violates(self, niagara, coarse_table):
+        result = run_snapshot(
+            "protemp", duration=DURATION, platform=niagara, table=coarse_table
+        )
+        assert result.violation_fraction == 0.0
+        assert result.peak <= niagara.t_max + 1e-9
+
+    def test_unknown_policy_kind(self, niagara):
+        with pytest.raises(ValueError):
+            run_snapshot("thermal-wizard", platform=niagara)
+
+
+class TestBandComparison:
+    def test_fig6_structure_and_ordering(self, niagara, coarse_table):
+        result = run_band_comparison(
+            "compute", duration=DURATION, platform=niagara, table=coarse_table
+        )
+        assert set(result.fractions) == {"No-TC", "Basic-DFS", "Pro-Temp"}
+        for fractions in result.fractions.values():
+            assert fractions.shape == (4,)
+            assert np.isclose(fractions.sum(), 1.0)
+        # The paper's headline ordering.
+        assert result.fractions["Pro-Temp"][3] == 0.0
+        assert (
+            result.fractions["No-TC"][3]
+            >= result.fractions["Basic-DFS"][3]
+        )
+        assert result.fractions["Basic-DFS"][3] > 0
+        assert "Pro-Temp" in result.text()
+
+    def test_unknown_trace_kind(self, niagara, coarse_table):
+        with pytest.raises(ValueError):
+            run_band_comparison(
+                "gaming", duration=1.0, platform=niagara, table=coarse_table
+            )
+
+
+class TestWaiting:
+    def test_fig7_protemp_waits_less(self, niagara, coarse_table):
+        result = run_waiting_comparison(
+            duration=10.0, platform=niagara, table=coarse_table
+        )
+        assert result.protemp_wait < result.basic_wait
+        assert 0 < result.normalized < 1
+        assert "normalized" in result.text()
+
+
+class TestGradientTimeseries:
+    def test_fig8_small_gap(self, niagara, coarse_table):
+        result = run_gradient_timeseries(
+            duration=DURATION, platform=niagara, table=coarse_table
+        )
+        assert len(result.p1) == len(result.p2) == len(result.times)
+        assert result.max_gap < 10.0
+        assert result.mean_gap <= result.max_gap
+
+
+class TestFeasibilitySweep:
+    def test_fig9_shape(self, niagara):
+        result = run_feasibility_sweep(
+            temps=(67.0, 97.0), platform=niagara
+        )
+        # Declining with temperature; variable >= uniform.
+        assert result.variable_mhz[0] > result.variable_mhz[1]
+        assert np.all(result.variable_mhz >= result.uniform_mhz - 1.0)
+        assert "uniform" in result.text()
+
+
+class TestPerCoreFrequency:
+    def test_fig10_periphery_faster(self, niagara):
+        result = run_per_core_frequency(temps=(87.0,), platform=niagara)
+        assert result.p1_mhz[0] > result.p2_mhz[0]
+        assert "P1" in result.text()
+
+
+class TestAssignmentEffect:
+    def test_fig11_runs_and_reports(self, niagara, coarse_table):
+        result = run_assignment_effect(
+            duration=DURATION, platform=niagara, table=coarse_table
+        )
+        assert 0 <= result.basic_coolest_over <= 1
+        assert 0 <= result.basic_first_idle_over <= 1
+        assert result.protemp_gradient_first_idle >= 0
+        assert "task assignment" in result.text()

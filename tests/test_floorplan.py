@@ -1,0 +1,152 @@
+"""Tests for the block floorplan model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan import (
+    Block,
+    BlockKind,
+    Floorplan,
+    Rect,
+    cores_of,
+    validate_cover,
+)
+
+
+def two_block_plan() -> Floorplan:
+    return Floorplan(
+        blocks=[
+            Block("A", Rect(0, 0, 1e-3, 1e-3), BlockKind.CORE),
+            Block("B", Rect(1e-3, 0, 1e-3, 1e-3), BlockKind.CACHE),
+        ],
+        name="two",
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(FloorplanError):
+            Floorplan(blocks=[])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(FloorplanError, match="duplicate"):
+            Floorplan(
+                blocks=[
+                    Block("A", Rect(0, 0, 1e-3, 1e-3)),
+                    Block("A", Rect(2e-3, 0, 1e-3, 1e-3)),
+                ]
+            )
+
+    def test_overlap_rejected(self):
+        with pytest.raises(FloorplanError, match="overlap"):
+            Floorplan(
+                blocks=[
+                    Block("A", Rect(0, 0, 2e-3, 2e-3)),
+                    Block("B", Rect(1e-3, 1e-3, 2e-3, 2e-3)),
+                ]
+            )
+
+    def test_empty_block_name_rejected(self):
+        with pytest.raises(FloorplanError):
+            Block("", Rect(0, 0, 1e-3, 1e-3))
+
+    def test_len_and_iter(self):
+        plan = two_block_plan()
+        assert len(plan) == 2
+        assert [b.name for b in plan] == ["A", "B"]
+
+
+class TestQueries:
+    def test_index_of(self):
+        plan = two_block_plan()
+        assert plan.index_of("A") == 0
+        assert plan.index_of("B") == 1
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(FloorplanError, match="unknown"):
+            two_block_plan().index_of("Z")
+
+    def test_block_lookup(self):
+        assert two_block_plan().block("B").kind is BlockKind.CACHE
+
+    def test_neighbors_by_name_and_index(self):
+        plan = two_block_plan()
+        assert plan.neighbors("A") == [1]
+        assert plan.neighbors(1) == [0]
+
+    def test_neighbors_bad_index(self):
+        with pytest.raises(FloorplanError):
+            two_block_plan().neighbors(5)
+
+    def test_adjacency_data(self):
+        plan = two_block_plan()
+        (adj,) = plan.adjacencies
+        assert (adj.first, adj.second) == (0, 1)
+        assert adj.shared_length == pytest.approx(1e-3)
+        assert adj.center_distance == pytest.approx(1e-3)
+
+    def test_core_views(self):
+        plan = two_block_plan()
+        assert plan.core_indices == [0]
+        assert plan.core_names == ["A"]
+        assert plan.n_cores == 1
+        assert [b.name for b in cores_of(plan)] == ["A"]
+
+    def test_geometric_aggregates(self):
+        plan = two_block_plan()
+        assert plan.total_area == pytest.approx(2e-6)
+        assert plan.bounds.width == pytest.approx(2e-3)
+        assert plan.fill_ratio == pytest.approx(1.0)
+
+
+class TestValidateCover:
+    def test_full_cover_passes(self):
+        validate_cover(two_block_plan())
+
+    def test_sparse_cover_fails(self):
+        plan = Floorplan(
+            blocks=[
+                Block("A", Rect(0, 0, 1e-3, 1e-3)),
+                Block("B", Rect(9e-3, 9e-3, 1e-3, 1e-3)),
+            ]
+        )
+        with pytest.raises(FloorplanError, match="covers only"):
+            validate_cover(plan)
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        plan = two_block_plan()
+        path = tmp_path / "plan.json"
+        plan.save_json(path)
+        loaded = Floorplan.load_json(path)
+        assert loaded.name == plan.name
+        assert [b.name for b in loaded] == [b.name for b in plan]
+        assert loaded.block("A").kind is BlockKind.CORE
+        assert loaded.block("B").rect.x == pytest.approx(1e-3)
+
+    def test_from_dict_malformed(self):
+        with pytest.raises(FloorplanError, match="malformed"):
+            Floorplan.from_dict({"blocks": [{"name": "A"}]})
+
+    def test_from_dict_bad_kind(self):
+        data = {
+            "blocks": [
+                {
+                    "name": "A",
+                    "kind": "warp-drive",
+                    "x": 0,
+                    "y": 0,
+                    "width": 1e-3,
+                    "height": 1e-3,
+                }
+            ]
+        }
+        with pytest.raises(FloorplanError):
+            Floorplan.from_dict(data)
+
+    def test_summary_mentions_blocks(self):
+        text = two_block_plan().summary()
+        assert "A" in text and "B" in text and "2 blocks" in text

@@ -1,0 +1,108 @@
+"""Tests for the affine window-response precomputation.
+
+The crucial property: the stacked affine system must agree *exactly* with
+brute-force simulation of the thermal model under constant core power —
+otherwise the optimizer's constraints do not describe the simulated reality
+and the Pro-Temp guarantee breaks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import WindowResponse
+from repro.errors import SolverError
+from repro.platform import Platform
+from repro.floorplan import core_row
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return Platform.from_floorplan(core_row(3), name="row3")
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize("t_start", [30.0, 60.0, 95.0])
+    def test_stacked_matches_simulation_uniform_start(self, platform, t_start):
+        response = WindowResponse(platform, horizon=0.02)  # 50 steps
+        p = np.array([1.5, 0.2, 3.0])
+        stacked = response.stacked(t_start)
+        predicted = stacked.temperatures(p)
+
+        node_power = platform.power.injection_matrix() @ p
+        traj = platform.thermal.simulate(t_start, node_power, response.m)
+        for row, k in enumerate(response.steps):
+            assert np.allclose(predicted[row], traj[k], atol=1e-9), k
+
+    def test_stacked_matches_simulation_vector_start(self, platform, rng):
+        response = WindowResponse(platform, horizon=0.01)
+        t0 = rng.uniform(40, 90, platform.thermal.n)
+        p = rng.uniform(0, 4, platform.n_cores)
+        predicted = response.stacked(t0).temperatures(p)
+        node_power = platform.power.injection_matrix() @ p
+        traj = platform.thermal.simulate(t0, node_power, response.m)
+        assert np.allclose(predicted[-1], traj[-1], atol=1e-9)
+
+    def test_subsample_includes_final_step(self, platform):
+        response = WindowResponse(platform, horizon=0.02, step_subsample=7)
+        assert response.steps[-1] == response.m
+        # 7, 14, ..., 49, then 50 appended.
+        assert response.steps[0] == 7
+
+    def test_subsample_rows_subset_of_full(self, platform):
+        full = WindowResponse(platform, horizon=0.01)
+        thin = WindowResponse(platform, horizon=0.01, step_subsample=5)
+        p = np.array([1.0, 2.0, 0.5])
+        t_full = full.stacked(50.0).temperatures(p)
+        t_thin = thin.stacked(50.0).temperatures(p)
+        for row, k in enumerate(thin.steps):
+            full_row = list(full.steps).index(k)
+            assert np.allclose(t_thin[row], t_full[full_row])
+
+
+class TestGradientRows:
+    def test_gradient_rows_match_core_differences(self, platform):
+        response = WindowResponse(platform, horizon=0.01, step_subsample=5)
+        stacked = response.stacked(70.0)
+        d, g = response.gradient_rows(stacked)
+        p = np.array([2.0, 0.1, 1.0])
+        diffs = d @ p + g
+
+        temps = stacked.temperatures(p)[:, platform.core_indices]
+        n_cores = platform.n_cores
+        pairs = [
+            (i, j)
+            for i in range(n_cores)
+            for j in range(n_cores)
+            if i != j
+        ]
+        s = len(response.steps)
+        expected = np.concatenate(
+            [temps[:, i] - temps[:, j] for (i, j) in pairs]
+        )
+        assert diffs.shape == (len(pairs) * s,)
+        assert np.allclose(diffs, expected, atol=1e-9)
+
+    def test_core_rows_indexing(self, platform):
+        response = WindowResponse(platform, horizon=0.01, step_subsample=10)
+        rows = response.core_rows()
+        # Every node of row3 is a core, so all rows are core rows.
+        assert len(rows) == len(response.steps) * platform.thermal.n
+
+
+class TestValidation:
+    def test_bad_horizon(self, platform):
+        with pytest.raises(SolverError):
+            WindowResponse(platform, horizon=0.0)
+        with pytest.raises(SolverError):
+            WindowResponse(platform, horizon=platform.dt * 10.5)
+
+    def test_bad_subsample(self, platform):
+        with pytest.raises(SolverError):
+            WindowResponse(platform, horizon=0.01, step_subsample=0)
+
+    def test_bad_t_start_shape(self, platform):
+        response = WindowResponse(platform, horizon=0.01)
+        with pytest.raises(SolverError):
+            response.stacked(np.zeros(99))

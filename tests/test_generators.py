@@ -1,0 +1,75 @@
+"""Tests for parametric floorplan generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan import (
+    BlockKind,
+    core_grid,
+    core_grid_with_cache_ring,
+    core_row,
+    validate_cover,
+)
+
+
+class TestCoreRow:
+    def test_counts_and_names(self):
+        plan = core_row(4)
+        assert plan.n_cores == 4
+        assert plan.core_names == ["C1", "C2", "C3", "C4"]
+
+    def test_chain_adjacency(self):
+        plan = core_row(4)
+        assert plan.neighbors("C1") == [1]
+        assert sorted(plan.neighbors("C2")) == [0, 2]
+
+    def test_single_core(self):
+        plan = core_row(1)
+        assert plan.neighbors("C1") == []
+
+    def test_invalid_count(self):
+        with pytest.raises(FloorplanError):
+            core_row(0)
+
+
+class TestCoreGrid:
+    def test_counts(self):
+        plan = core_grid(2, 3)
+        assert plan.n_cores == 6
+        assert len(plan) == 6
+
+    def test_interior_adjacency(self):
+        plan = core_grid(3, 3)
+        # Centre core C5 (row-major) touches 4 neighbours.
+        assert len(plan.neighbors("C5")) == 4
+        # Corner core C1 touches 2.
+        assert len(plan.neighbors("C1")) == 2
+
+    def test_invalid_dims(self):
+        with pytest.raises(FloorplanError):
+            core_grid(0, 3)
+        with pytest.raises(FloorplanError):
+            core_grid(3, -1)
+
+
+class TestCacheRing:
+    def test_census(self):
+        plan = core_grid_with_cache_ring(2, 2)
+        kinds = [b.kind for b in plan]
+        assert kinds.count(BlockKind.CORE) == 4
+        assert kinds.count(BlockKind.CACHE) == 4
+
+    def test_cores_touch_ring(self):
+        plan = core_grid_with_cache_ring(2, 2)
+        for name in plan.core_names:
+            neighbors = {plan.blocks[i].name for i in plan.neighbors(name)}
+            assert any(n.startswith("CACHE_") for n in neighbors)
+
+    def test_tiles_die(self):
+        validate_cover(core_grid_with_cache_ring(2, 3), min_fill=0.999)
+
+    def test_invalid_ring(self):
+        with pytest.raises(FloorplanError):
+            core_grid_with_cache_ring(2, 2, ring_width=0.0)

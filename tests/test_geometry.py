@@ -1,0 +1,142 @@
+"""Unit and property tests for rectangle geometry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FloorplanError
+from repro.floorplan.geometry import GEOM_TOL, Rect, bounding_box
+
+coords = st.floats(
+    min_value=-0.05, max_value=0.05, allow_nan=False, allow_infinity=False
+)
+sizes = st.floats(min_value=1e-4, max_value=0.05, allow_nan=False)
+
+
+def rects():
+    return st.builds(Rect, x=coords, y=coords, width=sizes, height=sizes)
+
+
+class TestRectBasics:
+    def test_derived_coordinates(self):
+        r = Rect(1.0, 2.0, 3.0, 4.0)
+        assert r.x2 == 4.0
+        assert r.y2 == 6.0
+        assert r.area == 12.0
+        assert r.center == (2.5, 4.0)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(FloorplanError):
+            Rect(0, 0, 0.0, 1.0)
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(FloorplanError):
+            Rect(0, 0, 1.0, -1.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(FloorplanError):
+            Rect(math.nan, 0, 1.0, 1.0)
+        with pytest.raises(FloorplanError):
+            Rect(0, math.inf, 1.0, 1.0)
+
+
+class TestOverlap:
+    def test_disjoint(self):
+        assert not Rect(0, 0, 1, 1).overlaps(Rect(2, 2, 1, 1))
+
+    def test_interior_overlap(self):
+        assert Rect(0, 0, 2, 2).overlaps(Rect(1, 1, 2, 2))
+
+    def test_edge_touch_is_not_overlap(self):
+        assert not Rect(0, 0, 1, 1).overlaps(Rect(1, 0, 1, 1))
+
+    def test_corner_touch_is_not_overlap(self):
+        assert not Rect(0, 0, 1, 1).overlaps(Rect(1, 1, 1, 1))
+
+    def test_containment_is_overlap(self):
+        assert Rect(0, 0, 4, 4).overlaps(Rect(1, 1, 1, 1))
+
+    @given(a=rects(), b=rects())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+
+class TestSharedEdges:
+    def test_vertical_contact(self):
+        a = Rect(0, 0, 1, 2)
+        b = Rect(1, 0.5, 1, 2)
+        assert a.shared_edge_length(b) == pytest.approx(1.5)
+
+    def test_horizontal_contact(self):
+        a = Rect(0, 0, 2, 1)
+        b = Rect(0.5, 1, 2, 1)
+        assert a.shared_edge_length(b) == pytest.approx(1.5)
+
+    def test_corner_contact_is_zero(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(1, 1, 1, 1)
+        assert a.shared_edge_length(b) == 0.0
+
+    def test_disjoint_is_zero(self):
+        assert Rect(0, 0, 1, 1).shared_edge_length(Rect(5, 5, 1, 1)) == 0.0
+
+    def test_overlapping_is_zero(self):
+        assert Rect(0, 0, 2, 2).shared_edge_length(Rect(1, 1, 2, 2)) == 0.0
+
+    def test_is_adjacent(self):
+        a = Rect(0, 0, 1, 1)
+        assert a.is_adjacent(Rect(1, 0, 1, 1))
+        assert not a.is_adjacent(Rect(3, 0, 1, 1))
+
+    @given(a=rects(), b=rects())
+    def test_shared_edge_symmetric(self, a, b):
+        assert a.shared_edge_length(b) == pytest.approx(
+            b.shared_edge_length(a)
+        )
+
+    @given(a=rects(), b=rects())
+    def test_shared_edge_non_negative_and_bounded(self, a, b):
+        shared = a.shared_edge_length(b)
+        assert shared >= 0
+        # Cannot exceed the smaller of the candidate parallel extents.
+        assert shared <= max(
+            min(a.width, b.width), min(a.height, b.height)
+        ) + GEOM_TOL
+
+
+class TestDistancesAndBounds:
+    def test_center_distance(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(3, 4, 2, 2)
+        assert a.center_distance(b) == pytest.approx(5.0)
+
+    @given(a=rects(), b=rects())
+    def test_center_distance_symmetric(self, a, b):
+        assert a.center_distance(b) == pytest.approx(b.center_distance(a))
+
+    def test_contains(self):
+        outer = Rect(0, 0, 4, 4)
+        assert outer.contains(Rect(1, 1, 2, 2))
+        assert outer.contains(outer)
+        assert not Rect(1, 1, 2, 2).contains(outer)
+
+    def test_union_bounds(self):
+        u = Rect(0, 0, 1, 1).union_bounds(Rect(2, 3, 1, 1))
+        assert (u.x, u.y, u.width, u.height) == (0, 0, 3, 4)
+
+    def test_bounding_box(self):
+        box = bounding_box([Rect(0, 0, 1, 1), Rect(2, 2, 2, 2)])
+        assert (box.x, box.y, box.x2, box.y2) == (0, 0, 4, 4)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(FloorplanError):
+            bounding_box([])
+
+    @given(a=rects(), b=rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union_bounds(b)
+        assert u.contains(a) and u.contains(b)

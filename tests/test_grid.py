@@ -1,0 +1,117 @@
+"""Tests for grid refinement (block vs grid model validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan import BlockKind, build_niagara8, core_row
+from repro.thermal import ThermalModel, build_rc_network
+from repro.thermal.grid import refine_floorplan
+from repro.units import mm
+
+
+class TestRefinement:
+    def test_cells_cover_parent_area(self):
+        plan = build_niagara8()
+        refined = refine_floorplan(plan, max_cell=mm(1.5))
+        assert refined.floorplan.total_area == pytest.approx(plan.total_area)
+        assert refined.n_cells > len(plan)
+
+    def test_parent_mapping_area_consistent(self):
+        plan = core_row(2)
+        refined = refine_floorplan(plan, max_cell=mm(1.0))
+        for parent_idx in range(len(plan)):
+            cells = [
+                refined.floorplan.blocks[i]
+                for i in range(refined.n_cells)
+                if refined.parent_index[i] == parent_idx
+            ]
+            total = sum(c.area for c in cells)
+            assert total == pytest.approx(plan.blocks[parent_idx].area)
+
+    def test_cells_inherit_kind(self):
+        plan = build_niagara8()
+        refined = refine_floorplan(plan, max_cell=mm(2.0))
+        for i, cell in enumerate(refined.floorplan.blocks):
+            parent = plan.blocks[refined.parent_index[i]]
+            assert cell.kind is parent.kind
+            assert cell.name.startswith(parent.name + "#")
+
+    def test_cell_size_bound(self):
+        plan = core_row(1, core_width=mm(5.0), core_height=mm(3.0))
+        refined = refine_floorplan(plan, max_cell=mm(1.0))
+        for cell in refined.floorplan.blocks:
+            assert cell.rect.width <= mm(1.0) + 1e-12
+            assert cell.rect.height <= mm(1.0) + 1e-12
+
+    def test_coarse_pitch_keeps_single_cell(self):
+        plan = core_row(2)
+        refined = refine_floorplan(plan, max_cell=mm(10.0))
+        assert refined.n_cells == 2
+
+    def test_invalid_pitch(self):
+        with pytest.raises(FloorplanError):
+            refine_floorplan(core_row(2), max_cell=0.0)
+
+
+class TestPowerSplit:
+    def test_split_conserves_power(self):
+        plan = build_niagara8()
+        refined = refine_floorplan(plan, max_cell=mm(1.5))
+        block_power = np.linspace(0.5, 4.0, len(plan))
+        cell_power = refined.split_power(block_power)
+        assert cell_power.sum() == pytest.approx(block_power.sum())
+        assert np.all(cell_power >= 0)
+
+    def test_split_shape_check(self):
+        refined = refine_floorplan(core_row(2), max_cell=mm(1.0))
+        with pytest.raises(FloorplanError):
+            refined.split_power(np.ones(5))
+
+
+class TestProjection:
+    def test_mean_projection_of_constant_field(self):
+        refined = refine_floorplan(core_row(3), max_cell=mm(1.0))
+        values = np.full(refined.n_cells, 7.5)
+        assert np.allclose(refined.project(values), 7.5)
+
+    def test_max_projection(self):
+        refined = refine_floorplan(core_row(1), max_cell=mm(1.0))
+        values = np.arange(refined.n_cells, dtype=float)
+        assert refined.project(values, how="max")[0] == refined.n_cells - 1
+
+    def test_bad_projection_args(self):
+        refined = refine_floorplan(core_row(2), max_cell=mm(1.0))
+        with pytest.raises(FloorplanError):
+            refined.project(np.zeros(3))
+        with pytest.raises(FloorplanError):
+            refined.project(np.zeros(refined.n_cells), how="median")
+
+
+class TestModelAgreement:
+    """The paper's HotSpot-style validation: block vs grid model."""
+
+    def test_steady_state_close_and_same_hot_partition(self):
+        plan = build_niagara8()
+        block_model = ThermalModel(build_rc_network(plan))
+        refined = refine_floorplan(plan, max_cell=mm(1.25))
+        grid_model = ThermalModel(
+            build_rc_network(refined.floorplan), check_stability=False
+        )
+
+        block_power = np.zeros(len(plan))
+        for idx in plan.core_indices:
+            block_power[idx] = 4.0
+        t_block = block_model.steady_state(block_power)
+        t_grid = refined.project(
+            grid_model.steady_state(refined.split_power(block_power))
+        )
+
+        cores = plan.core_indices
+        # Same spatial discretization physics: within a few degrees.
+        assert np.allclose(t_block[cores], t_grid[cores], atol=8.0)
+        hot_block = set(np.asarray(cores)[np.argsort(t_block[cores])[-4:]])
+        hot_grid = set(np.asarray(cores)[np.argsort(t_grid[cores])[-4:]])
+        assert hot_block == hot_grid

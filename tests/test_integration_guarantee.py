@@ -1,0 +1,112 @@
+"""The headline end-to-end property: Pro-Temp never exceeds t_max.
+
+"The method guarantees that the temperature of the cores are below a
+user-defined threshold at all instances of operation" (abstract).  These
+tests run the full closed loop — workload, queueing, TMU, table lookups,
+thermal RC — across seeds, workloads and starting temperatures, and assert
+zero violations of the 100 C limit, while confirming the baselines DO
+violate under the same conditions (i.e. the guarantee is non-vacuous).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_simulation
+from repro.control import BasicDFSPolicy, NoTCPolicy, ProTempPolicy
+from repro.workloads import compute_benchmark, mixed_benchmark
+
+DURATION = 8.0
+
+
+class TestProTempGuarantee:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_no_violation_compute_workload(self, niagara, coarse_table, seed):
+        trace = compute_benchmark(DURATION, niagara.n_cores, seed=seed)
+        result = run_simulation(
+            niagara, ProTempPolicy(coarse_table), trace, duration=DURATION
+        )
+        assert not result.metrics.any_violation
+        assert result.metrics.peak_temperature <= niagara.t_max
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_no_violation_mixed_workload(self, niagara, coarse_table, seed):
+        trace = mixed_benchmark(DURATION, niagara.n_cores, seed=seed)
+        result = run_simulation(
+            niagara, ProTempPolicy(coarse_table), trace, duration=DURATION
+        )
+        assert not result.metrics.any_violation
+
+    def test_no_violation_from_hot_start(self, niagara, coarse_table):
+        trace = compute_benchmark(DURATION, niagara.n_cores, seed=5)
+        result = run_simulation(
+            niagara,
+            ProTempPolicy(coarse_table),
+            trace,
+            duration=DURATION,
+            t_initial=95.0,
+        )
+        assert not result.metrics.any_violation
+
+    def test_work_still_gets_done(self, niagara, coarse_table):
+        """The guarantee must not be achieved by just shutting down."""
+        trace = compute_benchmark(DURATION, niagara.n_cores, seed=1)
+        result = run_simulation(
+            niagara, ProTempPolicy(coarse_table), trace, duration=DURATION
+        )
+        assert result.metrics.completed_tasks > 0.2 * len(trace)
+        assert result.metrics.mean_frequency > 0
+
+
+class TestQuantizedTableGuarantee:
+    def test_quantized_table_closed_loop_never_violates(
+        self, niagara, coarse_table
+    ):
+        """Hardware frequency ladders quantize the table down; the closed
+        loop must still satisfy the cap (round-down preserves safety)."""
+        from repro.core import quantize_table
+        from repro.power import FrequencyLadder
+        from repro.units import mhz
+
+        ladder = FrequencyLadder.linear(mhz(100), mhz(1000), 8)
+        table = quantize_table(coarse_table, ladder)
+        trace = compute_benchmark(DURATION, niagara.n_cores, seed=1)
+        result = run_simulation(
+            niagara, ProTempPolicy(table), trace, duration=DURATION
+        )
+        assert not result.metrics.any_violation
+        assert result.metrics.completed_tasks > 0
+
+
+class TestBaselinesViolate:
+    """The same conditions make the baselines exceed t_max (Figures 1/6)."""
+
+    def test_no_tc_violates(self, niagara):
+        trace = compute_benchmark(DURATION, niagara.n_cores, seed=1)
+        result = run_simulation(
+            niagara, NoTCPolicy(), trace, duration=DURATION
+        )
+        assert result.metrics.any_violation
+        assert result.band_fractions[3] > 0.3
+
+    def test_basic_dfs_violates_despite_threshold(self, niagara):
+        trace = compute_benchmark(DURATION, niagara.n_cores, seed=1)
+        result = run_simulation(
+            niagara, BasicDFSPolicy(threshold=90.0), trace, duration=DURATION
+        )
+        assert result.metrics.any_violation
+        # Overshoot peaks near 90 + one-window rise (~127 C, Figure 1).
+        assert 105 <= result.metrics.peak_temperature <= 140
+
+    def test_protemp_beats_basic_dfs_throughput(self, niagara, coarse_table):
+        trace = compute_benchmark(DURATION, niagara.n_cores, seed=1)
+        basic = run_simulation(
+            niagara, BasicDFSPolicy(threshold=90.0), trace, duration=DURATION
+        )
+        pro = run_simulation(
+            niagara, ProTempPolicy(coarse_table), trace, duration=DURATION
+        )
+        assert (
+            pro.metrics.completed_tasks > basic.metrics.completed_tasks
+        )

@@ -1,0 +1,71 @@
+"""Tests for KKT residual verification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solver import (
+    BoxConstraint,
+    LinearInequality,
+    LinearObjective,
+    kkt_residuals,
+)
+from repro.solver.kkt import KKTResiduals
+
+
+class TestAnalyticKKT:
+    def test_min_x_subject_to_x_geq_one(self):
+        """min x s.t. 1 - x <= 0: optimum x=1, multiplier exactly 1."""
+        obj = LinearObjective(c=np.array([1.0]))
+        blocks = [LinearInequality(a=np.array([[-1.0]]), b=np.array([-1.0]))]
+        kkt = kkt_residuals(obj, blocks, np.array([1.0]), np.array([1.0]))
+        assert kkt.stationarity == pytest.approx(0.0, abs=1e-12)
+        assert kkt.complementarity == pytest.approx(0.0, abs=1e-12)
+        assert kkt.primal == pytest.approx(0.0, abs=1e-12)
+        assert kkt.satisfied()
+
+    def test_wrong_multiplier_detected(self):
+        obj = LinearObjective(c=np.array([1.0]))
+        blocks = [LinearInequality(a=np.array([[-1.0]]), b=np.array([-1.0]))]
+        kkt = kkt_residuals(obj, blocks, np.array([1.0]), np.array([0.2]))
+        assert kkt.stationarity > 0.5
+        assert not kkt.satisfied()
+
+    def test_infeasible_point_detected(self):
+        obj = LinearObjective(c=np.array([1.0]))
+        blocks = [LinearInequality(a=np.array([[-1.0]]), b=np.array([-1.0]))]
+        kkt = kkt_residuals(obj, blocks, np.array([0.5]), np.array([1.0]))
+        assert kkt.primal > 0
+        assert not kkt.satisfied()
+
+    def test_negative_multiplier_detected(self):
+        obj = LinearObjective(c=np.array([0.0]))
+        blocks = [LinearInequality(a=np.array([[1.0]]), b=np.array([2.0]))]
+        kkt = kkt_residuals(obj, blocks, np.array([0.0]), np.array([-1.0]))
+        assert kkt.dual < 0
+        assert not kkt.satisfied()
+
+    def test_multiplier_ordering_across_blocks(self):
+        """Dual vector is consumed in block order."""
+        obj = LinearObjective(c=np.array([1.0]))
+        blocks = [
+            LinearInequality(a=np.array([[-1.0]]), b=np.array([-1.0])),
+            BoxConstraint(
+                lower=np.array([0.0]),
+                upper=np.array([5.0]),
+                indices=np.array([0]),
+            ),
+        ]
+        duals = np.array([1.0, 0.0, 0.0])  # active ineq, slack box
+        kkt = kkt_residuals(obj, blocks, np.array([1.0]), duals)
+        assert kkt.satisfied()
+
+
+class TestResidualsDataclass:
+    def test_satisfied_tolerances(self):
+        kkt = KKTResiduals(
+            stationarity=1e-5, complementarity=1e-5, primal=-1.0, dual=0.0
+        )
+        assert kkt.satisfied()
+        assert not kkt.satisfied(stationarity_tol=1e-6)

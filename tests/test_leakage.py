@@ -1,0 +1,68 @@
+"""Tests for the temperature-dependent leakage extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PowerModelError
+from repro.power import LeakageModel
+
+
+class TestLeakage:
+    def test_reference_point(self):
+        model = LeakageModel(p_ref=0.5, alpha=0.01, t_ref=60.0)
+        assert model.power(60.0) == pytest.approx(0.5)
+
+    def test_exponential_growth(self):
+        model = LeakageModel(p_ref=0.5, alpha=0.01, t_ref=60.0)
+        assert model.power(160.0) == pytest.approx(0.5 * np.e)
+
+    def test_array_input(self):
+        model = LeakageModel(p_ref=1.0, alpha=0.0)
+        out = model.power(np.array([10.0, 50.0, 90.0]))
+        assert np.allclose(out, 1.0)
+
+    def test_monotone_in_temperature(self):
+        model = LeakageModel(p_ref=0.5, alpha=0.012)
+        temps = np.linspace(20, 120, 50)
+        powers = model.power(temps)
+        assert np.all(np.diff(powers) > 0)
+
+    def test_invalid_params(self):
+        with pytest.raises(PowerModelError):
+            LeakageModel(p_ref=-1.0)
+        with pytest.raises(PowerModelError):
+            LeakageModel(p_ref=1.0, alpha=-0.1)
+
+
+class TestLinearBound:
+    def test_chord_upper_bounds_exponential(self):
+        model = LeakageModel(p_ref=0.5, alpha=0.015, t_ref=60.0)
+        c0, c1 = model.linear_bound(40.0, 110.0)
+        temps = np.linspace(40.0, 110.0, 200)
+        chord = c0 + c1 * temps
+        assert np.all(chord >= model.power(temps) - 1e-12)
+
+    def test_chord_tight_at_endpoints(self):
+        model = LeakageModel(p_ref=0.5, alpha=0.015, t_ref=60.0)
+        c0, c1 = model.linear_bound(40.0, 110.0)
+        assert c0 + c1 * 40.0 == pytest.approx(model.power(40.0))
+        assert c0 + c1 * 110.0 == pytest.approx(model.power(110.0))
+
+    def test_invalid_interval(self):
+        with pytest.raises(PowerModelError):
+            LeakageModel(p_ref=0.5).linear_bound(80.0, 80.0)
+
+    @given(
+        lo=st.floats(min_value=0.0, max_value=80.0),
+        span=st.floats(min_value=1.0, max_value=80.0),
+        alpha=st.floats(min_value=0.0, max_value=0.05),
+    )
+    def test_chord_bound_property(self, lo, span, alpha):
+        model = LeakageModel(p_ref=1.0, alpha=alpha, t_ref=50.0)
+        c0, c1 = model.linear_bound(lo, lo + span)
+        mid = lo + span / 2
+        assert c0 + c1 * mid >= model.power(mid) - 1e-9

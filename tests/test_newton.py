@@ -1,0 +1,105 @@
+"""Tests for the damped Newton minimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.solver import NewtonOptions, minimize_newton
+
+
+def quadratic(q, c):
+    def func(x):
+        return 0.5 * x @ q @ x + c @ x, q @ x + c, q
+
+    return func
+
+
+class TestQuadratics:
+    def test_exact_minimum(self):
+        q = np.diag([2.0, 4.0])
+        c = np.array([-2.0, -8.0])
+        outcome = minimize_newton(quadratic(q, c), np.zeros(2))
+        assert outcome.converged
+        assert np.allclose(outcome.x, [1.0, 2.0], atol=1e-8)
+
+    def test_one_step_convergence(self):
+        """Newton solves a quadratic in a single step."""
+        q = np.array([[3.0, 1.0], [1.0, 2.0]])
+        c = np.array([1.0, -1.0])
+        outcome = minimize_newton(quadratic(q, c), np.array([5.0, -7.0]))
+        assert outcome.iterations <= 2
+
+    def test_already_at_minimum(self):
+        q = np.eye(2)
+        outcome = minimize_newton(quadratic(q, np.zeros(2)), np.zeros(2))
+        assert outcome.converged
+        assert outcome.iterations == 0
+
+
+class TestDomainHandling:
+    def test_log_barrier_like_function(self):
+        """min x - log(x): optimum at x = 1, domain x > 0."""
+
+        def func(x):
+            if x[0] <= 0:
+                return np.inf, np.zeros(1), np.zeros((1, 1))
+            value = x[0] - np.log(x[0])
+            grad = np.array([1.0 - 1.0 / x[0]])
+            hess = np.array([[1.0 / x[0] ** 2]])
+            return value, grad, hess
+
+        outcome = minimize_newton(func, np.array([5.0]))
+        assert outcome.converged
+        assert outcome.x[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_line_search_backtracks_into_domain(self):
+        """Start close to the boundary; full steps would leave the domain."""
+
+        def func(x):
+            if x[0] <= 0:
+                return np.inf, np.zeros(1), np.zeros((1, 1))
+            value = 100 * x[0] - np.log(x[0])
+            grad = np.array([100.0 - 1.0 / x[0]])
+            hess = np.array([[1.0 / x[0] ** 2]])
+            return value, grad, hess
+
+        outcome = minimize_newton(func, np.array([1e-4]))
+        assert outcome.converged
+        assert outcome.x[0] == pytest.approx(0.01, rel=1e-4)
+
+    def test_infeasible_start_raises(self):
+        def func(x):
+            return np.inf, np.zeros(1), np.zeros((1, 1))
+
+        with pytest.raises(SolverError, match="domain"):
+            minimize_newton(func, np.array([1.0]))
+
+
+class TestOptions:
+    def test_iteration_cap(self):
+        # A badly conditioned quartic that needs many steps.
+        def func(x):
+            value = float(np.sum(x**4))
+            grad = 4 * x**3
+            hess = np.diag(12 * x**2 + 1e-12)
+            return value, grad, hess
+
+        outcome = minimize_newton(
+            func,
+            np.full(3, 10.0),
+            NewtonOptions(max_iterations=3, tol=1e-16),
+        )
+        assert not outcome.converged
+        assert outcome.iterations == 3
+
+    def test_singular_hessian_regularized(self):
+        """Semidefinite Hessian (flat direction) must not crash."""
+        q = np.diag([1.0, 0.0])
+
+        def func(x):
+            return 0.5 * x @ q @ x, q @ x, q
+
+        outcome = minimize_newton(func, np.array([3.0, 1.0]))
+        assert outcome.x[0] == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,97 @@
+"""Structural tests for the Figure 5 Niagara-8 floorplan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.floorplan import (
+    CORE_NAMES,
+    MIDDLE_CORES,
+    PERIPHERY_CORES,
+    BlockKind,
+    NiagaraConfig,
+    build_niagara8,
+    validate_cover,
+)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return build_niagara8()
+
+
+class TestStructure:
+    def test_eight_cores_first(self, plan):
+        assert plan.core_names == list(CORE_NAMES)
+        assert plan.core_indices == list(range(8))
+
+    def test_block_census(self, plan):
+        kinds = [b.kind for b in plan]
+        assert kinds.count(BlockKind.CORE) == 8
+        assert kinds.count(BlockKind.CACHE) == 4
+        assert kinds.count(BlockKind.BUFFER) == 4
+        assert kinds.count(BlockKind.INTERCONNECT) == 1
+
+    def test_full_tiling(self, plan):
+        validate_cover(plan, min_fill=0.999)
+
+    def test_die_dimensions_match_config(self, plan):
+        cfg = NiagaraConfig()
+        assert plan.bounds.width == pytest.approx(cfg.die_width)
+        assert plan.bounds.height == pytest.approx(cfg.die_height)
+
+
+class TestAdjacency:
+    """The section 5.3 asymmetry must be present in the geometry."""
+
+    def test_middle_core_has_two_core_neighbors(self, plan):
+        for name in MIDDLE_CORES:
+            neighbors = {
+                plan.blocks[i].name for i in plan.neighbors(name)
+            }
+            core_neighbors = neighbors & set(CORE_NAMES)
+            assert len(core_neighbors) == 2, (name, neighbors)
+
+    def test_periphery_core_has_one_core_neighbor_and_a_buffer(self, plan):
+        for name in PERIPHERY_CORES:
+            neighbors = {
+                plan.blocks[i].name for i in plan.neighbors(name)
+            }
+            assert len(neighbors & set(CORE_NAMES)) == 1, (name, neighbors)
+            assert any(n.startswith("BUF") for n in neighbors), (
+                name,
+                neighbors,
+            )
+
+    def test_every_core_touches_cache_and_interconnect(self, plan):
+        for name in CORE_NAMES:
+            neighbors = {
+                plan.blocks[i].name for i in plan.neighbors(name)
+            }
+            assert any(n.startswith("L2_") for n in neighbors), name
+            assert "XBAR" in neighbors, name
+
+    def test_p1_exact_neighbors(self, plan):
+        neighbors = {plan.blocks[i].name for i in plan.neighbors("P1")}
+        assert neighbors == {"BUF_W1", "P2", "L2_SW", "XBAR"}
+
+    def test_p2_exact_neighbors(self, plan):
+        neighbors = {plan.blocks[i].name for i in plan.neighbors("P2")}
+        assert neighbors == {"P1", "P3", "L2_SW", "XBAR"}
+
+
+class TestConfig:
+    def test_custom_dimensions(self):
+        cfg = NiagaraConfig(core_width=3e-3, core_height=2e-3)
+        plan = build_niagara8(cfg)
+        core = plan.block("P1")
+        assert core.rect.width == pytest.approx(3e-3)
+        assert core.rect.height == pytest.approx(2e-3)
+        validate_cover(plan, min_fill=0.999)
+
+    def test_core_order_row_major(self, plan):
+        # P1-P4 bottom row (same y), P5-P8 top row.
+        y_bottom = {plan.block(n).rect.y for n in CORE_NAMES[:4]}
+        y_top = {plan.block(n).rect.y for n in CORE_NAMES[4:]}
+        assert len(y_bottom) == 1 and len(y_top) == 1
+        assert y_top.pop() > y_bottom.pop()

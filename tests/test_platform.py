@@ -1,0 +1,61 @@
+"""Tests for the Platform aggregate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.floorplan import core_row
+from repro.platform import Platform
+from repro.power import LeakageModel
+from repro.units import ghz, mhz
+
+
+class TestNiagaraBuilder:
+    def test_paper_constants(self, niagara):
+        assert niagara.n_cores == 8
+        assert niagara.f_max == pytest.approx(ghz(1.0))
+        assert niagara.power.p_max == pytest.approx(4.0)
+        assert niagara.power.other_power_ratio == pytest.approx(0.3)
+        assert niagara.t_max == 100.0
+        assert niagara.dt == pytest.approx(0.4e-3)
+        assert niagara.ambient == pytest.approx(45.0)
+        assert niagara.name == "niagara8"
+
+    def test_core_names_order(self, niagara):
+        assert niagara.core_names == [f"P{i}" for i in range(1, 9)]
+
+    def test_core_temperature_extraction(self, niagara):
+        temps = np.arange(niagara.thermal.n, dtype=float)
+        cores = niagara.core_temperatures(temps)
+        assert np.allclose(cores, np.arange(8))
+
+    def test_custom_fmax(self):
+        platform = Platform.niagara8(f_max=ghz(1.4), p_max=5.0)
+        assert platform.f_max == pytest.approx(ghz(1.4))
+        assert platform.power.p_max == pytest.approx(5.0)
+
+
+class TestFromFloorplan:
+    def test_builds_consistent_platform(self):
+        platform = Platform.from_floorplan(core_row(4), name="quad")
+        assert platform.n_cores == 4
+        assert platform.thermal.n == 4
+        assert platform.name == "quad"
+
+    def test_leakage_passthrough(self):
+        leak = LeakageModel(p_ref=0.2)
+        platform = Platform.from_floorplan(core_row(2), leakage=leak)
+        assert platform.power.leakage is leak
+
+    def test_default_name_from_floorplan(self):
+        platform = Platform.from_floorplan(core_row(2, name="duo"))
+        assert platform.name == "duo"
+
+    def test_mismatched_models_rejected(self, niagara, small_platform):
+        with pytest.raises(ValueError):
+            Platform(
+                floorplan=small_platform.floorplan,
+                thermal=niagara.thermal,
+                power=small_platform.power,
+            )

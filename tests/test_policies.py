@@ -1,0 +1,192 @@
+"""Tests for DFS policies and the thermal management unit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    BasicDFSPolicy,
+    ControlContext,
+    NoTCPolicy,
+    ProTempPolicy,
+    ThermalManagementUnit,
+    required_average_frequency,
+)
+from repro.core import FrequencyTable, TableEntry
+from repro.errors import SimulationError
+from repro.thermal import NoisySensor
+from repro.units import ghz, mhz
+
+
+def context(temps, f_req=mhz(500)):
+    return ControlContext(
+        window_index=0,
+        time=0.0,
+        core_temperatures=np.asarray(temps, dtype=float),
+        required_frequency=f_req,
+        f_max=ghz(1.0),
+        t_max=100.0,
+    )
+
+
+class TestNoTC:
+    def test_matches_required_frequency(self):
+        freqs = NoTCPolicy().frequencies(context([50, 95, 120], mhz(700)))
+        assert np.allclose(freqs, mhz(700))
+
+
+class TestBasicDFS:
+    def test_shuts_down_hot_cores(self):
+        policy = BasicDFSPolicy(threshold=90.0)
+        freqs = policy.frequencies(context([85.0, 92.0], mhz(600)))
+        assert freqs[0] == pytest.approx(mhz(600))
+        assert freqs[1] == 0.0
+
+    def test_exactly_at_threshold_trips(self):
+        policy = BasicDFSPolicy(threshold=90.0)
+        freqs = policy.frequencies(context([90.0], mhz(600)))
+        assert freqs[0] == 0.0
+
+    def test_recovers_next_window_below_threshold(self):
+        policy = BasicDFSPolicy(threshold=90.0)
+        policy.frequencies(context([95.0], mhz(600)))
+        freqs = policy.frequencies(context([89.0], mhz(600)))
+        assert freqs[0] == pytest.approx(mhz(600))
+
+    def test_hysteresis(self):
+        policy = BasicDFSPolicy(threshold=90.0, resume_threshold=80.0)
+        assert policy.frequencies(context([95.0]))[0] == 0.0
+        # Cooled to 85: still above the resume threshold -> stays off.
+        assert policy.frequencies(context([85.0]))[0] == 0.0
+        # Cooled to 79: resumes.
+        assert policy.frequencies(context([79.0]))[0] > 0
+
+    def test_invalid_hysteresis(self):
+        with pytest.raises(SimulationError):
+            BasicDFSPolicy(threshold=90.0, resume_threshold=95.0)
+
+    def test_reset_clears_state(self):
+        policy = BasicDFSPolicy(threshold=90.0, resume_threshold=80.0)
+        policy.frequencies(context([95.0]))
+        policy.reset()
+        assert policy.frequencies(context([85.0]))[0] > 0
+
+
+class TestProTempPolicy:
+    def make_table(self):
+        t_grid = [90.0, 100.0]
+        f_grid = [mhz(300), mhz(600)]
+        entries = {}
+        for ti, t in enumerate(t_grid):
+            for fi, f in enumerate(f_grid):
+                feasible = not (ti == 1 and fi == 1)
+                entries[(ti, fi)] = TableEntry(
+                    t_start=t,
+                    f_target=f,
+                    feasible=feasible,
+                    frequencies=(f, f) if feasible else (0.0, 0.0),
+                    total_power=1.0,
+                    predicted_peak=95.0,
+                    predicted_gradient=0.5,
+                )
+        return FrequencyTable(t_grid, f_grid, entries, n_cores=2)
+
+    def test_uses_max_core_temperature(self):
+        policy = ProTempPolicy(self.make_table())
+        freqs = policy.frequencies(context([70.0, 95.0], mhz(600)))
+        # max temp 95 -> row 100, demand 600 -> infeasible -> back off to 300.
+        assert np.allclose(freqs, mhz(300))
+        assert policy.backoff_windows == 1
+
+    def test_serves_demand_when_cool(self):
+        policy = ProTempPolicy(self.make_table())
+        freqs = policy.frequencies(context([60.0, 70.0], mhz(500)))
+        assert np.allclose(freqs, mhz(600))
+        assert policy.backoff_windows == 0
+
+    def test_shutdown_above_grid(self):
+        policy = ProTempPolicy(self.make_table())
+        freqs = policy.frequencies(context([105.0, 90.0], mhz(300)))
+        assert np.all(freqs == 0)
+        assert policy.shutdown_windows == 1
+
+    def test_reset_clears_counters(self):
+        policy = ProTempPolicy(self.make_table())
+        policy.frequencies(context([105.0, 90.0]))
+        policy.reset()
+        assert policy.lookups == 0
+        assert policy.shutdown_windows == 0
+        assert policy.last_lookup is None
+
+
+class TestRequiredFrequency:
+    def test_formula(self):
+        # 0.4 s of backlog on 4 cores in a 0.1 s window -> full speed.
+        assert required_average_frequency(0.4, 4, 0.1, ghz(1.0)) == ghz(1.0)
+
+    def test_partial_load(self):
+        f = required_average_frequency(0.2, 4, 0.1, ghz(1.0))
+        assert f == pytest.approx(mhz(500))
+
+    def test_cap_at_fmax(self):
+        f = required_average_frequency(100.0, 2, 0.1, ghz(1.0))
+        assert f == ghz(1.0)
+
+    def test_zero_backlog(self):
+        assert required_average_frequency(0.0, 4, 0.1, ghz(1.0)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            required_average_frequency(-1.0, 4, 0.1, ghz(1.0))
+        with pytest.raises(SimulationError):
+            required_average_frequency(1.0, 0, 0.1, ghz(1.0))
+
+
+class TestTMU:
+    def test_decide_clips_to_fmax(self):
+        class CrazyPolicy(NoTCPolicy):
+            def frequencies(self, ctx):
+                return np.full(len(ctx.core_temperatures), 9e9)
+
+        tmu = ThermalManagementUnit(
+            policy=CrazyPolicy(), f_max=ghz(1.0), t_max=100.0, window=0.1
+        )
+        freqs = tmu.decide(0, 0.0, np.array([50.0, 60.0]), 0.1)
+        assert np.all(freqs <= ghz(1.0))
+
+    def test_decide_shape_mismatch_raises(self):
+        class BadPolicy(NoTCPolicy):
+            def frequencies(self, ctx):
+                return np.ones(7)
+
+        tmu = ThermalManagementUnit(
+            policy=BadPolicy(), f_max=ghz(1.0), t_max=100.0, window=0.1
+        )
+        with pytest.raises(SimulationError, match="returned"):
+            tmu.decide(0, 0.0, np.array([50.0, 60.0]), 0.1)
+
+    def test_sensor_feeds_policy(self):
+        """A sensor that reads hot must trip Basic-DFS even if truth is cool."""
+
+        class HotSensor(NoisySensor):
+            def read(self, temps):
+                return np.full_like(np.asarray(temps, dtype=float), 99.0)
+
+        tmu = ThermalManagementUnit(
+            policy=BasicDFSPolicy(threshold=90.0),
+            f_max=ghz(1.0),
+            t_max=100.0,
+            window=0.1,
+            sensor=HotSensor(),
+        )
+        freqs = tmu.decide(0, 0.0, np.array([50.0, 50.0]), 1.0)
+        assert np.all(freqs == 0)
+
+    def test_demand_estimation_path(self):
+        tmu = ThermalManagementUnit(
+            policy=NoTCPolicy(), f_max=ghz(1.0), t_max=100.0, window=0.1
+        )
+        # 0.1 s backlog on 2 cores in 0.1 s window -> 500 MHz each.
+        freqs = tmu.decide(0, 0.0, np.array([50.0, 50.0]), 0.1)
+        assert np.allclose(freqs, mhz(500))

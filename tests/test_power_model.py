@@ -1,0 +1,131 @@
+"""Tests for the platform power model (including the 30% non-core rule)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PowerModelError
+from repro.floorplan import build_niagara8, core_row
+from repro.power import LeakageModel, PlatformPowerModel, QuadraticScaling
+from repro.units import ghz, mhz
+
+
+@pytest.fixture(scope="module")
+def niagara_power():
+    return PlatformPowerModel(floorplan=build_niagara8())
+
+
+class TestCorePower:
+    def test_all_busy_at_fmax(self, niagara_power):
+        freqs = np.full(8, ghz(1.0))
+        power = niagara_power.core_power(freqs)
+        assert np.allclose(power, 4.0)
+
+    def test_idle_fraction(self, niagara_power):
+        freqs = np.full(8, ghz(1.0))
+        busy = np.zeros(8, dtype=bool)
+        power = niagara_power.core_power(freqs, busy)
+        assert np.allclose(power, 0.4)
+
+    def test_mixed_busy(self, niagara_power):
+        freqs = np.full(8, mhz(500))
+        busy = np.array([True] * 4 + [False] * 4)
+        power = niagara_power.core_power(freqs, busy)
+        assert np.allclose(power[:4], 1.0)
+        assert np.allclose(power[4:], 0.1)
+
+    def test_bad_shapes(self, niagara_power):
+        with pytest.raises(PowerModelError):
+            niagara_power.core_power(np.ones(3))
+        with pytest.raises(PowerModelError):
+            niagara_power.core_power(np.full(8, 1e9), np.ones(3, dtype=bool))
+
+
+class TestNodeDistribution:
+    def test_noncore_is_30_percent_of_core_total(self, niagara_power):
+        freqs = np.full(8, ghz(1.0))
+        node_power = niagara_power.node_power(freqs)
+        core_idx = niagara_power.floorplan.core_indices
+        core_total = node_power[core_idx].sum()
+        other_total = node_power.sum() - core_total
+        assert other_total == pytest.approx(0.3 * core_total)
+
+    def test_noncore_split_by_area(self, niagara_power):
+        plan = niagara_power.floorplan
+        node_power = niagara_power.node_power(np.full(8, ghz(1.0)))
+        i = plan.index_of("L2_SW")
+        j = plan.index_of("BUF_W1")
+        ratio = node_power[i] / node_power[j]
+        assert ratio == pytest.approx(plan.blocks[i].area / plan.blocks[j].area)
+
+    def test_zero_frequency_zero_power(self, niagara_power):
+        node_power = niagara_power.node_power(np.zeros(8))
+        assert np.allclose(node_power, 0.0)
+
+    def test_injection_matrix_matches_direct(self, niagara_power, rng):
+        e = niagara_power.injection_matrix()
+        core_power = rng.uniform(0, 4, 8)
+        direct = niagara_power.node_power_from_core_power(core_power)
+        assert np.allclose(e @ core_power, direct)
+
+    def test_max_node_power(self, niagara_power):
+        expected = niagara_power.node_power(np.full(8, ghz(1.0)))
+        assert np.allclose(niagara_power.max_node_power(), expected)
+
+    def test_cores_only_floorplan(self):
+        model = PlatformPowerModel(floorplan=core_row(3))
+        node_power = model.node_power(np.full(3, model.f_max))
+        assert node_power.shape == (3,)
+        assert np.allclose(node_power, model.p_max)
+
+
+class TestLeakageIntegration:
+    def test_leakage_added_on_core_nodes(self):
+        model = PlatformPowerModel(
+            floorplan=core_row(2),
+            leakage=LeakageModel(p_ref=0.5, alpha=0.01, t_ref=60.0),
+        )
+        temps = np.array([60.0, 60.0])
+        with_leak = model.node_power(
+            np.zeros(2), temperatures=temps
+        )
+        assert np.allclose(with_leak, 0.5)
+
+    def test_leakage_ignored_without_temps(self):
+        model = PlatformPowerModel(
+            floorplan=core_row(2), leakage=LeakageModel(p_ref=0.5)
+        )
+        assert np.allclose(model.node_power(np.zeros(2)), 0.0)
+
+    def test_bad_temperature_shape(self):
+        model = PlatformPowerModel(
+            floorplan=core_row(2), leakage=LeakageModel(p_ref=0.5)
+        )
+        with pytest.raises(PowerModelError):
+            model.node_power(np.zeros(2), temperatures=np.zeros(5))
+
+
+class TestValidation:
+    def test_no_cores_rejected(self):
+        from repro.floorplan import Block, BlockKind, Floorplan, Rect
+
+        plan = Floorplan(
+            blocks=[Block("C", Rect(0, 0, 1e-3, 1e-3), BlockKind.CACHE)]
+        )
+        with pytest.raises(PowerModelError, match="no CORE"):
+            PlatformPowerModel(floorplan=plan)
+
+    def test_bad_ratio(self):
+        with pytest.raises(PowerModelError):
+            PlatformPowerModel(floorplan=core_row(2), other_power_ratio=-0.1)
+
+    def test_bad_idle_fraction(self):
+        with pytest.raises(PowerModelError):
+            PlatformPowerModel(floorplan=core_row(2), idle_fraction=1.5)
+
+    def test_properties(self, niagara_power):
+        assert niagara_power.n_cores == 8
+        assert niagara_power.n_nodes == 17
+        assert niagara_power.f_max == pytest.approx(ghz(1.0))
+        assert niagara_power.p_max == pytest.approx(4.0)

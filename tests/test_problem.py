@@ -1,0 +1,219 @@
+"""Derivative-correctness tests for objectives and constraint blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.solver import (
+    BoxConstraint,
+    LinearInequality,
+    LinearObjective,
+    QuadraticObjective,
+    SqrtSumConstraint,
+    max_violation,
+    total_constraints,
+)
+from repro.solver.problem import NegativeSqrtObjective
+
+
+def numeric_grad(f, x, eps=1e-6):
+    g = np.zeros(len(x))
+    for i in range(len(x)):
+        e = np.zeros(len(x))
+        e[i] = eps
+        g[i] = (f(x + e) - f(x - e)) / (2 * eps)
+    return g
+
+
+class TestObjectives:
+    def test_linear(self):
+        obj = LinearObjective(c=np.array([1.0, -2.0]))
+        x = np.array([3.0, 4.0])
+        assert obj.value(x) == pytest.approx(-5.0)
+        assert np.allclose(obj.gradient(x), [1.0, -2.0])
+        assert np.allclose(obj.hessian(x), 0.0)
+
+    def test_quadratic(self):
+        q = np.array([[2.0, 0.0], [0.0, 4.0]])
+        c = np.array([1.0, 1.0])
+        obj = QuadraticObjective(q=q, c=c)
+        x = np.array([1.0, 2.0])
+        assert obj.value(x) == pytest.approx(0.5 * (2 + 16) + 3)
+        assert np.allclose(obj.gradient(x), q @ x + c)
+        assert np.allclose(obj.hessian(x), q)
+
+    def test_negative_sqrt_derivatives(self):
+        obj = NegativeSqrtObjective(
+            weights=np.array([2.0, 3.0]),
+            indices=np.array([0, 2]),
+            n_vars=3,
+        )
+        x = np.array([4.0, 7.0, 9.0])
+        assert obj.value(x) == pytest.approx(-(2 * 2 + 3 * 3))
+        num = numeric_grad(lambda z: obj.value(z), x)
+        assert np.allclose(obj.gradient(x), num, atol=1e-5)
+        # Hessian diagonal via numeric differentiation of the gradient.
+        eps = 1e-6
+        for i in (0, 2):
+            e = np.zeros(3)
+            e[i] = eps
+            num_h = (obj.gradient(x + e)[i] - obj.gradient(x - e)[i]) / (2 * eps)
+            assert obj.hessian(x)[i, i] == pytest.approx(num_h, rel=1e-4)
+
+    def test_negative_sqrt_domain(self):
+        obj = NegativeSqrtObjective(
+            weights=np.ones(1), indices=np.array([0]), n_vars=1
+        )
+        assert obj.value(np.array([-1.0])) == np.inf
+
+    def test_negative_sqrt_validation(self):
+        with pytest.raises(SolverError):
+            NegativeSqrtObjective(
+                weights=np.array([0.0]), indices=np.array([0]), n_vars=1
+            )
+
+
+class TestLinearInequality:
+    def test_residuals(self):
+        block = LinearInequality(
+            a=np.array([[1.0, 0.0], [0.0, 2.0]]), b=np.array([1.0, 4.0])
+        )
+        res = block.residuals(np.array([2.0, 1.0]))
+        assert np.allclose(res, [1.0, -2.0])
+        assert block.count() == 2
+
+    def test_barrier_infinite_outside(self):
+        block = LinearInequality(a=np.array([[1.0]]), b=np.array([0.0]))
+        value, _g, _h = block.barrier(np.array([1.0]))
+        assert value == np.inf
+
+    def test_barrier_derivatives(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(4, 3))
+        block = LinearInequality(a=a, b=np.full(4, 10.0))
+        x = np.zeros(3)
+        value, grad, hess = block.barrier(x)
+        num = numeric_grad(lambda z: block.barrier(z)[0], x)
+        assert np.allclose(grad, num, atol=1e-5)
+        assert np.allclose(hess, hess.T)
+        assert np.all(np.linalg.eigvalsh(hess) >= -1e-10)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SolverError):
+            LinearInequality(a=np.ones((2, 3)), b=np.ones(3))
+
+
+class TestSqrtSumConstraint:
+    def make(self, target=2.0):
+        return SqrtSumConstraint(
+            weights=np.array([1.0, 2.0]),
+            indices=np.array([0, 1]),
+            target=target,
+        )
+
+    def test_residuals(self):
+        block = self.make(target=2.0)
+        res = block.residuals(np.array([4.0, 1.0]))
+        # 2 - (1*2 + 2*1) = -2
+        assert res == pytest.approx([-2.0])
+        assert block.count() == 1
+
+    def test_residual_clips_negative_components(self):
+        block = self.make(target=1.0)
+        res = block.residuals(np.array([-1.0, 0.0]))
+        assert res == pytest.approx([1.0])
+
+    def test_barrier_derivatives(self):
+        block = self.make(target=1.0)
+        x = np.array([4.0, 2.25])
+        value, grad, hess = block.barrier(x)
+        num = numeric_grad(lambda z: block.barrier(z)[0], x)
+        assert np.isfinite(value)
+        assert np.allclose(grad, num, atol=1e-5)
+        assert np.all(np.linalg.eigvalsh(hess) >= -1e-10)
+
+    def test_barrier_outside_domain(self):
+        block = self.make(target=100.0)
+        value, _g, _h = block.barrier(np.array([1.0, 1.0]))
+        assert value == np.inf
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            SqrtSumConstraint(
+                weights=np.array([1.0, -1.0]),
+                indices=np.array([0, 1]),
+                target=1.0,
+            )
+        with pytest.raises(SolverError):
+            SqrtSumConstraint(
+                weights=np.ones(2), indices=np.array([0]), target=1.0
+            )
+
+
+class TestBoxConstraint:
+    def make(self):
+        return BoxConstraint(
+            lower=np.array([0.0, 1.0]),
+            upper=np.array([2.0, 3.0]),
+            indices=np.array([0, 1]),
+        )
+
+    def test_residuals(self):
+        res = self.make().residuals(np.array([1.0, 2.0]))
+        assert np.allclose(res, [-1.0, -1.0, -1.0, -1.0])
+        assert self.make().count() == 4
+
+    def test_barrier_derivatives(self):
+        block = self.make()
+        x = np.array([0.5, 2.5])
+        value, grad, hess = block.barrier(x)
+        num = numeric_grad(lambda z: block.barrier(z)[0], x)
+        assert np.allclose(grad, num, atol=1e-5)
+        assert np.all(np.diag(hess) >= 0)
+
+    def test_barrier_outside(self):
+        value, _g, _h = self.make().barrier(np.array([-0.5, 2.0]))
+        assert value == np.inf
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            BoxConstraint(
+                lower=np.array([1.0]),
+                upper=np.array([1.0]),
+                indices=np.array([0]),
+            )
+        with pytest.raises(SolverError):
+            BoxConstraint(
+                lower=np.zeros(2),
+                upper=np.ones(1),
+                indices=np.array([0]),
+            )
+
+
+class TestHelpers:
+    def test_total_constraints(self):
+        blocks = [
+            LinearInequality(a=np.ones((3, 2)), b=np.ones(3)),
+            BoxConstraint(
+                lower=np.zeros(2), upper=np.ones(2), indices=np.arange(2)
+            ),
+        ]
+        assert total_constraints(blocks) == 7
+
+    def test_max_violation(self):
+        blocks = [LinearInequality(a=np.eye(2), b=np.zeros(2))]
+        assert max_violation(blocks, np.array([0.5, -1.0])) == pytest.approx(0.5)
+        assert max_violation([], np.zeros(2)) == 0.0
+
+    @given(st.integers(min_value=1, max_value=6))
+    def test_feasible_point_has_nonpositive_violation(self, n):
+        blocks = [
+            BoxConstraint(
+                lower=np.zeros(n), upper=np.ones(n), indices=np.arange(n)
+            )
+        ]
+        assert max_violation(blocks, np.full(n, 0.5)) < 0

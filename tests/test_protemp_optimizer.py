@@ -1,0 +1,204 @@
+"""Tests for the Pro-Temp design-time optimizer (Eqs. 3-5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ProTempOptimizer
+from repro.errors import SolverError
+from repro.solver import SolveStatus
+from repro.units import mhz
+
+
+class TestSolveBasics:
+    def test_average_frequency_meets_target(self, small_optimizer):
+        a = small_optimizer.solve(60.0, mhz(400))
+        assert a.feasible
+        assert a.average_frequency >= mhz(400) * (1 - 1e-4)
+        # Power is minimized, so the constraint is essentially tight.
+        assert a.average_frequency <= mhz(400) * (1 + 1e-2)
+
+    def test_predicted_peak_within_tmax(self, small_optimizer):
+        a = small_optimizer.solve(80.0, mhz(400))
+        assert a.feasible
+        assert a.predicted_peak <= small_optimizer.platform.t_max + 1e-6
+
+    def test_eq2_power_frequency_consistency(self, small_optimizer):
+        a = small_optimizer.solve(60.0, mhz(500))
+        scaling = small_optimizer.platform.power.scaling
+        expected = np.asarray(scaling.power(a.frequencies))
+        assert np.allclose(expected, a.core_power, atol=1e-6)
+
+    def test_zero_target_near_zero_power(self, small_optimizer):
+        a = small_optimizer.solve(60.0, 0.0)
+        assert a.feasible
+        assert np.all(a.core_power < 1e-3)
+
+    def test_infeasible_when_start_beyond_tmax(self, small_optimizer):
+        a = small_optimizer.solve(150.0, mhz(900))
+        assert not a.feasible
+        assert a.status is SolveStatus.INFEASIBLE
+        assert np.all(a.frequencies == 0)
+
+    def test_bad_target_rejected(self, small_optimizer):
+        f_max = small_optimizer.platform.f_max
+        with pytest.raises(SolverError):
+            small_optimizer.solve(60.0, f_max * 1.5)
+        with pytest.raises(SolverError):
+            small_optimizer.solve(60.0, -1.0)
+
+    def test_bad_mode_rejected(self, small_platform):
+        with pytest.raises(SolverError):
+            ProTempOptimizer(small_platform, mode="quantum")
+
+    def test_bad_backend_rejected(self, small_platform):
+        with pytest.raises(SolverError):
+            ProTempOptimizer(small_platform, backend="gurobi")
+
+
+class TestGuarantee:
+    """The assignment must keep the *simulated* window below t_max."""
+
+    @pytest.mark.parametrize("t_start", [50.0, 80.0, 95.0])
+    def test_simulated_window_respects_tmax(self, small_optimizer, t_start):
+        platform = small_optimizer.platform
+        f_target = 0.9 * small_optimizer.max_feasible_target(t_start)
+        a = small_optimizer.solve(t_start, f_target)
+        assert a.feasible
+        node_power = platform.power.injection_matrix() @ a.core_power
+        traj = platform.thermal.simulate(
+            t_start, node_power, small_optimizer.response.m
+        )
+        assert traj.max() <= platform.t_max + 1e-6
+
+    def test_guarantee_holds_for_cooler_nonuniform_start(
+        self, small_optimizer, rng
+    ):
+        """Table rows are solved at the max temperature; any elementwise
+        cooler start must also be safe (the monotonicity argument)."""
+        platform = small_optimizer.platform
+        t_row = 90.0
+        a = small_optimizer.solve(t_row, mhz(300))
+        assert a.feasible
+        node_power = platform.power.injection_matrix() @ a.core_power
+        for _ in range(5):
+            t0 = rng.uniform(50.0, t_row, platform.thermal.n)
+            traj = platform.thermal.simulate(
+                t0, node_power, small_optimizer.response.m
+            )
+            assert traj.max() <= platform.t_max + 1e-6
+
+
+class TestFeasibilityBoundary:
+    def test_max_feasible_consistency(self, small_optimizer):
+        boundary = small_optimizer.max_feasible_target(85.0)
+        assert small_optimizer.is_feasible(85.0, boundary * 0.98)
+        if boundary < small_optimizer.platform.f_max * 0.999:
+            assert not small_optimizer.is_feasible(85.0, boundary * 1.05)
+
+    def test_monotone_in_start_temperature(self, small_optimizer):
+        cool = small_optimizer.max_feasible_target(60.0)
+        hot = small_optimizer.max_feasible_target(95.0)
+        assert cool >= hot
+
+    def test_zero_when_start_hopeless(self, small_optimizer):
+        assert small_optimizer.max_feasible_target(500.0) == 0.0
+
+
+class TestUniformMode:
+    def test_uniform_frequencies_equal(self, small_platform):
+        opt = ProTempOptimizer(
+            small_platform, mode="uniform", step_subsample=10
+        )
+        a = opt.solve(60.0, mhz(400))
+        assert a.feasible
+        assert np.allclose(a.frequencies, a.frequencies[0])
+        assert a.frequencies[0] == pytest.approx(mhz(400))
+
+    def test_uniform_feasibility_matches_simulation(self, small_platform):
+        opt = ProTempOptimizer(
+            small_platform, mode="uniform", step_subsample=1
+        )
+        t_start, f = 90.0, mhz(800)
+        a = opt.solve(t_start, f)
+        p_shared = small_platform.power.scaling.power(f)
+        node_power = small_platform.power.injection_matrix() @ np.full(
+            small_platform.n_cores, p_shared
+        )
+        traj = small_platform.thermal.simulate(t_start, node_power, opt.response.m)
+        violated = traj.max() > small_platform.t_max
+        assert a.feasible == (not violated)
+
+    def test_variable_dominates_uniform(self, small_platform):
+        var = ProTempOptimizer(small_platform, step_subsample=10)
+        uni = ProTempOptimizer(
+            small_platform, mode="uniform", step_subsample=10
+        )
+        for t in (70.0, 85.0, 95.0):
+            assert (
+                var.max_feasible_target(t)
+                >= uni.max_feasible_target(t) - 1e3
+            )
+
+
+class TestNiagaraAsymmetry:
+    """Periphery cores must run faster than middle cores (Figure 10)."""
+
+    def test_periphery_faster_at_binding_target(self, niagara):
+        opt = ProTempOptimizer(niagara, step_subsample=10)
+        boundary = opt.max_feasible_target(85.0)
+        a = opt.solve(85.0, boundary * 0.97)
+        assert a.feasible
+        freqs = dict(zip(niagara.core_names, a.frequencies))
+        periphery = np.mean([freqs[n] for n in ("P1", "P4", "P5", "P8")])
+        middle = np.mean([freqs[n] for n in ("P2", "P3", "P6", "P7")])
+        assert periphery > middle
+
+    def test_symmetric_cores_get_symmetric_frequencies(self, niagara):
+        opt = ProTempOptimizer(niagara, step_subsample=10)
+        a = opt.solve(85.0, mhz(500))
+        freqs = dict(zip(niagara.core_names, a.frequencies))
+        assert freqs["P1"] == pytest.approx(freqs["P4"], rel=1e-2)
+        assert freqs["P2"] == pytest.approx(freqs["P3"], rel=1e-2)
+
+
+class TestBackendParity:
+    def test_barrier_matches_scipy(self, small_platform):
+        kwargs = dict(step_subsample=10)
+        mine = ProTempOptimizer(small_platform, backend="barrier", **kwargs)
+        ref = ProTempOptimizer(small_platform, backend="scipy", **kwargs)
+        a = mine.solve(75.0, mhz(450))
+        b = ref.solve(75.0, mhz(450))
+        assert a.feasible and b.feasible
+        assert a.objective == pytest.approx(b.objective, rel=1e-3)
+        assert np.allclose(a.frequencies, b.frequencies, rtol=5e-2)
+
+
+class TestGradientTerm:
+    def test_gradient_mode_reduces_predicted_gradient(self, niagara):
+        with_grad = ProTempOptimizer(
+            niagara, step_subsample=10, minimize_gradient=True,
+            gradient_weight=5.0,
+        )
+        without = ProTempOptimizer(
+            niagara, step_subsample=10, minimize_gradient=False
+        )
+        a = with_grad.solve(85.0, mhz(500))
+        b = without.solve(85.0, mhz(500))
+        assert a.feasible and b.feasible
+        assert a.predicted_gradient <= b.predicted_gradient + 0.5
+
+    def test_hard_gradient_cap_respected(self, niagara):
+        opt = ProTempOptimizer(
+            niagara, step_subsample=10, t_grad_cap=2.0
+        )
+        a = opt.solve(85.0, mhz(500))
+        assert a.feasible
+        assert a.predicted_gradient <= 2.0 + 1e-6
+
+    def test_invalid_gradient_config(self, small_platform):
+        with pytest.raises(SolverError):
+            ProTempOptimizer(small_platform, gradient_weight=-1.0)
+        with pytest.raises(SolverError):
+            ProTempOptimizer(small_platform, t_grad_cap=0.0)

@@ -1,0 +1,88 @@
+"""Tests for frequency-ladder quantization of Phase-1 tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ProTempOptimizer, build_frequency_table
+from repro.core.table import quantize_table
+from repro.errors import TableError
+from repro.power import FrequencyLadder
+from repro.units import mhz
+
+
+@pytest.fixture(scope="module")
+def small_table(small_platform):
+    optimizer = ProTempOptimizer(small_platform, step_subsample=10)
+    return build_frequency_table(
+        optimizer,
+        [75.0, 95.0],
+        [mhz(300), mhz(600), mhz(900)],
+    )
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    return FrequencyLadder.linear(mhz(100), mhz(1000), 10)
+
+
+class TestQuantize:
+    def test_frequencies_on_ladder(self, small_table, ladder):
+        quantized = quantize_table(small_table, ladder)
+        levels = set(np.round(ladder.levels, 3))
+        for entry in quantized.entries.values():
+            if entry.feasible:
+                for f in entry.frequencies:
+                    assert round(f, 3) in levels
+
+    def test_never_rounds_up(self, small_table, ladder):
+        quantized = quantize_table(small_table, ladder)
+        for key, entry in quantized.entries.items():
+            original = small_table.entries[key]
+            if entry.feasible:
+                for fq, fo in zip(entry.frequencies, original.frequencies):
+                    assert fq <= fo + 1e-9
+
+    def test_guarantee_preserved_in_simulation(
+        self, small_platform, small_table, ladder
+    ):
+        """Quantized-down vectors must stay below t_max when simulated."""
+        quantized = quantize_table(small_table, ladder)
+        optimizer = ProTempOptimizer(small_platform, step_subsample=10)
+        for entry in quantized.entries.values():
+            if not entry.feasible:
+                continue
+            p = np.asarray(
+                small_platform.power.scaling.power(
+                    np.array(entry.frequencies)
+                )
+            )
+            node_power = small_platform.power.injection_matrix() @ p
+            traj = small_platform.thermal.simulate(
+                entry.t_start, node_power, optimizer.response.m
+            )
+            assert traj.max() <= small_platform.t_max + 1e-6
+
+    def test_below_ladder_becomes_infeasible(self, small_table):
+        high_floor = FrequencyLadder(levels=(mhz(950), mhz(1000)))
+        quantized = quantize_table(small_table, high_floor)
+        for key, entry in quantized.entries.items():
+            original = small_table.entries[key]
+            if original.feasible and min(original.frequencies) < mhz(950):
+                assert not entry.feasible
+
+    def test_metadata_marker(self, small_table, ladder):
+        quantized = quantize_table(small_table, ladder)
+        assert "quantized" in quantized.metadata
+        assert len(quantized.metadata["quantized"]) == len(ladder.levels)
+
+    def test_type_check(self, small_table):
+        with pytest.raises(TableError):
+            quantize_table(small_table, ladder="not-a-ladder")
+
+    def test_infeasible_entries_passthrough(self, small_table, ladder):
+        quantized = quantize_table(small_table, ladder)
+        for key, entry in small_table.entries.items():
+            if not entry.feasible:
+                assert not quantized.entries[key].feasible

@@ -1,0 +1,139 @@
+"""Tests for RC thermal network construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.floorplan import build_niagara8, core_row
+from repro.thermal import RCNetwork, ThermalPackageConfig, build_rc_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_rc_network(build_niagara8())
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "silicon_conductivity",
+            "volumetric_heat_capacity",
+            "die_thickness",
+            "vertical_resistance_per_area",
+            "capacitance_scale",
+        ],
+    )
+    def test_non_positive_rejected(self, field):
+        with pytest.raises(ThermalModelError, match=field):
+            ThermalPackageConfig(**{field: 0.0})
+
+
+class TestNetworkValidation:
+    def base_kwargs(self):
+        return dict(
+            node_names=["a", "b"],
+            capacitance=np.array([1.0, 1.0]),
+            conductance=np.array([[0.0, 0.5], [0.5, 0.0]]),
+            ambient_conductance=np.array([0.1, 0.1]),
+            ambient=45.0,
+        )
+
+    def test_valid(self):
+        RCNetwork(**self.base_kwargs())
+
+    def test_bad_capacitance_shape(self):
+        kwargs = self.base_kwargs()
+        kwargs["capacitance"] = np.array([1.0])
+        with pytest.raises(ThermalModelError):
+            RCNetwork(**kwargs)
+
+    def test_negative_capacitance(self):
+        kwargs = self.base_kwargs()
+        kwargs["capacitance"] = np.array([1.0, -1.0])
+        with pytest.raises(ThermalModelError):
+            RCNetwork(**kwargs)
+
+    def test_asymmetric_conductance(self):
+        kwargs = self.base_kwargs()
+        kwargs["conductance"] = np.array([[0.0, 0.5], [0.4, 0.0]])
+        with pytest.raises(ThermalModelError, match="symmetric"):
+            RCNetwork(**kwargs)
+
+    def test_nonzero_diagonal(self):
+        kwargs = self.base_kwargs()
+        kwargs["conductance"] = np.array([[0.1, 0.5], [0.5, 0.0]])
+        with pytest.raises(ThermalModelError, match="diagonal"):
+            RCNetwork(**kwargs)
+
+    def test_no_ambient_path(self):
+        kwargs = self.base_kwargs()
+        kwargs["ambient_conductance"] = np.zeros(2)
+        with pytest.raises(ThermalModelError, match="ambient"):
+            RCNetwork(**kwargs)
+
+    def test_negative_conductance(self):
+        kwargs = self.base_kwargs()
+        kwargs["conductance"] = np.array([[0.0, -0.5], [-0.5, 0.0]])
+        with pytest.raises(ThermalModelError):
+            RCNetwork(**kwargs)
+
+    def test_index_of(self):
+        net = RCNetwork(**self.base_kwargs())
+        assert net.index_of("b") == 1
+        with pytest.raises(ThermalModelError, match="unknown"):
+            net.index_of("zz")
+
+
+class TestBuiltNetwork:
+    def test_node_order_matches_floorplan(self, network):
+        plan = build_niagara8()
+        assert network.node_names == [b.name for b in plan]
+
+    def test_conductance_symmetric_nonnegative(self, network):
+        g = network.conductance
+        assert np.allclose(g, g.T)
+        assert np.all(g >= 0)
+        assert np.all(np.diagonal(g) == 0)
+
+    def test_adjacent_blocks_coupled(self, network):
+        plan = build_niagara8()
+        i, j = plan.index_of("P1"), plan.index_of("P2")
+        assert network.conductance[i, j] > 0
+        k = plan.index_of("P5")
+        assert network.conductance[i, k] == 0  # not adjacent
+
+    def test_capacitance_scales_with_area(self, network):
+        plan = build_niagara8()
+        i = plan.index_of("P1")
+        j = plan.index_of("L2_SW")
+        area_ratio = plan.blocks[j].area / plan.blocks[i].area
+        cap_ratio = network.capacitance[j] / network.capacitance[i]
+        assert cap_ratio == pytest.approx(area_ratio)
+
+    def test_laplacian_row_sums_equal_ambient(self, network):
+        lap = network.laplacian()
+        assert np.allclose(lap.sum(axis=1), network.ambient_conductance)
+
+    def test_time_constants_positive_sorted(self, network):
+        taus = network.thermal_time_constants()
+        assert np.all(taus > 0)
+        assert np.all(np.diff(taus) >= 0)
+
+    def test_hand_computed_lateral_conductance(self):
+        cfg = ThermalPackageConfig()
+        plan = core_row(2, core_width=2e-3, core_height=2e-3)
+        net = build_rc_network(plan, cfg)
+        expected = (
+            cfg.silicon_conductivity * cfg.die_thickness * 2e-3 / 2e-3
+        )
+        assert net.conductance[0, 1] == pytest.approx(expected)
+
+    def test_hand_computed_vertical_conductance(self):
+        cfg = ThermalPackageConfig()
+        plan = core_row(1, core_width=2e-3, core_height=3e-3)
+        net = build_rc_network(plan, cfg)
+        expected = (2e-3 * 3e-3) / cfg.vertical_resistance_per_area
+        assert net.ambient_conductance[0] == pytest.approx(expected)

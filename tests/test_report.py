@@ -1,0 +1,51 @@
+"""Tests for report formatting and CSV export."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.analysis.report import format_band_bars, format_table, write_csv
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 20.0]],
+            title="My table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456], [12345.6], [0.0]])
+        assert "0.123" in text
+        assert "1.23e+04" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestCsv:
+    def test_write_and_readback(self, tmp_path):
+        path = tmp_path / "sub" / "data.csv"
+        write_csv(path, ["t", "v"], [[1, 2.5], [2, 3.5]])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["t", "v"]
+        assert rows[1] == ["1", "2.5"]
+
+
+class TestBandBars:
+    def test_band_bars_render(self):
+        text = format_band_bars(
+            ("<80", ">100"),
+            {"No-TC": [0.25, 0.75], "Pro-Temp": [1.0, 0.0]},
+        )
+        assert "No-TC" in text
+        assert "75.00%" in text
+        assert "#" in text

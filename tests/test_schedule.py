@@ -1,0 +1,145 @@
+"""Tests for the multi-window schedule extension (after reference [24])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ScheduleOptimizer
+from repro.errors import SolverError
+from repro.units import mhz
+
+
+@pytest.fixture(scope="module")
+def optimizer(small_platform):
+    return ScheduleOptimizer(
+        small_platform, horizon_windows=3, step_subsample=10
+    )
+
+
+class TestBasics:
+    def test_meets_per_window_targets(self, optimizer):
+        targets = np.array([mhz(300), mhz(500), mhz(200)])
+        result = optimizer.solve(60.0, targets)
+        assert result.feasible
+        assert np.all(
+            result.average_frequencies >= targets * (1 - 1e-3)
+        )
+
+    def test_peaks_respect_tmax(self, optimizer, small_platform):
+        targets = np.full(3, mhz(400))
+        result = optimizer.solve(80.0, targets)
+        assert result.feasible
+        assert np.all(result.window_peaks <= small_platform.t_max + 1e-6)
+
+    def test_matches_simulation(self, optimizer, small_platform):
+        """The schedule's predicted trajectory must equal brute-force
+        simulation of the same powers across all windows."""
+        targets = np.array([mhz(500), mhz(250), mhz(400)])
+        result = optimizer.solve(70.0, targets)
+        assert result.feasible
+        m = optimizer.response.m
+        temps = np.full(small_platform.thermal.n, 70.0)
+        peak = -np.inf
+        for w in range(3):
+            node_power = (
+                small_platform.power.injection_matrix() @ result.core_power[w]
+            )
+            traj = small_platform.thermal.simulate(temps, node_power, m)
+            temps = traj[-1]
+            peak = max(peak, float(traj[1:].max()))
+        assert peak <= small_platform.t_max + 1e-6
+
+    def test_infeasible_demand(self, optimizer, small_platform):
+        f_max = small_platform.f_max
+        result = optimizer.solve(99.5, np.full(3, f_max))
+        assert not result.feasible
+        assert np.all(result.frequencies == 0)
+
+    def test_zero_targets_near_zero_power(self, optimizer):
+        result = optimizer.solve(60.0, np.zeros(3))
+        assert result.feasible
+        assert np.all(result.core_power < 1e-3)
+
+
+class TestPrecooling:
+    def test_burst_window_feasible_only_with_lookahead(self, small_platform):
+        """A demand profile whose burst is infeasible from a hot start
+        becomes feasible when earlier windows pre-cool."""
+        from repro.core import ProTempOptimizer
+
+        single = ProTempOptimizer(small_platform, step_subsample=10)
+        sched = ScheduleOptimizer(
+            small_platform, horizon_windows=3, step_subsample=10
+        )
+        t_hot = 90.0
+        # The burst the platform can afford after two idle (cooling)
+        # windows, with a safety factor.
+        idle = small_platform.power.injection_matrix() @ np.zeros(
+            small_platform.n_cores
+        )
+        cooled = small_platform.thermal.simulate(
+            t_hot, idle, 2 * sched.response.m
+        )[-1]
+        burst = 0.9 * single.max_feasible_target(cooled)
+        # From 90 C the burst target alone is infeasible...
+        assert not single.is_feasible(t_hot, burst)
+        # ...but the 3-window schedule pre-cools and serves it.
+        result = sched.solve(t_hot, np.array([0.0, 0.0, burst]))
+        assert result.feasible
+        # The early windows really do run slow.
+        assert result.average_frequencies[0] < burst / 2
+
+    def test_relaxing_a_target_never_costs_more(self, small_platform):
+        """Optimal power is monotone in the demand profile."""
+        sched = ScheduleOptimizer(
+            small_platform, horizon_windows=2, step_subsample=10
+        )
+        flexible = sched.solve(70.0, np.array([mhz(300), mhz(400)]))
+        rigid = sched.solve(70.0, np.array([mhz(400), mhz(400)]))
+        assert flexible.feasible and rigid.feasible
+        assert flexible.objective <= rigid.objective + 1e-6
+
+
+class TestValidation:
+    def test_bad_horizon(self, small_platform):
+        with pytest.raises(SolverError):
+            ScheduleOptimizer(small_platform, horizon_windows=0)
+
+    def test_bad_targets_shape(self, optimizer):
+        with pytest.raises(SolverError):
+            optimizer.solve(60.0, np.zeros(5))
+
+    def test_bad_target_range(self, optimizer, small_platform):
+        with pytest.raises(SolverError):
+            optimizer.solve(60.0, np.full(3, small_platform.f_max * 2))
+
+    def test_bad_backend(self, small_platform):
+        with pytest.raises(SolverError):
+            ScheduleOptimizer(small_platform, backend="cvx")
+
+
+class TestAnalyticOptimum:
+    def test_unconstrained_regime_hits_exact_minimum(self, small_platform):
+        """At a cool start the temperature rows don't bind, so the optimum
+        is exactly 'every window meets its target uniformly' — total power
+        ``sum_w n * p(f_target[w])`` (power is convex in frequency, so an
+        even split is optimal).  SLSQP cannot solve this problem size, so
+        the analytic value replaces a backend-parity check here.
+        """
+        targets = np.array([mhz(300), mhz(450)])
+        result = ScheduleOptimizer(
+            small_platform, horizon_windows=2, step_subsample=10
+        ).solve(60.0, targets)
+        assert result.feasible
+        scaling = small_platform.power.scaling
+        expected = small_platform.n_cores * sum(
+            float(scaling.power(f)) for f in targets
+        )
+        assert result.objective == pytest.approx(expected, rel=1e-4)
+        assert np.allclose(
+            result.frequencies[0], mhz(300), rtol=1e-3
+        )
+        assert np.allclose(
+            result.frequencies[1], mhz(450), rtol=1e-3
+        )

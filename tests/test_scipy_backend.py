@@ -1,0 +1,72 @@
+"""Tests for the scipy cross-check backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.solver import (
+    LinearInequality,
+    LinearObjective,
+    SolveStatus,
+    SqrtSumConstraint,
+    solve_scipy,
+)
+from repro.solver.problem import BoxConstraint
+
+
+class TestScipyBackend:
+    def test_simple_lp(self):
+        obj = LinearObjective(c=np.array([1.0, 2.0]))
+        blocks = [
+            BoxConstraint(
+                lower=np.array([1.0, 2.0]),
+                upper=np.array([5.0, 5.0]),
+                indices=np.arange(2),
+            )
+        ]
+        result = solve_scipy(obj, blocks, np.array([3.0, 3.0]))
+        assert result.ok
+        assert result.objective == pytest.approx(5.0, abs=1e-6)
+
+    def test_infeasible_detected(self):
+        obj = LinearObjective(c=np.array([1.0]))
+        blocks = [
+            LinearInequality(
+                a=np.array([[1.0], [-1.0]]), b=np.array([0.0, -1.0])
+            )
+        ]
+        result = solve_scipy(obj, blocks, np.array([0.5]))
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_sqrt_constraint(self):
+        obj = LinearObjective(c=np.ones(2))
+        blocks = [
+            SqrtSumConstraint(
+                weights=np.ones(2), indices=np.arange(2), target=2.0
+            ),
+            BoxConstraint(
+                lower=np.full(2, 1e-9),
+                upper=np.full(2, 4.0),
+                indices=np.arange(2),
+            ),
+        ]
+        result = solve_scipy(obj, blocks, np.full(2, 2.0))
+        assert result.ok
+        assert np.allclose(result.x, [1.0, 1.0], atol=1e-4)
+
+    def test_unsupported_block_raises(self):
+        class WeirdBlock:
+            def residuals(self, x):
+                return np.zeros(1)
+
+            def barrier(self, x):
+                raise NotImplementedError
+
+            def count(self):
+                return 1
+
+        obj = LinearObjective(c=np.ones(1))
+        with pytest.raises(SolverError, match="does not support"):
+            solve_scipy(obj, [WeirdBlock()], np.ones(1))

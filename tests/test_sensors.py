@@ -1,0 +1,68 @@
+"""Tests for thermal sensor models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.thermal import IdealSensor, NoisySensor
+
+
+class TestIdealSensor:
+    def test_passthrough_copy(self):
+        temps = np.array([50.0, 60.0])
+        reading = IdealSensor().read(temps)
+        assert np.array_equal(reading, temps)
+        reading[0] = 0.0
+        assert temps[0] == 50.0  # caller's array untouched
+
+
+class TestNoisySensor:
+    def test_reproducible_with_seed(self):
+        temps = np.linspace(40, 100, 8)
+        a = NoisySensor(seed=3).read(temps)
+        b = NoisySensor(seed=3).read(temps)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        temps = np.linspace(40, 100, 8)
+        a = NoisySensor(seed=1).read(temps)
+        b = NoisySensor(seed=2).read(temps)
+        assert not np.array_equal(a, b)
+
+    def test_quantization_grid(self):
+        sensor = NoisySensor(noise_std=0.0, quantization=2.0, seed=0)
+        reading = sensor.read(np.array([50.7, 61.2]))
+        assert np.all(np.mod(reading, 2.0) == 0)
+
+    def test_zero_quantization_disables(self):
+        sensor = NoisySensor(noise_std=0.0, quantization=0.0)
+        reading = sensor.read(np.array([50.7]))
+        assert reading[0] == pytest.approx(50.7)
+
+    def test_saturation(self):
+        sensor = NoisySensor(
+            noise_std=0.0, quantization=0.0, min_reading=0.0, max_reading=120.0
+        )
+        reading = sensor.read(np.array([-20.0, 500.0]))
+        assert reading[0] == 0.0
+        assert reading[1] == 120.0
+
+    def test_noise_scale(self):
+        sensor = NoisySensor(noise_std=0.5, quantization=0.0, seed=0)
+        temps = np.full(10_000, 80.0)
+        readings = sensor.read(temps)
+        assert abs(readings.std() - 0.5) < 0.05
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"noise_std": -1.0},
+            {"quantization": -0.5},
+            {"min_reading": 100.0, "max_reading": 50.0},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(SimulationError):
+            NoisySensor(**kwargs)

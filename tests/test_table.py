@@ -1,0 +1,188 @@
+"""Tests for the Phase-1 frequency table and its run-time lookup."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FrequencyTable, TableEntry, build_frequency_table
+from repro.core.protemp import ProTempOptimizer
+from repro.errors import TableError
+from repro.units import mhz
+
+
+def entry(t, f, feasible=True, freqs=(5e8, 5e8)):
+    return TableEntry(
+        t_start=t,
+        f_target=f,
+        feasible=feasible,
+        frequencies=freqs if feasible else (0.0, 0.0),
+        total_power=2.0 if feasible else 0.0,
+        predicted_peak=95.0 if feasible else np.inf,
+        predicted_gradient=1.0 if feasible else np.inf,
+    )
+
+
+@pytest.fixture
+def toy_table():
+    """2 temp rows x 3 freq columns; hottest row loses the top column."""
+    t_grid = [80.0, 100.0]
+    f_grid = [mhz(300), mhz(600), mhz(900)]
+    entries = {}
+    for ti, t in enumerate(t_grid):
+        for fi, f in enumerate(f_grid):
+            feasible = not (ti == 1 and fi == 2)
+            entries[(ti, fi)] = entry(t, f, feasible)
+    return FrequencyTable(t_grid, f_grid, entries, n_cores=2)
+
+
+class TestLookupSemantics:
+    def test_rounds_temperature_up(self, toy_table):
+        result = toy_table.lookup(85.0, mhz(600))
+        assert result.entry.t_start == 100.0
+
+    def test_exact_grid_temperature_uses_own_row(self, toy_table):
+        result = toy_table.lookup(80.0, mhz(600))
+        assert result.entry.t_start == 80.0
+
+    def test_rounds_frequency_up(self, toy_table):
+        result = toy_table.lookup(70.0, mhz(400))
+        assert result.satisfied_target == pytest.approx(mhz(600))
+
+    def test_backs_off_to_lower_feasible_column(self, toy_table):
+        """Paper 3.3: next lower frequency point when infeasible."""
+        result = toy_table.lookup(95.0, mhz(900))
+        assert not result.shutdown
+        assert result.satisfied_target == pytest.approx(mhz(600))
+
+    def test_demand_above_grid_clamps_to_top_column(self, toy_table):
+        result = toy_table.lookup(70.0, mhz(2000))
+        assert result.satisfied_target == pytest.approx(mhz(900))
+
+    def test_temperature_above_grid_shuts_down(self, toy_table):
+        result = toy_table.lookup(101.0, mhz(300))
+        assert result.shutdown
+        assert np.all(result.frequencies == 0)
+        assert result.entry is None
+
+    def test_all_infeasible_row_shuts_down(self):
+        t_grid = [90.0]
+        f_grid = [mhz(300), mhz(600)]
+        entries = {
+            (0, 0): entry(90.0, mhz(300), feasible=False),
+            (0, 1): entry(90.0, mhz(600), feasible=False),
+        }
+        table = FrequencyTable(t_grid, f_grid, entries, n_cores=2)
+        assert table.lookup(85.0, mhz(300)).shutdown
+
+    def test_max_feasible_target(self, toy_table):
+        assert toy_table.max_feasible_target(70.0) == pytest.approx(mhz(900))
+        assert toy_table.max_feasible_target(95.0) == pytest.approx(mhz(600))
+        assert toy_table.max_feasible_target(150.0) == 0.0
+
+
+class TestValidation:
+    def test_unsorted_grids_rejected(self):
+        with pytest.raises(TableError):
+            FrequencyTable(
+                [100.0, 80.0], [mhz(300)],
+                {(0, 0): entry(100, mhz(300)), (1, 0): entry(80, mhz(300))},
+                n_cores=2,
+            )
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(TableError, match="missing"):
+            FrequencyTable([80.0], [mhz(300), mhz(600)],
+                           {(0, 0): entry(80, mhz(300))}, n_cores=2)
+
+    def test_duplicate_grid_rejected(self):
+        with pytest.raises(TableError):
+            FrequencyTable(
+                [80.0, 80.0], [mhz(300)],
+                {(0, 0): entry(80, mhz(300)), (1, 0): entry(80, mhz(300))},
+                n_cores=2,
+            )
+
+
+class TestSerialization:
+    def test_roundtrip(self, toy_table, tmp_path):
+        path = tmp_path / "table.json"
+        toy_table.save_json(path)
+        loaded = FrequencyTable.load_json(path)
+        assert loaded.t_grid == toy_table.t_grid
+        assert loaded.f_grid == toy_table.f_grid
+        assert loaded.n_cores == 2
+        orig = toy_table.lookup(85.0, mhz(600))
+        again = loaded.lookup(85.0, mhz(600))
+        assert np.allclose(orig.frequencies, again.frequencies)
+
+    def test_infinite_peak_serialized(self, toy_table, tmp_path):
+        path = tmp_path / "table.json"
+        toy_table.save_json(path)
+        loaded = FrequencyTable.load_json(path)
+        assert loaded.entries[(1, 2)].predicted_peak == np.inf
+
+    def test_malformed_dict(self):
+        with pytest.raises(TableError, match="malformed"):
+            FrequencyTable.from_dict({"entries": [{}]})
+
+    def test_format_mentions_infeasible(self, toy_table):
+        text = toy_table.format()
+        assert "infeasible" in text
+
+
+class TestBuild:
+    def test_build_small_table(self, small_platform):
+        optimizer = ProTempOptimizer(small_platform, step_subsample=10)
+        t_grid = [70.0, 95.0]
+        f_grid = [mhz(200), mhz(600), mhz(1000)]
+        progress = []
+        table = build_frequency_table(
+            optimizer, t_grid, f_grid,
+            progress=lambda done, total: progress.append((done, total)),
+        )
+        assert progress[-1] == (6, 6)
+        assert table.metadata["mode"] == "variable"
+        feas = table.feasibility_matrix()
+        assert feas.shape == (2, 3)
+        # Feasibility is monotone: once infeasible along a row, stays so.
+        for row in feas:
+            assert all(
+                not later or earlier
+                for earlier, later in zip(row, row[1:])
+            )
+
+    def test_pruned_matches_unpruned(self, small_platform):
+        optimizer = ProTempOptimizer(small_platform, step_subsample=10)
+        t_grid = [85.0]
+        f_grid = [mhz(200), mhz(700), mhz(1000)]
+        pruned = build_frequency_table(
+            optimizer, t_grid, f_grid, prune_infeasible=True
+        )
+        full = build_frequency_table(
+            optimizer, t_grid, f_grid, prune_infeasible=False
+        )
+        assert np.array_equal(
+            pruned.feasibility_matrix(), full.feasibility_matrix()
+        )
+
+    def test_row_guarantee_against_simulation(self, small_platform):
+        """Every feasible cell's frequencies must hold t <= t_max when
+        simulated from the cell's start temperature."""
+        optimizer = ProTempOptimizer(small_platform, step_subsample=5)
+        t_grid = [80.0, 95.0]
+        f_grid = [mhz(300), mhz(800)]
+        table = build_frequency_table(optimizer, t_grid, f_grid)
+        for (ti, fi), cell in table.entries.items():
+            if not cell.feasible:
+                continue
+            p = np.asarray(
+                small_platform.power.scaling.power(
+                    np.array(cell.frequencies)
+                )
+            )
+            node_power = small_platform.power.injection_matrix() @ p
+            traj = small_platform.thermal.simulate(
+                cell.t_start, node_power, optimizer.response.m
+            )
+            assert traj.max() <= small_platform.t_max + 1e-6, (ti, fi)

@@ -1,0 +1,147 @@
+"""Tests for tasks, traces, queues and assignment policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, WorkloadError
+from repro.sim import (
+    CoolestFirstAssignment,
+    FirstIdleAssignment,
+    RandomAssignment,
+    Task,
+    TaskQueue,
+    TaskTrace,
+)
+
+
+class TestTask:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            Task(task_id=0, arrival=-1.0, workload=1e-3)
+        with pytest.raises(WorkloadError):
+            Task(task_id=0, arrival=0.0, workload=0.0)
+
+    def test_waiting_and_turnaround(self):
+        task = Task(task_id=0, arrival=1.0, workload=2e-3)
+        assert task.waiting_time is None
+        assert task.turnaround is None
+        task.start_time = 1.5
+        task.finish_time = 1.6
+        assert task.waiting_time == pytest.approx(0.5)
+        assert task.turnaround == pytest.approx(0.6)
+
+    def test_fresh_copy_clears_runtime(self):
+        task = Task(task_id=3, arrival=1.0, workload=2e-3)
+        task.start_time = 2.0
+        copy = task.fresh_copy()
+        assert copy.start_time is None
+        assert copy.task_id == 3
+
+
+class TestTaskTrace:
+    def test_sorts_on_construction(self):
+        trace = TaskTrace(
+            tasks=[
+                Task(task_id=0, arrival=2.0, workload=1e-3),
+                Task(task_id=1, arrival=1.0, workload=1e-3),
+            ]
+        )
+        assert [t.arrival for t in trace] == [1.0, 2.0]
+
+    def test_aggregates(self):
+        trace = TaskTrace(
+            tasks=[
+                Task(task_id=0, arrival=0.0, workload=2e-3),
+                Task(task_id=1, arrival=10.0, workload=4e-3),
+            ]
+        )
+        assert len(trace) == 2
+        assert trace.duration == 10.0
+        assert trace.total_work == pytest.approx(6e-3)
+        assert trace.offered_load(2) == pytest.approx(6e-3 / 20.0)
+
+    def test_empty_trace(self):
+        trace = TaskTrace(tasks=[])
+        assert trace.duration == 0.0
+        assert trace.offered_load(4) == 0.0
+        assert "empty" in trace.summary()
+
+    def test_fresh_copy_independent(self):
+        trace = TaskTrace(tasks=[Task(task_id=0, arrival=0.0, workload=1e-3)])
+        trace.tasks[0].start_time = 5.0
+        copy = trace.fresh_copy()
+        assert copy.tasks[0].start_time is None
+        assert trace.tasks[0].start_time == 5.0
+
+    def test_summary_statistics(self):
+        trace = TaskTrace(
+            tasks=[Task(task_id=i, arrival=float(i), workload=5e-3) for i in range(3)]
+        )
+        text = trace.summary()
+        assert "3 tasks" in text
+        assert "5.00 ms" in text
+
+
+class TestTaskQueue:
+    def test_fifo_order(self):
+        queue = TaskQueue()
+        a = Task(task_id=0, arrival=0.0, workload=1e-3)
+        b = Task(task_id=1, arrival=0.0, workload=1e-3)
+        queue.push(a)
+        queue.push(b)
+        assert queue.peek() is a
+        assert queue.pop() is a
+        assert queue.pop() is b
+
+    def test_backlog(self):
+        queue = TaskQueue()
+        queue.push(Task(task_id=0, arrival=0.0, workload=2e-3))
+        queue.push(Task(task_id=1, arrival=0.0, workload=3e-3))
+        assert queue.backlog == pytest.approx(5e-3)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            TaskQueue().pop()
+
+    def test_clear(self):
+        queue = TaskQueue()
+        queue.push(Task(task_id=0, arrival=0.0, workload=1e-3))
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.peek() is None
+
+
+class TestAssignmentPolicies:
+    temps = np.array([80.0, 60.0, 70.0, 90.0])
+
+    def test_first_idle_lowest_index(self):
+        policy = FirstIdleAssignment()
+        assert policy.choose_core([2, 1, 3], self.temps) == 1
+
+    def test_coolest_first(self):
+        policy = CoolestFirstAssignment()
+        assert policy.choose_core([0, 2, 3], self.temps) == 2
+
+    def test_coolest_first_tie_breaks_by_index(self):
+        policy = CoolestFirstAssignment()
+        temps = np.array([50.0, 50.0])
+        assert policy.choose_core([1, 0], temps) == 0
+
+    def test_random_reproducible_and_valid(self):
+        a = RandomAssignment(seed=1)
+        b = RandomAssignment(seed=1)
+        idle = [0, 2, 3]
+        picks_a = [a.choose_core(idle, self.temps) for _ in range(10)]
+        picks_b = [b.choose_core(idle, self.temps) for _ in range(10)]
+        assert picks_a == picks_b
+        assert all(p in idle for p in picks_a)
+
+    @pytest.mark.parametrize(
+        "policy",
+        [FirstIdleAssignment(), CoolestFirstAssignment(), RandomAssignment()],
+    )
+    def test_no_idle_cores_raises(self, policy):
+        with pytest.raises(SimulationError):
+            policy.choose_core([], self.temps)

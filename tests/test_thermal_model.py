@@ -1,0 +1,185 @@
+"""Tests for the discrete-time thermal model (paper Eq. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StabilityError, ThermalModelError
+from repro.floorplan import build_niagara8, core_row
+from repro.thermal import ThermalModel, build_rc_network
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ThermalModel(build_rc_network(build_niagara8()))
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    return ThermalModel(build_rc_network(core_row(3)))
+
+
+class TestConstruction:
+    def test_bad_dt(self):
+        net = build_rc_network(core_row(2))
+        with pytest.raises(ThermalModelError):
+            ThermalModel(net, dt=0.0)
+
+    def test_unstable_dt_rejected(self):
+        net = build_rc_network(core_row(2))
+        probe = ThermalModel(net, dt=1e-4)
+        with pytest.raises(StabilityError):
+            ThermalModel(net, dt=probe.max_stable_dt * 2)
+
+    def test_unstable_dt_allowed_when_unchecked(self):
+        net = build_rc_network(core_row(2))
+        probe = ThermalModel(net, dt=1e-4)
+        model = ThermalModel(
+            net, dt=probe.max_stable_dt * 2, check_stability=False
+        )
+        assert not model.is_stable
+
+    def test_paper_dt_is_stable(self, model):
+        assert model.is_stable
+        assert model.spectral_radius < 1.0
+
+    def test_monotone(self, model):
+        assert model.is_monotone
+
+
+class TestEquationOne:
+    """The A/B/c matrices must expand to exactly the paper's Eq. 1."""
+
+    def test_a_coefficient_formula(self, model):
+        net = model.network
+        a01 = model.a_coefficient(0, 1)
+        assert a01 == pytest.approx(
+            model.dt * net.conductance[0, 1] / net.capacitance[0]
+        )
+
+    def test_a_coefficient_diagonal_rejected(self, model):
+        with pytest.raises(ThermalModelError):
+            model.a_coefficient(2, 2)
+
+    def test_b_vector_formula(self, model):
+        expected = model.dt / model.network.capacitance
+        assert np.allclose(model.b_vector, expected)
+
+    def test_step_matches_explicit_equation(self, small_model):
+        net = small_model.network
+        n = net.n
+        temps = np.array([50.0, 60.0, 55.0])
+        power = np.array([2.0, 0.5, 1.0])
+        expected = temps.copy()
+        for i in range(n):
+            acc = 0.0
+            for j in range(n):
+                if j != i:
+                    a_ij = small_model.a_coefficient(i, j)
+                    acc += a_ij * (temps[j] - temps[i])
+            amb = (
+                small_model.dt
+                * net.ambient_conductance[i]
+                / net.capacitance[i]
+            )
+            acc += amb * (net.ambient - temps[i])
+            expected[i] += acc + small_model.b_vector[i] * power[i]
+        stepped = small_model.step(temps, power)
+        assert np.allclose(stepped, expected)
+
+
+class TestDynamics:
+    def test_zero_power_relaxes_to_ambient(self, small_model):
+        traj = small_model.simulate(90.0, np.zeros(3), 200_000, record_every=50_000)
+        assert np.allclose(traj[-1], small_model.network.ambient, atol=1e-3)
+
+    def test_steady_state_is_fixed_point(self, model):
+        power = np.linspace(0.5, 3.0, model.n)
+        t_ss = model.steady_state(power)
+        stepped = model.step(t_ss, power)
+        assert np.allclose(stepped, t_ss, atol=1e-9)
+
+    def test_steady_state_above_ambient_with_power(self, model):
+        t_ss = model.steady_state(np.ones(model.n))
+        assert np.all(t_ss > model.network.ambient)
+
+    def test_steady_state_bad_shape(self, model):
+        with pytest.raises(ThermalModelError):
+            model.steady_state(np.ones(3))
+
+    def test_simulate_shapes_and_recording(self, small_model):
+        traj = small_model.simulate(45.0, np.ones(3), 10)
+        assert traj.shape == (11, 3)
+        thinned = small_model.simulate(45.0, np.ones(3), 10, record_every=4)
+        # records: t0, k=4, k=8, k=10 (final forced)
+        assert thinned.shape == (4, 3)
+        assert np.allclose(thinned[-1], traj[-1])
+
+    def test_simulate_per_step_power_array(self, small_model):
+        schedule = np.zeros((5, 3))
+        schedule[2:] = 2.0
+        traj = small_model.simulate(45.0, schedule, 5)
+        assert traj.shape == (6, 3)
+        # No heating during the first two steps (power zero, start ambient).
+        assert np.allclose(traj[1], 45.0, atol=1e-9)
+        assert np.all(traj[-1] > 45.0)
+
+    def test_simulate_power_callable(self, small_model):
+        traj = small_model.simulate(
+            45.0, lambda k: np.full(3, float(k >= 3)), 6
+        )
+        assert np.allclose(traj[3], 45.0, atol=1e-9)
+        assert np.all(traj[-1] > 45.0)
+
+    def test_simulate_bad_args(self, small_model):
+        with pytest.raises(ThermalModelError):
+            small_model.simulate(45.0, np.ones(3), -1)
+        with pytest.raises(ThermalModelError):
+            small_model.simulate(45.0, np.ones(3), 5, record_every=0)
+        with pytest.raises(ThermalModelError):
+            small_model.simulate(45.0, np.ones(4), 5)
+        with pytest.raises(ThermalModelError):
+            small_model.simulate(np.ones(4), np.ones(3), 5)
+
+
+class TestMonotonicity:
+    """The property backing Pro-Temp's max-temperature simplification."""
+
+    @given(
+        bump=st.floats(min_value=0.0, max_value=30.0),
+        steps=st.integers(min_value=1, max_value=200),
+    )
+    def test_hotter_start_dominates(self, bump, steps):
+        model = ThermalModel(build_rc_network(core_row(3)))
+        power = np.array([1.0, 2.0, 0.5])
+        lo = model.simulate(50.0, power, steps)[-1]
+        hi = model.simulate(50.0 + bump, power, steps)[-1]
+        assert np.all(hi >= lo - 1e-9)
+
+    @given(
+        extra=st.floats(min_value=0.0, max_value=3.0),
+        steps=st.integers(min_value=1, max_value=200),
+    )
+    def test_more_power_dominates(self, extra, steps):
+        model = ThermalModel(build_rc_network(core_row(3)))
+        base = np.array([1.0, 0.5, 1.5])
+        lo = model.simulate(60.0, base, steps)[-1]
+        hi = model.simulate(60.0, base + extra, steps)[-1]
+        assert np.all(hi >= lo - 1e-9)
+
+    @given(
+        steps=st.integers(min_value=1, max_value=100),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_elementwise_start_domination(self, steps, seed):
+        rng = np.random.default_rng(seed)
+        model = ThermalModel(build_rc_network(core_row(3)))
+        power = np.ones(3)
+        t_lo = rng.uniform(40, 70, 3)
+        t_hi = t_lo + rng.uniform(0, 20, 3)
+        lo = model.simulate(t_lo, power, steps)[-1]
+        hi = model.simulate(t_hi, power, steps)[-1]
+        assert np.all(hi >= lo - 1e-9)

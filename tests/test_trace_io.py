@@ -1,0 +1,94 @@
+"""Tests for task-trace persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import poisson_trace
+from repro.workloads.trace_io import (
+    load_trace_csv,
+    load_trace_jsonl,
+    save_trace_csv,
+    save_trace_jsonl,
+)
+
+
+@pytest.fixture
+def trace():
+    return poisson_trace(5.0, 0.4, 4, seed=3, name="roundtrip")
+
+
+def traces_equal(a, b) -> bool:
+    return len(a) == len(b) and all(
+        x.task_id == y.task_id
+        and x.arrival == y.arrival
+        and x.workload == y.workload
+        for x, y in zip(a, b)
+    )
+
+
+class TestCsv:
+    def test_roundtrip_exact(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert traces_equal(trace, loaded)
+
+    def test_name_defaults_to_stem(self, trace, tmp_path):
+        path = tmp_path / "mytrace.csv"
+        save_trace_csv(trace, path)
+        assert load_trace_csv(path).name == "mytrace"
+        assert load_trace_csv(path, name="x").name == "x"
+
+    def test_wrong_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(WorkloadError, match="header"):
+            load_trace_csv(path)
+
+    def test_bad_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("task_id,arrival_s,workload_s\n1,notanumber,0.001\n")
+        with pytest.raises(WorkloadError, match="bad trace row"):
+            load_trace_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(WorkloadError, match="empty"):
+            load_trace_csv(path)
+
+    def test_invalid_task_values_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("task_id,arrival_s,workload_s\n1,0.5,-0.001\n")
+        with pytest.raises(WorkloadError):
+            load_trace_csv(path)
+
+
+class TestJsonl:
+    def test_roundtrip_exact(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(trace, path)
+        loaded = load_trace_jsonl(path)
+        assert traces_equal(trace, loaded)
+        assert loaded.name == "roundtrip"
+
+    def test_blank_lines_skipped(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(trace, path)
+        content = path.read_text().replace("\n", "\n\n")
+        path.write_text(content)
+        assert traces_equal(trace, load_trace_jsonl(path))
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(WorkloadError, match="invalid JSON"):
+            load_trace_jsonl(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": 1, "arrival": 0.5}\n')
+        with pytest.raises(WorkloadError, match="bad task record"):
+            load_trace_jsonl(path)

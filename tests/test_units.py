@@ -1,0 +1,29 @@
+"""Tests for unit helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_lengths(self):
+        assert units.mm(2.5) == pytest.approx(2.5e-3)
+        assert units.mm2(6.25) == pytest.approx(6.25e-6)
+
+    def test_times(self):
+        assert units.ms(100) == pytest.approx(0.1)
+        assert units.us(400) == pytest.approx(4e-4)
+
+    def test_frequencies(self):
+        assert units.mhz(500) == pytest.approx(5e8)
+        assert units.ghz(1.0) == pytest.approx(1e9)
+
+    def test_reporting_directions(self):
+        assert units.to_mhz(5e8) == pytest.approx(500.0)
+        assert units.to_ms(0.25) == pytest.approx(250.0)
+
+    def test_roundtrips(self):
+        assert units.to_mhz(units.mhz(123.4)) == pytest.approx(123.4)
+        assert units.to_ms(units.ms(42.0)) == pytest.approx(42.0)

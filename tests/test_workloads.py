@@ -1,0 +1,171 @@
+"""Tests for workload generators and benchmark mixes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    WorkloadDistribution,
+    arrival_rate_for_load,
+    bursty_trace,
+    compute_benchmark,
+    merge_traces,
+    mixed_benchmark,
+    multimedia_benchmark,
+    paper_scale_trace,
+    poisson_trace,
+    web_benchmark,
+)
+
+
+class TestWorkloadDistribution:
+    def test_mean(self):
+        dist = WorkloadDistribution(1e-3, 10e-3)
+        assert dist.mean == pytest.approx(5.5e-3)
+
+    def test_samples_in_range(self, rng):
+        dist = WorkloadDistribution(1e-3, 10e-3)
+        samples = dist.sample(rng, 1000)
+        assert samples.min() >= 1e-3
+        assert samples.max() <= 10e-3
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadDistribution(0.0, 1e-3)
+        with pytest.raises(WorkloadError):
+            WorkloadDistribution(2e-3, 1e-3)
+
+
+class TestArrivalRate:
+    def test_formula(self):
+        # load 0.5 on 8 cores with 5 ms tasks: 0.5*8/0.005 = 800/s.
+        assert arrival_rate_for_load(0.5, 8, 5e-3) == pytest.approx(800.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            arrival_rate_for_load(-0.1, 8, 5e-3)
+        with pytest.raises(WorkloadError):
+            arrival_rate_for_load(0.5, 0, 5e-3)
+
+
+class TestPoissonTrace:
+    def test_deterministic_with_seed(self):
+        a = poisson_trace(5.0, 0.5, 8, seed=3)
+        b = poisson_trace(5.0, 0.5, 8, seed=3)
+        assert len(a) == len(b)
+        assert all(
+            x.arrival == y.arrival and x.workload == y.workload
+            for x, y in zip(a, b)
+        )
+
+    def test_load_approximately_met(self):
+        trace = poisson_trace(60.0, 0.5, 8, seed=0)
+        assert trace.offered_load(8) == pytest.approx(0.5, rel=0.1)
+
+    def test_arrivals_within_duration_and_sorted(self):
+        trace = poisson_trace(5.0, 0.7, 8, seed=1)
+        arrivals = [t.arrival for t in trace]
+        assert max(arrivals) < 5.0
+        assert arrivals == sorted(arrivals)
+
+    def test_zero_load_empty(self):
+        assert len(poisson_trace(5.0, 0.0, 8)) == 0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            poisson_trace(0.0, 0.5, 8)
+
+
+class TestBurstyTrace:
+    def test_deterministic_with_seed(self):
+        a = bursty_trace(10.0, 1.0, 0.1, 8, seed=5)
+        b = bursty_trace(10.0, 1.0, 0.1, 8, seed=5)
+        assert len(a) == len(b)
+
+    def test_bursty_is_burstier_than_poisson(self):
+        """Windowed arrival-count variance must exceed Poisson's."""
+        duration, load = 60.0, 0.5
+        bursty = bursty_trace(
+            duration, 1.0, 0.0, 8, burst_length=1.0, idle_length=1.0, seed=0
+        )
+        smooth = poisson_trace(duration, load, 8, seed=0)
+
+        def windowed_counts(trace):
+            arrivals = np.array([t.arrival for t in trace])
+            counts, _ = np.histogram(
+                arrivals, bins=int(duration / 0.5), range=(0, duration)
+            )
+            return counts
+
+        cb = windowed_counts(bursty)
+        cs = windowed_counts(smooth)
+        # Index of dispersion (var/mean); ~1 for Poisson, >1 for bursty.
+        assert cb.var() / cb.mean() > 2 * cs.var() / cs.mean()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            bursty_trace(0.0, 1.0, 0.1, 8)
+        with pytest.raises(WorkloadError):
+            bursty_trace(5.0, 1.0, 0.1, 8, burst_length=0.0)
+
+
+class TestBenchmarks:
+    def test_merge_sorts_and_renumbers(self):
+        a = poisson_trace(2.0, 0.3, 8, seed=0, name="a")
+        b = poisson_trace(2.0, 0.3, 8, seed=1, name="b")
+        merged = merge_traces([a, b], name="ab")
+        ids = [t.task_id for t in merged]
+        arrivals = [t.arrival for t in merged]
+        assert ids == list(range(len(merged)))
+        assert arrivals == sorted(arrivals)
+        assert len(merged) == len(a) + len(b)
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            merge_traces([], name="x")
+
+    def test_web_tasks_short(self):
+        trace = web_benchmark(10.0, 8, seed=0)
+        loads = [t.workload for t in trace]
+        assert max(loads) <= 4e-3
+
+    def test_multimedia_tasks_long(self):
+        trace = multimedia_benchmark(10.0, 8, seed=0)
+        loads = [t.workload for t in trace]
+        assert min(loads) >= 5e-3
+
+    def test_compute_load_level(self):
+        trace = compute_benchmark(30.0, 8, seed=0)
+        assert trace.offered_load(8) == pytest.approx(0.6, rel=0.15)
+
+    def test_mixed_benchmark_composition(self):
+        trace = mixed_benchmark(20.0, 8, seed=0)
+        assert len(trace) > 100
+        load = trace.offered_load(8)
+        assert 0.3 < load < 0.9
+
+    def test_server_benchmark_long_tasks(self):
+        from repro.workloads import server_benchmark
+
+        trace = server_benchmark(30.0, 8, seed=0)
+        loads = np.array([t.workload for t in trace])
+        assert loads.min() >= 100e-3 - 1e-9
+        assert loads.max() <= 400e-3 + 1e-9
+        assert trace.offered_load(8) == pytest.approx(0.15, rel=0.35)
+
+    def test_paper_scale_trace_task_count(self):
+        trace = paper_scale_trace(8, seed=0, target_tasks=5000)
+        assert len(trace) == 5000
+
+    def test_paper_scale_validation(self):
+        with pytest.raises(WorkloadError):
+            paper_scale_trace(8, target_tasks=0)
+
+    def test_task_lengths_match_paper_range(self):
+        """Section 3.1: workloads of 1 ms - 10 ms."""
+        trace = mixed_benchmark(10.0, 8, seed=0)
+        loads = np.array([t.workload for t in trace])
+        assert loads.min() >= 1e-3 - 1e-9
+        assert loads.max() <= 10e-3 + 1e-9
