@@ -1,0 +1,135 @@
+"""Phase-1 table generation: cold vs. warm+compiled vs. parallel sweeps.
+
+Paper (section 5.1): Phase 1 solves the convex program "for each
+temperature and frequency point", and "the total time taken to perform
+phase 1 of the method is few hours" — the dominant design-time cost of the
+whole method.  This benchmark measures how much of that cost the sweep
+fast paths recover on the paper's Niagara platform grid:
+
+* **cold** — every cell solved from scratch (``accelerated=False``,
+  ``warm_start=False``): per-cell feasibility-boundary pre-solve, per-cell
+  constraint assembly, generic per-block barrier evaluation.  This
+  reproduces the seed implementation's cost structure.
+* **warm+compiled** — the default path: one boundary solve per temperature
+  row, one compiled constraint stack shared by every cell, and each cell
+  warm-started from its higher-frequency neighbor's optimum (phase I
+  skipped).
+* **parallel** — the warm path with temperature rows distributed over a
+  process pool (``n_workers``); identical output, wall-clock bounded by
+  the slowest row on multi-core hosts.
+
+Shape asserted: warm+compiled is >= 3x faster than cold, the parallel
+sweep is at least as fast as the serial warm sweep, and all three produce
+the same table (feasibility identical, frequencies to 1e-6 relative).
+
+Set ``PROTEMP_BENCH_TABLE_GRID=smoke`` for a tiny CI smoke grid; fixed
+overheads dominate there, so the speedup assertions are skipped and only
+agreement is checked.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+from conftest import print_header, save_result
+
+from repro.core import ProTempOptimizer, build_frequency_table
+from repro.units import mhz
+
+SMOKE = os.environ.get("PROTEMP_BENCH_TABLE_GRID", "") == "smoke"
+
+
+def _grids() -> tuple[list[float], list[float]]:
+    if SMOKE:
+        return [70.0, 95.0], [mhz(300), mhz(800)]
+    return (
+        [70.0, 85.0, 95.0, 100.0],
+        [mhz(f) for f in range(100, 1001, 100)],
+    )
+
+
+def _assert_tables_agree(reference, other) -> float:
+    """Same feasibility everywhere; feasible frequencies to 1e-6 relative.
+
+    Returns the worst relative frequency difference over feasible cells.
+    """
+    assert np.array_equal(
+        reference.feasibility_matrix(), other.feasibility_matrix()
+    )
+    worst = 0.0
+    for key, ref_entry in reference.entries.items():
+        if not ref_entry.feasible:
+            continue
+        ref = np.array(ref_entry.frequencies)
+        got = np.array(other.entries[key].frequencies)
+        np.testing.assert_allclose(got, ref, rtol=1e-6, err_msg=f"cell {key}")
+        worst = max(
+            worst,
+            float(np.max(np.abs(got - ref) / np.maximum(np.abs(ref), 1.0))),
+        )
+    return worst
+
+
+def test_table_generation_speedup(platform):
+    t_grid, f_grid = _grids()
+    n_workers = min(4, len(t_grid))  # pool size is clamped to the host cores
+
+    start = time.perf_counter()
+    cold = build_frequency_table(
+        ProTempOptimizer(platform, step_subsample=5, accelerated=False),
+        t_grid, f_grid, warm_start=False,
+    )
+    t_cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = build_frequency_table(
+        ProTempOptimizer(platform, step_subsample=5), t_grid, f_grid
+    )
+    t_warm = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = build_frequency_table(
+        ProTempOptimizer(platform, step_subsample=5),
+        t_grid, f_grid, n_workers=n_workers,
+    )
+    t_parallel = time.perf_counter() - start
+
+    worst = _assert_tables_agree(cold, warm)
+    for key, warm_entry in warm.entries.items():
+        assert parallel.entries[key] == warm_entry, key
+
+    cells = len(t_grid) * len(f_grid)
+    body = "\n".join(
+        [
+            f"grid: {len(t_grid)} temps x {len(f_grid)} targets "
+            f"({cells} cells){' [smoke]' if SMOKE else ''}",
+            f"cold sweep:          {t_cold:7.2f} s "
+            f"({t_cold / cells * 1e3:6.1f} ms/cell)",
+            f"warm+compiled sweep: {t_warm:7.2f} s "
+            f"({t_warm / cells * 1e3:6.1f} ms/cell)  "
+            f"speedup {t_cold / t_warm:.2f}x",
+            f"parallel (n={n_workers}):      {t_parallel:7.2f} s "
+            f"({t_parallel / cells * 1e3:6.1f} ms/cell)  "
+            f"speedup {t_cold / t_parallel:.2f}x",
+            f"worst warm-vs-cold relative frequency diff: {worst:.2e}",
+        ]
+    )
+    print_header(
+        "Phase-1 table generation",
+        "solved per grid point; 'few hours' total on 2007 HW",
+    )
+    print(body)
+    save_result("table_generation", body)
+
+    if not SMOKE:
+        assert t_cold / t_warm >= 3.0, (
+            f"warm+compiled speedup {t_cold / t_warm:.2f}x below 3x"
+        )
+        # At worst the pool ties serial (single-core hosts); on multi-core
+        # machines whole rows run concurrently.
+        assert t_parallel <= t_warm * 1.10, (
+            f"parallel sweep slower than serial warm path: "
+            f"{t_parallel:.2f}s vs {t_warm:.2f}s"
+        )

@@ -177,16 +177,13 @@ class WindowResponse:
         w3 = stacked.w.reshape(s, self.n_nodes, -1)[:, core, :]
         off3 = stacked.offset.reshape(s, self.n_nodes)[:, core]
         n_cores = len(core)
-        pairs = [
-            (i, j)
-            for i in range(n_cores)
-            for j in range(n_cores)
-            if i != j
-        ]
-        d = np.concatenate(
-            [w3[:, i, :] - w3[:, j, :] for (i, j) in pairs], axis=0
+        # Row order is pair-major (all steps of pair (i, j) contiguous),
+        # with pairs enumerated row-major over i != j.
+        idx_i, idx_j = np.nonzero(~np.eye(n_cores, dtype=bool))
+        d = (
+            (w3[:, idx_i, :] - w3[:, idx_j, :])
+            .transpose(1, 0, 2)
+            .reshape(-1, w3.shape[2])
         )
-        g = np.concatenate(
-            [off3[:, i] - off3[:, j] for (i, j) in pairs], axis=0
-        )
+        g = (off3[:, idx_i] - off3[:, idx_j]).T.reshape(-1)
         return d, g

@@ -32,9 +32,10 @@ from typing import Literal
 import numpy as np
 
 from repro.errors import SolverError
-from repro.core.formulation import WindowResponse
+from repro.core.formulation import StackedConstraints, WindowResponse
 from repro.platform import Platform
 from repro.solver.barrier import BarrierOptions, solve_barrier
+from repro.solver.compiled import CompiledConstraints, blocks_signature
 from repro.solver.newton import NewtonOptions
 from repro.solver.problem import (
     BoxConstraint,
@@ -76,6 +77,11 @@ class FrequencyAssignment:
         f_target: required average frequency (Hz).
         status: underlying solver status.
         iterations: Newton iterations spent.
+        solver_x: raw solver variable vector (power, plus the gradient
+            variable when enabled); strictly feasible at a barrier optimum,
+            so it can warm-start a neighboring design point (pass it as
+            ``x0`` to :meth:`ProTempOptimizer.solve`).  None when
+            infeasible or produced by a closed-form path.
     """
 
     feasible: bool
@@ -88,6 +94,7 @@ class FrequencyAssignment:
     f_target: float
     status: SolveStatus
     iterations: int = 0
+    solver_x: np.ndarray | None = None
 
     @property
     def average_frequency(self) -> float:
@@ -114,6 +121,17 @@ class ProTempOptimizer:
         backend: ``"barrier"`` (native interior point) or ``"scipy"``
             (cross-check backend).
         barrier_options: solver tuning for the barrier backend.
+        accelerated: enable the sweep fast paths — memoized per-`t_start`
+            constraint data and feasibility boundaries, a compiled
+            constraint stack shared across solves (the matrix part of the
+            constraints depends only on the platform, never on the design
+            point), and an O(1)-rescaled feasibility-boundary objective.
+            Results agree with the non-accelerated path to solver
+            tolerance (~1e-6 relative on frequencies and boundaries; the
+            rescaled boundary solve's absolute duality-gap bound is
+            ``gap_tol * f_max`` instead of ``gap_tol`` Hz).  Disable to
+            reproduce the cold per-cell cost structure of the original
+            implementation (benchmark baselines).
     """
 
     def __init__(
@@ -128,6 +146,7 @@ class ProTempOptimizer:
         step_subsample: int = 1,
         backend: Backend = "barrier",
         barrier_options: BarrierOptions | None = None,
+        accelerated: bool = True,
     ) -> None:
         if mode not in ("variable", "uniform"):
             raise SolverError(f"unknown mode {mode!r}")
@@ -155,14 +174,82 @@ class ProTempOptimizer:
                 newton=NewtonOptions(tol=1e-9, max_iterations=120),
             )
         self.barrier_options = barrier_options
+        self.accelerated = bool(accelerated)
         self.response = WindowResponse(
             platform, horizon=horizon, step_subsample=step_subsample
         )
+        # Sweep caches (active when `accelerated`): per-start-temperature
+        # constraint data, per-start feasibility boundaries, and compiled
+        # constraint stacks keyed by problem structure.
+        self._stacked_cache: dict[object, StackedConstraints] = {}
+        self._gradient_cache: dict[object, tuple[np.ndarray, np.ndarray]] = {}
+        self._boundary_cache: dict[object, tuple[float, np.ndarray] | None] = {}
+        self._compiled_cache: dict[tuple, CompiledConstraints] = {}
+        self._rows_with_grad: np.ndarray | None = None
+        self._grad_rows_matrix: np.ndarray | None = None
+
+    # -- sweep caches ---------------------------------------------------------
+
+    @staticmethod
+    def _start_key(t_start: float | np.ndarray) -> object:
+        if np.isscalar(t_start):
+            return float(t_start)
+        arr = np.asarray(t_start, dtype=float)
+        return ("vec", arr.tobytes())
+
+    def _stacked_for(
+        self, t_start: float | np.ndarray
+    ) -> StackedConstraints:
+        """`WindowResponse.stacked`, memoized per start temperature."""
+        if not self.accelerated:
+            return self.response.stacked(t_start)
+        key = self._start_key(t_start)
+        stacked = self._stacked_cache.get(key)
+        if stacked is None:
+            stacked = self.response.stacked(t_start)
+            self._stacked_cache[key] = stacked
+        return stacked
+
+    def _gradient_rows_for(
+        self, t_start: float | np.ndarray, stacked: StackedConstraints
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """`WindowResponse.gradient_rows`, memoized per start temperature."""
+        if not self.accelerated:
+            return self.response.gradient_rows(stacked)
+        key = self._start_key(t_start)
+        cached = self._gradient_cache.get(key)
+        if cached is None:
+            cached = self.response.gradient_rows(stacked)
+            self._gradient_cache[key] = cached
+        return cached
+
+    def _compiled_for(
+        self, blocks: list, n_vars: int
+    ) -> CompiledConstraints | None:
+        """Compiled stack for `blocks`, reusing the cached matrix part.
+
+        Across a sweep only right-hand sides change (temperature offsets
+        with `t_start`, the sqrt target with `f_target`), so the stacked
+        matrix is compiled once per problem structure and rebound per cell.
+        """
+        if not self.accelerated:
+            return None
+        signature = blocks_signature(blocks)
+        template = self._compiled_cache.get(signature)
+        if template is None:
+            template = CompiledConstraints.compile(blocks, n_vars)
+            self._compiled_cache[signature] = template
+            return template
+        return template.with_blocks(blocks)
 
     # -- public API -----------------------------------------------------------
 
     def solve(
-        self, t_start: float | np.ndarray, f_target: float
+        self,
+        t_start: float | np.ndarray,
+        f_target: float,
+        *,
+        x0: np.ndarray | None = None,
     ) -> FrequencyAssignment:
         """Optimal frequency assignment for one design point.
 
@@ -171,6 +258,12 @@ class ProTempOptimizer:
                 worst-case start, or a full node vector.
             f_target: required average core frequency (Hz), in
                 ``[0, f_max]``.
+            x0: optional warm start — the ``solver_x`` of a neighboring
+                solve (same mode/structure).  When it is strictly feasible
+                for this design point, the feasibility-boundary pre-solve
+                and phase I are skipped entirely; otherwise it is ignored
+                and the cold path runs.  Ignored in uniform mode (closed
+                form).
 
         Returns:
             A :class:`FrequencyAssignment` (``feasible=False`` when the
@@ -179,7 +272,7 @@ class ProTempOptimizer:
         self._check_target(f_target)
         if self.mode == "uniform":
             return self._solve_uniform(t_start, f_target)
-        return self._solve_variable(t_start, f_target)
+        return self._solve_variable(t_start, f_target, x0=x0)
 
     def is_feasible(
         self, t_start: float | np.ndarray, f_target: float
@@ -253,14 +346,28 @@ class ProTempOptimizer:
         Returns ``(max average frequency, maximizing power vector)`` or
         None when even near-zero power violates the cap.  This single solve
         both yields the Figure 9 boundary and seeds the main solve's
-        strictly feasible start (see :meth:`_interior_start`).
+        strictly feasible start (see :meth:`_interior_start`).  Memoized
+        per start temperature when `accelerated`: a table sweep needs the
+        boundary once per row, not once per cell.
         """
+        if self.accelerated:
+            key = self._start_key(t_start)
+            if key in self._boundary_cache:
+                return self._boundary_cache[key]
+            result = self._max_sqrt_solve_cold(t_start)
+            self._boundary_cache[key] = result
+            return result
+        return self._max_sqrt_solve_cold(t_start)
+
+    def _max_sqrt_solve_cold(
+        self, t_start: float | np.ndarray
+    ) -> tuple[float, np.ndarray] | None:
         platform = self.platform
         n = platform.n_cores
         p_max = platform.power.p_max
         f_max = platform.f_max
 
-        stacked = self.response.stacked(t_start)
+        stacked = self._stacked_for(t_start)
         blocks = [
             LinearInequality(stacked.w, platform.t_max - stacked.offset),
             BoxConstraint(
@@ -269,8 +376,21 @@ class ProTempOptimizer:
                 indices=np.arange(n),
             ),
         ]
+        # Normalize the objective to O(1): the weighted sqrt-sum is ~1e10 Hz
+        # while the barrier gap tolerance is absolute, so without scaling the
+        # final stages run at t ~ 1e9 where Newton grinds against the
+        # t-scaled sqrt curvature (measured ~25x slower for the same answer
+        # to ~1e-8 relative; the gap bound loosens from gap_tol Hz to
+        # gap_tol * f_max).  Same conditioning trick as the solver's
+        # _SqrtMinimaxStage.  Kept off the non-accelerated path so
+        # benchmark baselines reproduce the original cost structure.
+        scale = (
+            1.0 / (n * f_max)
+            if self.accelerated and self.backend == "barrier"
+            else 1.0
+        )
         objective = NegativeSqrtObjective(
-            weights=np.full(n, f_max / np.sqrt(p_max)),
+            weights=np.full(n, scale * f_max / np.sqrt(p_max)),
             indices=np.arange(n),
             n_vars=n,
         )
@@ -278,10 +398,16 @@ class ProTempOptimizer:
         if self.backend == "scipy":
             result = solve_scipy(objective, blocks, x0)
         else:
-            result = solve_barrier(objective, blocks, x0, self.barrier_options)
+            result = solve_barrier(
+                objective, blocks, x0, self.barrier_options,
+                compiled=self._compiled_for(blocks, n),
+            )
         if not result.ok:
             return None
-        return -result.objective / n, np.asarray(result.x, dtype=float)
+        return (
+            -result.objective / (n * scale),
+            np.asarray(result.x, dtype=float),
+        )
 
     # -- uniform mode ----------------------------------------------------------
 
@@ -290,7 +416,7 @@ class ProTempOptimizer:
     ) -> np.ndarray:
         scaling = self.platform.power.scaling
         p_shared = float(scaling.power(f_target))
-        stacked = self.response.stacked(t_start)
+        stacked = self._stacked_for(t_start)
         p = np.full(self.platform.n_cores, p_shared)
         return stacked.temperatures(p)
 
@@ -344,19 +470,28 @@ class ProTempOptimizer:
         with_grad = self.minimize_gradient or self.t_grad_cap is not None
         n_vars = n + 1 if with_grad else n
 
-        stacked = self.response.stacked(t_start)
+        stacked = self._stacked_for(t_start)
         rows = stacked.w
         offset = stacked.offset
         if with_grad:
-            rows = np.hstack([rows, np.zeros((rows.shape[0], 1))])
+            # The widened matrix depends only on the platform response, so
+            # it is built once and shared across every design point.
+            if self._rows_with_grad is None or not self.accelerated:
+                self._rows_with_grad = np.hstack(
+                    [rows, np.zeros((rows.shape[0], 1))]
+                )
+            rows = self._rows_with_grad
         blocks: list = [
             LinearInequality(rows, platform.t_max - offset)
         ]
 
         if with_grad:
-            d, g = self.response.gradient_rows(stacked)
-            grad_rows = np.hstack([d, -np.ones((d.shape[0], 1))])
-            blocks.append(LinearInequality(grad_rows, -g))
+            d, g = self._gradient_rows_for(t_start, stacked)
+            if self._grad_rows_matrix is None or not self.accelerated:
+                self._grad_rows_matrix = np.hstack(
+                    [d, -np.ones((d.shape[0], 1))]
+                )
+            blocks.append(LinearInequality(self._grad_rows_matrix, -g))
             cap = (
                 self.t_grad_cap if self.t_grad_cap is not None else T_GRAD_CEILING
             )
@@ -424,7 +559,7 @@ class ProTempOptimizer:
         with_grad = self.minimize_gradient or self.t_grad_cap is not None
         if not with_grad:
             return p0
-        stacked = self.response.stacked(t_start)
+        stacked = self._stacked_for(t_start)
         temps = stacked.temperatures(p0)[:, platform.core_indices]
         gradient = float(np.max(temps.max(axis=1) - temps.min(axis=1)))
         cap = (
@@ -438,7 +573,10 @@ class ProTempOptimizer:
         return np.concatenate([p0, [tgrad0]])
 
     def _solve_variable(
-        self, t_start: float | np.ndarray, f_target: float
+        self,
+        t_start: float | np.ndarray,
+        f_target: float,
+        x0: np.ndarray | None = None,
     ) -> FrequencyAssignment:
         platform = self.platform
         n = platform.n_cores
@@ -450,37 +588,72 @@ class ProTempOptimizer:
             c[n] = self.gradient_weight if self.minimize_gradient else 0.0
         objective = LinearObjective(c=c)
 
+        warm = None
+        if x0 is not None:
+            warm = np.asarray(x0, dtype=float)
+            if warm.shape != (n_vars,):
+                warm = None
+
         if self.backend == "scipy":
             # SLSQP accepts infeasible starts (and cannot reliably solve
             # the boundary pre-problem), so go straight at the program.
-            p_guess = max(
-                POWER_FLOOR * 10.0,
-                platform.power.p_max * (f_target / platform.f_max) ** 2 * 0.9,
-            )
-            x0 = np.full(n_vars, p_guess)
-            if with_grad:
-                cap = (
-                    self.t_grad_cap
-                    if self.t_grad_cap is not None
-                    else T_GRAD_CEILING
+            if warm is None:
+                p_guess = max(
+                    POWER_FLOOR * 10.0,
+                    platform.power.p_max
+                    * (f_target / platform.f_max) ** 2
+                    * 0.9,
                 )
-                x0[n] = cap / 2.0
-            result = solve_scipy(objective, blocks, x0)
+                warm = np.full(n_vars, p_guess)
+                if with_grad:
+                    cap = (
+                        self.t_grad_cap
+                        if self.t_grad_cap is not None
+                        else T_GRAD_CEILING
+                    )
+                    warm[n] = cap / 2.0
+            result = solve_scipy(objective, blocks, warm)
         else:
-            boundary = self._max_sqrt_solve(t_start)
-            if boundary is None:
-                return self._infeasible(t_start, f_target)
-            boundary_avg, p_star = boundary
-            if f_target > boundary_avg * (1 - 1e-9):
-                return self._infeasible(t_start, f_target)
-            x0 = self._interior_start(
-                t_start, f_target, p_star, n * boundary_avg
-            )
-            if x0 is None:
-                return self._infeasible(t_start, f_target)
-            result = solve_barrier(
-                objective, blocks, x0, self.barrier_options
-            )
+            compiled = self._compiled_for(blocks, n_vars)
+            margin = self.barrier_options.feasibility_margin
+            result = None
+            if warm is not None:
+                warm_violation = (
+                    compiled.max_violation(warm)
+                    if compiled is not None
+                    else max(
+                        float(np.max(block.residuals(warm)))
+                        for block in blocks
+                    )
+                )
+                if warm_violation < -margin:
+                    # Strictly feasible warm start: skip the boundary
+                    # pre-solve and phase I entirely.
+                    result = solve_barrier(
+                        objective, blocks, warm, self.barrier_options,
+                        compiled=compiled,
+                        initial_violation=warm_violation,
+                    )
+                    if not result.ok:
+                        # A stalled warm solve must not misclassify the
+                        # cell: retry on the cold start path below.
+                        result = None
+            if result is None:
+                boundary = self._max_sqrt_solve(t_start)
+                if boundary is None:
+                    return self._infeasible(t_start, f_target)
+                boundary_avg, p_star = boundary
+                if f_target > boundary_avg * (1 - 1e-9):
+                    return self._infeasible(t_start, f_target)
+                start = self._interior_start(
+                    t_start, f_target, p_star, n * boundary_avg
+                )
+                if start is None:
+                    return self._infeasible(t_start, f_target)
+                result = solve_barrier(
+                    objective, blocks, start, self.barrier_options,
+                    compiled=compiled,
+                )
         if not result.ok:
             return self._infeasible(t_start, f_target, result.status)
 
@@ -488,7 +661,7 @@ class ProTempOptimizer:
         frequencies = np.asarray(
             platform.power.scaling.frequency_for_power(p), dtype=float
         )
-        stacked = self.response.stacked(t_start)
+        stacked = self._stacked_for(t_start)
         temps = stacked.temperatures(p)
         core_temps = temps[:, platform.core_indices]
         gradient = float(
@@ -505,6 +678,7 @@ class ProTempOptimizer:
             f_target=f_target,
             status=result.status,
             iterations=result.iterations,
+            solver_x=np.asarray(result.x, dtype=float).copy(),
         )
 
     # -- helpers ---------------------------------------------------------------

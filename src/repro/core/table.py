@@ -16,12 +16,28 @@ management unit:
 4. if no column is feasible — or the temperature exceeds the top grid row —
    the cores are shut down for the window (zero frequency), the maximally
    safe fallback.
+
+**Sweep performance.**  :func:`build_frequency_table` walks each
+temperature row from the *highest* frequency column downward and
+warm-starts every cell from its feasible right-neighbor's raw solver
+vector.  This is sound: lowering ``f_target`` only loosens the sqrt
+average-frequency constraint while every other constraint is unchanged, so
+the neighbor's optimum (strictly interior at a barrier optimum) stays
+strictly feasible and phase I plus the per-cell feasibility-boundary
+pre-solve are skipped (see `repro.solver.barrier.solve_barrier` and
+`repro.core.protemp.ProTempOptimizer`, which additionally shares one
+compiled constraint stack across all cells).  Temperature rows are
+mutually independent, so ``n_workers > 1`` optionally distributes whole
+rows over a process pool; results are identical to the serial sweep.
+``benchmarks/bench_table_generation.py`` tracks the measured speedups.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from bisect import bisect_left
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -339,6 +355,60 @@ def _parse_float(value: float | str) -> float:
     return np.inf if value == "inf" else float(value)
 
 
+def _infeasible_entry(
+    t_start: float, f_target: float, n_cores: int
+) -> TableEntry:
+    return TableEntry(
+        t_start=float(t_start),
+        f_target=float(f_target),
+        feasible=False,
+        frequencies=tuple([0.0] * n_cores),
+        total_power=0.0,
+        predicted_peak=np.inf,
+        predicted_gradient=np.inf,
+    )
+
+
+def _build_row(
+    optimizer: ProTempOptimizer,
+    t_start: float,
+    f_grid: list[float],
+    prune_infeasible: bool,
+    warm_start: bool,
+    on_cell: Callable[[], None] | None = None,
+) -> dict[int, TableEntry]:
+    """Solve one temperature row, walking frequency columns high to low.
+
+    Walking downward lets each cell warm-start from its right-neighbor's
+    optimum: lowering ``f_target`` only loosens the average-frequency
+    constraint, so the neighbor's (strictly interior) optimum remains
+    strictly feasible and both phase I and the per-cell boundary pre-solve
+    are skipped.  Module-level so rows can be dispatched to worker
+    processes.
+    """
+    n_cores = optimizer.platform.n_cores
+    row: dict[int, TableEntry] = {}
+    boundary = (
+        optimizer.max_feasible_target(t_start) if prune_infeasible else None
+    )
+    prev_x = None
+    for fi in reversed(range(len(f_grid))):
+        f_target = f_grid[fi]
+        if boundary is not None and f_target > boundary:
+            row[fi] = _infeasible_entry(t_start, f_target, n_cores)
+        else:
+            assignment = optimizer.solve(t_start, f_target, x0=prev_x)
+            row[fi] = TableEntry.from_assignment(assignment)
+            prev_x = (
+                assignment.solver_x
+                if warm_start and assignment.feasible
+                else None
+            )
+        if on_cell is not None:
+            on_cell()
+    return row
+
+
 def build_frequency_table(
     optimizer: ProTempOptimizer,
     t_grid: list[float],
@@ -346,6 +416,8 @@ def build_frequency_table(
     *,
     progress: Callable[[int, int], None] | None = None,
     prune_infeasible: bool = True,
+    warm_start: bool = True,
+    n_workers: int | None = None,
 ) -> FrequencyTable:
     """Run Phase 1: solve every grid point and assemble the table.
 
@@ -353,43 +425,63 @@ def build_frequency_table(
         optimizer: configured :class:`ProTempOptimizer`.
         t_grid: starting temperatures (Celsius), strictly increasing.
         f_grid: average-frequency targets (Hz), strictly increasing.
-        progress: optional callback ``(done, total)`` for long sweeps.
+        progress: optional callback ``(done, total)`` for long sweeps
+            (per cell when serial, per completed row when parallel).
         prune_infeasible: compute each row's feasibility boundary first
             (one convex solve) and mark cells above it infeasible without
             running the full optimization.  Sound because feasibility is
             monotone in the frequency target — raising the target only
             tightens Eq. 3 — and it skips exactly the cells whose phase-I
             certification is slowest.
+        warm_start: warm-start each cell from its feasible higher-frequency
+            neighbor (see :func:`_build_row`); disable to reproduce the
+            cold per-cell solve of the paper's Phase-1 cost model.
+        n_workers: when > 1, distribute temperature rows over a process
+            pool of this size.  Rows are independent, so the result is
+            identical to the serial sweep.
 
     Returns:
         The assembled :class:`FrequencyTable`.
     """
     entries: dict[tuple[int, int], TableEntry] = {}
     total = len(t_grid) * len(f_grid)
-    done = 0
-    for ti, t_start in enumerate(t_grid):
-        boundary = (
-            optimizer.max_feasible_target(t_start)
-            if prune_infeasible
-            else None
-        )
-        for fi, f_target in enumerate(f_grid):
-            if boundary is not None and f_target > boundary:
-                entries[(ti, fi)] = TableEntry(
-                    t_start=float(t_start),
-                    f_target=float(f_target),
-                    feasible=False,
-                    frequencies=tuple([0.0] * optimizer.platform.n_cores),
-                    total_power=0.0,
-                    predicted_peak=np.inf,
-                    predicted_gradient=np.inf,
+    if n_workers is not None and n_workers > 1 and len(t_grid) > 1:
+        workers = min(n_workers, len(t_grid), os.cpu_count() or 1)
+        done = 0
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _build_row,
+                    optimizer,
+                    t_start,
+                    list(f_grid),
+                    prune_infeasible,
+                    warm_start,
                 )
-            else:
-                assignment = optimizer.solve(t_start, f_target)
-                entries[(ti, fi)] = TableEntry.from_assignment(assignment)
+                for t_start in t_grid
+            ]
+            for ti, future in enumerate(futures):
+                for fi, entry in future.result().items():
+                    entries[(ti, fi)] = entry
+                done += len(f_grid)
+                if progress is not None:
+                    progress(done, total)
+    else:
+        done = 0
+
+        def tick() -> None:
+            nonlocal done
             done += 1
             if progress is not None:
                 progress(done, total)
+
+        for ti, t_start in enumerate(t_grid):
+            row = _build_row(
+                optimizer, t_start, list(f_grid), prune_infeasible,
+                warm_start, on_cell=tick,
+            )
+            for fi, entry in row.items():
+                entries[(ti, fi)] = entry
     platform = optimizer.platform
     return FrequencyTable(
         t_grid=list(t_grid),

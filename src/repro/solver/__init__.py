@@ -1,10 +1,19 @@
-"""Convex optimization: barrier interior-point solver and scipy cross-check."""
+"""Convex optimization: barrier interior-point solver and scipy cross-check.
+
+For repeated solves of structurally identical programs (the Phase-1 table
+sweep), `repro.solver.compiled.CompiledConstraints` stacks the linear and
+box constraint blocks into one matrix once and evaluates the log barrier
+fully vectorized; `solve_barrier` accepts such a stack via ``compiled=``
+and additionally skips phase I whenever the supplied start is already
+strictly feasible (warm starting).
+"""
 
 from repro.solver.barrier import (
     BarrierOptions,
     find_strictly_feasible,
     solve_barrier,
 )
+from repro.solver.compiled import CompiledConstraints
 from repro.solver.kkt import KKTResiduals, kkt_residuals
 from repro.solver.newton import NewtonOptions, NewtonOutcome, minimize_newton
 from repro.solver.problem import (
@@ -22,6 +31,7 @@ from repro.solver.scipy_backend import solve_scipy
 __all__ = [
     "BarrierOptions",
     "BoxConstraint",
+    "CompiledConstraints",
     "KKTResiduals",
     "LinearInequality",
     "LinearObjective",

@@ -12,15 +12,30 @@ Standard barrier method (Boyd & Vandenberghe ch. 11 — the paper's reference
   (`repro.solver.newton`) warm-started from the previous stage.  The final
   duality gap is bounded by ``m / t`` with ``m`` the number of scalar
   constraints.
+
+Two fast paths serve repeated solves of structurally identical programs
+(the Phase-1 table sweep):
+
+* **Warm start** — when the supplied ``x0`` is already strictly feasible
+  (e.g. the optimum of a neighboring design point), phase I is skipped
+  entirely after a single residual check.
+* **Compiled constraints** — passing a
+  `repro.solver.compiled.CompiledConstraints` stack makes every stage
+  evaluate the barrier through one vectorized matrix product instead of a
+  per-block Python loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import SolverError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.solver.compiled import CompiledConstraints
 from repro.solver.newton import NewtonOptions, minimize_newton
 from repro.solver.problem import (
     SLACK_FLOOR,
@@ -67,32 +82,77 @@ class _PhaseOneProblem:
         d/d(x,s) [-log(s - f_i)] = (grad f_i, -1) / (s - f_i)
         Hessian adds (grad f_i)(grad f_i)^T / slack^2 (with the +/-1 s-row)
         plus hess f_i / slack.
+
+    Linear and box rows (constant Jacobian, zero Hessian) are stacked once
+    into a single matrix on first evaluation, so the per-stage cost is a
+    couple of matrix products rather than a per-block Python loop; blocks
+    with curvature stay on the generic per-block path.
     """
 
     def __init__(self, blocks: list[ConstraintBlock]):
-        self._blocks = blocks
+        from repro.solver.problem import (  # local import to avoid cycles
+            BoxConstraint,
+            LinearInequality,
+        )
+
+        self._curved = [
+            b
+            for b in blocks
+            if not isinstance(b, (LinearInequality, BoxConstraint))
+        ]
+        self._flat = [
+            b for b in blocks if isinstance(b, (LinearInequality, BoxConstraint))
+        ]
+        self._a: np.ndarray | None = None  # stacked flat rows, built lazily
+        self._b: np.ndarray | None = None
+
+    def _ensure_stacked(self, n: int) -> None:
+        from repro.solver.compiled import (  # local import to avoid cycles
+            stack_flat_rows,
+        )
+
+        if self._a is not None:
+            return
+        self._a, self._b = stack_flat_rows(self._flat, n)
 
     def value_grad_hess(
         self, xs: np.ndarray, t: float
     ) -> tuple[float, np.ndarray, np.ndarray]:
         x, s = xs[:-1], xs[-1]
         n = len(x)
+        self._ensure_stacked(n)
         total_value = t * s
         grad = np.zeros(n + 1)
         grad[-1] = t
         hess = np.zeros((n + 1, n + 1))
-        for block in self._blocks:
+
+        if self._a.shape[0]:
+            slack = s - (self._a @ x - self._b)
+            if np.any(slack <= SLACK_FLOOR):
+                return np.inf, grad, hess
+            inv = 1.0 / slack
+            total_value += -float(np.log(slack).sum())
+            # d/dx of -log(s - f) = (grad f) / slack ; d/ds = -1/slack
+            grad[:n] += self._a.T @ inv
+            grad[-1] += -inv.sum()
+            jw = self._a * inv[:, None]
+            hess[:n, :n] += jw.T @ jw  # (grad f)(grad f)^T / slack^2
+            cross = -self._a.T @ (inv**2)
+            hess[:n, -1] += cross
+            hess[-1, :n] += cross
+            hess[-1, -1] += float((inv**2).sum())
+
+        for block in self._curved:
             res, jac, hess_terms = _residual_derivatives(block, x)
             slack = s - res
             if np.any(slack <= SLACK_FLOOR):
                 return np.inf, grad, hess
             inv = 1.0 / slack
             total_value += -float(np.log(slack).sum())
-            # d/dx of -log(s - f) = (grad f) / slack ; d/ds = -1/slack
             grad[:n] += jac.T @ inv
             grad[-1] += -inv.sum()
             jw = jac * inv[:, None]
-            hess[:n, :n] += jw.T @ jw  # (grad f)(grad f)^T / slack^2
+            hess[:n, :n] += jw.T @ jw
             for hi, h_mat in hess_terms:
                 hess[:n, :n] += h_mat * inv[hi]
             cross = -(jac * (inv**2)[:, None]).sum(axis=0)
@@ -121,11 +181,9 @@ def _residual_derivatives(
     if isinstance(block, LinearInequality):
         return block.residuals(x), block.a, []
     if isinstance(block, BoxConstraint):
-        k = len(block.indices)
-        jac = np.zeros((2 * k, n))
-        for row, idx in enumerate(block.indices):
-            jac[row, idx] = -1.0  # lower - x <= 0
-            jac[k + row, idx] = 1.0  # x - upper <= 0
+        from repro.solver.compiled import stack_flat_rows  # avoid cycle
+
+        jac, _ = stack_flat_rows([block], n)
         return block.residuals(x), jac, []
     if isinstance(block, SqrtSumConstraint):
         # Clip keeps the derivatives finite when phase I wanders to the
@@ -348,14 +406,26 @@ def solve_barrier(
     blocks: list[ConstraintBlock],
     x0: np.ndarray,
     options: BarrierOptions | None = None,
+    *,
+    compiled: "CompiledConstraints | None" = None,
+    initial_violation: float | None = None,
 ) -> SolveResult:
     """Solve ``minimize objective(x) s.t. all blocks`` by the barrier method.
 
     Args:
         objective: smooth convex objective.
         blocks: convex constraint blocks.
-        x0: starting point; when not strictly feasible, phase I runs first.
+        x0: starting point; a strictly feasible `x0` (a warm start) skips
+            phase I entirely, otherwise phase I runs first.
         options: solver options.
+        compiled: optional precompiled stack of `blocks` (see
+            `repro.solver.compiled`); when given, phase-II stages and
+            residual checks evaluate through its vectorized fast path.  The
+            caller guarantees it was compiled from (a structural twin of)
+            `blocks`.
+        initial_violation: the max constraint violation at `x0`, when the
+            caller has already computed it (warm-start paths); saves one
+            residual pass over all constraint rows.
 
     Returns:
         A :class:`SolveResult`; status INFEASIBLE when phase I certifies an
@@ -365,7 +435,18 @@ def solve_barrier(
     x0 = np.asarray(x0, dtype=float)
     total_iterations = 0
 
-    x, violation = find_strictly_feasible(blocks, x0, opts)
+    def violation_at(z: np.ndarray) -> float:
+        if compiled is not None:
+            return compiled.max_violation(z)
+        return max_violation(blocks, z)
+
+    if initial_violation is None:
+        initial_violation = violation_at(x0)
+    if initial_violation < -opts.feasibility_margin:
+        # Warm start: x0 is already strictly feasible, skip phase I.
+        x, violation = x0.copy(), initial_violation
+    else:
+        x, violation = find_strictly_feasible(blocks, x0, opts)
     if x is None:
         return SolveResult(
             status=SolveStatus.INFEASIBLE,
@@ -393,6 +474,11 @@ def solve_barrier(
             value = t_weight * objective.value(z)
             grad = t_weight * objective.gradient(z)
             hess = t_weight * objective.hessian(z)
+            if compiled is not None:
+                b_val, b_grad, b_hess = compiled.barrier(z)
+                if not np.isfinite(b_val):
+                    return np.inf, grad, hess
+                return value + b_val, grad + b_grad, hess + b_hess
             for block in blocks:
                 b_val, b_grad, b_hess = block.barrier(z)
                 if not np.isfinite(b_val):
@@ -417,7 +503,7 @@ def solve_barrier(
                 iterations=total_iterations,
                 duality_gap=m / t,
                 dual_variables=duals,
-                max_violation=max_violation(blocks, x),
+                max_violation=violation_at(x),
             )
         t *= opts.mu
 
@@ -427,7 +513,7 @@ def solve_barrier(
         objective=objective.value(x),
         iterations=total_iterations,
         duality_gap=m / t,
-        max_violation=max_violation(blocks, x),
+        max_violation=violation_at(x),
     )
 
 

@@ -28,6 +28,7 @@ Two properties matter beyond simulation accuracy:
 
 from __future__ import annotations
 
+from functools import cached_property
 from typing import Callable
 
 import numpy as np
@@ -107,13 +108,17 @@ class ThermalModel:
 
     # -- numerical properties -----------------------------------------------
 
-    @property
+    @cached_property
     def max_stable_dt(self) -> float:
         """Largest explicit-Euler-stable step (s).
 
         Euler on ``dT/dt = -M T + ...`` is stable iff ``dt < 2 / lambda_max``
         where ``lambda_max`` is the largest eigenvalue of ``M`` (real and
         positive since the network is passive).
+
+        Cached after the first access: the eigendecomposition depends only
+        on the (immutable-by-convention) network, and this property is hit
+        in the constructor's stability check and repeatedly from tests.
         """
         lam_max = float(np.linalg.eigvalsh(_symmetrize(self.network))[-1])
         if lam_max <= 0:
@@ -125,9 +130,12 @@ class ThermalModel:
         """True when the discretization step is below the stability limit."""
         return self.dt < self.max_stable_dt
 
-    @property
+    @cached_property
     def spectral_radius(self) -> float:
-        """Spectral radius of ``A`` (< 1 for a stable discretization)."""
+        """Spectral radius of ``A`` (< 1 for a stable discretization).
+
+        Cached after the first access (full eigendecomposition of ``A``).
+        """
         return float(np.max(np.abs(np.linalg.eigvals(self._a))))
 
     @property
@@ -180,6 +188,8 @@ class ThermalModel:
         if record_every < 1:
             raise ThermalModelError("record_every must be >= 1")
         temps = self._expand_t0(t0)
+        if not callable(power):
+            return self._simulate_array(temps, power, n_steps, record_every)
         get_power = self._power_getter(power, n_steps)
         recorded = [temps.copy()]
         for k in range(n_steps):
@@ -187,6 +197,43 @@ class ThermalModel:
             if (k + 1) % record_every == 0 or k + 1 == n_steps:
                 recorded.append(temps.copy())
         return np.array(recorded)
+
+    def _simulate_array(
+        self,
+        temps: np.ndarray,
+        power: np.ndarray,
+        n_steps: int,
+        record_every: int,
+    ) -> np.ndarray:
+        """Array-power fast path: preallocated output, hoisted drive terms.
+
+        The recorded-row count is known up front, so the output is written
+        in place instead of growing a Python list of copies; for a constant
+        power vector the per-step drive ``B p + c`` is precomputed once.
+        """
+        power = np.asarray(power, dtype=float)
+        constant = power.shape == (self.n,)
+        if not constant and power.shape != (n_steps, self.n):
+            raise ThermalModelError(
+                f"power must have shape ({self.n},) or ({n_steps}, {self.n}), "
+                f"or be a callable; got shape {power.shape}"
+            )
+        n_recorded = 1 + n_steps // record_every
+        if n_steps % record_every != 0:
+            n_recorded += 1  # the final state is always recorded
+        out = np.empty((n_recorded, self.n))
+        out[0] = temps
+        drive = self._b * power + self._c if constant else None
+        row = 1
+        for k in range(n_steps):
+            if constant:
+                temps = self._a @ temps + drive
+            else:
+                temps = self._a @ temps + self._b * power[k] + self._c
+            if (k + 1) % record_every == 0 or k + 1 == n_steps:
+                out[row] = temps
+                row += 1
+        return out
 
     def steady_state(self, power: np.ndarray) -> np.ndarray:
         """Equilibrium temperatures for constant `power`.

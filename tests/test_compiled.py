@@ -1,0 +1,163 @@
+"""Tests for the compiled (stacked, vectorized) constraint representation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.solver import (
+    BoxConstraint,
+    CompiledConstraints,
+    LinearInequality,
+    LinearObjective,
+    SqrtSumConstraint,
+    max_violation,
+    solve_barrier,
+    total_constraints,
+)
+from repro.solver.compiled import blocks_signature
+
+
+def make_blocks(n=4, seed=0):
+    """A Pro-Temp-shaped block mix: two linear blocks, a box, a sqrt."""
+    rng = np.random.default_rng(seed)
+    return [
+        LinearInequality(a=rng.normal(size=(7, n)), b=rng.uniform(2, 4, 7)),
+        LinearInequality(a=rng.normal(size=(3, n)), b=rng.uniform(2, 4, 3)),
+        BoxConstraint(
+            lower=np.full(n, 0.01), upper=np.full(n, 2.0), indices=np.arange(n)
+        ),
+        SqrtSumConstraint(
+            weights=np.ones(n - 1), indices=np.arange(n - 1), target=0.5
+        ),
+    ]
+
+
+class TestEquivalence:
+    def test_barrier_matches_block_sum(self):
+        blocks = make_blocks()
+        compiled = CompiledConstraints.compile(blocks, 4)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            x = rng.uniform(0.05, 1.5, 4)
+            ref_val, ref_grad, ref_hess = 0.0, np.zeros(4), np.zeros((4, 4))
+            finite = True
+            for block in blocks:
+                v, g, h = block.barrier(x)
+                if not np.isfinite(v):
+                    finite = False
+                    break
+                ref_val += v
+                ref_grad = ref_grad + g
+                ref_hess = ref_hess + h
+            val, grad, hess = compiled.barrier(x)
+            if not finite:
+                assert not np.isfinite(val)
+                continue
+            assert val == pytest.approx(ref_val, rel=1e-12)
+            np.testing.assert_allclose(grad, ref_grad, rtol=1e-12)
+            np.testing.assert_allclose(hess, ref_hess, rtol=1e-12)
+
+    def test_outside_domain_is_inf(self):
+        blocks = make_blocks()
+        compiled = CompiledConstraints.compile(blocks, 4)
+        val, _, _ = compiled.barrier(np.full(4, 10.0))  # above the box
+        assert np.isinf(val)
+
+    def test_max_violation_matches(self):
+        blocks = make_blocks()
+        compiled = CompiledConstraints.compile(blocks, 4)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            x = rng.uniform(-0.5, 3.0, 4)
+            assert compiled.max_violation(x) == pytest.approx(
+                max_violation(blocks, x), rel=1e-12, abs=1e-15
+            )
+
+    def test_count_matches(self):
+        blocks = make_blocks()
+        compiled = CompiledConstraints.compile(blocks, 4)
+        assert compiled.count() == total_constraints(blocks)
+
+    def test_solve_barrier_agrees_with_uncompiled(self):
+        blocks = make_blocks()
+        compiled = CompiledConstraints.compile(blocks, 4)
+        objective = LinearObjective(c=np.ones(4))
+        x0 = np.full(4, 0.5)
+        plain = solve_barrier(objective, blocks, x0)
+        fast = solve_barrier(objective, blocks, x0, compiled=compiled)
+        assert plain.ok and fast.ok
+        np.testing.assert_allclose(fast.x, plain.x, rtol=1e-9)
+        assert fast.objective == pytest.approx(plain.objective, rel=1e-9)
+
+
+class TestRebinding:
+    def test_with_blocks_updates_rhs(self):
+        blocks = make_blocks(seed=0)
+        compiled = CompiledConstraints.compile(blocks, 4)
+        shifted = [
+            LinearInequality(a=blocks[0].a, b=blocks[0].b + 0.5),
+            LinearInequality(a=blocks[1].a, b=blocks[1].b + 0.5),
+            blocks[2],
+            SqrtSumConstraint(
+                weights=np.ones(3), indices=np.arange(3), target=0.9
+            ),
+        ]
+        rebound = compiled.with_blocks(shifted)
+        assert rebound.a is compiled.a  # matrix stack is shared
+        x = np.full(4, 0.4)
+        val, grad, hess = rebound.barrier(x)
+        ref = [b.barrier(x) for b in shifted]
+        assert val == pytest.approx(sum(r[0] for r in ref), rel=1e-12)
+        np.testing.assert_allclose(
+            grad, sum(r[1] for r in ref), rtol=1e-12
+        )
+
+    def test_with_blocks_rejects_structure_change(self):
+        blocks = make_blocks()
+        compiled = CompiledConstraints.compile(blocks, 4)
+        with pytest.raises(SolverError, match="structure"):
+            compiled.with_blocks(blocks[:-1])
+
+    def test_with_blocks_rejects_reindexed_box(self):
+        """Same shape but different box indices must not silently rebind."""
+        blocks = [
+            LinearInequality(a=np.ones((2, 4)), b=np.full(2, 5.0)),
+            BoxConstraint(
+                lower=np.zeros(2), upper=np.ones(2), indices=np.array([0, 1])
+            ),
+        ]
+        compiled = CompiledConstraints.compile(blocks, 4)
+        moved = [
+            blocks[0],
+            BoxConstraint(
+                lower=np.zeros(2), upper=np.ones(2), indices=np.array([2, 3])
+            ),
+        ]
+        with pytest.raises(SolverError, match="indices"):
+            compiled.with_blocks(moved)
+
+    def test_signature_distinguishes_row_counts(self):
+        blocks = make_blocks()
+        other = make_blocks()
+        other[0] = LinearInequality(
+            a=np.ones((2, 4)), b=np.ones(2)
+        )
+        assert blocks_signature(blocks) != blocks_signature(other)
+        assert blocks_signature(blocks) == blocks_signature(make_blocks(seed=9))
+
+
+class TestWarmStartPath:
+    def test_strictly_feasible_start_skips_phase_one(self, monkeypatch):
+        """A strictly feasible x0 must never enter phase I."""
+        import repro.solver.barrier as barrier_mod
+
+        def boom(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("phase I was entered despite warm start")
+
+        monkeypatch.setattr(barrier_mod, "find_strictly_feasible", boom)
+        blocks = make_blocks()
+        objective = LinearObjective(c=np.ones(4))
+        result = solve_barrier(objective, blocks, np.full(4, 0.5))
+        assert result.ok

@@ -166,6 +166,53 @@ class TestBuild:
             pruned.feasibility_matrix(), full.feasibility_matrix()
         )
 
+    def test_warm_matches_cold(self, small_platform):
+        """Warm-started sweeps agree with cold per-cell solves everywhere:
+        same feasibility decision at every grid cell, and frequencies of
+        feasible cells within 1e-6 relative."""
+        t_grid = [70.0, 85.0, 95.0]
+        f_grid = [mhz(200), mhz(500), mhz(800), mhz(1000)]
+        cold = build_frequency_table(
+            ProTempOptimizer(
+                small_platform, step_subsample=10, accelerated=False
+            ),
+            t_grid, f_grid, warm_start=False,
+        )
+        warm = build_frequency_table(
+            ProTempOptimizer(small_platform, step_subsample=10),
+            t_grid, f_grid,
+        )
+        assert np.array_equal(
+            cold.feasibility_matrix(), warm.feasibility_matrix()
+        )
+        for key, cold_entry in cold.entries.items():
+            if not cold_entry.feasible:
+                continue
+            np.testing.assert_allclose(
+                np.array(warm.entries[key].frequencies),
+                np.array(cold_entry.frequencies),
+                rtol=1e-6,
+                err_msg=f"cell {key}",
+            )
+
+    def test_parallel_matches_serial(self, small_platform):
+        t_grid = [70.0, 85.0, 95.0]
+        f_grid = [mhz(300), mhz(700), mhz(1000)]
+        serial = build_frequency_table(
+            ProTempOptimizer(small_platform, step_subsample=10),
+            t_grid, f_grid,
+        )
+        progress = []
+        parallel = build_frequency_table(
+            ProTempOptimizer(small_platform, step_subsample=10),
+            t_grid, f_grid,
+            n_workers=2,
+            progress=lambda done, total: progress.append((done, total)),
+        )
+        assert progress[-1] == (9, 9)
+        for key, serial_entry in serial.entries.items():
+            assert parallel.entries[key] == serial_entry, key
+
     def test_row_guarantee_against_simulation(self, small_platform):
         """Every feasible cell's frequencies must hold t <= t_max when
         simulated from the cell's start temperature."""

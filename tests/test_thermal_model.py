@@ -134,6 +134,39 @@ class TestDynamics:
         assert np.allclose(traj[3], 45.0, atol=1e-9)
         assert np.all(traj[-1] > 45.0)
 
+    def test_array_fast_path_matches_callable(self, small_model):
+        """The preallocated array-power path must reproduce the callable
+        path exactly, including thinned recording."""
+        rng = np.random.default_rng(7)
+        schedule = rng.uniform(0.0, 3.0, size=(9, 3))
+        for record_every in (1, 2, 4, 9):
+            fast = small_model.simulate(
+                50.0, schedule, 9, record_every=record_every
+            )
+            slow = small_model.simulate(
+                50.0, lambda k: schedule[k], 9, record_every=record_every
+            )
+            np.testing.assert_array_equal(fast, slow)
+        constant = small_model.simulate(50.0, np.ones(3), 7, record_every=3)
+        via_callable = small_model.simulate(
+            50.0, lambda _k: np.ones(3), 7, record_every=3
+        )
+        np.testing.assert_array_equal(constant, via_callable)
+
+    def test_simulate_zero_steps(self, small_model):
+        traj = small_model.simulate(45.0, np.ones(3), 0)
+        assert traj.shape == (1, 3)
+        assert np.allclose(traj[0], 45.0)
+
+    def test_eigen_properties_cached(self, small_model):
+        """max_stable_dt / spectral_radius are computed once and reused."""
+        first = small_model.max_stable_dt
+        assert small_model.max_stable_dt == first
+        assert "max_stable_dt" in small_model.__dict__
+        rho = small_model.spectral_radius
+        assert small_model.spectral_radius == rho
+        assert "spectral_radius" in small_model.__dict__
+
     def test_simulate_bad_args(self, small_model):
         with pytest.raises(ThermalModelError):
             small_model.simulate(45.0, np.ones(3), -1)
