@@ -6,6 +6,7 @@ from repro.core.schedule import ScheduleOptimizer, ScheduleResult
 from repro.core.table import (
     FrequencyTable,
     LookupResult,
+    SweepStrategy,
     TableEntry,
     build_frequency_table,
     quantize_table,
@@ -19,6 +20,7 @@ __all__ = [
     "ScheduleOptimizer",
     "ScheduleResult",
     "StackedConstraints",
+    "SweepStrategy",
     "TableEntry",
     "WindowResponse",
     "build_frequency_table",

@@ -26,7 +26,7 @@ Two assignment modes (paper section 5.3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Literal
 
 import numpy as np
@@ -34,8 +34,17 @@ import numpy as np
 from repro.errors import SolverError
 from repro.core.formulation import StackedConstraints, WindowResponse
 from repro.platform import Platform
-from repro.solver.barrier import BarrierOptions, solve_barrier
-from repro.solver.compiled import CompiledConstraints, blocks_signature
+from repro.solver.barrier import (
+    BarrierOptions,
+    final_stage_weight,
+    solve_barrier,
+    solve_barrier_batch,
+)
+from repro.solver.compiled import (
+    BatchedCompiledConstraints,
+    CompiledConstraints,
+    blocks_signature,
+)
 from repro.solver.newton import NewtonOptions
 from repro.solver.problem import (
     BoxConstraint,
@@ -43,6 +52,7 @@ from repro.solver.problem import (
     LinearObjective,
     NegativeSqrtObjective,
     SqrtSumConstraint,
+    total_constraints,
 )
 from repro.solver.result import SolveStatus
 from repro.solver.scipy_backend import solve_scipy
@@ -56,6 +66,95 @@ POWER_FLOOR = 1e-9
 
 #: Upper bound on the t_grad variable (Celsius); loose, never binding.
 T_GRAD_CEILING = 500.0
+
+#: Feasibility margin for *warm-start acceptance*.  A barrier optimum's
+#: active rows sit at slack ~``1 / (t_final * lambda)`` — order 1e-9 for
+#: this problem family — so a neighbor's optimum generically fails the
+#: solver's default 1e-9 safety margin even though it is a perfectly good
+#: (strictly interior) start.  Warm paths therefore accept any start whose
+#: worst violation is below this much looser threshold: the barrier only
+#: needs slack > 0 to be finite, and the first centering stage immediately
+#: restores a comfortable interior.
+WARM_START_MARGIN = 1e-12
+
+#: Gradient-variable lift applied to every warm start (Celsius).  The
+#: neighbor's optimum has its gradient rows active to ~1e-9 slack (the
+#: gradient objective pins them); starting Newton from such a razor-thin
+#: interior point stalls its line search.  Lifting ``t_grad`` restores a
+#: comfortable slack on every gradient row at zero risk — the variable is
+#: re-optimized immediately.
+WARM_T_GRAD_LIFT = 1.0
+
+#: Relative power shrink applied when a warm start's *thermal* rows are
+#: tight (boundary-limited neighbor cells).  Lowering power loosens every
+#: thermal row (monotonicity); it is only applied when the sqrt constraint
+#: keeps real slack afterwards, which the within-row walk guarantees (the
+#: frequency target just dropped by a grid step).
+WARM_POWER_SHRINK = 1e-3
+
+#: Minimum interior comfort (negative max violation) required before a
+#: warm start may use the accelerated ``warm_schedule`` stage hints.  A
+#: start hugging a wall this closely (e.g. an un-liftable ``t_grad``
+#: under a tight cap) can pin Newton's line search at the hint's high
+#: stage weight; the ordinary full schedule handles such starts safely.
+WARM_HINT_MARGIN = 1e-6
+
+#: Structural subsample of the pairwise-gradient step rows kept by the
+#: pruned pre-solve: every k-th step plus the trailing
+#: :data:`GRADIENT_PRUNE_TAIL` steps of every pair.  The max pairwise
+#: difference is attained at (or within float noise of) the *final* step —
+#: trajectories from a uniform start approach steady state monotonically —
+#: so slack-threshold pruning is the wrong tool here (the steady-state
+#: plateau leaves hundreds of rows within ~0.01 C of the max) while a
+#: step subsample keeps the binding rows exactly.  Any residual violation
+#: of a dropped step row is repaired in closed form by lifting ``t_grad``
+#: before the full-stack polish.
+GRADIENT_PRUNE_SUBSAMPLE = 5
+GRADIENT_PRUNE_TAIL = 3
+
+#: The kept gradient rows of the pruned pre-solve are *tightened* by this
+#: much (Celsius).  The steady-state plateau puts dropped step rows within
+#: ~1e-14 of the kept maximum, so an untightened pruned optimum leaves
+#: them at essentially zero slack and the full-stack polish starts against
+#: the log barrier's 1/slack^2 curvature wall (observed: polish Newton
+#: creeps into its iteration cap).  Tightening biases ``t_grad`` up by
+#: this margin, giving every dropped row comfortable slack while
+#: perturbing the pre-solution by only ~1e-6 — the same order as a normal
+#: barrier stage start, which the polish absorbs in a few iterations.
+GRADIENT_PRUNE_TIGHTEN = 1e-6
+
+
+@dataclass
+class _PruneState:
+    """Per-problem-structure sparse-pruning state.
+
+    Attributes:
+        thermal_rows: rows of the leading (thermal) linear block; these are
+            pruned adaptively by observed slack.
+        gradient_rows: rows of the pairwise-gradient linear block; these
+            are subsampled structurally and tightened by
+            :data:`GRADIENT_PRUNE_TIGHTEN` in the pre-solve.
+        mask: boolean keep-mask over all stacked linear rows (thermal part
+            grows as near-active rows are observed; gradient part is the
+            fixed structural subsample).
+        thermal_seeded: False until a full-stack optimum has seeded the
+            thermal active set (the first cell of a sweep solves unpruned).
+    """
+
+    thermal_rows: int
+    gradient_rows: int
+    mask: np.ndarray
+    thermal_seeded: bool = False
+
+    def kept_gradient_span(self) -> tuple[int, int]:
+        """(start, stop) of the kept gradient rows inside the pruned stack."""
+        kept_thermal = int(self.mask[: self.thermal_rows].sum())
+        kept_gradient = int(
+            self.mask[
+                self.thermal_rows : self.thermal_rows + self.gradient_rows
+            ].sum()
+        )
+        return kept_thermal, kept_thermal + kept_gradient
 
 
 @dataclass(frozen=True)
@@ -132,6 +231,15 @@ class ProTempOptimizer:
             ``gap_tol * f_max`` instead of ``gap_tol`` Hz).  Disable to
             reproduce the cold per-cell cost structure of the original
             implementation (benchmark baselines).
+        prune_slack_margin: slack threshold (Celsius) below which a linear
+            constraint row observed at an optimum is considered
+            "near-active" and retained by the sparse-pruning fast path
+            (see :meth:`solve`'s ``prune``).  The default is deliberately
+            tight: the gradient-minimization objective leaves *many*
+            pairwise-gradient rows clustered within ~0.1 C of active, so a
+            loose margin would retain most of the stack and prune nothing.
+            Larger margins keep more rows (slower, fewer fallbacks); the
+            post-hoc full-stack check makes any value sound.
     """
 
     def __init__(
@@ -147,6 +255,7 @@ class ProTempOptimizer:
         backend: Backend = "barrier",
         barrier_options: BarrierOptions | None = None,
         accelerated: bool = True,
+        prune_slack_margin: float = 0.02,
     ) -> None:
         if mode not in ("variable", "uniform"):
             raise SolverError(f"unknown mode {mode!r}")
@@ -174,17 +283,27 @@ class ProTempOptimizer:
                 newton=NewtonOptions(tol=1e-9, max_iterations=120),
             )
         self.barrier_options = barrier_options
+        # Warm paths accept any numerically interior start (see
+        # WARM_START_MARGIN); all other tolerances are shared.
+        self._warm_options = replace(
+            barrier_options, feasibility_margin=WARM_START_MARGIN
+        )
         self.accelerated = bool(accelerated)
+        if prune_slack_margin <= 0:
+            raise SolverError("prune_slack_margin must be positive")
+        self.prune_slack_margin = float(prune_slack_margin)
         self.response = WindowResponse(
             platform, horizon=horizon, step_subsample=step_subsample
         )
         # Sweep caches (active when `accelerated`): per-start-temperature
-        # constraint data, per-start feasibility boundaries, and compiled
-        # constraint stacks keyed by problem structure.
+        # constraint data, per-start feasibility boundaries, compiled
+        # constraint stacks keyed by problem structure, and the sparse-
+        # pruning active-row masks (rows seen near-active at any optimum).
         self._stacked_cache: dict[object, StackedConstraints] = {}
         self._gradient_cache: dict[object, tuple[np.ndarray, np.ndarray]] = {}
         self._boundary_cache: dict[object, tuple[float, np.ndarray] | None] = {}
         self._compiled_cache: dict[tuple, CompiledConstraints] = {}
+        self._prune_states: dict[tuple, _PruneState] = {}
         self._rows_with_grad: np.ndarray | None = None
         self._grad_rows_matrix: np.ndarray | None = None
 
@@ -250,6 +369,9 @@ class ProTempOptimizer:
         f_target: float,
         *,
         x0: np.ndarray | None = None,
+        warm_from: FrequencyAssignment | None = None,
+        prune: bool = False,
+        warm_schedule: bool = False,
     ) -> FrequencyAssignment:
         """Optimal frequency assignment for one design point.
 
@@ -264,6 +386,26 @@ class ProTempOptimizer:
                 and phase I are skipped entirely; otherwise it is ignored
                 and the cold path runs.  Ignored in uniform mode (closed
                 form).
+            warm_from: richer alternative to `x0`: the full neighboring
+                :class:`FrequencyAssignment`.  Besides supplying the warm
+                vector it identifies the neighbor's design point, which
+                enables the `warm_schedule` duality-gap estimate.  A warm
+                start whose only violation is the gradient variable (a
+                colder row can *raise* some pairwise-gradient offsets) is
+                repaired by lifting ``t_grad`` instead of being dropped.
+            prune: solve against the sparse pruned constraint stack (rows
+                seen near-active at previous optima) and re-check the full
+                stack afterwards, falling back to the full solve — and
+                growing the active set — on any violation.  The accepted
+                result is always *polished* on the full stack at the cold
+                schedule's final barrier weight, so agreement with the
+                unpruned solve is preserved to Newton tolerance.  Only
+                active with the accelerated barrier backend.
+            warm_schedule: start the barrier schedule at
+                ``m / (estimated gap at the warm start)`` — estimated from
+                the neighbor's constraint duals — instead of
+                ``t_initial``, skipping the early centering stages that a
+                near-optimal start does not need.  Requires `warm_from`.
 
         Returns:
             A :class:`FrequencyAssignment` (``feasible=False`` when the
@@ -272,7 +414,14 @@ class ProTempOptimizer:
         self._check_target(f_target)
         if self.mode == "uniform":
             return self._solve_uniform(t_start, f_target)
-        return self._solve_variable(t_start, f_target, x0=x0)
+        return self._solve_variable(
+            t_start,
+            f_target,
+            x0=x0,
+            warm_from=warm_from,
+            prune=prune,
+            warm_schedule=warm_schedule,
+        )
 
     def is_feasible(
         self, t_start: float | np.ndarray, f_target: float
@@ -577,6 +726,9 @@ class ProTempOptimizer:
         t_start: float | np.ndarray,
         f_target: float,
         x0: np.ndarray | None = None,
+        warm_from: FrequencyAssignment | None = None,
+        prune: bool = False,
+        warm_schedule: bool = False,
     ) -> FrequencyAssignment:
         platform = self.platform
         n = platform.n_cores
@@ -588,6 +740,8 @@ class ProTempOptimizer:
             c[n] = self.gradient_weight if self.minimize_gradient else 0.0
         objective = LinearObjective(c=c)
 
+        if x0 is None and warm_from is not None and warm_from.feasible:
+            x0 = warm_from.solver_x
         warm = None
         if x0 is not None:
             warm = np.asarray(x0, dtype=float)
@@ -615,28 +769,50 @@ class ProTempOptimizer:
             result = solve_scipy(objective, blocks, warm)
         else:
             compiled = self._compiled_for(blocks, n_vars)
-            margin = self.barrier_options.feasibility_margin
             result = None
             if warm is not None:
-                warm_violation = (
-                    compiled.max_violation(warm)
-                    if compiled is not None
-                    else max(
-                        float(np.max(block.residuals(warm)))
-                        for block in blocks
-                    )
+                prepared = self._prepare_warm(
+                    blocks, compiled, warm, n_vars, f_target
                 )
-                if warm_violation < -margin:
-                    # Strictly feasible warm start: skip the boundary
+                if prepared is None:
+                    warm = None
+                else:
+                    warm, warm_violation = prepared
+                if warm is not None:
+                    # Numerically interior warm start: skip the boundary
                     # pre-solve and phase I entirely.
-                    result = solve_barrier(
-                        objective, blocks, warm, self.barrier_options,
-                        compiled=compiled,
-                        initial_violation=warm_violation,
-                    )
-                    if not result.ok:
-                        # A stalled warm solve must not misclassify the
-                        # cell: retry on the cold start path below.
+                    hint = None
+                    if (
+                        warm_schedule
+                        and warm_from is not None
+                        and warm_violation < -WARM_HINT_MARGIN
+                    ):
+                        hint = self._warm_stage_hint(
+                            t_start, f_target, warm_from, blocks,
+                            compiled, warm,
+                        )
+                    if prune and compiled is not None:
+                        result = self._solve_pruned(
+                            t_start, objective, blocks, compiled, warm,
+                            warm_violation, hint,
+                        )
+                    if result is None:
+                        result = solve_barrier(
+                            objective, blocks, warm, self._warm_options,
+                            compiled=compiled,
+                            initial_violation=warm_violation,
+                            t_start_hint=hint,
+                        )
+                        if not result.ok:
+                            # A stalled warm solve must not misclassify the
+                            # cell: retry on the cold start path below.
+                            result = None
+                    if result is not None and not self._plausible_optimum(
+                        result.x, f_target
+                    ):
+                        # A warm solve that silently parked far above the
+                        # frequency requirement is a stall, not an
+                        # optimum; re-solve from the cold start.
                         result = None
             if result is None:
                 boundary = self._max_sqrt_solve(t_start)
@@ -654,9 +830,25 @@ class ProTempOptimizer:
                     objective, blocks, start, self.barrier_options,
                     compiled=compiled,
                 )
+            if prune and compiled is not None and result.ok:
+                self._note_active_rows(
+                    self._prune_state_for(compiled, blocks),
+                    compiled,
+                    result.x,
+                )
         if not result.ok:
             return self._infeasible(t_start, f_target, result.status)
+        return self._assignment_from_result(t_start, f_target, result)
 
+    def _assignment_from_result(
+        self,
+        t_start: float | np.ndarray,
+        f_target: float,
+        result,
+    ) -> FrequencyAssignment:
+        """Recover frequencies, temperatures and metrics from a solve."""
+        platform = self.platform
+        n = platform.n_cores
         p = np.clip(result.x[:n], 0.0, platform.power.p_max)
         frequencies = np.asarray(
             platform.power.scaling.frequency_for_power(p), dtype=float
@@ -680,6 +872,556 @@ class ProTempOptimizer:
             iterations=result.iterations,
             solver_x=np.asarray(result.x, dtype=float).copy(),
         )
+
+    # -- sparse pruning and warm schedules -------------------------------------
+
+    @staticmethod
+    def _violation(blocks: list, compiled, x: np.ndarray) -> float:
+        if compiled is not None:
+            return compiled.max_violation(x)
+        return max(float(np.max(block.residuals(x))) for block in blocks)
+
+    def _prepare_warm(
+        self,
+        blocks: list,
+        compiled,
+        warm: np.ndarray,
+        n_vars: int,
+        f_target: float,
+    ) -> tuple[np.ndarray, float] | None:
+        """Push a neighbor's optimum comfortably into the interior.
+
+        A barrier optimum hugs its active constraints (slack ~1e-9); used
+        raw as a warm start, the log barrier's enormous curvature there
+        stalls Newton's line search.  Two monotone repairs restore a
+        comfortable interior without leaving the feasible set:
+
+        * lift ``t_grad`` (see :data:`WARM_T_GRAD_LIFT`) — also covers the
+          cross-row case where a colder start *raises* some pairwise
+          gradient offsets and the neighbor's ``t_grad`` is slightly
+          infeasible;
+        * when thermal rows remain tight (boundary-limited neighbors),
+          shrink power by :data:`WARM_POWER_SHRINK`, which loosens every
+          thermal row by monotonicity and is attempted only while the
+          sqrt constraint keeps real slack.
+
+        Returns the repaired start and its (negative) max violation, or
+        None when no comfortable interior start could be built (callers
+        fall back to the cold path).
+        """
+        n = self.platform.n_cores
+        margin = self.barrier_options.feasibility_margin
+        with_grad = n_vars == n + 1
+        prepared = warm.copy()
+        violation = self._violation(blocks, compiled, prepared)
+        if with_grad:
+            cap = (
+                self.t_grad_cap
+                if self.t_grad_cap is not None
+                else T_GRAD_CEILING
+            )
+            lifted = (
+                float(prepared[n]) + max(violation, 0.0) + WARM_T_GRAD_LIFT
+            )
+            if lifted < cap:
+                prepared[n] = lifted
+                violation = self._violation(blocks, compiled, prepared)
+        if violation < -margin:
+            return prepared, violation
+        # Thermal rows still tight: shed a little power if the frequency
+        # requirement allows it.
+        weight = self.platform.f_max / np.sqrt(self.platform.power.p_max)
+        shrunk = np.maximum(
+            prepared[:n] * (1.0 - WARM_POWER_SHRINK), POWER_FLOOR * 2.0
+        )
+        sqrt_slack = float(weight * np.sqrt(shrunk).sum()) - n * f_target
+        if sqrt_slack <= n * f_target * 1e-6:
+            return None
+        prepared[:n] = shrunk
+        violation = self._violation(blocks, compiled, prepared)
+        if violation < -margin:
+            return prepared, violation
+        return None
+
+    def _warm_stage_hint(
+        self,
+        t_start: float | np.ndarray,
+        f_target: float,
+        warm_from: FrequencyAssignment,
+        blocks: list,
+        compiled,
+        warm: np.ndarray,
+    ) -> float | None:
+        """Initial barrier weight ``m / (estimated gap at the warm start)``.
+
+        The warm start is the neighbor's optimum, so its suboptimality for
+        *this* cell is first-order the neighbor's constraint duals times
+        the constraint perturbation (sensitivity analysis): the sqrt
+        target moved by ``n * (f_prev - f_new)`` and, across temperature
+        rows, the linear right-hand sides moved by ``b_new - b_prev``.
+        The duals are the barrier estimates ``1 / (t_final * slack)`` at
+        the neighbor's final stage weight — all computable from cached
+        sweep data in a couple of matrix-vector products.
+        """
+        if compiled is None or not np.isscalar(t_start):
+            return None
+        t_prev = warm_from.t_start
+        f_prev = warm_from.f_target
+        opts = self.barrier_options
+        m_new = total_constraints(blocks)
+        m_prev = (
+            m_new
+            - (1 if f_target > 0 else 0)
+            + (1 if f_prev > 0 else 0)
+        )
+        t_prev_final = final_stage_weight(max(m_prev, 1), opts)
+
+        gap = 0.0
+        if float(t_prev) != float(t_start):
+            key = self._start_key(t_prev)
+            if key not in self._stacked_cache:
+                # The neighbor's constraint data has been evicted (or was
+                # never built in this process): no cheap dual estimate.
+                return None
+            b_prev = self._linear_rhs(t_prev)
+            ax = compiled.a @ warm
+            s_prev = np.maximum(b_prev - ax, 1e-12)
+            delta_b = np.maximum(compiled.b - b_prev, 0.0)
+            gap += float(np.sum(delta_b / s_prev)) / t_prev_final
+        if f_target > 0:
+            if f_prev <= 0:
+                # The sqrt constraint did not exist at the neighbor: the
+                # perturbation is a tightening with unknown dual.
+                return None
+            n = self.platform.n_cores
+            weight = self.platform.f_max / np.sqrt(self.platform.power.p_max)
+            sqrt_sum = float(weight * np.sqrt(warm[:n]).sum())
+            s_sqrt = max(sqrt_sum - n * f_prev, 1e-12)
+            gap += max(n * (f_prev - f_target), 0.0) / (
+                t_prev_final * s_sqrt
+            )
+        gap = max(gap, opts.gap_tol)
+        return m_new / gap
+
+    def _linear_rhs(self, t_start: float | np.ndarray) -> np.ndarray:
+        """Stacked linear right-hand sides of the design point `t_start`."""
+        stacked = self._stacked_for(t_start)
+        parts = [self.platform.t_max - stacked.offset]
+        if self.minimize_gradient or self.t_grad_cap is not None:
+            _d, g = self._gradient_rows_for(t_start, stacked)
+            parts.append(-g)
+        return np.concatenate(parts)
+
+    def _prune_state_for(
+        self, compiled: CompiledConstraints, blocks: list
+    ) -> _PruneState:
+        """The pruning state of this problem structure (built on demand).
+
+        The keep-mask starts as: no thermal rows (seeded from the first
+        full-stack optimum), the structural step subsample of the gradient
+        rows, and every row of any other linear block.
+        """
+        state = self._prune_states.get(compiled.signature)
+        if state is not None:
+            return state
+        linear_counts = [
+            block.a.shape[0]
+            for block in blocks
+            if isinstance(block, LinearInequality)
+        ]
+        thermal_rows = linear_counts[0] if linear_counts else 0
+        gradient_rows = 0
+        mask = np.zeros(compiled.a.shape[0], dtype=bool)
+        mask[thermal_rows:] = True
+        if len(linear_counts) > 1:
+            steps = len(self.response.steps)
+            rows = linear_counts[1]
+            if rows % steps == 0:
+                gradient_rows = rows
+                keep = np.zeros(steps, dtype=bool)
+                keep[::GRADIENT_PRUNE_SUBSAMPLE] = True
+                keep[-min(GRADIENT_PRUNE_TAIL, steps):] = True
+                mask[thermal_rows : thermal_rows + gradient_rows] = np.tile(
+                    keep, gradient_rows // steps
+                )
+        state = _PruneState(
+            thermal_rows=thermal_rows,
+            gradient_rows=gradient_rows,
+            mask=mask,
+        )
+        self._prune_states[compiled.signature] = state
+        return state
+
+    def _seed_thermal_from_boundary(
+        self, state: _PruneState, t_start: float | np.ndarray
+    ) -> bool:
+        """Seed the thermal active set from the row's boundary solution.
+
+        The feasibility-boundary solve maximizes power under the thermal
+        cap, so the rows tight at its solution are the natural first guess
+        for the rows that can bind anywhere in the row (lower-power optima
+        run cooler).  Not a guarantee — the post-hoc full-stack check
+        catches any miss — but it lets the very first cell of a sweep run
+        pruned instead of paying a full-stack seed solve.
+        """
+        key = self._start_key(t_start)
+        if key not in self._boundary_cache:
+            return False
+        cached = self._boundary_cache[key]
+        if cached is None:
+            return False
+        _avg, p_star = cached
+        stacked = self._stacked_for(t_start)
+        slacks = (self.platform.t_max - stacked.temperatures(p_star)).ravel()
+        if slacks.size != state.thermal_rows:
+            return False
+        state.mask[: state.thermal_rows] |= slacks < self.prune_slack_margin
+        state.thermal_seeded = True
+        return True
+
+    def _plausible_optimum(self, x: np.ndarray, f_target: float) -> bool:
+        """Cheap necessary optimality condition for warm-path results.
+
+        Power strictly increases with frequency (Eq. 2), so at any true
+        optimum with ``f_target > 0`` the average-frequency constraint is
+        (essentially) active.  A claimed optimum serving well above the
+        requirement is a stalled solve that parked at its start point —
+        seen when a warm start hugs an un-liftable constraint wall.  The
+        check can only reject spuriously in exotic gradient-dominated
+        trade-offs, in which case the caller's cold re-solve returns the
+        same (correct) point, just slower.
+        """
+        if f_target <= 0:
+            return True
+        n = self.platform.n_cores
+        p = np.clip(x[:n], 0.0, self.platform.power.p_max)
+        weight = self.platform.f_max / np.sqrt(self.platform.power.p_max)
+        average = float(weight * np.sqrt(p).sum()) / n
+        return average <= f_target * (1.0 + 1e-6)
+
+    @staticmethod
+    def _nonlinear_violation(blocks: list, x: np.ndarray) -> float:
+        """Worst residual of the non-linear-inequality blocks (box, sqrt)."""
+        worst = -np.inf
+        for block in blocks:
+            if isinstance(block, LinearInequality):
+                continue
+            worst = max(worst, float(np.max(block.residuals(x))))
+        return worst
+
+    def _solve_pruned(
+        self,
+        t_start: float | np.ndarray,
+        objective: LinearObjective,
+        blocks: list,
+        compiled: CompiledConstraints,
+        warm: np.ndarray,
+        warm_violation: float,
+        hint: float | None,
+    ):
+        """Pruned-stack pre-solve plus full-stack polish (or None).
+
+        Soundness: the pruned program is a relaxation, so its optimum is
+        checked against the *full* stack.  A violated thermal row grows
+        the active set and sends the cell down the exact full-stack path;
+        a violated (structurally dropped) gradient step row is repaired in
+        closed form by lifting ``t_grad``, which restores slack on every
+        gradient row and nothing else.  Exactness: the accepted
+        pre-solution is only a *starting point* — it is polished on the
+        full stack at the cold schedule's final barrier weight, so the
+        returned point is the same analytic center a cold solve terminates
+        at (agreement to Newton tolerance, not merely the duality-gap
+        bound).
+        """
+        state = self._prune_state_for(compiled, blocks)
+        if not state.thermal_seeded and not self._seed_thermal_from_boundary(
+            state, t_start
+        ):
+            return None
+        pruned = compiled.prune_linear_rows(state.mask)
+        start, stop = state.kept_gradient_span()
+        pruned_violation = warm_violation
+        if stop > start:
+            # `prune_linear_rows` copied b, so this tightening is local.
+            pruned.b[start:stop] -= GRADIENT_PRUNE_TIGHTEN
+            # The full-stack `warm_violation` no longer bounds the
+            # tightened stack's violation: a warm start whose t_grad lift
+            # was capped can sit within the tightening band and would
+            # crash Newton if claimed strictly feasible.
+            pruned_violation = pruned.max_violation(warm)
+            if pruned_violation >= -self._warm_options.feasibility_margin:
+                return None
+        pruned_blocks = [LinearInequality(pruned.a, pruned.b)] + [
+            block
+            for block in blocks
+            if not isinstance(block, LinearInequality)
+        ]
+        pre = solve_barrier(
+            objective, pruned_blocks, warm, self._warm_options,
+            compiled=pruned,
+            initial_violation=pruned_violation,
+            t_start_hint=hint,
+        )
+        if not pre.ok:
+            return None
+        x_start = self._accept_pruned_solution(
+            state, compiled, blocks, pre.x
+        )
+        if x_start is None:
+            return None
+        polish = solve_barrier(
+            objective, blocks, x_start, self._warm_options,
+            compiled=compiled,
+            initial_violation=compiled.max_violation(x_start),
+            t_start_hint=final_stage_weight(
+                total_constraints(blocks), self._warm_options
+            ),
+        )
+        if not polish.ok:
+            return None
+        polish.iterations += pre.iterations
+        return polish
+
+    def _accept_pruned_solution(
+        self,
+        state: _PruneState,
+        compiled: CompiledConstraints,
+        blocks: list,
+        x: np.ndarray,
+    ) -> np.ndarray | None:
+        """Validate a pruned optimum against the full stack; repair or bail.
+
+        Returns a strictly feasible polish start (possibly with ``t_grad``
+        lifted over a dropped gradient step's violation), or None when the
+        cell must fall back to the exact full-stack solve.
+        """
+        margin = self._warm_options.feasibility_margin
+        slacks = compiled.linear_slacks(x)
+        m_th = state.thermal_rows
+        thermal_violation = (
+            float(-slacks[:m_th].min()) if m_th else -np.inf
+        )
+        other_violation = self._nonlinear_violation(blocks, x)
+        if max(thermal_violation, other_violation) >= -margin:
+            self._note_active_rows(state, compiled, x)
+            return None
+        gradient_violation = (
+            float(-slacks[m_th:].min()) if slacks.size > m_th else -np.inf
+        )
+        if gradient_violation < -margin:
+            return x
+        n = self.platform.n_cores
+        if len(x) != n + 1:
+            return None
+        cap = (
+            self.t_grad_cap if self.t_grad_cap is not None else T_GRAD_CEILING
+        )
+        lifted = x.copy()
+        lifted[n] += gradient_violation + 1e-9
+        if lifted[n] >= cap:
+            return None
+        if compiled.max_violation(lifted) >= -margin:
+            return None
+        return lifted
+
+    def _note_active_rows(
+        self,
+        state: _PruneState,
+        compiled: CompiledConstraints,
+        x: np.ndarray,
+    ) -> None:
+        """Fold thermal rows near-active at `x` into the active set."""
+        if state.thermal_rows:
+            slacks = compiled.linear_slacks(x)[: state.thermal_rows]
+            state.mask[: state.thermal_rows] |= (
+                slacks < self.prune_slack_margin
+            )
+        state.thermal_seeded = True
+
+    # -- batched multi-cell solves ----------------------------------------------
+
+    def solve_batch(
+        self,
+        t_starts: list[float],
+        f_target: float,
+        warm_from: list[FrequencyAssignment | None],
+        *,
+        prune: bool = False,
+        warm_schedule: bool = False,
+    ) -> list[FrequencyAssignment | None]:
+        """Solve several same-column design points against one shared stack.
+
+        The batched counterpart of :meth:`solve` for the table sweep's
+        column walk: all cells share the compiled constraint matrix and
+        the sqrt target, differing only in right-hand sides, so their
+        barriers are evaluated together through
+        `repro.solver.compiled.BatchedCompiledConstraints` (one set of
+        matrix products per Newton iteration for the whole batch).
+
+        Cells the batch cannot serve — no strictly feasible warm start,
+        a failed pruned pre-solve, a stalled stage — come back as ``None``
+        and must be re-solved serially by the caller; results are
+        otherwise identical to per-cell :meth:`solve` calls (the batch
+        runs the same schedule, tolerances and polish).
+
+        Args:
+            t_starts: per-cell starting temperatures (scalars).
+            f_target: the shared frequency target (Hz).
+            warm_from: per-cell neighboring assignments supplying warm
+                starts (None or infeasible entries fall back to serial).
+            prune: per-cell sparse pruning, as in :meth:`solve`.
+            warm_schedule: shared increasing-``t_initial`` schedule (the
+                most conservative of the per-cell estimates).
+
+        Returns:
+            Per-cell :class:`FrequencyAssignment` or ``None``, in order.
+        """
+        batch = len(t_starts)
+        if len(warm_from) != batch:
+            raise SolverError("warm_from must match t_starts in length")
+        results: list[FrequencyAssignment | None] = [None] * batch
+        if (
+            self.mode != "variable"
+            or self.backend != "barrier"
+            or not self.accelerated
+            or batch < 2
+        ):
+            return results
+        self._check_target(f_target)
+        n = self.platform.n_cores
+        opts = self._warm_options
+
+        cells = []
+        for t_start in t_starts:
+            blocks, n_vars = self._variable_blocks(float(t_start), f_target)
+            cells.append((blocks, self._compiled_for(blocks, n_vars)))
+        n_vars = cells[0][1].n_vars
+        with_grad = n_vars == n + 1
+        c = np.ones(n_vars)
+        if with_grad:
+            c[n] = self.gradient_weight if self.minimize_gradient else 0.0
+
+        try:
+            batched = BatchedCompiledConstraints.from_cells(
+                [compiled for _blocks, compiled in cells]
+            )
+        except SolverError:
+            return results
+
+        live = []
+        columns = []
+        comfort = []
+        for j, assignment in enumerate(warm_from):
+            if (
+                assignment is None
+                or not assignment.feasible
+                or assignment.solver_x is None
+            ):
+                continue
+            warm = np.asarray(assignment.solver_x, dtype=float)
+            if warm.shape != (n_vars,):
+                continue
+            prepared = self._prepare_warm(
+                cells[j][0], cells[j][1], warm, n_vars, f_target
+            )
+            if prepared is None:
+                continue
+            live.append(j)
+            columns.append(prepared[0])
+            comfort.append(prepared[1])
+        if len(live) < 2:
+            return results
+        live = np.asarray(live, dtype=int)
+        x = np.column_stack(columns)
+
+        hint = None
+        if warm_schedule:
+            hints = [
+                self._warm_stage_hint(
+                    float(t_starts[j]), f_target, warm_from[j],
+                    cells[j][0], cells[j][1], x[:, k],
+                )
+                if comfort[k] < -WARM_HINT_MARGIN
+                else None
+                for k, j in enumerate(live)
+            ]
+            if all(h is not None for h in hints):
+                hint = min(hints)
+
+        solved: list = []
+        pre_iterations = np.zeros(live.size, dtype=int)
+        state = (
+            self._prune_state_for(cells[0][1], cells[0][0]) if prune else None
+        )
+        if state is not None and not state.thermal_seeded:
+            for t_start in t_starts:
+                self._seed_thermal_from_boundary(state, float(t_start))
+        try:
+            if state is not None and state.thermal_seeded:
+                pruned = batched.prune_linear_rows(state.mask).select(live)
+                start, stop = state.kept_gradient_span()
+                if stop > start:
+                    # Row-mask then column indexing both copied b.
+                    pruned.b[start:stop, :] -= GRADIENT_PRUNE_TIGHTEN
+                # A column whose capped t_grad lift left it inside the
+                # tightening band would abort the whole batched solve;
+                # filter it to the serial fallback and keep the rest.
+                interior = (
+                    pruned.max_violation(x, np.arange(live.size))
+                    < -opts.feasibility_margin
+                )
+                if not bool(interior.all()):
+                    live = live[interior]
+                    x = x[:, interior]
+                    if live.size == 0:
+                        return results
+                    pruned = pruned.select(np.nonzero(interior)[0])
+                pre = solve_barrier_batch(
+                    c, pruned, x, opts, t_start_hint=hint
+                )
+                keep: list[int] = []
+                columns = []
+                kept_iterations = []
+                for k, result in enumerate(pre):
+                    j = int(live[k])
+                    start = (
+                        self._accept_pruned_solution(
+                            state, cells[j][1], cells[j][0], result.x
+                        )
+                        if result.ok
+                        else None
+                    )
+                    if start is None:
+                        # Dropped rows bind for this cell: the serial
+                        # fallback takes it (the active set has grown).
+                        continue
+                    keep.append(j)
+                    columns.append(start)
+                    kept_iterations.append(result.iterations)
+                if not keep:
+                    return results
+                live = np.asarray(keep, dtype=int)
+                x = np.column_stack(columns)
+                pre_iterations = np.asarray(kept_iterations, dtype=int)
+                hint = final_stage_weight(batched.count(), opts)
+            solved = solve_barrier_batch(
+                c, batched.select(live), x, opts, t_start_hint=hint
+            )
+        except SolverError:
+            return results
+
+        for k, (j, result) in enumerate(zip(live, solved)):
+            if not result.ok or not self._plausible_optimum(
+                result.x, f_target
+            ):
+                continue
+            result.iterations += int(pre_iterations[k])
+            if state is not None:
+                self._note_active_rows(state, cells[j][1], result.x)
+            results[j] = self._assignment_from_result(
+                float(t_starts[j]), f_target, result
+            )
+        return results
 
     # -- helpers ---------------------------------------------------------------
 

@@ -7,45 +7,88 @@ management unit:
 
 1. measures the maximum core temperature and rounds it **up** to the next
    grid row (safe by trajectory monotonicity — see
-   `repro.thermal.model.ThermalModel.is_monotone`);
+   `repro.thermal.model.ThermalModel.is_monotone`).  A measurement within
+   :data:`GRID_SNAP_TOLERANCE` Celsius *above* a grid row is treated as
+   sitting on that row (sensor/float noise must not force the next-hotter
+   row's more conservative cell);
 2. rounds the required average frequency **up** to the next grid column
-   (serving at least the demanded performance);
+   (serving at least the demanded performance), with the same snap rule
+   applied *relatively* (``GRID_SNAP_TOLERANCE * max(1, |f|)``, since
+   frequencies live on a ~1e9 Hz scale where an absolute 1e-9 would never
+   trigger).  A demand above the top column is served *at* the top column
+   — less than demanded — and the result carries ``demand_clamped=True``
+   so the caller can see the shortfall;
 3. if that cell is infeasible, walks **down** the frequency columns until a
    feasible cell is found ("the unit chooses the next lower frequency point
    in the table that can support the temperature constraints");
-4. if no column is feasible — or the temperature exceeds the top grid row —
-   the cores are shut down for the window (zero frequency), the maximally
-   safe fallback.
+4. if no column is feasible — or the temperature exceeds the top grid row
+   by more than the snap tolerance — the cores are shut down for the
+   window (zero frequency), the maximally safe fallback.
 
-**Sweep performance.**  :func:`build_frequency_table` walks each
-temperature row from the *highest* frequency column downward and
-warm-starts every cell from its feasible right-neighbor's raw solver
-vector.  This is sound: lowering ``f_target`` only loosens the sqrt
-average-frequency constraint while every other constraint is unchanged, so
-the neighbor's optimum (strictly interior at a barrier optimum) stays
-strictly feasible and phase I plus the per-cell feasibility-boundary
-pre-solve are skipped (see `repro.solver.barrier.solve_barrier` and
-`repro.core.protemp.ProTempOptimizer`, which additionally shares one
-compiled constraint stack across all cells).  Temperature rows are
-mutually independent, so ``n_workers > 1`` optionally distributes whole
-rows over a process pool; results are identical to the serial sweep.
-``benchmarks/bench_table_generation.py`` tracks the measured speedups.
+**Sweep strategies.**  :func:`build_frequency_table` drives the sweep
+through an explicit :class:`SweepStrategy` — row order, warm-start policy,
+constraint pruning and batching are independent switches rather than
+interleaved flags:
+
+* *within-row warm starts* (``warm_start``) — each row is walked from the
+  highest frequency column downward and every cell warm-starts from its
+  feasible right-neighbor's raw solver vector.  Sound because lowering
+  ``f_target`` only loosens the sqrt average-frequency constraint, so the
+  neighbor's (strictly interior) optimum stays strictly feasible and both
+  phase I and the per-cell boundary pre-solve are skipped;
+* *cross-row warm starts* (``cross_row_warm_start``, requires
+  ``row_order="hot-first"``) — rows are walked hottest first and a row's
+  first feasible cell warm-starts from the hotter row's same-column
+  optimum.  Thermal monotonicity makes that start strictly feasible for
+  every temperature row (a colder start lowers every offset); only the
+  pairwise-gradient offsets can move the other way, which the optimizer
+  repairs by lifting the ``t_grad`` component (see
+  `repro.core.protemp.ProTempOptimizer.solve`);
+* *sparse constraint pruning* (``prune_constraints``) — cells solve
+  against only the linear rows seen near-active at previous optima (most
+  thermal step rows never are), then the full stack re-checks the result:
+  any violation grows the active set and falls back to the exact path,
+  and accepted solutions are polished on the full stack at the cold
+  schedule's final barrier weight, so agreement with unpruned solves is
+  preserved to Newton tolerance;
+* *warm barrier schedules* (``warm_schedule``) — warm-started cells begin
+  the barrier schedule at ``m / (estimated duality gap)`` instead of
+  ``t_initial``, skipping centering stages a near-optimal start does not
+  need (the start weight is snapped to the cold schedule's geometric grid
+  so both paths finish at the same analytic center);
+* *batched multi-cell solves* (``batch_rows``) — the sweep walks columns
+  instead of rows and solves every temperature row's cell of a column in
+  lockstep against one shared constraint matrix
+  (`repro.core.protemp.ProTempOptimizer.solve_batch`);
+* *row parallelism* (``n_workers``) — temperature rows are independent
+  (unless cross-row warm starts tie them together), so whole rows can be
+  distributed over a process pool with identical results.
+
+``benchmarks/bench_table_generation.py`` tracks the measured speedups of
+each strategy against the cold per-cell baseline.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 from bisect import bisect_left
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Literal
 
 import numpy as np
 
 from repro.errors import TableError
 from repro.core.protemp import FrequencyAssignment, ProTempOptimizer
+from repro.thermal.constants import PAPER_DFS_PERIOD
+
+#: Measurements this close to a grid line count as *on* it.  Absolute
+#: (Celsius) for temperature rows; scaled by ``max(1, |f|)`` for frequency
+#: columns (relative on the Hz scale).  See the module docstring.
+GRID_SNAP_TOLERANCE = 1e-9
 
 
 @dataclass(frozen=True)
@@ -95,12 +138,100 @@ class LookupResult:
         satisfied_target: the grid frequency actually served (Hz); may be
             below the requested one when the controller had to back off.
         shutdown: True when the fallback (all cores off) was taken.
+        demand_clamped: True when `f_required` exceeded the table's top
+            frequency column (beyond the snap tolerance), i.e. the served
+            performance is below the demand even before any thermal
+            backoff.
     """
 
     frequencies: np.ndarray
     entry: TableEntry | None
     satisfied_target: float
     shutdown: bool
+    demand_clamped: bool = False
+
+
+@dataclass(frozen=True)
+class SweepStrategy:
+    """Explicit Phase-1 sweep policy (see the module docstring).
+
+    Attributes:
+        row_order: ``"ascending"`` walks temperature rows cold to hot (the
+            grid order); ``"hot-first"`` walks hottest first, which
+            cross-row warm starts require.
+        warm_start: warm-start each cell from its feasible right-neighbor.
+        cross_row_warm_start: warm-start a row's leading cells from the
+            hotter row's same-column optimum (requires ``hot-first`` order
+            and serial rows).
+        prune_feasibility: compute each row's feasibility boundary first
+            (one convex solve per row) and mark cells above it infeasible
+            without running the full optimization.
+        prune_constraints: solve against the sparse near-active constraint
+            stack with a full-stack re-check and polish.
+        warm_schedule: start warm-started barrier solves at an estimated-
+            gap weight instead of ``t_initial``.
+        batch_rows: walk columns and solve all temperature rows of a
+            column in one batched solve (requires warm starts; serial).
+        n_workers: when > 1, distribute temperature rows over a process
+            pool of this size (incompatible with cross-row warm starts
+            and batching, which order cells across rows).
+    """
+
+    row_order: Literal["ascending", "hot-first"] = "ascending"
+    warm_start: bool = True
+    cross_row_warm_start: bool = False
+    prune_feasibility: bool = True
+    prune_constraints: bool = False
+    warm_schedule: bool = False
+    batch_rows: bool = False
+    n_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.row_order not in ("ascending", "hot-first"):
+            raise TableError(f"unknown row_order {self.row_order!r}")
+        parallel = self.n_workers is not None and self.n_workers > 1
+        if self.cross_row_warm_start:
+            if self.row_order != "hot-first":
+                raise TableError(
+                    "cross-row warm starts require row_order='hot-first' "
+                    "(a hotter row's optimum is only guaranteed feasible "
+                    "for colder rows)"
+                )
+            if parallel or self.batch_rows:
+                raise TableError(
+                    "cross-row warm starts order rows sequentially and "
+                    "cannot combine with n_workers or batch_rows"
+                )
+        if self.batch_rows:
+            if parallel:
+                raise TableError("batch_rows cannot combine with n_workers")
+            if not self.warm_start:
+                raise TableError("batch_rows requires warm_start")
+
+    @classmethod
+    def preset(cls, name: str) -> "SweepStrategy":
+        """Named strategies: cold, warm, gen2, gen2-batched."""
+        presets = {
+            "cold": cls(warm_start=False),
+            "warm": cls(),
+            "gen2": cls(
+                row_order="hot-first",
+                cross_row_warm_start=True,
+                prune_constraints=True,
+                warm_schedule=True,
+            ),
+            "gen2-batched": cls(
+                prune_constraints=True,
+                warm_schedule=True,
+                batch_rows=True,
+            ),
+        }
+        if name not in presets:
+            raise TableError(
+                f"unknown sweep strategy {name!r}; "
+                f"choose from {sorted(presets)}"
+            )
+        return presets[name]
 
 
 class FrequencyTable:
@@ -113,6 +244,11 @@ class FrequencyTable:
             full grid.
         n_cores: number of cores the vectors apply to.
         metadata: free-form provenance (platform name, horizon, mode...).
+
+    Raises:
+        TableError: on malformed grids, missing cells, or any NaN in an
+            entry's numeric fields (NaN has no JSON representation and no
+            meaningful lookup semantics, so it is rejected at build time).
     """
 
     def __init__(
@@ -131,6 +267,17 @@ class FrequencyTable:
             for fi in range(len(f_grid)):
                 if (ti, fi) not in entries:
                     raise TableError(f"missing table entry ({ti}, {fi})")
+        for key, entry in entries.items():
+            fields = (
+                entry.t_start,
+                entry.f_target,
+                entry.total_power,
+                entry.predicted_peak,
+                entry.predicted_gradient,
+                *entry.frequencies,
+            )
+            if any(math.isnan(float(v)) for v in fields):
+                raise TableError(f"table entry {key} contains NaN")
         self.t_grid = [float(t) for t in t_grid]
         self.f_grid = [float(f) for f in f_grid]
         self.entries = dict(entries)
@@ -139,8 +286,23 @@ class FrequencyTable:
 
     # -- lookup -----------------------------------------------------------
 
+    def _row_index(self, t_current: float) -> int | None:
+        """Grid row covering `t_current` (rounded up), or None when above
+        the top row by more than the snap tolerance."""
+        ti = bisect_left(self.t_grid, t_current - GRID_SNAP_TOLERANCE)
+        return ti if ti < len(self.t_grid) else None
+
+    def _column_index(self, f_required: float) -> tuple[int, bool]:
+        """Grid column covering `f_required` (rounded up) and whether the
+        demand had to be clamped to the top column."""
+        tolerance = GRID_SNAP_TOLERANCE * max(1.0, abs(f_required))
+        fi = bisect_left(self.f_grid, f_required - tolerance)
+        if fi >= len(self.f_grid):
+            return len(self.f_grid) - 1, True
+        return fi, False
+
     def lookup(self, t_current: float, f_required: float) -> LookupResult:
-        """Run-time lookup (see module docstring for the semantics).
+        """Run-time lookup (see module docstring for the exact semantics).
 
         Args:
             t_current: current maximum core temperature (Celsius).
@@ -148,13 +310,13 @@ class FrequencyTable:
 
         Returns:
             A :class:`LookupResult`; `shutdown` is True when no feasible
-            cell exists for this temperature.
+            cell exists for this temperature, `demand_clamped` when the
+            demand exceeded the table's top frequency column.
         """
-        ti = bisect_left(self.t_grid, t_current - 1e-9)
-        if ti >= len(self.t_grid):
-            return self._shutdown()
-        fi = bisect_left(self.f_grid, f_required - 1e-9)
-        fi = min(fi, len(self.f_grid) - 1)
+        fi, demand_clamped = self._column_index(f_required)
+        ti = self._row_index(t_current)
+        if ti is None:
+            return self._shutdown(demand_clamped)
         while fi >= 0:
             entry = self.entries[(ti, fi)]
             if entry.feasible:
@@ -163,16 +325,18 @@ class FrequencyTable:
                     entry=entry,
                     satisfied_target=self.f_grid[fi],
                     shutdown=False,
+                    demand_clamped=demand_clamped,
                 )
             fi -= 1
-        return self._shutdown()
+        return self._shutdown(demand_clamped)
 
-    def _shutdown(self) -> LookupResult:
+    def _shutdown(self, demand_clamped: bool = False) -> LookupResult:
         return LookupResult(
             frequencies=np.zeros(self.n_cores),
             entry=None,
             satisfied_target=0.0,
             shutdown=True,
+            demand_clamped=demand_clamped,
         )
 
     # -- views ------------------------------------------------------------------
@@ -182,8 +346,8 @@ class FrequencyTable:
 
         Returns 0.0 when no column is feasible (shutdown row).
         """
-        ti = bisect_left(self.t_grid, t_start - 1e-9)
-        if ti >= len(self.t_grid):
+        ti = self._row_index(t_start)
+        if ti is None:
             return 0.0
         for fi in reversed(range(len(self.f_grid))):
             if self.entries[(ti, fi)].feasible:
@@ -266,8 +430,15 @@ class FrequencyTable:
             raise TableError(f"malformed table data: {exc}") from exc
 
     def save_json(self, path: str | Path) -> None:
-        """Write the table to a JSON file."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+        """Write the table to a JSON file (strict standard JSON).
+
+        ``allow_nan=False`` guards against the non-standard ``NaN`` /
+        ``Infinity`` literals `json.dumps` would otherwise emit: every
+        non-finite value must have gone through :func:`_json_float`.
+        """
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=1, allow_nan=False)
+        )
 
     @classmethod
     def load_json(cls, path: str | Path) -> "FrequencyTable":
@@ -276,7 +447,10 @@ class FrequencyTable:
 
 
 def quantize_table(
-    table: FrequencyTable, ladder: "FrequencyLadder"
+    table: FrequencyTable,
+    ladder: "FrequencyLadder",
+    *,
+    platform: "Platform | None" = None,
 ) -> FrequencyTable:
     """Snap every stored frequency down to a discrete hardware ladder.
 
@@ -284,6 +458,24 @@ def quantize_table(
     continuous optimizer output must be quantized.  Rounding **down** keeps
     the table's guarantee intact: lower frequency means lower power (Eq. 2)
     and, by the thermal model's monotonicity, lower temperatures everywhere.
+
+    The stored metrics are made to match the stored (quantized)
+    frequencies rather than copied from the continuous entry:
+
+    * ``total_power`` is recomputed from the quantized vector via Eq. 2 —
+      exactly, through the platform's power model when `platform` is
+      given, otherwise by the quadratic rescale
+      ``total * sum(f_q^2) / sum(f_c^2)`` (equivalent under Eq. 2);
+    * with `platform`, ``predicted_peak`` and ``predicted_gradient`` are
+      re-simulated over the table's horizon from the quantized powers
+      (every step, so the peak is at least as tight as the optimizer's
+      subsampled prediction) and the metadata records
+      ``"quantized_metrics": "resimulated"``;
+    * without `platform`, the continuous peak is carried as a valid
+      **upper bound** (all powers only decreased) and the metadata records
+      ``"quantized_metrics": "carried_upper_bound"``.  The carried
+      gradient is only approximate — per-core flooring can widen pairwise
+      differences — so pass `platform` when exact gradients matter.
 
     Cells whose quantized vector would be all-zero (every frequency below
     the lowest ladder level and the ladder's floor clamps upward) are kept
@@ -293,10 +485,11 @@ def quantize_table(
     Args:
         table: a Phase-1 table with continuous frequencies.
         ladder: the hardware's discrete frequency levels.
+        platform: optional platform for exact metric recomputation.
 
     Returns:
         A new :class:`FrequencyTable`; grids and metadata are preserved
-        (with a ``"quantized"`` marker added).
+        (with ``"quantized"`` / ``"quantized_metrics"`` markers added).
     """
     from repro.power.dvfs import FrequencyLadder  # local: avoid cycle
 
@@ -327,17 +520,38 @@ def quantize_table(
                 predicted_gradient=np.inf,
             )
             continue
+        quantized_f = np.asarray(quantized, dtype=float)
+        if platform is not None:
+            core_power = np.asarray(
+                platform.power.scaling.power(quantized_f), dtype=float
+            )
+            total_power = float(core_power.sum())
+            peak, gradient = _simulated_metrics(
+                platform, table, entry.t_start, core_power
+            )
+        else:
+            continuous_f = np.asarray(entry.frequencies, dtype=float)
+            # Eq. 2 makes per-core power quadratic in frequency, so the
+            # quantized total is the continuous one rescaled by the
+            # frequency-square ratio — no power model needed.
+            total_power = entry.total_power * float(
+                np.sum(quantized_f**2) / np.sum(continuous_f**2)
+            )
+            peak, gradient = entry.predicted_peak, entry.predicted_gradient
         entries[key] = TableEntry(
             t_start=entry.t_start,
             f_target=entry.f_target,
             feasible=True,
-            frequencies=tuple(quantized),
-            total_power=entry.total_power,
-            predicted_peak=entry.predicted_peak,
-            predicted_gradient=entry.predicted_gradient,
+            frequencies=tuple(float(f) for f in quantized_f),
+            total_power=total_power,
+            predicted_peak=peak,
+            predicted_gradient=gradient,
         )
     metadata = dict(table.metadata)
     metadata["quantized"] = [float(level) for level in ladder.levels]
+    metadata["quantized_metrics"] = (
+        "resimulated" if platform is not None else "carried_upper_bound"
+    )
     return FrequencyTable(
         t_grid=table.t_grid,
         f_grid=table.f_grid,
@@ -347,12 +561,53 @@ def quantize_table(
     )
 
 
+def _simulated_metrics(
+    platform: "Platform",
+    table: FrequencyTable,
+    t_start: float,
+    core_power: np.ndarray,
+) -> tuple[float, float]:
+    """Peak and max pairwise core gradient over the table's window."""
+    horizon = float(table.metadata.get("horizon_s", PAPER_DFS_PERIOD))
+    node_power = platform.power.injection_matrix() @ core_power
+    n_steps = max(int(round(horizon / platform.thermal.dt)), 1)
+    trajectory = platform.thermal.simulate(t_start, node_power, n_steps)
+    steps = trajectory[1:]
+    core_temps = steps[:, platform.core_indices]
+    gradient = float(
+        np.max(core_temps.max(axis=1) - core_temps.min(axis=1))
+    )
+    return float(steps.max()), gradient
+
+
 def _json_float(value: float) -> float | str:
-    return "inf" if np.isinf(value) else float(value)
+    """JSON encoding of a float: finite as-is, ``±inf`` as signed strings.
+
+    NaN is rejected — it has no standard JSON representation
+    (``json.dumps`` would emit the non-standard ``NaN`` literal) and the
+    table constructor already refuses it, so reaching one here is a bug.
+    """
+    value = float(value)
+    if math.isnan(value):
+        raise TableError("NaN is not representable in a frequency table")
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
 
 
 def _parse_float(value: float | str) -> float:
-    return np.inf if value == "inf" else float(value)
+    """Inverse of :func:`_json_float` (strict: rejects NaN and unknown
+    string encodings instead of letting them leak into lookups)."""
+    if isinstance(value, str):
+        if value == "inf":
+            return np.inf
+        if value == "-inf":
+            return -np.inf
+        raise TableError(f"unrecognized float encoding {value!r}")
+    result = float(value)
+    if math.isnan(result):
+        raise TableError("NaN is not allowed in a frequency table")
+    return result
 
 
 def _infeasible_entry(
@@ -373,40 +628,118 @@ def _build_row(
     optimizer: ProTempOptimizer,
     t_start: float,
     f_grid: list[float],
-    prune_infeasible: bool,
-    warm_start: bool,
+    strategy: SweepStrategy,
+    hotter_row: dict[int, FrequencyAssignment] | None = None,
     on_cell: Callable[[], None] | None = None,
-) -> dict[int, TableEntry]:
+) -> tuple[dict[int, TableEntry], dict[int, FrequencyAssignment]]:
     """Solve one temperature row, walking frequency columns high to low.
 
     Walking downward lets each cell warm-start from its right-neighbor's
-    optimum: lowering ``f_target`` only loosens the average-frequency
-    constraint, so the neighbor's (strictly interior) optimum remains
-    strictly feasible and both phase I and the per-cell boundary pre-solve
-    are skipped.  Module-level so rows can be dispatched to worker
-    processes.
+    optimum; a cell without a feasible right-neighbor (the row's leading
+    feasible column) falls back to the hotter row's same-column optimum
+    when cross-row warm starts are enabled.  Module-level so rows can be
+    dispatched to worker processes; returns the row's assignments alongside
+    its entries so the next (colder) row can warm-start from them.
     """
     n_cores = optimizer.platform.n_cores
     row: dict[int, TableEntry] = {}
+    assignments: dict[int, FrequencyAssignment] = {}
     boundary = (
-        optimizer.max_feasible_target(t_start) if prune_infeasible else None
+        optimizer.max_feasible_target(t_start)
+        if strategy.prune_feasibility
+        else None
     )
-    prev_x = None
+    prev: FrequencyAssignment | None = None
     for fi in reversed(range(len(f_grid))):
         f_target = f_grid[fi]
         if boundary is not None and f_target > boundary:
             row[fi] = _infeasible_entry(t_start, f_target, n_cores)
         else:
-            assignment = optimizer.solve(t_start, f_target, x0=prev_x)
-            row[fi] = TableEntry.from_assignment(assignment)
-            prev_x = (
-                assignment.solver_x
-                if warm_start and assignment.feasible
-                else None
+            warm = prev if strategy.warm_start else None
+            if (
+                (warm is None or not warm.feasible)
+                and strategy.cross_row_warm_start
+                and hotter_row is not None
+            ):
+                hotter = hotter_row.get(fi)
+                if hotter is not None and hotter.feasible:
+                    warm = hotter
+            assignment = optimizer.solve(
+                t_start,
+                f_target,
+                warm_from=warm,
+                prune=strategy.prune_constraints,
+                warm_schedule=strategy.warm_schedule,
             )
+            row[fi] = TableEntry.from_assignment(assignment)
+            assignments[fi] = assignment
+            prev = assignment if strategy.warm_start else None
         if on_cell is not None:
             on_cell()
-    return row
+    return row, assignments
+
+
+def _sweep_batched(
+    optimizer: ProTempOptimizer,
+    t_grid: list[float],
+    f_grid: list[float],
+    strategy: SweepStrategy,
+    tick: Callable[[], None],
+) -> dict[tuple[int, int], TableEntry]:
+    """Column-major sweep solving all temperature rows of a column at once.
+
+    Each cell still warm-starts from its own row's right-neighbor; the
+    batch simply advances every row's cell of one column in lockstep
+    through the shared constraint stack.  Cells the batch cannot serve
+    (no feasible warm start, pruning fallback) are re-solved serially, so
+    the result is identical to the serial sweep.
+    """
+    n_cores = optimizer.platform.n_cores
+    entries: dict[tuple[int, int], TableEntry] = {}
+    boundaries = [
+        optimizer.max_feasible_target(t_start)
+        if strategy.prune_feasibility
+        else None
+        for t_start in t_grid
+    ]
+    previous: dict[int, FrequencyAssignment] = {}
+    for fi in reversed(range(len(f_grid))):
+        f_target = f_grid[fi]
+        active: list[int] = []
+        for ti, t_start in enumerate(t_grid):
+            if boundaries[ti] is not None and f_target > boundaries[ti]:
+                entries[(ti, fi)] = _infeasible_entry(
+                    t_start, f_target, n_cores
+                )
+                tick()
+            else:
+                active.append(ti)
+        if not active:
+            continue
+        warms = [previous.get(ti) for ti in active]
+        batch = optimizer.solve_batch(
+            [t_grid[ti] for ti in active],
+            f_target,
+            warms,
+            prune=strategy.prune_constraints,
+            warm_schedule=strategy.warm_schedule,
+        )
+        for ti, warm, assignment in zip(active, warms, batch):
+            if assignment is None:
+                assignment = optimizer.solve(
+                    t_grid[ti],
+                    f_target,
+                    warm_from=warm,
+                    prune=strategy.prune_constraints,
+                    warm_schedule=strategy.warm_schedule,
+                )
+            entries[(ti, fi)] = TableEntry.from_assignment(assignment)
+            if assignment.feasible:
+                previous[ti] = assignment
+            else:
+                previous.pop(ti, None)
+            tick()
+    return entries
 
 
 def build_frequency_table(
@@ -414,9 +747,10 @@ def build_frequency_table(
     t_grid: list[float],
     f_grid: list[float],
     *,
+    strategy: SweepStrategy | str | None = None,
     progress: Callable[[int, int], None] | None = None,
-    prune_infeasible: bool = True,
-    warm_start: bool = True,
+    prune_infeasible: bool | None = None,
+    warm_start: bool | None = None,
     n_workers: int | None = None,
 ) -> FrequencyTable:
     """Run Phase 1: solve every grid point and assemble the table.
@@ -425,63 +759,100 @@ def build_frequency_table(
         optimizer: configured :class:`ProTempOptimizer`.
         t_grid: starting temperatures (Celsius), strictly increasing.
         f_grid: average-frequency targets (Hz), strictly increasing.
+        strategy: a :class:`SweepStrategy`, a preset name (``"cold"``,
+            ``"warm"``, ``"gen2"``, ``"gen2-batched"``), or None to build
+            one from the legacy keyword flags below.
         progress: optional callback ``(done, total)`` for long sweeps
-            (per cell when serial, per completed row when parallel).
-        prune_infeasible: compute each row's feasibility boundary first
-            (one convex solve) and mark cells above it infeasible without
-            running the full optimization.  Sound because feasibility is
-            monotone in the frequency target — raising the target only
-            tightens Eq. 3 — and it skips exactly the cells whose phase-I
-            certification is slowest.
-        warm_start: warm-start each cell from its feasible higher-frequency
-            neighbor (see :func:`_build_row`); disable to reproduce the
-            cold per-cell solve of the paper's Phase-1 cost model.
-        n_workers: when > 1, distribute temperature rows over a process
-            pool of this size.  Rows are independent, so the result is
-            identical to the serial sweep.
+            (per cell when serial or batched, per completed row when
+            parallel).
+        prune_infeasible: legacy flag (default True) — maps to
+            ``SweepStrategy.prune_feasibility``; only valid when
+            `strategy` is None.
+        warm_start: legacy flag (default True) — maps to
+            ``SweepStrategy.warm_start``; only valid when `strategy` is
+            None.
+        n_workers: legacy flag — maps to ``SweepStrategy.n_workers``;
+            only valid when `strategy` is None.
 
     Returns:
         The assembled :class:`FrequencyTable`.
+
+    Raises:
+        TableError: when both `strategy` and a legacy flag are given (the
+            flags would be silently ignored otherwise — set the
+            corresponding :class:`SweepStrategy` field instead).
     """
+    if strategy is None:
+        strategy = SweepStrategy(
+            prune_feasibility=(
+                True if prune_infeasible is None else prune_infeasible
+            ),
+            warm_start=True if warm_start is None else warm_start,
+            n_workers=n_workers,
+        )
+    else:
+        if (
+            prune_infeasible is not None
+            or warm_start is not None
+            or n_workers is not None
+        ):
+            raise TableError(
+                "pass sweep options either via `strategy` or via the "
+                "legacy keywords (prune_infeasible / warm_start / "
+                "n_workers), not both"
+            )
+        if isinstance(strategy, str):
+            strategy = SweepStrategy.preset(strategy)
     entries: dict[tuple[int, int], TableEntry] = {}
     total = len(t_grid) * len(f_grid)
-    if n_workers is not None and n_workers > 1 and len(t_grid) > 1:
-        workers = min(n_workers, len(t_grid), os.cpu_count() or 1)
-        done = 0
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+    done = 0
+
+    def tick() -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, total)
+
+    workers = strategy.n_workers
+    if strategy.batch_rows:
+        entries = _sweep_batched(
+            optimizer, list(t_grid), list(f_grid), strategy, tick
+        )
+    elif workers is not None and workers > 1 and len(t_grid) > 1:
+        pool_size = min(workers, len(t_grid), os.cpu_count() or 1)
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
             futures = [
                 pool.submit(
-                    _build_row,
-                    optimizer,
-                    t_start,
-                    list(f_grid),
-                    prune_infeasible,
-                    warm_start,
+                    _build_row, optimizer, t_start, list(f_grid), strategy
                 )
                 for t_start in t_grid
             ]
             for ti, future in enumerate(futures):
-                for fi, entry in future.result().items():
+                row, _assignments = future.result()
+                for fi, entry in row.items():
                     entries[(ti, fi)] = entry
                 done += len(f_grid)
                 if progress is not None:
                     progress(done, total)
     else:
-        done = 0
-
-        def tick() -> None:
-            nonlocal done
-            done += 1
-            if progress is not None:
-                progress(done, total)
-
-        for ti, t_start in enumerate(t_grid):
-            row = _build_row(
-                optimizer, t_start, list(f_grid), prune_infeasible,
-                warm_start, on_cell=tick,
+        order = (
+            list(reversed(range(len(t_grid))))
+            if strategy.row_order == "hot-first"
+            else list(range(len(t_grid)))
+        )
+        hotter: dict[int, FrequencyAssignment] | None = None
+        for ti in order:
+            row, assignments = _build_row(
+                optimizer,
+                t_grid[ti],
+                list(f_grid),
+                strategy,
+                hotter_row=hotter if strategy.cross_row_warm_start else None,
+                on_cell=tick,
             )
             for fi, entry in row.items():
                 entries[(ti, fi)] = entry
+            hotter = assignments
     platform = optimizer.platform
     return FrequencyTable(
         t_grid=list(t_grid),
@@ -494,5 +865,6 @@ def build_frequency_table(
             "horizon_s": optimizer.response.horizon,
             "t_max": platform.t_max,
             "f_max": platform.f_max,
+            "p_max": platform.power.p_max,
         },
     )

@@ -27,6 +27,21 @@ This is what makes Phase-1 table sweeps fast: across a
 (temperature x frequency) grid only the RHS offsets and the sqrt target
 change, so the matrix stack is compiled once per sweep and shared by every
 cell (see `repro.core.protemp.ProTempOptimizer`).
+
+Two further sweep fast paths build on the stacked form:
+
+* **Sparse row pruning** — :meth:`CompiledConstraints.prune_linear_rows`
+  keeps only a caller-chosen subset of the stacked linear rows (the rows
+  observed near-active at previous optima; most thermal step rows never
+  are).  The pruned program is a relaxation, so its solution must be
+  re-checked against the full stack (`max_violation`) — see
+  `repro.core.protemp.ProTempOptimizer` for the fallback protocol that
+  makes this sound.
+* **Batched multi-cell evaluation** — :class:`BatchedCompiledConstraints`
+  binds one shared matrix to *several* cells' right-hand sides and
+  evaluates every cell's barrier in one set of matrix products
+  (``A @ X`` over a column per cell), which removes the per-cell Python
+  dispatch overhead that dominates small-platform sweeps.
 """
 
 from __future__ import annotations
@@ -245,7 +260,49 @@ class CompiledConstraints:
             box_unique=self.box_unique,
         )
 
+    def prune_linear_rows(self, keep: np.ndarray) -> "CompiledConstraints":
+        """Stack with only the linear rows selected by boolean mask `keep`.
+
+        Box and nonlinear blocks are preserved untouched.  The pruned stack
+        describes a *relaxation* of the original program: a solution found
+        against it is optimal for the full program only if it also
+        satisfies the dropped rows — callers must re-check with the full
+        stack's :meth:`max_violation` and fall back on violation.
+
+        Args:
+            keep: boolean mask over the ``a`` rows, shape (m_lin,).
+
+        Returns:
+            A new :class:`CompiledConstraints` whose signature reflects the
+            reduced row count (it is *not* `with_blocks`-compatible with
+            the full stack).
+        """
+        keep = np.asarray(keep, dtype=bool)
+        if keep.shape != (self.a.shape[0],):
+            raise SolverError(
+                f"prune mask has shape {keep.shape}, expected "
+                f"({self.a.shape[0]},)"
+            )
+        signature = (("linear", int(keep.sum())),) + tuple(
+            s for s in self.signature if s[0] != "linear"
+        )
+        return CompiledConstraints(
+            a=np.ascontiguousarray(self.a[keep]),
+            b=self.b[keep],
+            box_indices=self.box_indices,
+            box_lower=self.box_lower,
+            box_upper=self.box_upper,
+            nonlinear=self.nonlinear,
+            n_vars=self.n_vars,
+            signature=signature,
+            box_unique=self.box_unique,
+        )
+
     # -- evaluation ---------------------------------------------------------
+
+    def linear_slacks(self, x: np.ndarray) -> np.ndarray:
+        """Slacks ``b - A x`` of the stacked linear rows (> 0 inside)."""
+        return self.b - self.a @ x
 
     def barrier(self, x: np.ndarray) -> tuple[float, np.ndarray, np.ndarray]:
         """Value, gradient and Hessian of the total log barrier at `x`.
@@ -327,3 +384,278 @@ class CompiledConstraints:
             + 2 * int(self.box_indices.size)
             + sum(block.count() for block in self.nonlinear)
         )
+
+
+@dataclass(frozen=True)
+class BatchedCompiledConstraints:
+    """One shared constraint matrix bound to several cells' RHS vectors.
+
+    The Pro-Temp sweep solves many structurally identical programs that
+    differ only in right-hand sides: thermal/gradient offsets vary with the
+    starting temperature and the sqrt target with the frequency column.
+    This class evaluates the log barrier of *all* cells at once — slack,
+    value and gradient of every cell come out of single ``(m, B)``-shaped
+    matrix products instead of one Python round-trip per cell — which is
+    what `repro.solver.barrier.solve_barrier_batch` iterates over.
+
+    Only the block family used by the Pro-Temp program is supported:
+    stacked linear rows (shared matrix, per-cell ``b``), shared box bounds
+    with unique indices, and at most one sqrt-sum constraint with shared
+    weights and per-cell targets.
+
+    Attributes:
+        a: shared linear rows, shape (m_lin, n_vars).
+        b: per-cell right-hand sides, shape (m_lin, batch).
+        box_indices: shared box variable indices (must be unique).
+        box_lower: shared lower bounds.
+        box_upper: shared upper bounds.
+        sqrt_weights: sqrt-sum weights shared by all cells (or None).
+        sqrt_indices: sqrt-sum variable indices (or None).
+        sqrt_targets: per-cell sqrt-sum targets, shape (batch,) (or None).
+        n_vars: dimensionality of each cell's variable vector.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    box_indices: np.ndarray
+    box_lower: np.ndarray
+    box_upper: np.ndarray
+    sqrt_weights: np.ndarray | None
+    sqrt_indices: np.ndarray | None
+    sqrt_targets: np.ndarray | None
+    n_vars: int
+
+    @classmethod
+    def from_cells(
+        cls, cells: list[CompiledConstraints]
+    ) -> "BatchedCompiledConstraints":
+        """Bind the shared matrix of per-cell compiled stacks to a batch.
+
+        Args:
+            cells: per-cell stacks produced by `with_blocks` rebinds of one
+                compiled template (identical matrix part and signature).
+
+        Raises:
+            SolverError: when the cells do not share structure, a box index
+                repeats, or a nonlinear block is not a lone sqrt-sum with
+                shared weights.
+        """
+        from repro.solver.problem import SqrtSumConstraint  # avoid cycle
+
+        if not cells:
+            raise SolverError("batched stack needs at least one cell")
+        first = cells[0]
+        for cell in cells[1:]:
+            if cell.signature != first.signature or cell.a.shape != first.a.shape:
+                raise SolverError("batched cells must share structure")
+            if cell.a is not first.a and not np.array_equal(cell.a, first.a):
+                raise SolverError("batched cells must share the matrix part")
+            if not np.array_equal(cell.box_indices, first.box_indices):
+                raise SolverError("batched cells must share box indices")
+            if not np.array_equal(
+                cell.box_lower, first.box_lower
+            ) or not np.array_equal(cell.box_upper, first.box_upper):
+                raise SolverError("batched cells must share box bounds")
+        if not first.box_unique:
+            raise SolverError("batched stack needs unique box indices")
+        sqrt_weights = sqrt_indices = sqrt_targets = None
+        if first.nonlinear:
+            if len(first.nonlinear) != 1 or not isinstance(
+                first.nonlinear[0], SqrtSumConstraint
+            ):
+                raise SolverError(
+                    "batched stack supports at most one sqrt-sum block"
+                )
+            blocks = [cell.nonlinear[0] for cell in cells]
+            sqrt_weights = np.asarray(blocks[0].weights, dtype=float)
+            sqrt_indices = np.asarray(blocks[0].indices, dtype=int)
+            for block in blocks[1:]:
+                if not np.array_equal(block.weights, sqrt_weights):
+                    raise SolverError(
+                        "batched cells must share sqrt weights"
+                    )
+            sqrt_targets = np.array(
+                [float(block.target) for block in blocks]
+            )
+        return cls(
+            a=first.a,
+            b=np.column_stack([cell.b for cell in cells]),
+            box_indices=first.box_indices,
+            box_lower=first.box_lower,
+            box_upper=first.box_upper,
+            sqrt_weights=sqrt_weights,
+            sqrt_indices=sqrt_indices,
+            sqrt_targets=sqrt_targets,
+            n_vars=first.n_vars,
+        )
+
+    @property
+    def batch(self) -> int:
+        """Number of cells bound to the shared matrix."""
+        return int(self.b.shape[1]) if self.b.ndim == 2 else 0
+
+    def count(self) -> int:
+        """Scalar constraints per cell (identical across the batch)."""
+        return (
+            int(self.a.shape[0])
+            + 2 * int(self.box_indices.size)
+            + (1 if self.sqrt_targets is not None else 0)
+        )
+
+    def select(self, cols: np.ndarray) -> "BatchedCompiledConstraints":
+        """Stack bound to only the cells selected by index array `cols`."""
+        cols = np.asarray(cols, dtype=int)
+        return BatchedCompiledConstraints(
+            a=self.a,
+            b=self.b[:, cols],
+            box_indices=self.box_indices,
+            box_lower=self.box_lower,
+            box_upper=self.box_upper,
+            sqrt_weights=self.sqrt_weights,
+            sqrt_indices=self.sqrt_indices,
+            sqrt_targets=(
+                self.sqrt_targets[cols]
+                if self.sqrt_targets is not None
+                else None
+            ),
+            n_vars=self.n_vars,
+        )
+
+    def prune_linear_rows(
+        self, keep: np.ndarray
+    ) -> "BatchedCompiledConstraints":
+        """Batched analogue of `CompiledConstraints.prune_linear_rows`."""
+        keep = np.asarray(keep, dtype=bool)
+        if keep.shape != (self.a.shape[0],):
+            raise SolverError(
+                f"prune mask has shape {keep.shape}, expected "
+                f"({self.a.shape[0]},)"
+            )
+        return BatchedCompiledConstraints(
+            a=np.ascontiguousarray(self.a[keep]),
+            b=self.b[keep],
+            box_indices=self.box_indices,
+            box_lower=self.box_lower,
+            box_upper=self.box_upper,
+            sqrt_weights=self.sqrt_weights,
+            sqrt_indices=self.sqrt_indices,
+            sqrt_targets=self.sqrt_targets,
+            n_vars=self.n_vars,
+        )
+
+    def barrier(
+        self, x: np.ndarray, cols: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Barrier value, gradient and Hessian of selected cells.
+
+        Args:
+            x: variable columns, shape (n_vars, len(cols)).
+            cols: batch indices selecting which cells' RHS each column of
+                `x` is evaluated against.
+
+        Returns:
+            ``(values, grads, hessians)`` with shapes ``(k,)``, ``(k, n)``
+            and ``(k, n, n)``; a cell outside its domain gets ``inf`` value
+            and garbage derivatives, matching the serial protocol.
+        """
+        n = self.n_vars
+        k = x.shape[1]
+        values = np.zeros(k)
+        grads = np.zeros((k, n))
+        hessians = np.zeros((k, n, n))
+        alive = np.ones(k, dtype=bool)
+
+        if self.a.shape[0]:
+            slack = self.b[:, cols] - self.a @ x  # (m, k)
+            bad = np.any(slack <= SLACK_FLOOR, axis=0)
+            alive &= ~bad
+            if np.any(alive):
+                inv = np.where(slack > SLACK_FLOOR, 1.0 / slack, 0.0)
+                values[alive] -= np.log(slack[:, alive]).sum(axis=0)
+                grads[alive] += (self.a.T @ inv[:, alive]).T
+                inv2 = inv * inv
+                for k_idx in np.nonzero(alive)[0]:
+                    # One GEMM per alive cell; the batch savings come from
+                    # the shared slack/log/gradient products above.
+                    hessians[k_idx] += (
+                        self.a * inv2[:, k_idx : k_idx + 1]
+                    ).T @ self.a
+
+        if self.box_indices.size and np.any(alive):
+            vals = x[self.box_indices, :]  # (n_box, k)
+            lo_slack = vals - self.box_lower[:, None]
+            hi_slack = self.box_upper[:, None] - vals
+            bad = np.any(lo_slack <= SLACK_FLOOR, axis=0) | np.any(
+                hi_slack <= SLACK_FLOOR, axis=0
+            )
+            alive &= ~bad
+            if np.any(alive):
+                lo = lo_slack[:, alive]
+                hi = hi_slack[:, alive]
+                values[alive] -= np.log(lo).sum(axis=0) + np.log(hi).sum(
+                    axis=0
+                )
+                grad_rows = (-1.0 / lo + 1.0 / hi).T  # (k_alive, n_box)
+                diag_rows = (1.0 / lo**2 + 1.0 / hi**2).T
+                alive_idx = np.nonzero(alive)[0]
+                grads[np.ix_(alive_idx, self.box_indices)] += grad_rows
+                hessians[
+                    alive_idx[:, None],
+                    self.box_indices[None, :],
+                    self.box_indices[None, :],
+                ] += diag_rows
+
+        if self.sqrt_targets is not None and np.any(alive):
+            vals = x[self.sqrt_indices, :]  # (n_sqrt, k)
+            bad = np.any(vals <= 0, axis=0)
+            alive &= ~bad
+            if np.any(alive):
+                roots = np.sqrt(np.where(vals > 0, vals, 1.0))
+                slack = (
+                    self.sqrt_weights @ roots - self.sqrt_targets[cols]
+                )  # (k,)
+                bad = slack <= SLACK_FLOOR
+                alive &= ~bad
+            if np.any(alive):
+                alive_idx = np.nonzero(alive)[0]
+                r = roots[:, alive]
+                s = slack[alive]
+                dg = -self.sqrt_weights[:, None] / (2.0 * r)  # (n_sqrt, ka)
+                d2g = self.sqrt_weights[:, None] / (4.0 * r**3)
+                values[alive] += -np.log(s)
+                grads[np.ix_(alive_idx, self.sqrt_indices)] += (dg / s).T
+                hessians[
+                    np.ix_(alive_idx, self.sqrt_indices, self.sqrt_indices)
+                ] += (dg / s).T[:, :, None] * (dg / s).T[:, None, :]
+                hessians[
+                    alive_idx[:, None],
+                    self.sqrt_indices[None, :],
+                    self.sqrt_indices[None, :],
+                ] += (d2g / s).T
+
+        values[~alive] = np.inf
+        return values, grads, hessians
+
+    def max_violation(self, x: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Largest residual per selected cell (<= 0 means feasible)."""
+        k = x.shape[1]
+        worst = np.full(k, -np.inf)
+        if self.a.shape[0]:
+            worst = np.maximum(
+                worst, (self.a @ x - self.b[:, cols]).max(axis=0)
+            )
+        if self.box_indices.size:
+            vals = x[self.box_indices, :]
+            worst = np.maximum(
+                worst, (self.box_lower[:, None] - vals).max(axis=0)
+            )
+            worst = np.maximum(
+                worst, (vals - self.box_upper[:, None]).max(axis=0)
+            )
+        if self.sqrt_targets is not None:
+            vals = np.clip(x[self.sqrt_indices, :], 0.0, None)
+            worst = np.maximum(
+                worst,
+                self.sqrt_targets[cols] - self.sqrt_weights @ np.sqrt(vals),
+            )
+        return np.where(np.isfinite(worst), worst, 0.0)

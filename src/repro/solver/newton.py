@@ -31,6 +31,15 @@ class NewtonOptions:
         beta: line-search backtracking factor (0, 1).
         regularization: multiple of identity added to the Hessian when the
             factorization fails (handles semidefinite corner cases).
+        stall_tolerance: relative objective decrease below which an
+            iteration counts as stalled.  Near a barrier stage's center
+            the decrement is computed through Hessians conditioned like
+            ``1/slack^2`` and may never numerically reach `tol` even
+            though the iterate has stopped moving; without this exit such
+            stages grind through the whole iteration budget making no
+            progress.
+        stall_iterations: consecutive stalled iterations after which the
+            minimization stops and reports convergence.
     """
 
     tol: float = 1e-9
@@ -38,6 +47,8 @@ class NewtonOptions:
     alpha: float = 0.2
     beta: float = 0.6
     regularization: float = 1e-10
+    stall_tolerance: float = 1e-13
+    stall_iterations: int = 3
 
 
 @dataclass
@@ -82,6 +93,7 @@ def minimize_newton(
     if not np.isfinite(value):
         raise SolverError("Newton start point is outside the domain")
 
+    stalled = 0
     for iteration in range(opts.max_iterations):
         step = _newton_step(hess, grad, opts.regularization)
         decrement_sq = float(-grad @ step)
@@ -107,9 +119,173 @@ def minimize_newton(
             if t < 1e-14:
                 # No progress possible: treat as converged at x.
                 return NewtonOutcome(x, value, iteration, converged=True)
+        if value - cand_value <= opts.stall_tolerance * max(1.0, abs(value)):
+            stalled += 1
+        else:
+            stalled = 0
         x, value, grad, hess = candidate, cand_value, cand_grad, cand_hess
+        if stalled >= opts.stall_iterations:
+            # The iterate has numerically stopped moving; the decrement is
+            # below float resolution of this Hessian's conditioning.
+            return NewtonOutcome(x, value, iteration + 1, converged=True)
 
     return NewtonOutcome(x, value, opts.max_iterations, converged=False)
+
+
+@dataclass
+class BatchNewtonOutcome:
+    """Result of a lockstep batched Newton minimization.
+
+    Attributes:
+        x: final iterates, shape (n, batch).
+        values: objective values per cell.
+        iterations: Newton steps taken per cell.
+        converged: per-cell convergence flags.
+    """
+
+    x: np.ndarray
+    values: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+
+
+#: Batched evaluation: maps columns (n, k) plus their batch indices (k,) to
+#: per-cell (values (k,), gradients (k, n), Hessians (k, n, n)).
+BatchValueGradHess = Callable[
+    [np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray, np.ndarray]
+]
+
+
+def minimize_newton_batch(
+    func: BatchValueGradHess,
+    x0: np.ndarray,
+    options: NewtonOptions | None = None,
+) -> BatchNewtonOutcome:
+    """Minimize several independent smooth convex cells in lockstep.
+
+    Each column of `x0` is an independent minimization sharing the same
+    evaluation machinery (one batched `func` call advances every still-
+    active cell — see `repro.solver.compiled.BatchedCompiledConstraints`).
+    The iteration matches :func:`minimize_newton` cell-wise: damped Newton
+    with per-cell backtracking line search; cells drop out of the batch as
+    their decrement criterion is met.
+
+    Args:
+        func: batched ``(columns, batch_indices) -> (values, grads,
+            hessians)`` evaluator; must be finite at every start column.
+        x0: starting columns, shape (n, batch); each strictly feasible.
+        options: see :class:`NewtonOptions`.
+
+    Returns:
+        A :class:`BatchNewtonOutcome`.
+
+    Raises:
+        SolverError: if any start column is outside the domain.
+    """
+    opts = options or NewtonOptions()
+    x = np.asarray(x0, dtype=float).copy()
+    n, batch = x.shape
+    all_cols = np.arange(batch)
+    values, grads, hessians = func(x, all_cols)
+    if not np.all(np.isfinite(values)):
+        raise SolverError("batched Newton start point outside the domain")
+
+    iterations = np.zeros(batch, dtype=int)
+    converged = np.zeros(batch, dtype=bool)
+    active = np.ones(batch, dtype=bool)
+    stalled = np.zeros(batch, dtype=int)
+    eye = np.eye(n)
+
+    for _ in range(opts.max_iterations):
+        idx = np.nonzero(active)[0]
+        if idx.size == 0:
+            break
+        g = grads[idx]
+        h = hessians[idx]
+        steps = _newton_step_batch(h, g, opts.regularization, eye)
+        decrement_sq = -np.einsum("ki,ki->k", g, steps)
+        redo = decrement_sq < 0
+        if np.any(redo):
+            steps[redo] = _newton_step_batch(
+                h[redo],
+                g[redo],
+                max(opts.regularization * 1e4, 1e-8),
+                eye,
+            )
+            decrement_sq[redo] = np.maximum(
+                -np.einsum("ki,ki->k", g[redo], steps[redo]), 0.0
+            )
+        done = decrement_sq / 2.0 <= opts.tol
+        converged[idx[done]] = True
+        active[idx[done]] = False
+        idx = idx[~done]
+        if idx.size == 0:
+            break
+        steps = steps[~done]
+        decrement_sq = decrement_sq[~done]
+        iterations[idx] += 1
+
+        # Per-cell backtracking line search, evaluated on the shrinking
+        # set of cells that have not yet accepted a step.
+        t = np.ones(idx.size)
+        pending = np.arange(idx.size)
+        while pending.size:
+            cols = idx[pending]
+            candidates = x[:, cols] + t[pending] * steps[pending].T
+            c_vals, c_grads, c_hess = func(candidates, cols)
+            accept = np.isfinite(c_vals) & (
+                c_vals
+                <= values[cols]
+                - opts.alpha * t[pending] * decrement_sq[pending]
+            )
+            if np.any(accept):
+                acc_cols = cols[accept]
+                progress = values[acc_cols] - c_vals[accept]
+                small = progress <= opts.stall_tolerance * np.maximum(
+                    1.0, np.abs(values[acc_cols])
+                )
+                stalled[acc_cols] = np.where(small, stalled[acc_cols] + 1, 0)
+                x[:, acc_cols] = candidates[:, accept]
+                values[acc_cols] = c_vals[accept]
+                grads[acc_cols] = c_grads[accept]
+                hessians[acc_cols] = c_hess[accept]
+                frozen = acc_cols[
+                    stalled[acc_cols] >= opts.stall_iterations
+                ]
+                if frozen.size:
+                    # Numerically stopped moving: report converged.
+                    converged[frozen] = True
+                    active[frozen] = False
+            rejected = pending[~accept]
+            t[rejected] *= opts.beta
+            exhausted = t[rejected] < 1e-14
+            if np.any(exhausted):
+                # No progress possible: freeze those cells as converged,
+                # matching the serial line-search fallback.
+                frozen = idx[rejected[exhausted]]
+                converged[frozen] = True
+                active[frozen] = False
+                rejected = rejected[~exhausted]
+            pending = rejected
+
+    return BatchNewtonOutcome(
+        x=x, values=values, iterations=iterations, converged=converged
+    )
+
+
+def _newton_step_batch(
+    hess: np.ndarray, grad: np.ndarray, regularization: float, eye: np.ndarray
+) -> np.ndarray:
+    """Batched ``H step = -grad`` solve with escalating regularization."""
+    reg = regularization
+    for _ in range(6):
+        try:
+            return np.linalg.solve(hess + reg * eye, -grad[..., None])[
+                ..., 0
+            ]
+        except np.linalg.LinAlgError:
+            reg = max(reg * 100.0, 1e-12)
+    raise SolverError("batched Newton step solve failed with regularization")
 
 
 def _newton_step(

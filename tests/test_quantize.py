@@ -86,3 +86,91 @@ class TestQuantize:
         for key, entry in small_table.entries.items():
             if not entry.feasible:
                 assert not quantized.entries[key].feasible
+
+
+class TestQuantizedMetrics:
+    """Regression: stored metrics must match the stored (quantized)
+    frequencies — the old implementation copied power and peak unchanged
+    from the continuous entry."""
+
+    def test_total_power_matches_quantized_frequencies(
+        self, small_platform, small_table, ladder
+    ):
+        quantized = quantize_table(small_table, ladder)
+        scaling = small_platform.power.scaling
+        for key, entry in quantized.entries.items():
+            if not entry.feasible:
+                continue
+            expected = float(
+                np.sum(scaling.power(np.array(entry.frequencies)))
+            )
+            assert entry.total_power == pytest.approx(expected, rel=1e-9), key
+            original = small_table.entries[key]
+            if entry.frequencies != original.frequencies:
+                # The whole point of the fix: quantization must not carry
+                # the continuous power alongside changed frequencies.
+                assert entry.total_power < original.total_power
+
+    def test_power_recompute_agrees_with_platform_model(
+        self, small_platform, small_table, ladder
+    ):
+        """The platform-free quadratic rescale equals the exact model."""
+        rescaled = quantize_table(small_table, ladder)
+        exact = quantize_table(small_table, ladder, platform=small_platform)
+        for key, entry in rescaled.entries.items():
+            if not entry.feasible:
+                continue
+            assert entry.total_power == pytest.approx(
+                exact.entries[key].total_power, rel=1e-9
+            ), key
+
+    def test_resimulated_peak_matches_simulation(
+        self, small_platform, small_table, ladder
+    ):
+        from repro.core import ProTempOptimizer
+
+        quantized = quantize_table(small_table, ladder, platform=small_platform)
+        assert quantized.metadata["quantized_metrics"] == "resimulated"
+        optimizer = ProTempOptimizer(small_platform, step_subsample=10)
+        for entry in quantized.entries.values():
+            if not entry.feasible:
+                continue
+            p = np.asarray(
+                small_platform.power.scaling.power(
+                    np.array(entry.frequencies)
+                )
+            )
+            node_power = small_platform.power.injection_matrix() @ p
+            traj = small_platform.thermal.simulate(
+                entry.t_start, node_power, optimizer.response.m
+            )
+            assert entry.predicted_peak == pytest.approx(
+                float(traj[1:].max()), abs=1e-9
+            )
+
+    def test_carried_peak_is_marked_and_conservative(
+        self, small_platform, small_table, ladder
+    ):
+        from repro.core import ProTempOptimizer
+
+        carried = quantize_table(small_table, ladder)
+        assert carried.metadata["quantized_metrics"] == "carried_upper_bound"
+        optimizer = ProTempOptimizer(small_platform, step_subsample=10)
+        steps = optimizer.response.steps
+        for key, entry in carried.entries.items():
+            if not entry.feasible:
+                continue
+            # Within the table's subsampled-step convention, the carried
+            # continuous peak upper-bounds the quantized vector's peak
+            # (lower power everywhere -> lower temperatures everywhere).
+            p = np.asarray(
+                small_platform.power.scaling.power(
+                    np.array(entry.frequencies)
+                )
+            )
+            node_power = small_platform.power.injection_matrix() @ p
+            traj = small_platform.thermal.simulate(
+                entry.t_start, node_power, optimizer.response.m
+            )
+            quantized_peak = float(traj[steps].max())
+            assert entry.predicted_peak >= quantized_peak - 1e-9, key

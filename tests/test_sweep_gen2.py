@@ -1,0 +1,255 @@
+"""Tests for the second-generation sweep strategies (cross-row warm
+starts, sparse constraint pruning, warm barrier schedules, batched
+multi-cell solves) and their agreement with the cold per-cell solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ProTempOptimizer,
+    SweepStrategy,
+    build_frequency_table,
+)
+from repro.errors import TableError
+from repro.units import mhz
+
+T_GRID = [70.0, 85.0, 95.0]
+F_GRID = [mhz(200), mhz(500), mhz(800), mhz(1000)]
+
+
+@pytest.fixture(scope="module")
+def cold_table(small_platform):
+    return build_frequency_table(
+        ProTempOptimizer(small_platform, step_subsample=10, accelerated=False),
+        T_GRID,
+        F_GRID,
+        warm_start=False,
+    )
+
+
+def assert_matches_cold(cold, other, rtol=1e-9):
+    """Identical feasibility; feasible frequencies within `rtol`."""
+    assert np.array_equal(
+        cold.feasibility_matrix(), other.feasibility_matrix()
+    )
+    for key, cold_entry in cold.entries.items():
+        if not cold_entry.feasible:
+            continue
+        np.testing.assert_allclose(
+            np.array(other.entries[key].frequencies),
+            np.array(cold_entry.frequencies),
+            rtol=rtol,
+            err_msg=f"cell {key}",
+        )
+
+
+class TestStrategyValidation:
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(TableError, match="unknown sweep strategy"):
+            SweepStrategy.preset("turbo")
+
+    def test_cross_row_requires_hot_first(self):
+        with pytest.raises(TableError, match="hot-first"):
+            SweepStrategy(cross_row_warm_start=True)
+
+    def test_cross_row_rejects_workers(self):
+        with pytest.raises(TableError, match="sequentially"):
+            SweepStrategy(
+                row_order="hot-first",
+                cross_row_warm_start=True,
+                n_workers=2,
+            )
+
+    def test_batch_rejects_workers(self):
+        with pytest.raises(TableError, match="n_workers"):
+            SweepStrategy(batch_rows=True, n_workers=2)
+
+    def test_batch_requires_warm_start(self):
+        with pytest.raises(TableError, match="warm_start"):
+            SweepStrategy(batch_rows=True, warm_start=False)
+
+    def test_strategy_and_legacy_kwargs_conflict(self, small_platform):
+        """Legacy flags must not be silently ignored next to a strategy."""
+        optimizer = ProTempOptimizer(small_platform, step_subsample=10)
+        with pytest.raises(TableError, match="not both"):
+            build_frequency_table(
+                optimizer,
+                [85.0],
+                [mhz(300)],
+                strategy="gen2",
+                n_workers=8,
+            )
+
+    def test_legacy_kwargs_map_to_strategy(self, small_platform):
+        """The pre-strategy keyword API still works unchanged."""
+        optimizer = ProTempOptimizer(small_platform, step_subsample=10)
+        table = build_frequency_table(
+            optimizer,
+            [85.0],
+            [mhz(300), mhz(700)],
+            prune_infeasible=False,
+            warm_start=False,
+        )
+        assert table.feasibility_matrix().shape == (1, 2)
+
+
+class TestGen2Agreement:
+    def test_gen2_matches_cold(self, small_platform, cold_table):
+        """Cross-row warm starts + pruning + warm schedules reproduce the
+        cold per-cell solutions to 1e-9 relative."""
+        gen2 = build_frequency_table(
+            ProTempOptimizer(small_platform, step_subsample=10),
+            T_GRID,
+            F_GRID,
+            strategy="gen2",
+        )
+        assert_matches_cold(cold_table, gen2)
+
+    def test_gen2_batched_matches_cold(self, small_platform, cold_table):
+        batched = build_frequency_table(
+            ProTempOptimizer(small_platform, step_subsample=10),
+            T_GRID,
+            F_GRID,
+            strategy="gen2-batched",
+        )
+        assert_matches_cold(cold_table, batched)
+
+    def test_gen2_strategy_object(self, small_platform, cold_table):
+        """Strategy fields can be toggled individually."""
+        table = build_frequency_table(
+            ProTempOptimizer(small_platform, step_subsample=10),
+            T_GRID,
+            F_GRID,
+            strategy=SweepStrategy(
+                row_order="hot-first",
+                cross_row_warm_start=True,
+                prune_constraints=False,
+                warm_schedule=True,
+            ),
+        )
+        assert_matches_cold(cold_table, table)
+
+    def test_pruned_solve_matches_plain(self, small_platform):
+        """A pruned+polished warm solve equals the plain warm solve."""
+        optimizer = ProTempOptimizer(small_platform, step_subsample=10)
+        neighbor = optimizer.solve(80.0, mhz(500))
+        assert neighbor.feasible
+        plain = optimizer.solve(80.0, mhz(300), warm_from=neighbor)
+        pruned = optimizer.solve(
+            80.0, mhz(300), warm_from=neighbor, prune=True,
+            warm_schedule=True,
+        )
+        assert pruned.feasible
+        np.testing.assert_allclose(
+            pruned.frequencies, plain.frequencies, rtol=1e-9
+        )
+
+    def test_cross_row_warm_start_from_hotter_row(self, small_platform):
+        """A hotter row's optimum warm-starts the colder row's same
+        column and yields the same answer as a cold solve."""
+        optimizer = ProTempOptimizer(small_platform, step_subsample=10)
+        hot = optimizer.solve(95.0, mhz(300))
+        assert hot.feasible
+        warm = optimizer.solve(70.0, mhz(300), warm_from=hot)
+        cold = ProTempOptimizer(
+            small_platform, step_subsample=10, accelerated=False
+        ).solve(70.0, mhz(300))
+        assert warm.feasible and cold.feasible
+        np.testing.assert_allclose(
+            warm.frequencies, cold.frequencies, rtol=1e-9
+        )
+
+
+class TestSolveBatch:
+    def test_batch_matches_serial(self, small_platform):
+        optimizer = ProTempOptimizer(small_platform, step_subsample=10)
+        t_starts = [70.0, 85.0, 95.0]
+        warms = [optimizer.solve(t, mhz(380)) for t in t_starts]
+        assert all(w.feasible for w in warms)
+        batch = optimizer.solve_batch(
+            t_starts, mhz(250), warms, prune=True, warm_schedule=True
+        )
+        for t_start, warm, got in zip(t_starts, warms, batch):
+            assert got is not None
+            serial = optimizer.solve(t_start, mhz(250), warm_from=warm)
+            np.testing.assert_allclose(
+                got.frequencies, serial.frequencies, rtol=1e-9
+            )
+            assert got.feasible == serial.feasible
+
+    def test_batch_without_warm_starts_returns_none(self, small_platform):
+        optimizer = ProTempOptimizer(small_platform, step_subsample=10)
+        out = optimizer.solve_batch([70.0, 85.0], mhz(400), [None, None])
+        assert out == [None, None]
+
+    def test_batch_rejects_mismatched_lengths(self, small_platform):
+        from repro.errors import SolverError
+
+        optimizer = ProTempOptimizer(small_platform, step_subsample=10)
+        with pytest.raises(SolverError):
+            optimizer.solve_batch([70.0], mhz(400), [None, None])
+
+    def test_uniform_mode_falls_back_to_serial(self, small_platform):
+        optimizer = ProTempOptimizer(
+            small_platform, mode="uniform", step_subsample=10
+        )
+        out = optimizer.solve_batch([70.0, 85.0], mhz(400), [None, None])
+        assert out == [None, None]
+
+
+class TestTightGradientCap:
+    def test_gen2_survives_tight_t_grad_cap(self, small_platform):
+        """Regression: with a t_grad_cap close to the optimal gradient the
+        warm-start lift is capped, the start can sit inside the pruned
+        stack's tightening band, and the sweep used to crash with an
+        uncaught SolverError instead of falling back."""
+        t_grid = [70.0, 95.0]
+        f_grid = [mhz(200), mhz(400)]
+        cold = build_frequency_table(
+            ProTempOptimizer(
+                small_platform,
+                step_subsample=10,
+                t_grad_cap=0.5,
+                accelerated=False,
+            ),
+            t_grid,
+            f_grid,
+            warm_start=False,
+        )
+        for strategy in ("gen2", "gen2-batched"):
+            table = build_frequency_table(
+                ProTempOptimizer(
+                    small_platform, step_subsample=10, t_grad_cap=0.5
+                ),
+                t_grid,
+                f_grid,
+                strategy=strategy,
+            )
+            assert_matches_cold(cold, table)
+
+
+class TestPruningSoundness:
+    def test_active_set_grows_and_sweep_stays_exact(self, small_platform):
+        """After a gen2 sweep the prune state retains only a fraction of
+        the stacked rows, and every cell still matches the cold solver."""
+        optimizer = ProTempOptimizer(small_platform, step_subsample=10)
+        gen2 = build_frequency_table(
+            optimizer, T_GRID, F_GRID, strategy="gen2"
+        )
+        states = list(optimizer._prune_states.values())
+        assert states, "pruned sweep never built a prune state"
+        for state in states:
+            assert state.thermal_seeded
+            kept = int(state.mask.sum())
+            assert 0 < kept < state.mask.size
+        cold = build_frequency_table(
+            ProTempOptimizer(
+                small_platform, step_subsample=10, accelerated=False
+            ),
+            T_GRID,
+            F_GRID,
+            warm_start=False,
+        )
+        assert_matches_cold(cold, gen2)

@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.core import FrequencyTable, TableEntry, build_frequency_table
 from repro.core.protemp import ProTempOptimizer
+from repro.core.table import GRID_SNAP_TOLERANCE
 from repro.errors import TableError
 from repro.units import mhz
 
@@ -58,12 +62,48 @@ class TestLookupSemantics:
     def test_demand_above_grid_clamps_to_top_column(self, toy_table):
         result = toy_table.lookup(70.0, mhz(2000))
         assert result.satisfied_target == pytest.approx(mhz(900))
+        assert result.demand_clamped
+
+    def test_demand_within_grid_is_not_clamped(self, toy_table):
+        assert not toy_table.lookup(70.0, mhz(400)).demand_clamped
+        assert not toy_table.lookup(70.0, mhz(900)).demand_clamped
+
+    def test_clamp_flag_survives_backoff_and_shutdown(self, toy_table):
+        # Row 100 has no 900 MHz cell: over-demand backs off *and* reports
+        # the clamp.
+        result = toy_table.lookup(95.0, mhz(2000))
+        assert result.demand_clamped
+        assert result.satisfied_target == pytest.approx(mhz(600))
+        result = toy_table.lookup(150.0, mhz(2000))
+        assert result.shutdown and result.demand_clamped
 
     def test_temperature_above_grid_shuts_down(self, toy_table):
         result = toy_table.lookup(101.0, mhz(300))
         assert result.shutdown
         assert np.all(result.frequencies == 0)
         assert result.entry is None
+
+    def test_temperature_snap_tolerance(self, toy_table):
+        """Within GRID_SNAP_TOLERANCE above a grid row counts as on it;
+        beyond it rounds up to the next row."""
+        on_line = toy_table.lookup(80.0 + GRID_SNAP_TOLERANCE / 2, mhz(600))
+        assert on_line.entry.t_start == 80.0
+        above = toy_table.lookup(80.0 + 1e-6, mhz(600))
+        assert above.entry.t_start == 100.0
+
+    def test_temperature_snap_at_top_row(self, toy_table):
+        assert not toy_table.lookup(
+            100.0 + GRID_SNAP_TOLERANCE / 2, mhz(300)
+        ).shutdown
+        assert toy_table.lookup(100.0 + 1e-6, mhz(300)).shutdown
+
+    def test_frequency_snap_is_relative(self, toy_table):
+        """The 1e-9 column snap is relative: Hz-scale demands within
+        1e-9 * f of a column serve that column, larger excesses round up."""
+        within = toy_table.lookup(70.0, mhz(600) + 0.1)  # 0.1 Hz over
+        assert within.satisfied_target == pytest.approx(mhz(600))
+        over = toy_table.lookup(70.0, mhz(600) + 10.0)  # 10 Hz over
+        assert over.satisfied_target == pytest.approx(mhz(900))
 
     def test_all_infeasible_row_shuts_down(self):
         t_grid = [90.0]
@@ -129,6 +169,129 @@ class TestSerialization:
     def test_format_mentions_infeasible(self, toy_table):
         text = toy_table.format()
         assert "infeasible" in text
+
+    def test_negative_infinity_roundtrips(self, tmp_path):
+        """Regression: -inf used to collapse to "inf" (sign lost)."""
+        entries = {
+            (0, 0): TableEntry(
+                t_start=70.0,
+                f_target=mhz(100),
+                feasible=True,
+                frequencies=(5e8, 5e8),
+                total_power=1.0,
+                predicted_peak=float("-inf"),
+                predicted_gradient=float("-inf"),
+            )
+        }
+        table = FrequencyTable([70.0], [mhz(100)], entries, n_cores=2)
+        path = tmp_path / "table.json"
+        table.save_json(path)
+        loaded = FrequencyTable.load_json(path)
+        assert loaded.entries[(0, 0)].predicted_peak == -np.inf
+        assert loaded.entries[(0, 0)].predicted_gradient == -np.inf
+
+    def test_saved_json_is_strict(self, toy_table, tmp_path):
+        """No non-standard Infinity/NaN literals reach the file."""
+        path = tmp_path / "table.json"
+        toy_table.save_json(path)
+        text = path.read_text()
+        assert "Infinity" not in text and "NaN" not in text
+        json.loads(text)  # strictly parseable
+
+    def test_nan_rejected_at_build(self):
+        with pytest.raises(TableError, match="NaN"):
+            FrequencyTable(
+                [70.0],
+                [mhz(100)],
+                {
+                    (0, 0): TableEntry(
+                        t_start=70.0,
+                        f_target=mhz(100),
+                        feasible=True,
+                        frequencies=(float("nan"), 5e8),
+                        total_power=1.0,
+                        predicted_peak=95.0,
+                        predicted_gradient=1.0,
+                    )
+                },
+                n_cores=2,
+            )
+
+    def test_nan_encoding_rejected_on_load(self, toy_table):
+        data = toy_table.to_dict()
+        data["entries"][0]["predicted_peak"] = "nan"
+        with pytest.raises(TableError):
+            FrequencyTable.from_dict(data)
+
+    def test_unknown_float_encoding_rejected(self, toy_table):
+        data = toy_table.to_dict()
+        data["entries"][0]["predicted_peak"] = "huge"
+        with pytest.raises(TableError):
+            FrequencyTable.from_dict(data)
+
+
+finite_metric = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+metric = st.one_of(
+    finite_metric, st.just(float("inf")), st.just(float("-inf"))
+)
+
+
+class TestRoundTripProperty:
+    @given(
+        t_grid=st.lists(
+            st.integers(min_value=0, max_value=400),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        ).map(sorted),
+        f_cols=st.integers(min_value=1, max_value=3),
+        data=st.data(),
+    )
+    def test_dict_and_json_round_trip(self, t_grid, f_cols, data):
+        """to_dict/from_dict/save_json/load_json preserve every field,
+        including infeasible cells with +/-inf peaks."""
+        t_grid = [float(t) for t in t_grid]
+        f_grid = [mhz(100 * (fi + 1)) for fi in range(f_cols)]
+        entries = {}
+        for ti, t in enumerate(t_grid):
+            for fi, f in enumerate(f_grid):
+                feasible = data.draw(st.booleans())
+                freqs = (
+                    tuple(
+                        data.draw(
+                            st.floats(min_value=0, max_value=1e9,
+                                      allow_nan=False)
+                        )
+                        for _ in range(2)
+                    )
+                    if feasible
+                    else (0.0, 0.0)
+                )
+                entries[(ti, fi)] = TableEntry(
+                    t_start=t,
+                    f_target=f,
+                    feasible=feasible,
+                    frequencies=freqs,
+                    total_power=data.draw(finite_metric),
+                    predicted_peak=data.draw(metric),
+                    predicted_gradient=data.draw(metric),
+                )
+        table = FrequencyTable(
+            t_grid, f_grid, entries, n_cores=2, metadata={"k": "v"}
+        )
+        # Through plain dicts *and* the JSON text encoding.
+        rebuilt = FrequencyTable.from_dict(
+            json.loads(json.dumps(table.to_dict(), allow_nan=False))
+        )
+        assert rebuilt.t_grid == table.t_grid
+        assert rebuilt.f_grid == table.f_grid
+        assert rebuilt.n_cores == table.n_cores
+        assert rebuilt.metadata == table.metadata
+        for key, entry in table.entries.items():
+            other = rebuilt.entries[key]
+            assert other == entry, key
 
 
 class TestBuild:
