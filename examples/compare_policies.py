@@ -1,33 +1,32 @@
 """Closed-loop comparison: No-TC vs Basic-DFS vs Pro-Temp.
 
-Reproduces the paper's headline story (Figures 1/2/6/7) on a computation-
-intensive benchmark: the reactive baseline repeatedly overshoots 100 C while
-Pro-Temp never violates it — and still finishes more work.
+Reproduces the paper's headline story (Figures 1/2/6/7) as a 3-policy
+scenario grid on the computation-intensive benchmark: the reactive baseline
+repeatedly overshoots 100 C while Pro-Temp never violates it — and still
+finishes more work.
 
 Run:  python examples/compare_policies.py  [duration_seconds]
 """
 
 import sys
 
-from repro import Platform
-from repro.analysis import cached_table, run_simulation
-from repro.control import BasicDFSPolicy, NoTCPolicy, ProTempPolicy
+from repro import ScenarioRunner, ScenarioSpec, WorkloadSpec
 from repro.sim import PAPER_BAND_LABELS
-from repro.units import to_mhz
-from repro.workloads import compute_benchmark
 
 
 def main() -> None:
     duration = float(sys.argv[1]) if len(sys.argv) > 1 else 20.0
-    platform = Platform.niagara8()
-    print("building the Phase-1 table (cached after the first run)...")
-    table = cached_table(
-        platform, cache_path="examples/.cache/niagara8_table.json"
+    specs = ScenarioSpec.grid(
+        ScenarioSpec(
+            platform="niagara8",
+            workload=WorkloadSpec("compute", duration),
+            seed=42,
+        ),
+        policy=["no-tc", "basic-dfs", "protemp"],
     )
-
-    trace = compute_benchmark(duration, platform.n_cores, seed=42)
-    print(trace.summary())
-    print()
+    print("building the Phase-1 table (cached on disk after the first run)...")
+    runner = ScenarioRunner(table_cache_dir="examples/.cache/tables")
+    outcomes = runner.run_many(specs)
 
     header = (
         f"{'policy':<10s} {'<80':>6s} {'80-90':>6s} {'90-100':>7s} "
@@ -35,18 +34,14 @@ def main() -> None:
     )
     print(header)
     print("-" * len(header))
-    for policy in (
-        NoTCPolicy(),
-        BasicDFSPolicy(threshold=90.0),
-        ProTempPolicy(table),
-    ):
-        result = run_simulation(platform, policy, trace, duration=duration)
+    for outcome in outcomes:
+        result = outcome.result
         bands = result.band_fractions
         done = (
             f"{result.metrics.completed_tasks}/{result.metrics.arrived_tasks}"
         )
         print(
-            f"{policy.name:<10s} "
+            f"{result.policy_name:<10s} "
             + " ".join(f"{b * 100:5.1f}%" for b in bands[:1])
             + " "
             + " ".join(f"{b * 100:5.1f}%" for b in bands[1:2])

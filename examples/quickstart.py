@@ -1,52 +1,60 @@
-"""Quickstart: the Pro-Temp workflow in under a minute.
+"""Quickstart: the declarative scenario API in under a minute.
 
-1. Build the paper's Niagara-8 platform (floorplan + thermal RC + power).
-2. Solve one design point of the convex program (Phase 1).
-3. Build a small frequency table and do a run-time lookup (Phase 2).
+A scenario = platform x workload x policy x sim knobs x seed, all pure
+data.  The ScenarioRunner materializes specs against the registries, builds
+each distinct Phase-1 table exactly once, and runs the closed-loop
+simulation.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Platform
-from repro.core import ProTempOptimizer, build_frequency_table
-from repro.units import mhz, to_mhz
+from repro import ScenarioRunner, ScenarioSpec, WorkloadSpec
+
+# Small table grids so the Phase-1 build finishes in seconds; drop the
+# params entirely to use the full default design grid.
+PROTEMP = {
+    "name": "protemp",
+    "params": {
+        "t_grid": [70.0, 85.0, 95.0, 100.0],
+        "f_grid": [2e8, 4e8, 6e8, 8e8, 1e9],
+        "step_subsample": 10,
+    },
+}
+
 
 def main() -> None:
-    # 1. The evaluation platform: 8 cores, 1 GHz / 4 W, t_max = 100 C.
-    platform = Platform.niagara8()
-    print(platform.floorplan.summary())
+    # 1. One scenario: the paper's reactive baseline on the mixed workload.
+    spec = ScenarioSpec(
+        platform="niagara8",
+        workload=WorkloadSpec("mixed", duration=10.0),
+        policy="basic-dfs",
+        seed=7,
+    )
+    print(f"spec {spec.spec_hash}: {spec.label}")
+    print(spec.to_json()[:72] + "...")  # JSON round-trippable
     print()
 
-    # 2. One Phase-1 solve: starting at 85 C everywhere, require an average
-    #    of 500 MHz across the cores while never exceeding 100 C during the
-    #    next 100 ms DFS window.
-    optimizer = ProTempOptimizer(platform, step_subsample=5)
-    assignment = optimizer.solve(t_start=85.0, f_target=mhz(500))
-    print(f"feasible: {assignment.feasible}")
-    print(
-        "per-core frequencies (MHz):",
-        [f"{to_mhz(f):.0f}" for f in assignment.frequencies],
+    # 2. A grid: both policies, two seeds — four scenarios, one table build.
+    runner = ScenarioRunner()
+    outcomes = runner.run_many(
+        ScenarioSpec.grid(spec, policy=["basic-dfs", PROTEMP], seed=[7, 8])
     )
-    print(f"predicted peak temperature: {assignment.predicted_peak:.1f} C")
-    print(f"predicted max core gradient: {assignment.predicted_gradient:.2f} C")
+    print(f"{'scenario':<34s} {'peak C':>7s} {'>100C %':>8s} {'wait ms':>8s}")
+    for outcome in outcomes:
+        metrics = outcome.result.metrics
+        print(
+            f"{outcome.spec.label:<34s} {metrics.peak_temperature:7.1f} "
+            f"{metrics.violation_fraction * 100:7.2f}% "
+            f"{metrics.waiting.mean * 1e3:8.1f}"
+        )
+    print(f"({runner.tables_built} Phase-1 table built, shared by both "
+          "Pro-Temp scenarios)")
     print()
-
-    # Periphery cores (P1, P4, P5, P8) sit next to cooler cache/buffer
-    # blocks, so the optimizer runs them faster than the sandwiched middle
-    # cores (P2, P3, P6, P7) — the paper's Figure 10 effect.
-
-    # 3. A small Phase-1 table and a run-time lookup.
-    table = build_frequency_table(
-        optimizer,
-        t_grid=[70.0, 85.0, 95.0, 100.0],
-        f_grid=[mhz(f) for f in (250, 500, 750, 1000)],
-    )
-    lookup = table.lookup(t_current=91.0, f_required=mhz(600))
-    print(
-        f"lookup(91 C, 600 MHz): serve {to_mhz(lookup.satisfied_target):.0f} "
-        f"MHz -> {[f'{to_mhz(f):.0f}' for f in lookup.frequencies]}"
-    )
-    print(f"(shutdown window: {lookup.shutdown})")
+    print("Basic-DFS overshoots 100 C (Figure 1); Pro-Temp never does")
+    print("(Figure 2) — and still serves tasks with lower waiting times.")
+    print()
+    print("Same grid from the command line:")
+    print("  protemp run examples/scenario_config.json --workers 4")
 
 
 if __name__ == "__main__":

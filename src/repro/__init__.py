@@ -3,16 +3,38 @@
 Reproduction of Murali et al., "Temperature Control of High-Performance
 Multi-core Platforms Using Convex Optimization" (DATE 2008).
 
-Top-level convenience exports cover the common workflow:
+Top-level convenience exports cover the common workflow — declare
+scenarios, run them:
 
->>> from repro import Platform
->>> platform = Platform.niagara8()
+>>> from repro import ScenarioRunner, ScenarioSpec
+>>> outcomes = ScenarioRunner().run_many(
+...     ScenarioSpec.grid(policy=["basic-dfs", "protemp"], seed=range(4))
+... )
 
 See README.md for the full tour and DESIGN.md for the system inventory.
 """
 
 from repro.platform import Platform
+from repro.scenario import (
+    PlatformSpec,
+    PolicySpec,
+    ScenarioOutcome,
+    ScenarioRunner,
+    ScenarioSpec,
+    SensorSpec,
+    WorkloadSpec,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["Platform", "__version__"]
+__all__ = [
+    "Platform",
+    "PlatformSpec",
+    "PolicySpec",
+    "ScenarioOutcome",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "SensorSpec",
+    "WorkloadSpec",
+    "__version__",
+]

@@ -13,20 +13,24 @@ from pathlib import Path
 from repro.core.protemp import ProTempOptimizer
 from repro.core.table import FrequencyTable, build_frequency_table
 from repro.platform import Platform
-from repro.units import mhz
 
-#: Default Phase-1 grid: start temperatures in Celsius.  Denser near t_max
-#: where the feasible frequency changes fastest.
-DEFAULT_T_GRID = (50.0, 60.0, 70.0, 75.0, 80.0, 85.0, 90.0, 92.5, 95.0, 97.5, 100.0)
-
-#: Default Phase-1 grid: average-frequency targets in Hz (50 MHz steps).
-DEFAULT_F_GRID = tuple(mhz(f) for f in range(50, 1001, 50))
+# The canonical grid defaults live with the scenario specs (the scenario
+# runner and this legacy cache must agree on them); re-exported here for
+# backwards compatibility.
+from repro.scenario.specs import (
+    DEFAULT_F_GRID,
+    DEFAULT_STEP_SUBSAMPLE,
+    DEFAULT_T_GRID,
+)
 
 _memory_cache: dict[tuple, FrequencyTable] = {}
 
 
 def default_optimizer(
-    platform: Platform, *, mode: str = "variable", step_subsample: int = 5
+    platform: Platform,
+    *,
+    mode: str = "variable",
+    step_subsample: int = DEFAULT_STEP_SUBSAMPLE,
 ) -> ProTempOptimizer:
     """The optimizer configuration shared by experiments and benchmarks."""
     return ProTempOptimizer(

@@ -1,9 +1,15 @@
 """One runner per paper figure (the per-experiment index of DESIGN.md).
 
+Every figure-level runner is a thin *scenario grid + reducer* on top of
+`repro.scenario`: it declares the grid of :class:`ScenarioSpec` cells the
+figure needs, hands them to a :class:`ScenarioRunner` (which deduplicates
+platforms and Phase-1 tables), and reduces the outcomes into a small result
+object exposing the figure's series plus a ``text()`` rendering.  The
+optimizer-probe figures (9/10) reuse the same runner's artifact caches.
+
 Every runner is deterministic (seeded), scales with a ``duration`` knob so
-tests can use short horizons, and returns a small result object exposing the
-figure's series plus a ``text()`` rendering.  The benchmarks in
-``benchmarks/`` wrap these runners and assert the paper's qualitative shape.
+tests can use short horizons.  The benchmarks in ``benchmarks/`` wrap these
+runners and assert the paper's qualitative shape.
 """
 
 from __future__ import annotations
@@ -12,21 +18,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.analysis.cache import cached_table, default_optimizer
+from repro.analysis.cache import cached_table
 from repro.analysis.report import format_band_bars, format_table
-from repro.control import (
-    BasicDFSPolicy,
-    DFSPolicy,
-    NoTCPolicy,
-    ProTempPolicy,
-    ThermalManagementUnit,
-)
+from repro.control import DFSPolicy, ThermalManagementUnit
 from repro.core.table import FrequencyTable
 from repro.platform import Platform
+from repro.scenario import (
+    POLICIES,
+    PlatformSpec,
+    PolicySpec,
+    ScenarioRunner,
+    ScenarioSpec,
+    WorkloadSpec,
+)
 from repro.sim import (
     PAPER_BAND_LABELS,
-    CoolestFirstAssignment,
-    FirstIdleAssignment,
     MulticoreSimulator,
     SimulationConfig,
     SimulationResult,
@@ -34,17 +40,20 @@ from repro.sim import (
 from repro.sim.queueing import AssignmentPolicy
 from repro.sim.task import TaskTrace
 from repro.units import to_mhz
-from repro.workloads import (
-    compute_benchmark,
-    mixed_benchmark,
-    server_benchmark,
-)
 
 #: Paper constants (section 5.2).
 BASIC_DFS_THRESHOLD = 90.0
 
 #: Figure 9/10 starting-temperature axis (Celsius).
 FEASIBILITY_TEMPS = (27.0, 37.0, 47.0, 57.0, 67.0, 77.0, 87.0, 97.0)
+
+#: The evaluation platform, as a spec (paper section 5).
+NIAGARA_SPEC = PlatformSpec("niagara8")
+
+#: The paper's three run-time policies, as specs.
+NOTC_SPEC = PolicySpec("no-tc")
+BASIC_DFS_SPEC = PolicySpec("basic-dfs", {"threshold": BASIC_DFS_THRESHOLD})
+PROTEMP_SPEC = PolicySpec("protemp")
 
 
 def make_platform() -> Platform:
@@ -61,7 +70,12 @@ def run_simulation(
     assignment: AssignmentPolicy | None = None,
     t_initial: float = 45.0,
 ) -> SimulationResult:
-    """Run one closed-loop simulation with the standard configuration."""
+    """Run one closed-loop simulation with the standard configuration.
+
+    The low-level escape hatch for callers holding live objects (a policy
+    instance, a pre-built trace); spec-driven callers should build a
+    :class:`ScenarioSpec` and use :class:`ScenarioRunner` instead.
+    """
     tmu = ThermalManagementUnit(
         policy=policy,
         f_max=platform.f_max,
@@ -77,14 +91,28 @@ def run_simulation(
     return sim.run(trace)
 
 
-def _trace(kind: str, duration: float, n_cores: int, seed: int) -> TaskTrace:
-    if kind == "mixed":
-        return mixed_benchmark(duration, n_cores, seed=seed)
-    if kind == "compute":
-        return compute_benchmark(duration, n_cores, seed=seed)
-    if kind == "server":
-        return server_benchmark(duration, n_cores, seed=seed)
-    raise ValueError(f"unknown trace kind {kind!r}")
+def _figure_runner(
+    platform: Platform | None,
+    table: FrequencyTable | None,
+    policy_specs: tuple[PolicySpec, ...],
+) -> tuple[ScenarioRunner, Platform]:
+    """A ScenarioRunner primed with the caller's pre-built artifacts.
+
+    When `table` is None but a table-driven policy is in the grid, the
+    shared `repro.analysis.cache.cached_table` build is primed in, so
+    repeated figure runs in one process reuse a single Phase-1 table.
+    """
+    platform = platform or make_platform()
+    runner = ScenarioRunner()
+    runner.prime_platform(NIAGARA_SPEC, platform)
+    table_specs = [
+        spec for spec in policy_specs if POLICIES.get(spec.name).needs_table
+    ]
+    if table_specs:
+        table = table or cached_table(platform)
+        for spec in table_specs:
+            runner.prime_table(NIAGARA_SPEC, spec, table)
+    return runner, platform
 
 
 # ---------------------------------------------------------------------------
@@ -133,17 +161,25 @@ def run_snapshot(
 
     Mixed-benchmark trace; returns processor P1's temperature history.
     """
-    platform = platform or make_platform()
     if policy_kind == "basic":
-        policy: DFSPolicy = BasicDFSPolicy(threshold=BASIC_DFS_THRESHOLD)
+        policy_spec = BASIC_DFS_SPEC
     elif policy_kind == "protemp":
-        policy = ProTempPolicy(table or cached_table(platform))
+        policy_spec = PROTEMP_SPEC
     else:
         raise ValueError(f"unknown policy kind {policy_kind!r}")
-    trace = _trace("mixed", duration, platform.n_cores, seed)
-    result = run_simulation(platform, policy, trace, duration=duration)
+    runner, platform = _figure_runner(platform, table, (policy_spec,))
+    outcome = runner.run(
+        ScenarioSpec(
+            platform=NIAGARA_SPEC,
+            workload=WorkloadSpec("mixed", duration),
+            policy=policy_spec,
+            seed=seed,
+            name=f"fig1/2-{policy_kind}",
+        )
+    )
+    result = outcome.result
     return SnapshotResult(
-        policy_name=policy.name,
+        policy_name=result.policy_name,
         times=result.timeseries.times,
         temperature=result.timeseries.core(0),
         t_max=platform.t_max,
@@ -196,19 +232,25 @@ def run_band_comparison(
     table: FrequencyTable | None = None,
 ) -> BandComparisonResult:
     """Figure 6a (``trace_kind="mixed"``) / 6b (``"compute"``)."""
-    platform = platform or make_platform()
-    table = table or cached_table(platform)
-    trace = _trace(trace_kind, duration, platform.n_cores, seed)
+    policy_specs = (NOTC_SPEC, BASIC_DFS_SPEC, PROTEMP_SPEC)
+    runner, platform = _figure_runner(platform, table, policy_specs)
+    outcomes = runner.run_many(
+        ScenarioSpec.grid(
+            ScenarioSpec(
+                platform=NIAGARA_SPEC,
+                workload=WorkloadSpec(trace_kind, duration),
+                seed=seed,
+                name=f"fig6-{trace_kind}",
+            ),
+            policy=policy_specs,
+        )
+    )
     fractions: dict[str, np.ndarray] = {}
     waiting: dict[str, float] = {}
-    for policy in (
-        NoTCPolicy(),
-        BasicDFSPolicy(threshold=BASIC_DFS_THRESHOLD),
-        ProTempPolicy(table),
-    ):
-        result = run_simulation(platform, policy, trace, duration=duration)
-        fractions[policy.name] = result.band_fractions
-        waiting[policy.name] = result.mean_waiting_time
+    for outcome in outcomes:
+        result = outcome.result
+        fractions[result.policy_name] = result.band_fractions
+        waiting[result.policy_name] = result.mean_waiting_time
     return BandComparisonResult(
         trace_kind=trace_kind, fractions=fractions, waiting=waiting
     )
@@ -258,21 +300,22 @@ def run_waiting_comparison(
     table: FrequencyTable | None = None,
 ) -> WaitingResult:
     """Figure 7: waiting times on the computation-intensive benchmark."""
-    platform = platform or make_platform()
-    table = table or cached_table(platform)
-    trace = _trace("compute", duration, platform.n_cores, seed)
-    basic = run_simulation(
-        platform,
-        BasicDFSPolicy(threshold=BASIC_DFS_THRESHOLD),
-        trace,
-        duration=duration,
-    )
-    protemp = run_simulation(
-        platform, ProTempPolicy(table), trace, duration=duration
+    policy_specs = (BASIC_DFS_SPEC, PROTEMP_SPEC)
+    runner, platform = _figure_runner(platform, table, policy_specs)
+    basic, protemp = runner.run_many(
+        ScenarioSpec.grid(
+            ScenarioSpec(
+                platform=NIAGARA_SPEC,
+                workload=WorkloadSpec("compute", duration),
+                seed=seed,
+                name="fig7",
+            ),
+            policy=policy_specs,
+        )
     )
     return WaitingResult(
-        basic_wait=basic.mean_waiting_time,
-        protemp_wait=protemp.mean_waiting_time,
+        basic_wait=basic.result.mean_waiting_time,
+        protemp_wait=protemp.result.mean_waiting_time,
     )
 
 
@@ -315,12 +358,17 @@ def run_gradient_timeseries(
     table: FrequencyTable | None = None,
 ) -> GradientTimeseriesResult:
     """Figure 8: the two processors' temperatures under Pro-Temp."""
-    platform = platform or make_platform()
-    table = table or cached_table(platform)
-    trace = _trace("mixed", duration, platform.n_cores, seed)
-    result = run_simulation(
-        platform, ProTempPolicy(table), trace, duration=duration
+    runner, platform = _figure_runner(platform, table, (PROTEMP_SPEC,))
+    outcome = runner.run(
+        ScenarioSpec(
+            platform=NIAGARA_SPEC,
+            workload=WorkloadSpec("mixed", duration),
+            policy=PROTEMP_SPEC,
+            seed=seed,
+            name="fig8",
+        )
     )
+    result = outcome.result
     p1 = result.timeseries.core(0)
     p2 = result.timeseries.core(1)
     gaps = np.abs(p1 - p2)
@@ -370,10 +418,15 @@ def run_feasibility_sweep(
     temps: tuple[float, ...] = FEASIBILITY_TEMPS,
     platform: Platform | None = None,
 ) -> FeasibilitySweepResult:
-    """Figure 9: sweep starting temperature for both assignment modes."""
-    platform = platform or make_platform()
-    var_opt = default_optimizer(platform, mode="variable")
-    uni_opt = default_optimizer(platform, mode="uniform")
+    """Figure 9: sweep starting temperature for both assignment modes.
+
+    An optimizer probe, not a closed-loop simulation — it still runs on
+    the :class:`ScenarioRunner` substrate, whose artifact caches hold one
+    optimizer per (platform spec, mode).
+    """
+    runner, platform = _figure_runner(platform, None, ())
+    var_opt = runner.optimizer(NIAGARA_SPEC, mode="variable")
+    uni_opt = runner.optimizer(NIAGARA_SPEC, mode="uniform")
     uniform = [to_mhz(uni_opt.max_feasible_target(t)) for t in temps]
     variable = [to_mhz(var_opt.max_feasible_target(t)) for t in temps]
     return FeasibilitySweepResult(
@@ -426,8 +479,8 @@ def run_per_core_frequency(
     ``target_fraction`` of the max feasible average frequency, so the
     thermal constraints bind and the periphery/middle split is visible.
     """
-    platform = platform or make_platform()
-    optimizer = default_optimizer(platform, mode="variable")
+    runner, platform = _figure_runner(platform, None, ())
+    optimizer = runner.optimizer(NIAGARA_SPEC, mode="variable")
     p1_list, p2_list = [], []
     for t in temps:
         f_max_feasible = optimizer.max_feasible_target(t)
@@ -506,26 +559,23 @@ def run_assignment_effect(
     integrates; see `repro.workloads.benchmarks.server_benchmark` for why
     the 1-10 ms task mixes cannot exhibit an assignment effect.
     """
-    platform = platform or make_platform()
-    table = table or cached_table(platform)
-    trace = _trace("server", duration, platform.n_cores, seed)
-
-    def over_fraction(policy: DFSPolicy, assignment: AssignmentPolicy) -> SimulationResult:
-        return run_simulation(
-            platform, policy, trace, duration=duration, assignment=assignment
+    policy_specs = (BASIC_DFS_SPEC, PROTEMP_SPEC)
+    runner, platform = _figure_runner(platform, table, policy_specs)
+    basic_fi, basic_cf, pro_fi, pro_cf = runner.run_many(
+        ScenarioSpec.grid(
+            ScenarioSpec(
+                platform=NIAGARA_SPEC,
+                workload=WorkloadSpec("server", duration),
+                seed=seed,
+                name="fig11",
+            ),
+            policy=policy_specs,
+            assignment=["first-idle", "coolest-first"],
         )
-
-    basic_fi = over_fraction(
-        BasicDFSPolicy(threshold=BASIC_DFS_THRESHOLD), FirstIdleAssignment()
     )
-    basic_cf = over_fraction(
-        BasicDFSPolicy(threshold=BASIC_DFS_THRESHOLD), CoolestFirstAssignment()
-    )
-    pro_fi = over_fraction(ProTempPolicy(table), FirstIdleAssignment())
-    pro_cf = over_fraction(ProTempPolicy(table), CoolestFirstAssignment())
     return AssignmentEffectResult(
-        basic_first_idle_over=basic_fi.metrics.violation_fraction,
-        basic_coolest_over=basic_cf.metrics.violation_fraction,
-        protemp_gradient_first_idle=pro_fi.metrics.gradient.mean,
-        protemp_gradient_coolest=pro_cf.metrics.gradient.mean,
+        basic_first_idle_over=basic_fi.result.metrics.violation_fraction,
+        basic_coolest_over=basic_cf.result.metrics.violation_fraction,
+        protemp_gradient_first_idle=pro_fi.result.metrics.gradient.mean,
+        protemp_gradient_coolest=pro_cf.result.metrics.gradient.mean,
     )

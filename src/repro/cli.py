@@ -1,13 +1,22 @@
-"""Command-line interface: ``protemp <experiment>`` / ``python -m repro``.
+"""Command-line interface: ``protemp <command>`` / ``python -m repro``.
 
-Runs any of the paper's experiments end-to-end and prints the figure's data
-as text (optionally CSV).  Heavy experiments accept ``--duration`` to trade
-fidelity for speed; the defaults match EXPERIMENTS.md.
+Three command families:
+
+* ``protemp <figN>`` — run one of the paper's experiments end-to-end and
+  print the figure's data as text.  Heavy experiments accept
+  ``--duration`` to trade fidelity for speed.
+* ``protemp run <config.json>`` — expand a declarative scenario config
+  (see `repro.scenario.specs.scenario_grid_from_config`) and execute the
+  grid on a :class:`~repro.scenario.ScenarioRunner`, optionally over a
+  process pool (``--workers``).
+* ``protemp list`` — show the registered platforms, workloads, policies,
+  assignments, sensors and experiments (``--json`` for tooling).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -22,6 +31,15 @@ from repro.analysis import (
     run_per_core_frequency,
     run_snapshot,
     run_waiting_comparison,
+)
+from repro.errors import ScenarioError
+from repro.scenario import (
+    ASSIGNMENTS,
+    PLATFORMS,
+    POLICIES,
+    SENSORS,
+    WORKLOADS,
+    ScenarioRunner,
 )
 from repro.thermal.calibration import calibration_report, format_report
 
@@ -39,6 +57,18 @@ EXPERIMENTS = (
     "table",
 )
 
+#: Scenario-API commands sharing the positional slot with the experiments.
+COMMANDS = ("run", "list")
+
+#: Registries shown by ``protemp list``, in display order.
+_REGISTRIES = (
+    ("platforms", PLATFORMS),
+    ("workloads", WORKLOADS),
+    ("policies", POLICIES),
+    ("assignments", ASSIGNMENTS),
+    ("sensors", SENSORS),
+)
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
@@ -46,13 +76,23 @@ def build_parser() -> argparse.ArgumentParser:
         prog="protemp",
         description=(
             "Pro-Temp reproduction (Murali et al., DATE 2008): run the "
-            "paper's experiments on the simulated Niagara-8 platform."
+            "paper's experiments, or declarative scenario grids, on "
+            "simulated multi-core platforms."
         ),
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS,
-        help="which experiment to run (figN of the paper)",
+        choices=EXPERIMENTS + COMMANDS,
+        help=(
+            "a paper experiment (figN), 'run' (execute a scenario config), "
+            "or 'list' (show registered components)"
+        ),
+    )
+    parser.add_argument(
+        "config",
+        nargs="?",
+        default=None,
+        help="scenario config JSON file (required by 'run')",
     )
     parser.add_argument(
         "--duration",
@@ -68,7 +108,86 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON file for caching the Phase-1 table",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for 'run' (default: serial)",
+    )
+    parser.add_argument(
+        "--table-cache-dir",
+        default=None,
+        help="directory of persistent Phase-1 table caches for 'run'",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output ('run' and 'list')",
+    )
     return parser
+
+
+def _list_command(as_json: bool) -> int:
+    """``protemp list``: registered components and experiments."""
+    if as_json:
+        payload: dict = {
+            kind: {
+                name: entry.description for name, entry in registry.items()
+            }
+            for kind, registry in _REGISTRIES
+        }
+        payload["experiments"] = list(EXPERIMENTS)
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    for kind, registry in _REGISTRIES:
+        print(f"{kind}:")
+        for name, entry in registry.items():
+            suffix = " [needs table]" if entry.needs_table else ""
+            print(f"  {name:<22s} {entry.description}{suffix}")
+        print()
+    print("experiments:")
+    print("  " + " ".join(EXPERIMENTS))
+    return 0
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    """``protemp run <config.json>``: execute a scenario grid."""
+    if args.config is None:
+        print("protemp run: a scenario config JSON path is required",
+              file=sys.stderr)
+        return 2
+    runner = ScenarioRunner(
+        n_workers=args.workers, table_cache_dir=args.table_cache_dir
+    )
+    try:
+        outcomes = runner.run_config(args.config)
+    except ScenarioError as exc:
+        print(f"protemp run: {exc}", file=sys.stderr)
+        return 2
+    rows = [outcome.summary_row() for outcome in outcomes]
+    if args.json:
+        print(json.dumps(rows, indent=1))
+        return 0
+    header = (
+        f"{'scenario':<36s} {'policy':<10s} {'peak C':>7s} {'>tmax%':>7s} "
+        f"{'wait ms':>8s} {'done':>11s} {'wall s':>7s} {'table':>6s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        done = f"{row['completed_tasks']}/{row['arrived_tasks']}"
+        table_note = {True: "cache", False: "built", None: "-"}[
+            row["table_cache_hit"]
+        ]
+        print(
+            f"{row['scenario']:<36s} {row['policy']:<10s} "
+            f"{row['peak_c']:7.1f} {row['violation_fraction'] * 100:6.2f}% "
+            f"{row['mean_wait_s'] * 1e3:8.1f} {done:>11s} "
+            f"{row['wall_time_s']:7.2f} {table_note:>6s}"
+        )
+    print(f"[{len(rows)} scenarios, {runner.tables_built} tables built]",
+          file=sys.stderr)
+    return 0
 
 
 def _snapshot_plot(result) -> str:
@@ -84,7 +203,14 @@ def _snapshot_plot(result) -> str:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        return _list_command(args.json)
     started = time.time()
+    if args.experiment == "run":
+        code = _run_command(args)
+        print(f"[run finished in {time.time() - started:.1f}s]",
+              file=sys.stderr)
+        return code
     platform = make_platform()
 
     def table():

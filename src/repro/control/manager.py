@@ -73,8 +73,13 @@ class ThermalManagementUnit:
     sensor: IdealSensor | NoisySensor = field(default_factory=IdealSensor)
 
     def reset(self) -> None:
-        """Reset policy state before a fresh run."""
+        """Reset policy and sensor state before a fresh run.
+
+        Resetting the sensor re-seeds its noise stream, so back-to-back
+        runs through the same TMU reproduce bit-identically.
+        """
         self.policy.reset()
+        self.sensor.reset()
 
     def decide(
         self,

@@ -8,6 +8,7 @@ from repro.core.table import (
     LookupResult,
     SweepStrategy,
     TableEntry,
+    TableProvenanceWarning,
     build_frequency_table,
     quantize_table,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "StackedConstraints",
     "SweepStrategy",
     "TableEntry",
+    "TableProvenanceWarning",
     "WindowResponse",
     "build_frequency_table",
     "quantize_table",

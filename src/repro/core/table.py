@@ -73,6 +73,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import warnings
 from bisect import bisect_left
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -83,12 +84,22 @@ import numpy as np
 
 from repro.errors import TableError
 from repro.core.protemp import FrequencyAssignment, ProTempOptimizer
+from repro.solver.newton import NewtonOptions
 from repro.thermal.constants import PAPER_DFS_PERIOD
 
 #: Measurements this close to a grid line count as *on* it.  Absolute
 #: (Celsius) for temperature rows; scaled by ``max(1, |f|)`` for frequency
 #: columns (relative on the Hz scale).  See the module docstring.
 GRID_SNAP_TOLERANCE = 1e-9
+
+
+class TableProvenanceWarning(UserWarning):
+    """A loaded table's provenance does not match the requesting context.
+
+    Raised as a *warning* (not an error) because a mismatched table is
+    still structurally valid — but its frequency vectors were optimized
+    for a different platform, so its thermal guarantee does not transfer.
+    """
 
 
 @dataclass(frozen=True)
@@ -232,6 +243,14 @@ class SweepStrategy:
                 f"choose from {sorted(presets)}"
             )
         return presets[name]
+
+    @property
+    def preset_name(self) -> str | None:
+        """The preset this strategy equals, or None for a custom one."""
+        for name in ("cold", "warm", "gen2", "gen2-batched"):
+            if self == self.preset(name):
+                return name
+        return None
 
 
 class FrequencyTable:
@@ -402,8 +421,19 @@ class FrequencyTable:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "FrequencyTable":
-        """Inverse of :meth:`to_dict`."""
+    def from_dict(
+        cls, data: dict, *, expected_platform_hash: str | None = None
+    ) -> "FrequencyTable":
+        """Inverse of :meth:`to_dict`.
+
+        Args:
+            data: a :meth:`to_dict` payload.
+            expected_platform_hash: when given, compared against the
+                table's recorded ``platform_spec_hash`` metadata; a
+                mismatch (or a table with no recorded hash) emits a
+                :class:`TableProvenanceWarning` — the table's thermal
+                guarantee only holds for the platform it was built for.
+        """
         try:
             entries = {
                 (item["ti"], item["fi"]): TableEntry(
@@ -419,7 +449,7 @@ class FrequencyTable:
                 )
                 for item in data["entries"]
             }
-            return cls(
+            table = cls(
                 t_grid=data["t_grid"],
                 f_grid=data["f_grid"],
                 entries=entries,
@@ -428,6 +458,24 @@ class FrequencyTable:
             )
         except (KeyError, TypeError) as exc:
             raise TableError(f"malformed table data: {exc}") from exc
+        if expected_platform_hash is not None:
+            recorded = table.metadata.get("platform_spec_hash")
+            if recorded is None:
+                warnings.warn(
+                    "table has no recorded platform_spec_hash; cannot "
+                    f"verify it was built for platform {expected_platform_hash}",
+                    TableProvenanceWarning,
+                    stacklevel=2,
+                )
+            elif recorded != expected_platform_hash:
+                warnings.warn(
+                    f"table was built for platform {recorded}, not "
+                    f"{expected_platform_hash}; its thermal guarantee does "
+                    "not transfer",
+                    TableProvenanceWarning,
+                    stacklevel=2,
+                )
+        return table
 
     def save_json(self, path: str | Path) -> None:
         """Write the table to a JSON file (strict standard JSON).
@@ -441,9 +489,20 @@ class FrequencyTable:
         )
 
     @classmethod
-    def load_json(cls, path: str | Path) -> "FrequencyTable":
-        """Read a table written by :meth:`save_json`."""
-        return cls.from_dict(json.loads(Path(path).read_text()))
+    def load_json(
+        cls, path: str | Path, *, expected_platform_hash: str | None = None
+    ) -> "FrequencyTable":
+        """Read a table written by :meth:`save_json`.
+
+        Args:
+            path: the JSON file.
+            expected_platform_hash: optional provenance check — see
+                :meth:`from_dict`.
+        """
+        return cls.from_dict(
+            json.loads(Path(path).read_text()),
+            expected_platform_hash=expected_platform_hash,
+        )
 
 
 def quantize_table(
@@ -749,6 +808,7 @@ def build_frequency_table(
     *,
     strategy: SweepStrategy | str | None = None,
     progress: Callable[[int, int], None] | None = None,
+    provenance: dict | None = None,
     prune_infeasible: bool | None = None,
     warm_start: bool | None = None,
     n_workers: int | None = None,
@@ -765,6 +825,10 @@ def build_frequency_table(
         progress: optional callback ``(done, total)`` for long sweeps
             (per cell when serial or batched, per completed row when
             parallel).
+        provenance: caller-supplied metadata merged into the table's
+            metadata — the scenario runner records the platform spec
+            hash and a build timestamp here (the build itself never
+            reads the clock, keeping sweeps deterministic).
         prune_infeasible: legacy flag (default True) — maps to
             ``SweepStrategy.prune_feasibility``; only valid when
             `strategy` is None.
@@ -854,17 +918,26 @@ def build_frequency_table(
                 entries[(ti, fi)] = entry
             hotter = assignments
     platform = optimizer.platform
+    barrier = optimizer.barrier_options
+    newton = barrier.newton or NewtonOptions()
+    metadata = {
+        "platform": platform.name,
+        "mode": optimizer.mode,
+        "horizon_s": optimizer.response.horizon,
+        "t_max": platform.t_max,
+        "f_max": platform.f_max,
+        "p_max": platform.power.p_max,
+        "sweep_strategy": strategy.preset_name or "custom",
+        "solver_gap_tol": barrier.gap_tol,
+        "solver_newton_tol": newton.tol,
+        "step_subsample": optimizer.response.step_subsample,
+    }
+    if provenance:
+        metadata.update(provenance)
     return FrequencyTable(
         t_grid=list(t_grid),
         f_grid=list(f_grid),
         entries=entries,
         n_cores=platform.n_cores,
-        metadata={
-            "platform": platform.name,
-            "mode": optimizer.mode,
-            "horizon_s": optimizer.response.horizon,
-            "t_max": platform.t_max,
-            "f_max": platform.f_max,
-            "p_max": platform.power.p_max,
-        },
+        metadata=metadata,
     )

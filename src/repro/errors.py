@@ -53,3 +53,12 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload/trace generator received invalid parameters."""
+
+
+class ScenarioError(ReproError, ValueError):
+    """A scenario spec, registry lookup, or scenario run is invalid.
+
+    Also a :class:`ValueError`: unknown registry names and malformed spec
+    fields are invalid values, and pre-scenario APIs raised ValueError for
+    them — callers catching that keep working.
+    """

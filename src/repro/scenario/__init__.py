@@ -1,0 +1,79 @@
+"""Declarative scenario API: specs, registries, and the ScenarioRunner.
+
+The public entry point for composing experiments::
+
+    from repro.scenario import PolicySpec, ScenarioRunner, ScenarioSpec, WorkloadSpec
+
+    specs = ScenarioSpec.grid(
+        policy=["basic-dfs", "protemp"],
+        workload=[WorkloadSpec("mixed", 40.0), WorkloadSpec("compute", 40.0)],
+        seed=range(8),
+    )
+    outcomes = ScenarioRunner(n_workers=4).run_many(specs)
+
+See `repro.scenario.specs` for the data model, `repro.scenario.registry`
+for plugging in third-party platforms/workloads/policies, and
+`repro.scenario.runner` for execution semantics.
+"""
+
+from repro.scenario.registry import (
+    ASSIGNMENTS,
+    PLATFORMS,
+    POLICIES,
+    SENSORS,
+    WORKLOADS,
+    Registry,
+    RegistryEntry,
+    register_assignment,
+    register_platform,
+    register_policy,
+    register_sensor,
+    register_workload,
+)
+from repro.scenario.runner import (
+    ScenarioOutcome,
+    ScenarioRunner,
+    execute_scenario,
+    table_key,
+)
+from repro.scenario.specs import (
+    DEFAULT_F_GRID,
+    DEFAULT_STEP_SUBSAMPLE,
+    DEFAULT_T_GRID,
+    PlatformSpec,
+    PolicySpec,
+    ScenarioSpec,
+    SensorSpec,
+    WorkloadSpec,
+    derive_seed,
+    scenario_grid_from_config,
+)
+
+__all__ = [
+    "ASSIGNMENTS",
+    "DEFAULT_F_GRID",
+    "DEFAULT_STEP_SUBSAMPLE",
+    "DEFAULT_T_GRID",
+    "PLATFORMS",
+    "POLICIES",
+    "SENSORS",
+    "WORKLOADS",
+    "PlatformSpec",
+    "PolicySpec",
+    "Registry",
+    "RegistryEntry",
+    "ScenarioOutcome",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "SensorSpec",
+    "WorkloadSpec",
+    "derive_seed",
+    "execute_scenario",
+    "register_assignment",
+    "register_platform",
+    "register_policy",
+    "register_sensor",
+    "register_workload",
+    "scenario_grid_from_config",
+    "table_key",
+]

@@ -1,0 +1,354 @@
+"""Name-based registries for platforms, workloads, policies, and friends.
+
+A registry maps a short stable name (the string that appears in scenario
+specs and JSON configs) to a factory plus metadata.  Third-party components
+plug in with one decorator — e.g. a new controller from the literature
+(an adjustable-gain integral regulator, a power-temperature state-space
+controller) is one registered class::
+
+    from repro.scenario import register_policy
+
+    @register_policy("my-controller", description="...")
+    def _build(**params):
+        return MyControllerPolicy(**params)
+
+Factory calling conventions (enforced by the runner):
+
+* **platforms** — ``factory(**params) -> Platform``;
+* **workloads** — ``factory(duration, n_cores, seed=..., **params) ->
+  TaskTrace``;
+* **policies** — ``factory(**params) -> DFSPolicy``, or with
+  ``needs_table=True``: ``factory(table, **params) -> DFSPolicy`` (the
+  runner builds/caches the Phase-1 table and passes it first);
+* **assignments** — ``factory(**params) -> AssignmentPolicy``; with
+  ``needs_seed=True`` the runner injects ``seed=`` derived from the
+  scenario seed;
+* **sensors** — ``factory(**params)``; with ``needs_seed=True`` the
+  runner injects ``seed=``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.control import BasicDFSPolicy, NoTCPolicy, ProTempPolicy
+from repro.errors import ScenarioError
+from repro.floorplan import core_grid, core_grid_with_cache_ring, core_row
+from repro.platform import Platform
+from repro.sim.queueing import (
+    CoolestFirstAssignment,
+    FirstIdleAssignment,
+    RandomAssignment,
+)
+from repro.thermal.sensors import IdealSensor, NoisySensor
+from repro.workloads import (
+    WorkloadDistribution,
+    bursty_trace,
+    compute_benchmark,
+    mixed_benchmark,
+    multimedia_benchmark,
+    poisson_trace,
+    server_benchmark,
+    web_benchmark,
+)
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered component.
+
+    Attributes:
+        name: registry key.
+        factory: the builder callable (see module docstring conventions).
+        description: one-line summary shown by ``protemp list``.
+        needs_table: policy factories only — the runner must supply a
+            Phase-1 :class:`~repro.core.table.FrequencyTable` as the first
+            positional argument.
+        needs_seed: the runner injects a derived ``seed=`` keyword.
+    """
+
+    name: str
+    factory: Callable
+    description: str = ""
+    needs_table: bool = False
+    needs_seed: bool = False
+
+
+class Registry:
+    """A named collection of :class:`RegistryEntry`.
+
+    Args:
+        kind: what the registry holds ("platform", "policy", ...); used in
+            error messages.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, RegistryEntry] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: Callable | None = None,
+        *,
+        description: str = "",
+        needs_table: bool = False,
+        needs_seed: bool = False,
+    ) -> Callable:
+        """Register a factory under `name`; usable as a decorator.
+
+        Raises:
+            ScenarioError: when `name` is already taken (re-registration
+                is always a bug — unregister explicitly in tests).
+        """
+        def _add(fn: Callable) -> Callable:
+            if name in self._entries:
+                raise ScenarioError(
+                    f"duplicate {self.kind} registration {name!r}"
+                )
+            self._entries[name] = RegistryEntry(
+                name=name,
+                factory=fn,
+                description=description,
+                needs_table=needs_table,
+                needs_seed=needs_seed,
+            )
+            return fn
+
+        if factory is not None:
+            return _add(factory)
+        return _add
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (primarily for tests)."""
+        self._entries.pop(name, None)
+
+    def get(self, name: str) -> RegistryEntry:
+        """Look up an entry.
+
+        Raises:
+            ScenarioError: for unknown names, listing the valid ones.
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ScenarioError(
+                f"unknown {self.kind} {name!r}; "
+                f"registered: {', '.join(self.names()) or '(none)'}"
+            ) from None
+
+    def names(self) -> list[str]:
+        """Sorted registered names."""
+        return sorted(self._entries)
+
+    def items(self) -> list[tuple[str, RegistryEntry]]:
+        """Sorted (name, entry) pairs."""
+        return sorted(self._entries.items())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The four registries scenario specs resolve against.
+PLATFORMS = Registry("platform")
+WORKLOADS = Registry("workload")
+POLICIES = Registry("policy")
+ASSIGNMENTS = Registry("assignment")
+SENSORS = Registry("sensor")
+
+#: Decorator aliases for third-party registrations.
+register_platform = PLATFORMS.register
+register_workload = WORKLOADS.register
+register_policy = POLICIES.register
+register_assignment = ASSIGNMENTS.register
+register_sensor = SENSORS.register
+
+
+# -- built-in platforms ----------------------------------------------------
+
+
+@register_platform(
+    "niagara8",
+    description="The paper's 8-core Niagara evaluation platform (section 5)",
+)
+def _niagara8(**params) -> Platform:
+    return Platform.niagara8(**params)
+
+
+@register_platform(
+    "core-row",
+    description="n cores in a row (fast synthetic platform for testing)",
+)
+def _core_row(n_cores: int = 3, **params) -> Platform:
+    floorplan = core_row(n_cores)
+    return Platform.from_floorplan(floorplan, name=f"row{n_cores}", **params)
+
+
+@register_platform(
+    "core-grid",
+    description="rows x cols core grid (synthetic many-core platform)",
+)
+def _core_grid(rows: int = 2, cols: int = 2, **params) -> Platform:
+    floorplan = core_grid(rows, cols)
+    return Platform.from_floorplan(
+        floorplan, name=f"grid{rows}x{cols}", **params
+    )
+
+
+@register_platform(
+    "core-grid-cache-ring",
+    description="core grid surrounded by a ring of cache blocks",
+)
+def _core_grid_cache_ring(rows: int = 2, cols: int = 2, **params) -> Platform:
+    floorplan = core_grid_with_cache_ring(rows, cols)
+    return Platform.from_floorplan(
+        floorplan, name=f"grid{rows}x{cols}+ring", **params
+    )
+
+
+# -- built-in workloads ----------------------------------------------------
+
+WORKLOADS.register(
+    "web",
+    web_benchmark,
+    description="bursty short web requests (1-4 ms tasks)",
+)
+WORKLOADS.register(
+    "multimedia",
+    multimedia_benchmark,
+    description="steady frame-processing tasks (5-10 ms)",
+)
+WORKLOADS.register(
+    "compute",
+    compute_benchmark,
+    description="sustained heavy computation (Figure 6b regime)",
+)
+WORKLOADS.register(
+    "server",
+    server_benchmark,
+    description="sparse long thread-level jobs (section 5.4 regime)",
+)
+WORKLOADS.register(
+    "mixed",
+    mixed_benchmark,
+    description="web + multimedia + background compute (Figures 1/2/6a/8)",
+)
+
+
+@register_workload(
+    "poisson",
+    description="generic Poisson arrivals (offered_load, min_ms, max_ms)",
+)
+def _poisson(
+    duration: float,
+    n_cores: int,
+    *,
+    seed: int = 0,
+    offered_load: float = 0.3,
+    min_ms: float = 1.0,
+    max_ms: float = 10.0,
+) -> object:
+    return poisson_trace(
+        duration,
+        offered_load=offered_load,
+        n_cores=n_cores,
+        workload=WorkloadDistribution(min_ms * 1e-3, max_ms * 1e-3),
+        seed=seed,
+    )
+
+
+@register_workload(
+    "bursty",
+    description="generic on/off modulated Poisson bursts",
+)
+def _bursty(
+    duration: float,
+    n_cores: int,
+    *,
+    seed: int = 0,
+    burst_load: float = 0.7,
+    idle_load: float = 0.05,
+    burst_length: float = 2.0,
+    idle_length: float = 2.0,
+    min_ms: float = 1.0,
+    max_ms: float = 10.0,
+) -> object:
+    return bursty_trace(
+        duration,
+        burst_load=burst_load,
+        idle_load=idle_load,
+        n_cores=n_cores,
+        burst_length=burst_length,
+        idle_length=idle_length,
+        workload=WorkloadDistribution(min_ms * 1e-3, max_ms * 1e-3),
+        seed=seed,
+    )
+
+
+# -- built-in policies -----------------------------------------------------
+
+
+@register_policy(
+    "no-tc",
+    description="no temperature control (paper's No-TC reference)",
+)
+def _no_tc() -> NoTCPolicy:
+    return NoTCPolicy()
+
+
+@register_policy(
+    "basic-dfs",
+    description="reactive threshold shutdown (paper's Basic-DFS, 90 C)",
+)
+def _basic_dfs(
+    threshold: float = 90.0, resume_threshold: float | None = None
+) -> BasicDFSPolicy:
+    return BasicDFSPolicy(threshold=threshold, resume_threshold=resume_threshold)
+
+
+@register_policy(
+    "protemp",
+    needs_table=True,
+    description="proactive convex-optimized table lookup (the paper's Pro-Temp)",
+)
+def _protemp(table, name: str | None = None) -> ProTempPolicy:
+    return ProTempPolicy(table, name=name)
+
+
+# -- built-in assignments --------------------------------------------------
+
+ASSIGNMENTS.register(
+    "first-idle",
+    FirstIdleAssignment,
+    description="paper default: lowest-index idle core",
+)
+ASSIGNMENTS.register(
+    "coolest-first",
+    CoolestFirstAssignment,
+    description="temperature-aware (Coskun et al. [26], section 5.4)",
+)
+ASSIGNMENTS.register(
+    "random",
+    RandomAssignment,
+    needs_seed=True,
+    description="uniformly random idle core (seeded; ablation)",
+)
+
+
+# -- built-in sensors ------------------------------------------------------
+
+SENSORS.register(
+    "ideal",
+    IdealSensor,
+    description="pass-through sensing (the paper's assumption)",
+)
+SENSORS.register(
+    "noisy",
+    NoisySensor,
+    needs_seed=True,
+    description="Gaussian noise + quantization + saturation",
+)

@@ -1,0 +1,441 @@
+"""ScenarioRunner: materialize, deduplicate, and execute scenario grids.
+
+The runner is the execution substrate behind every figure-level experiment
+and the ``protemp run`` CLI:
+
+* **artifact caches** — one :class:`~repro.platform.Platform` per distinct
+  :class:`PlatformSpec`, one :class:`~repro.core.protemp.ProTempOptimizer`
+  per (platform, mode, step_subsample), and — the expensive one — one
+  Phase-1 :class:`~repro.core.table.FrequencyTable` per distinct
+  (platform spec, table config) key, built with the gen2 sweep and
+  optionally persisted to a JSON cache directory with provenance
+  (platform spec hash, strategy, build timestamp);
+* **grid execution** — :meth:`run_many` resolves every distinct table
+  exactly once up front, then fans the scenarios out over a process pool
+  (``n_workers``) or runs them serially; parallel and serial runs produce
+  bit-identical :class:`ScenarioOutcome` lists because every stochastic
+  component is seeded from the spec (see `repro.scenario.specs`).
+
+Pre-built artifacts can be *primed* into the caches
+(:meth:`prime_platform` / :meth:`prime_table`), which is how tests and
+experiments reuse session-scoped fixtures instead of rebuilding tables.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Sequence
+
+from repro.control.manager import ThermalManagementUnit
+from repro.core.protemp import ProTempOptimizer
+from repro.core.table import FrequencyTable, build_frequency_table
+from repro.errors import ScenarioError, TableError
+from repro.platform import Platform
+from repro.scenario.registry import (
+    ASSIGNMENTS,
+    PLATFORMS,
+    POLICIES,
+    SENSORS,
+    WORKLOADS,
+)
+from repro.scenario.specs import (
+    PlatformSpec,
+    PolicySpec,
+    ScenarioSpec,
+    _spec_hash,
+)
+from repro.sim.engine import (
+    MulticoreSimulator,
+    SimulationConfig,
+    SimulationResult,
+)
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One executed scenario plus provenance.
+
+    Attributes:
+        spec: the scenario that ran.
+        spec_hash: :attr:`ScenarioSpec.spec_hash` (stable across processes).
+        result: the full :class:`SimulationResult`.
+        wall_time_s: wall-clock seconds spent in the simulation itself
+            (excludes table builds, which are shared across scenarios).
+        table_cache_hit: True when the policy's Phase-1 table came from the
+            runner's cache (memory or disk), False when this run built it,
+            None when the policy needs no table.
+        table_key: cache key of the table used (None when no table).
+    """
+
+    spec: ScenarioSpec
+    spec_hash: str
+    result: SimulationResult
+    wall_time_s: float
+    table_cache_hit: bool | None
+    table_key: str | None = None
+
+    def summary_row(self) -> dict:
+        """Flat JSON-compatible summary (the ``protemp run --json`` row)."""
+        metrics = self.result.metrics
+        return {
+            "scenario": self.spec.label,
+            "spec_hash": self.spec_hash,
+            "policy": self.result.policy_name,
+            "workload": self.result.trace_name,
+            "platform": self.spec.platform.name,
+            "seed": self.spec.seed,
+            "peak_c": metrics.peak_temperature,
+            "violation_fraction": metrics.violation_fraction,
+            "mean_wait_s": metrics.waiting.mean,
+            "completed_tasks": metrics.completed_tasks,
+            "arrived_tasks": metrics.arrived_tasks,
+            "wall_time_s": self.wall_time_s,
+            "table_cache_hit": self.table_cache_hit,
+        }
+
+
+def table_key(platform_spec: PlatformSpec, policy_spec: PolicySpec) -> str:
+    """Cache key of the Phase-1 table a (platform, policy) pair needs.
+
+    Two specs share a table exactly when they agree on the platform spec
+    and the policy's table configuration (mode, grids, subsampling,
+    strategy) — the remaining policy params do not influence the table.
+    """
+    config = policy_spec.table_config()
+    return _spec_hash(
+        {
+            "platform": platform_spec.to_dict(),
+            "mode": config["mode"],
+            "t_grid": list(config["t_grid"]),
+            "f_grid": list(config["f_grid"]),
+            "step_subsample": config["step_subsample"],
+            "strategy": config["strategy"],
+        }
+    )
+
+
+def build_trace(spec: ScenarioSpec, n_cores: int):
+    """Materialize the scenario's task trace (seeded from the spec)."""
+    entry = WORKLOADS.get(spec.workload.name)
+    return entry.factory(
+        spec.workload.duration,
+        n_cores,
+        seed=spec.trace_seed,
+        **spec.workload.kwargs,
+    )
+
+
+def build_policy(spec: ScenarioSpec, table: FrequencyTable | None):
+    """Materialize the scenario's DFS policy (table injected if needed)."""
+    entry = POLICIES.get(spec.policy.name)
+    kwargs = spec.policy.factory_kwargs()
+    if entry.needs_table:
+        if table is None:
+            raise ScenarioError(
+                f"policy {spec.policy.name!r} needs a frequency table"
+            )
+        return entry.factory(table, **kwargs)
+    return entry.factory(**kwargs)
+
+
+def build_sensor(spec: ScenarioSpec):
+    """Materialize the scenario's sensor model (seeded from the spec)."""
+    entry = SENSORS.get(spec.sensor.name)
+    kwargs = dict(spec.sensor.kwargs)
+    if entry.needs_seed:
+        kwargs.setdefault("seed", spec.sensor_seed)
+    return entry.factory(**kwargs)
+
+
+def build_assignment(spec: ScenarioSpec):
+    """Materialize the scenario's task-assignment policy."""
+    entry = ASSIGNMENTS.get(spec.assignment)
+    kwargs: dict = {}
+    if entry.needs_seed:
+        kwargs["seed"] = spec.assignment_seed
+    return entry.factory(**kwargs)
+
+
+def execute_scenario(
+    spec: ScenarioSpec,
+    platform: Platform,
+    table: FrequencyTable | None,
+) -> SimulationResult:
+    """Run one scenario against pre-resolved artifacts (pure, seeded)."""
+    policy = build_policy(spec, table)
+    tmu = ThermalManagementUnit(
+        policy=policy,
+        f_max=platform.f_max,
+        t_max=platform.t_max,
+        window=spec.window,
+        sensor=build_sensor(spec),
+    )
+    sim = MulticoreSimulator(
+        platform,
+        tmu,
+        assignment=build_assignment(spec),
+        config=SimulationConfig(
+            window=spec.window,
+            max_time=spec.horizon,
+            t_initial=spec.t_initial,
+        ),
+    )
+    return sim.run(build_trace(spec, platform.n_cores))
+
+
+def _run_in_worker(
+    spec: ScenarioSpec,
+    platform: Platform,
+    table: FrequencyTable | None,
+) -> tuple[SimulationResult, float]:
+    """Process-pool entry point: execute and time one scenario."""
+    started = time.perf_counter()
+    result = execute_scenario(spec, platform, table)
+    return result, time.perf_counter() - started
+
+
+class ScenarioRunner:
+    """Execute scenario specs with artifact dedup/caching and parallelism.
+
+    Args:
+        n_workers: process-pool size for :meth:`run_many`; None or 1 runs
+            serially.  Parallel and serial runs are bit-identical.
+        table_strategy: sweep strategy (preset name or
+            :class:`~repro.core.table.SweepStrategy`) used when a policy's
+            spec does not pin one; default ``"gen2"``, the fastest serial
+            sweep (agrees with the cold solver to <= 1e-13).
+        table_cache_dir: optional directory of JSON table caches shared
+            across processes/sessions; tables are loaded when the key
+            matches and written after fresh builds.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_workers: int | None = None,
+        table_strategy: str = "gen2",
+        table_cache_dir: str | Path | None = None,
+    ) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ScenarioError("n_workers must be >= 1 when given")
+        self.n_workers = n_workers
+        self.table_strategy = table_strategy
+        self.table_cache_dir = (
+            Path(table_cache_dir) if table_cache_dir is not None else None
+        )
+        self._platforms: dict[PlatformSpec, Platform] = {}
+        self._optimizers: dict[tuple, ProTempOptimizer] = {}
+        self._tables: dict[str, FrequencyTable] = {}
+        #: Number of tables this runner built from scratch (exposed so
+        #: tests can assert the exactly-once-per-distinct-spec behavior).
+        self.tables_built = 0
+
+    # -- artifact caches ---------------------------------------------------
+
+    def platform(self, spec: PlatformSpec) -> Platform:
+        """The (cached) platform for `spec`."""
+        if spec not in self._platforms:
+            entry = PLATFORMS.get(spec.name)
+            self._platforms[spec] = entry.factory(**spec.kwargs)
+        return self._platforms[spec]
+
+    def prime_platform(self, spec: PlatformSpec, platform: Platform) -> None:
+        """Seed the platform cache with a pre-built object for `spec`."""
+        self._platforms[spec] = platform
+
+    def optimizer(
+        self,
+        platform_spec: PlatformSpec,
+        *,
+        mode: str = "variable",
+        step_subsample: int | None = None,
+    ) -> ProTempOptimizer:
+        """A (cached) Phase-1 optimizer on the platform.
+
+        Non-simulation experiments (feasibility sweeps, per-core frequency
+        probes) share optimizers through this cache instead of wiring their
+        own.
+        """
+        from repro.scenario.specs import DEFAULT_STEP_SUBSAMPLE
+
+        subsample = (
+            DEFAULT_STEP_SUBSAMPLE if step_subsample is None else step_subsample
+        )
+        key = (platform_spec, mode, subsample)
+        if key not in self._optimizers:
+            self._optimizers[key] = ProTempOptimizer(
+                self.platform(platform_spec),
+                mode=mode,  # type: ignore[arg-type]
+                step_subsample=subsample,
+            )
+        return self._optimizers[key]
+
+    def prime_table(
+        self,
+        platform_spec: PlatformSpec,
+        policy_spec: PolicySpec,
+        table: FrequencyTable,
+    ) -> None:
+        """Seed the table cache for the (platform, policy) pair's key."""
+        self._tables[table_key(platform_spec, policy_spec)] = table
+
+    def table(
+        self,
+        platform_spec: PlatformSpec,
+        policy_spec: PolicySpec,
+    ) -> tuple[FrequencyTable, bool]:
+        """The Phase-1 table the pair needs, building it at most once.
+
+        Returns:
+            ``(table, cache_hit)`` — `cache_hit` is False only when this
+            call built the table from scratch.
+        """
+        key = table_key(platform_spec, policy_spec)
+        if key in self._tables:
+            return self._tables[key], True
+        config = policy_spec.table_config()
+        platform = self.platform(platform_spec)
+        cache_path = (
+            self.table_cache_dir / f"table_{key}.json"
+            if self.table_cache_dir is not None
+            else None
+        )
+        if cache_path is not None and cache_path.exists():
+            try:
+                table = FrequencyTable.load_json(
+                    cache_path, expected_platform_hash=platform_spec.spec_hash
+                )
+            except TableError as exc:
+                warnings.warn(
+                    f"ignoring unreadable table cache {cache_path}: {exc}",
+                    stacklevel=2,
+                )
+            else:
+                if (
+                    tuple(table.t_grid) == config["t_grid"]
+                    and tuple(table.f_grid) == config["f_grid"]
+                ):
+                    self._tables[key] = table
+                    return table, True
+        optimizer = ProTempOptimizer(
+            platform,
+            mode=config["mode"],  # type: ignore[arg-type]
+            step_subsample=config["step_subsample"],
+        )
+        table = build_frequency_table(
+            optimizer,
+            list(config["t_grid"]),
+            list(config["f_grid"]),
+            strategy=config["strategy"] or self.table_strategy,
+            provenance={
+                "platform_spec_hash": platform_spec.spec_hash,
+                "platform_spec": platform_spec.to_dict(),
+                "built_at": datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"
+                ),
+            },
+        )
+        self.tables_built += 1
+        self._tables[key] = table
+        if cache_path is not None:
+            cache_path.parent.mkdir(parents=True, exist_ok=True)
+            table.save_json(cache_path)
+        return table, False
+
+    def _resolve_table(
+        self, spec: ScenarioSpec
+    ) -> tuple[FrequencyTable | None, bool | None, str | None]:
+        """(table, cache_hit, key) for a scenario; (None, None, None) when
+        the policy needs no table."""
+        if not POLICIES.get(spec.policy.name).needs_table:
+            return None, None, None
+        key = table_key(spec.platform, spec.policy)
+        table, hit = self.table(spec.platform, spec.policy)
+        return table, hit, key
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, spec: ScenarioSpec) -> ScenarioOutcome:
+        """Execute one scenario serially."""
+        table, hit, key = self._resolve_table(spec)
+        platform = self.platform(spec.platform)
+        started = time.perf_counter()
+        result = execute_scenario(spec, platform, table)
+        return ScenarioOutcome(
+            spec=spec,
+            spec_hash=spec.spec_hash,
+            result=result,
+            wall_time_s=time.perf_counter() - started,
+            table_cache_hit=hit,
+            table_key=key,
+        )
+
+    def run_many(
+        self, specs: Sequence[ScenarioSpec]
+    ) -> list[ScenarioOutcome]:
+        """Execute a scenario grid, reusing artifacts across scenarios.
+
+        Distinct frequency tables are resolved exactly once up front (in
+        spec order), then scenarios run serially or over a process pool
+        depending on ``n_workers``.  Output order matches input order, and
+        parallel results are bit-identical to serial ones.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        resolved: list[tuple[FrequencyTable | None, bool | None, str | None]] = [
+            self._resolve_table(spec) for spec in specs
+        ]
+        platforms = [self.platform(spec.platform) for spec in specs]
+        workers = self.n_workers or 1
+        if workers > 1 and len(specs) > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(specs))
+            ) as pool:
+                futures = [
+                    pool.submit(_run_in_worker, spec, platform, table)
+                    for spec, platform, (table, _, _) in zip(
+                        specs, platforms, resolved
+                    )
+                ]
+                timed = [future.result() for future in futures]
+        else:
+            timed = [
+                _run_in_worker(spec, platform, table)
+                for spec, platform, (table, _, _) in zip(
+                    specs, platforms, resolved
+                )
+            ]
+        return [
+            ScenarioOutcome(
+                spec=spec,
+                spec_hash=spec.spec_hash,
+                result=result,
+                wall_time_s=wall,
+                table_cache_hit=hit,
+                table_key=key,
+            )
+            for spec, (result, wall), (_, hit, key) in zip(
+                specs, timed, resolved
+            )
+        ]
+
+    def run_config(self, config: dict | str | Path) -> list[ScenarioOutcome]:
+        """Expand a JSON config (path, text, or dict) and run the grid."""
+        from repro.scenario.specs import scenario_grid_from_config
+
+        if isinstance(config, (str, Path)):
+            path = Path(config)
+            if path.exists():
+                config = json.loads(path.read_text())
+            elif isinstance(config, str) and config.lstrip().startswith("{"):
+                config = json.loads(config)  # inline JSON text
+            else:
+                raise ScenarioError(f"no such scenario config: {config}")
+        return self.run_many(scenario_grid_from_config(config))

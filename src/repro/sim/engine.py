@@ -173,6 +173,7 @@ class MulticoreSimulator:
         cfg = self.config
         trace = trace.fresh_copy()
         self.tmu.reset()
+        self.assignment.reset()
 
         dt = platform.thermal.dt
         n_cores = platform.n_cores

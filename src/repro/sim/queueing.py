@@ -68,6 +68,13 @@ class AssignmentPolicy(abc.ABC):
     ) -> int:
         """Pick one index out of `idle_cores` (non-empty)."""
 
+    def reset(self) -> None:
+        """Clear any internal state before a fresh simulation run.
+
+        Stateful policies (seeded RNGs) must re-initialize here so that a
+        policy object reused across runs reproduces bit-identically.
+        """
+
 
 class FirstIdleAssignment(AssignmentPolicy):
     """Paper default: any idle processor (lowest index for determinism)."""
@@ -110,7 +117,12 @@ class RandomAssignment(AssignmentPolicy):
     name = "random"
 
     def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        """Re-seed, so runs reusing this policy object reproduce."""
+        self._rng = np.random.default_rng(self.seed)
 
     def choose_core(
         self,

@@ -27,6 +27,9 @@ class IdealSensor:
         """Return the true temperatures unchanged (copy)."""
         return np.asarray(true_temps, dtype=float).copy()
 
+    def reset(self) -> None:
+        """No state to reset (present for interface symmetry)."""
+
 
 @dataclass
 class NoisySensor:
@@ -53,6 +56,15 @@ class NoisySensor:
             raise SimulationError("quantization must be >= 0")
         if self.min_reading >= self.max_reading:
             raise SimulationError("min_reading must be < max_reading")
+        self._rng = np.random.default_rng(self.seed)
+
+    def reset(self) -> None:
+        """Re-seed the noise stream.
+
+        Without this, a sensor reused across simulation runs would carry
+        RNG state from the previous run — the one remaining way two runs
+        of an identical scenario could differ bit-for-bit.
+        """
         self._rng = np.random.default_rng(self.seed)
 
     def read(self, true_temps: np.ndarray) -> np.ndarray:

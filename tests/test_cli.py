@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import COMMANDS, EXPERIMENTS, build_parser, main
 
 
 class TestParser:
@@ -25,6 +27,86 @@ class TestParser:
         )
         assert args.duration == 5.0
         assert args.seed == 3
+
+
+class TestScenarioCommands:
+    def test_commands_parse(self):
+        parser = build_parser()
+        for command in COMMANDS:
+            assert parser.parse_args([command]).experiment == command
+        args = parser.parse_args(
+            ["run", "config.json", "--workers", "2", "--json"]
+        )
+        assert args.config == "config.json"
+        assert args.workers == 2
+        assert args.json
+
+    def test_list_shows_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for expected in (
+            "niagara8",
+            "mixed",
+            "protemp",
+            "basic-dfs",
+            "first-idle",
+            "noisy",
+            "fig6a",
+        ):
+            assert expected in out
+
+    def test_list_json_is_machine_readable(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "protemp" in payload["policies"]
+        assert "niagara8" in payload["platforms"]
+        assert "fig9" in payload["experiments"]
+
+    def test_run_requires_config(self, capsys):
+        assert main(["run"]) == 2
+        assert "config" in capsys.readouterr().err
+
+    def test_run_missing_config_file_reports_cleanly(self, capsys):
+        assert main(["run", "no-such-config.json"]) == 2
+        assert "no such scenario config" in capsys.readouterr().err
+
+    def test_run_executes_config(self, tmp_path, capsys):
+        config = {
+            "base": {
+                "platform": {"name": "core-row", "params": {"n_cores": 3}},
+                "workload": {
+                    "name": "poisson",
+                    "duration": 1.0,
+                    "params": {"offered_load": 0.3},
+                },
+                "t_initial": 60.0,
+            },
+            "grid": {"policy": ["no-tc", "basic-dfs"], "seed": [0, 1]},
+        }
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps(config))
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "No-TC" in out and "Basic-DFS" in out
+
+    def test_run_json_output(self, tmp_path, capsys):
+        config = {
+            "platform": {"name": "core-row", "params": {"n_cores": 3}},
+            "workload": {
+                "name": "poisson",
+                "duration": 1.0,
+                "params": {"offered_load": 0.3},
+            },
+            "policy": "no-tc",
+            "t_initial": 60.0,
+        }
+        path = tmp_path / "one.json"
+        path.write_text(json.dumps(config))
+        assert main(["run", str(path), "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        assert rows[0]["policy"] == "No-TC"
+        assert rows[0]["table_cache_hit"] is None
 
 
 class TestMain:

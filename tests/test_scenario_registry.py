@@ -1,0 +1,93 @@
+"""Registry behavior: lookups, duplicate registration, error messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenario import (
+    ASSIGNMENTS,
+    PLATFORMS,
+    POLICIES,
+    SENSORS,
+    WORKLOADS,
+    Registry,
+)
+
+
+class TestBuiltins:
+    def test_expected_builtins_present(self):
+        assert "niagara8" in PLATFORMS
+        assert {"mixed", "compute", "server", "web", "multimedia"} <= set(
+            WORKLOADS.names()
+        )
+        assert {"no-tc", "basic-dfs", "protemp"} <= set(POLICIES.names())
+        assert {"first-idle", "coolest-first", "random"} <= set(
+            ASSIGNMENTS.names()
+        )
+        assert {"ideal", "noisy"} <= set(SENSORS.names())
+
+    def test_protemp_needs_table(self):
+        assert POLICIES.get("protemp").needs_table
+        assert not POLICIES.get("basic-dfs").needs_table
+
+    def test_seeded_entries_flagged(self):
+        assert SENSORS.get("noisy").needs_seed
+        assert not SENSORS.get("ideal").needs_seed
+        assert ASSIGNMENTS.get("random").needs_seed
+
+    def test_descriptions_nonempty(self):
+        for registry in (PLATFORMS, WORKLOADS, POLICIES, ASSIGNMENTS, SENSORS):
+            for _, entry in registry.items():
+                assert entry.description
+
+
+class TestErrors:
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(ScenarioError, match="unknown policy.*basic-dfs"):
+            POLICIES.get("thermal-wizard")
+
+    def test_unknown_name_is_value_error(self):
+        with pytest.raises(ValueError):
+            WORKLOADS.get("gaming")
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("widget")
+        registry.register("a", lambda: None)
+        with pytest.raises(ScenarioError, match="duplicate widget.*'a'"):
+            registry.register("a", lambda: None)
+
+    def test_duplicate_registration_leaves_original(self):
+        registry = Registry("widget")
+        first = lambda: 1  # noqa: E731
+        registry.register("a", first)
+        with pytest.raises(ScenarioError):
+            registry.register("a", lambda: 2)
+        assert registry.get("a").factory is first
+
+
+class TestExtension:
+    def test_decorator_registration_and_unregister(self):
+        registry = Registry("widget")
+
+        @registry.register("fancy", description="a fancy widget")
+        def build():
+            return "fancy-widget"
+
+        assert registry.get("fancy").factory() == "fancy-widget"
+        assert len(registry) == 1
+        registry.unregister("fancy")
+        assert "fancy" not in registry
+
+    def test_third_party_policy_plugs_in(self):
+        """A literature controller is one registered factory (see ISSUE)."""
+        POLICIES.register(
+            "test-only-integral",
+            lambda gain=0.5: ("integral", gain),
+            description="adjustable-gain integral regulator stand-in",
+        )
+        try:
+            entry = POLICIES.get("test-only-integral")
+            assert entry.factory(gain=0.25) == ("integral", 0.25)
+        finally:
+            POLICIES.unregister("test-only-integral")
