@@ -1,0 +1,94 @@
+"""Sharded grid runs with a persistent outcome store, then a merge.
+
+Demonstrates the million-cell-grid workflow from docs/SCALING.md on a
+small, fast grid:
+
+1. slice one scenario grid into two deterministic shards (on real
+   deployments each shard runs on its own host — here, two runners);
+2. run each shard with its own outcome store directory;
+3. merge the shard stores (``protemp merge`` does the same from the CLI)
+   and check the union matches an unsharded run bit-identically;
+4. re-run the full grid over the merged store: every cell replays, zero
+   simulations, zero table builds.
+
+Run:  python examples/sharded_grid.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import ScenarioRunner, ScenarioSpec, WorkloadSpec
+from repro.scenario import DirectoryOutcomeStore, merge_stores, shard_specs
+
+
+def main() -> None:
+    # 2 policies x 2 workloads x 2 seeds on the fast 3-core row platform.
+    specs = ScenarioSpec.grid(
+        ScenarioSpec(
+            platform={"name": "core-row", "params": {"n_cores": 3}},
+            t_initial=60.0,
+        ),
+        policy=["no-tc", "basic-dfs"],
+        workload=[
+            WorkloadSpec("poisson", 2.0, {"offered_load": 0.4}),
+            WorkloadSpec("compute", 2.0),
+        ],
+        seed=[0, 1],
+    )
+    print(f"grid: {len(specs)} scenarios")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+
+        # -- sharded runs (host 0 and host 1) --------------------------
+        for index in range(2):
+            shard = shard_specs(specs, index, 2)
+            runner = ScenarioRunner(outcome_store=tmp / f"shard{index}")
+            runner.run_many(shard)
+            print(
+                f"shard {index}/2: {len(shard)} cells, "
+                f"{runner.scenarios_executed} executed"
+            )
+
+        # -- merge (what `protemp merge shard0 shard1` does) -----------
+        merged = merge_stores(
+            [DirectoryOutcomeStore(tmp / f"shard{i}") for i in range(2)]
+        )
+        merged_store = DirectoryOutcomeStore(tmp / "merged")
+        for record in merged.records:
+            merged_store.put(record)
+        print(
+            f"merged: {len(merged.records)} outcomes "
+            f"({merged.duplicates} duplicates dropped)"
+        )
+
+        # -- the union is bit-identical to an unsharded run ------------
+        unsharded = ScenarioRunner().run_many(specs)
+        expected = sorted(
+            (o.data_row() for o in unsharded), key=lambda r: r["spec_hash"]
+        )
+        assert merged.summary_rows() == expected
+        print("merged summary rows == unsharded run: OK")
+
+        # -- a warm store answers the whole grid without simulating ----
+        warm = ScenarioRunner(outcome_store=merged_store)
+        replayed = warm.run_many(specs)
+        assert warm.scenarios_executed == 0
+        assert all(o.outcome_cache_hit for o in replayed)
+        print(
+            f"warm re-run: {warm.outcomes_replayed} replayed, "
+            f"{warm.scenarios_executed} executed, "
+            f"{warm.tables_built} tables built"
+        )
+        print(
+            f"{'scenario':<34s} {'peak C':>7s} {'wait ms':>8s}  source"
+        )
+        for outcome in replayed[:4]:
+            print(
+                f"{outcome.spec.label:<34s} {outcome.peak_c:7.1f} "
+                f"{outcome.mean_wait_s * 1e3:8.1f}  outcome store"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -95,23 +95,33 @@ def _figure_runner(
     platform: Platform | None,
     table: FrequencyTable | None,
     policy_specs: tuple[PolicySpec, ...],
+    outcome_store=None,
 ) -> tuple[ScenarioRunner, Platform]:
     """A ScenarioRunner primed with the caller's pre-built artifacts.
 
     When `table` is None but a table-driven policy is in the grid, the
     shared `repro.analysis.cache.cached_table` build is primed in, so
     repeated figure runs in one process reuse a single Phase-1 table.
+
+    `outcome_store` (an `repro.scenario.store.OutcomeStore` or directory
+    path) lets summary-level figures replay already-computed scenarios
+    instead of re-simulating them; the shared table is primed *lazily*, so
+    a figure whose every cell replays never pays the Phase-1 build.
     """
     platform = platform or make_platform()
-    runner = ScenarioRunner()
+    runner = ScenarioRunner(outcome_store=outcome_store)
     runner.prime_platform(NIAGARA_SPEC, platform)
     table_specs = [
         spec for spec in policy_specs if POLICIES.get(spec.name).needs_table
     ]
-    if table_specs:
-        table = table or cached_table(platform)
+    if table is not None:
         for spec in table_specs:
             runner.prime_table(NIAGARA_SPEC, spec, table)
+    else:
+        for spec in table_specs:
+            runner.prime_table_lazy(
+                NIAGARA_SPEC, spec, lambda: cached_table(platform)
+            )
     return runner, platform
 
 
@@ -177,7 +187,9 @@ def run_snapshot(
             name=f"fig1/2-{policy_kind}",
         )
     )
-    result = outcome.result
+    # Timeseries-level figure: needs a full SimulationResult (outcome
+    # stores persist summary rows only, so no outcome_store replay here).
+    result = outcome.require_result()
     return SnapshotResult(
         policy_name=result.policy_name,
         times=result.timeseries.times,
@@ -230,10 +242,18 @@ def run_band_comparison(
     seed: int = 7,
     platform: Platform | None = None,
     table: FrequencyTable | None = None,
+    outcome_store=None,
 ) -> BandComparisonResult:
-    """Figure 6a (``trace_kind="mixed"``) / 6b (``"compute"``)."""
+    """Figure 6a (``trace_kind="mixed"``) / 6b (``"compute"``).
+
+    A summary-level reducer: with `outcome_store`, cells already in the
+    store replay without re-simulating (band fractions and waiting times
+    live in the stored summary rows).
+    """
     policy_specs = (NOTC_SPEC, BASIC_DFS_SPEC, PROTEMP_SPEC)
-    runner, platform = _figure_runner(platform, table, policy_specs)
+    runner, platform = _figure_runner(
+        platform, table, policy_specs, outcome_store
+    )
     outcomes = runner.run_many(
         ScenarioSpec.grid(
             ScenarioSpec(
@@ -248,9 +268,8 @@ def run_band_comparison(
     fractions: dict[str, np.ndarray] = {}
     waiting: dict[str, float] = {}
     for outcome in outcomes:
-        result = outcome.result
-        fractions[result.policy_name] = result.band_fractions
-        waiting[result.policy_name] = result.mean_waiting_time
+        fractions[outcome.policy_label] = outcome.band_fractions
+        waiting[outcome.policy_label] = outcome.mean_wait_s
     return BandComparisonResult(
         trace_kind=trace_kind, fractions=fractions, waiting=waiting
     )
@@ -298,10 +317,16 @@ def run_waiting_comparison(
     seed: int = 7,
     platform: Platform | None = None,
     table: FrequencyTable | None = None,
+    outcome_store=None,
 ) -> WaitingResult:
-    """Figure 7: waiting times on the computation-intensive benchmark."""
+    """Figure 7: waiting times on the computation-intensive benchmark.
+
+    A summary-level reducer: replays from `outcome_store` when given.
+    """
     policy_specs = (BASIC_DFS_SPEC, PROTEMP_SPEC)
-    runner, platform = _figure_runner(platform, table, policy_specs)
+    runner, platform = _figure_runner(
+        platform, table, policy_specs, outcome_store
+    )
     basic, protemp = runner.run_many(
         ScenarioSpec.grid(
             ScenarioSpec(
@@ -314,8 +339,8 @@ def run_waiting_comparison(
         )
     )
     return WaitingResult(
-        basic_wait=basic.result.mean_waiting_time,
-        protemp_wait=protemp.result.mean_waiting_time,
+        basic_wait=basic.mean_wait_s,
+        protemp_wait=protemp.mean_wait_s,
     )
 
 
@@ -368,7 +393,7 @@ def run_gradient_timeseries(
             name="fig8",
         )
     )
-    result = outcome.result
+    result = outcome.require_result()
     p1 = result.timeseries.core(0)
     p2 = result.timeseries.core(1)
     gaps = np.abs(p1 - p2)
@@ -551,6 +576,7 @@ def run_assignment_effect(
     seed: int = 7,
     platform: Platform | None = None,
     table: FrequencyTable | None = None,
+    outcome_store=None,
 ) -> AssignmentEffectResult:
     """Figure 11: Basic-DFS and Pro-Temp under both assignment policies.
 
@@ -560,7 +586,9 @@ def run_assignment_effect(
     the 1-10 ms task mixes cannot exhibit an assignment effect.
     """
     policy_specs = (BASIC_DFS_SPEC, PROTEMP_SPEC)
-    runner, platform = _figure_runner(platform, table, policy_specs)
+    runner, platform = _figure_runner(
+        platform, table, policy_specs, outcome_store
+    )
     basic_fi, basic_cf, pro_fi, pro_cf = runner.run_many(
         ScenarioSpec.grid(
             ScenarioSpec(
@@ -574,8 +602,8 @@ def run_assignment_effect(
         )
     )
     return AssignmentEffectResult(
-        basic_first_idle_over=basic_fi.result.metrics.violation_fraction,
-        basic_coolest_over=basic_cf.result.metrics.violation_fraction,
-        protemp_gradient_first_idle=pro_fi.result.metrics.gradient.mean,
-        protemp_gradient_coolest=pro_cf.result.metrics.gradient.mean,
+        basic_first_idle_over=basic_fi.violation_fraction,
+        basic_coolest_over=basic_cf.violation_fraction,
+        protemp_gradient_first_idle=pro_fi.gradient_mean_c,
+        protemp_gradient_coolest=pro_cf.gradient_mean_c,
     )

@@ -8,9 +8,17 @@ Three command families:
 * ``protemp run <config.json>`` — expand a declarative scenario config
   (see `repro.scenario.specs.scenario_grid_from_config`) and execute the
   grid on a :class:`~repro.scenario.ScenarioRunner`, optionally over a
-  process pool (``--workers``).
+  process pool (``--workers``), restricted to one deterministic shard
+  (``--shard i/n``), and/or backed by a persistent scenario-outcome cache
+  (``--outcome-store DIR``; see `repro.scenario.store`).
+* ``protemp merge <store>...`` — union the outcome sets of several store
+  directories (shards of one grid, or several runs), detect spec-hash
+  collisions and conflicting duplicates, print the combined summary
+  table, and optionally write the merged store (``--output DIR``).
 * ``protemp list`` — show the registered platforms, workloads, policies,
   assignments, sensors and experiments (``--json`` for tooling).
+
+See docs/SCALING.md for the sharded-grid walkthrough.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 
 from repro.analysis import (
     ascii_plot,
@@ -32,14 +41,16 @@ from repro.analysis import (
     run_snapshot,
     run_waiting_comparison,
 )
-from repro.errors import ScenarioError
+from repro.errors import OutcomeStoreError, ScenarioError
 from repro.scenario import (
     ASSIGNMENTS,
     PLATFORMS,
     POLICIES,
     SENSORS,
     WORKLOADS,
+    DirectoryOutcomeStore,
     ScenarioRunner,
+    merge_stores,
 )
 from repro.thermal.calibration import calibration_report, format_report
 
@@ -58,7 +69,7 @@ EXPERIMENTS = (
 )
 
 #: Scenario-API commands sharing the positional slot with the experiments.
-COMMANDS = ("run", "list")
+COMMANDS = ("run", "merge", "list")
 
 #: Registries shown by ``protemp list``, in display order.
 _REGISTRIES = (
@@ -92,7 +103,16 @@ def build_parser() -> argparse.ArgumentParser:
         "config",
         nargs="?",
         default=None,
-        help="scenario config JSON file (required by 'run')",
+        help=(
+            "scenario config JSON file ('run') or first outcome-store "
+            "directory ('merge')"
+        ),
+    )
+    parser.add_argument(
+        "stores",
+        nargs="*",
+        default=[],
+        help="additional outcome-store directories to union ('merge')",
     )
     parser.add_argument(
         "--duration",
@@ -118,6 +138,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--table-cache-dir",
         default=None,
         help="directory of persistent Phase-1 table caches for 'run'",
+    )
+    parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help=(
+            "run only shard I of N (0-based) of the expanded grid; the "
+            "slicing hashes specs, so N hosts running I=0..N-1 cover the "
+            "grid exactly once"
+        ),
+    )
+    parser.add_argument(
+        "--outcome-store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persistent scenario-outcome store: cells already in the store "
+            "are replayed instead of re-simulated, fresh cells are written "
+            "back ('run')"
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="DIR",
+        help="write the merged outcome store to this directory ('merge')",
     )
     parser.add_argument(
         "--json",
@@ -150,24 +196,30 @@ def _list_command(as_json: bool) -> int:
     return 0
 
 
-def _run_command(args: argparse.Namespace) -> int:
-    """``protemp run <config.json>``: execute a scenario grid."""
-    if args.config is None:
-        print("protemp run: a scenario config JSON path is required",
-              file=sys.stderr)
-        return 2
-    runner = ScenarioRunner(
-        n_workers=args.workers, table_cache_dir=args.table_cache_dir
-    )
+def _parse_shard(text: str) -> tuple[int, int]:
+    """Parse ``--shard I/N`` into ``(shard_index, shard_count)``.
+
+    Raises:
+        ScenarioError: when the text is not ``I/N`` with integers (range
+            checks happen in `repro.scenario.specs.shard_specs`).
+    """
+    index_text, sep, count_text = text.partition("/")
     try:
-        outcomes = runner.run_config(args.config)
-    except ScenarioError as exc:
-        print(f"protemp run: {exc}", file=sys.stderr)
-        return 2
-    rows = [outcome.summary_row() for outcome in outcomes]
-    if args.json:
-        print(json.dumps(rows, indent=1))
-        return 0
+        if not sep:
+            raise ValueError("missing '/'")
+        return int(index_text), int(count_text)
+    except ValueError as exc:
+        raise ScenarioError(
+            f"--shard must look like I/N (e.g. 0/4), got {text!r}: {exc}"
+        ) from exc
+
+
+def _print_summary_table(rows: list[dict]) -> None:
+    """Human-readable outcome table shared by ``run`` and ``merge``.
+
+    ``merge`` rows are deterministic summaries without per-run provenance
+    (wall time, cache flags); those columns render as ``-``.
+    """
     header = (
         f"{'scenario':<36s} {'policy':<10s} {'peak C':>7s} {'>tmax%':>7s} "
         f"{'wait ms':>8s} {'done':>11s} {'wall s':>7s} {'table':>6s}"
@@ -176,17 +228,137 @@ def _run_command(args: argparse.Namespace) -> int:
     print("-" * len(header))
     for row in rows:
         done = f"{row['completed_tasks']}/{row['arrived_tasks']}"
-        table_note = {True: "cache", False: "built", None: "-"}[
-            row["table_cache_hit"]
-        ]
+        if row.get("outcome_cache_hit"):
+            table_note = "store"
+        else:
+            table_note = {True: "cache", False: "built", None: "-"}[
+                row.get("table_cache_hit")
+            ]
+        wall = (
+            f"{row['wall_time_s']:7.2f}" if "wall_time_s" in row else f"{'-':>7s}"
+        )
         print(
             f"{row['scenario']:<36s} {row['policy']:<10s} "
             f"{row['peak_c']:7.1f} {row['violation_fraction'] * 100:6.2f}% "
             f"{row['mean_wait_s'] * 1e3:8.1f} {done:>11s} "
-            f"{row['wall_time_s']:7.2f} {table_note:>6s}"
+            f"{wall} {table_note:>6s}"
         )
-    print(f"[{len(rows)} scenarios, {runner.tables_built} tables built]",
-          file=sys.stderr)
+
+
+def _reject_foreign_flags(
+    command: str, args: argparse.Namespace, invalid: dict[str, object]
+) -> str | None:
+    """Guard against flags that belong to a *different* subcommand.
+
+    The experiments, ``run`` and ``merge`` share one argparse namespace;
+    silently ignoring another command's flag (classic: ``merge
+    --outcome-store`` instead of ``--output``) would discard user intent.
+
+    Returns:
+        An error message, or None when no foreign flag is set.
+    """
+    used = [flag for flag, value in invalid.items() if value not in (None, False)]
+    if used:
+        return (
+            f"protemp {command}: {', '.join(used)} "
+            f"{'is' if len(used) == 1 else 'are'} not valid for '{command}'"
+        )
+    return None
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    """``protemp run <config.json>``: execute a scenario grid."""
+    if args.config is None:
+        print("protemp run: a scenario config JSON path is required",
+              file=sys.stderr)
+        return 2
+    if args.stores:
+        print("protemp run: takes a single config "
+              f"(unexpected arguments: {args.stores})", file=sys.stderr)
+        return 2
+    error = _reject_foreign_flags("run", args, {"--output": args.output})
+    if error:
+        print(f"{error} (did you mean --outcome-store?)", file=sys.stderr)
+        return 2
+    runner = ScenarioRunner(
+        n_workers=args.workers,
+        table_cache_dir=args.table_cache_dir,
+        outcome_store=args.outcome_store,
+    )
+    try:
+        shard_index = shard_count = None
+        if args.shard is not None:
+            shard_index, shard_count = _parse_shard(args.shard)
+        outcomes = runner.run_config(
+            args.config, shard_index=shard_index, shard_count=shard_count
+        )
+    except (ScenarioError, OutcomeStoreError) as exc:
+        print(f"protemp run: {exc}", file=sys.stderr)
+        return 2
+    rows = [outcome.summary_row() for outcome in outcomes]
+    if args.json:
+        print(json.dumps(rows, indent=1))
+        return 0
+    _print_summary_table(rows)
+    print(
+        f"[{len(rows)} scenarios ({runner.scenarios_executed} executed, "
+        f"{runner.outcomes_replayed} from store), "
+        f"{runner.tables_built} tables built]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _merge_command(args: argparse.Namespace) -> int:
+    """``protemp merge <store>...``: union shard outcome sets."""
+    error = _reject_foreign_flags(
+        "merge",
+        args,
+        {
+            "--outcome-store": args.outcome_store,
+            "--shard": args.shard,
+            "--workers": args.workers,
+            "--table-cache-dir": args.table_cache_dir,
+        },
+    )
+    if error:
+        hint = (
+            " (did you mean --output?)"
+            if args.outcome_store is not None
+            else ""
+        )
+        print(f"{error}{hint}", file=sys.stderr)
+        return 2
+    paths = ([args.config] if args.config else []) + list(args.stores)
+    if not paths:
+        print("protemp merge: at least one outcome-store directory is "
+              "required", file=sys.stderr)
+        return 2
+    missing = [p for p in paths if not Path(p).is_dir()]
+    if missing:
+        print(f"protemp merge: no such outcome store: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    try:
+        merged = merge_stores(DirectoryOutcomeStore(p) for p in paths)
+        if args.output is not None:
+            target = DirectoryOutcomeStore(args.output)
+            for record in merged.records:
+                target.put(record)
+    except OutcomeStoreError as exc:
+        print(f"protemp merge: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(merged.summary_rows(), indent=1))
+    else:
+        _print_summary_table(merged.summary_rows())
+    print(
+        f"[{len(merged.records)} outcomes from {len(paths)} stores "
+        f"({merged.duplicates} duplicates dropped)"
+        + (f" -> {args.output}" if args.output is not None else "")
+        + "]",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -211,6 +383,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[run finished in {time.time() - started:.1f}s]",
               file=sys.stderr)
         return code
+    if args.experiment == "merge":
+        return _merge_command(args)
+    if args.config is not None or args.stores:
+        print(f"protemp {args.experiment}: unexpected positional arguments",
+              file=sys.stderr)
+        return 2
     platform = make_platform()
 
     def table():

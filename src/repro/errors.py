@@ -55,6 +55,17 @@ class WorkloadError(ReproError):
     """A workload/trace generator received invalid parameters."""
 
 
+class OutcomeStoreError(ReproError):
+    """An outcome store is corrupt, conflicting, or colliding.
+
+    Raised when a stored record fails validation (its spec no longer hashes
+    to its key), when two records share a spec hash but describe different
+    specs (a hash collision), or when the *same* spec maps to two different
+    summary rows (a determinism violation — scenario runs are seeded, so
+    one spec must always produce one summary).
+    """
+
+
 class ScenarioError(ReproError, ValueError):
     """A scenario spec, registry lookup, or scenario run is invalid.
 

@@ -1,4 +1,4 @@
-"""Declarative scenario API: specs, registries, and the ScenarioRunner.
+"""Declarative scenario API: specs, registries, runner, and outcome store.
 
 The public entry point for composing experiments::
 
@@ -11,9 +11,18 @@ The public entry point for composing experiments::
     )
     outcomes = ScenarioRunner(n_workers=4).run_many(specs)
 
-See `repro.scenario.specs` for the data model, `repro.scenario.registry`
-for plugging in third-party platforms/workloads/policies, and
-`repro.scenario.runner` for execution semantics.
+Grids scale out with two orthogonal features: deterministic sharding
+(:func:`shard_specs` / ``protemp run --shard i/n``) partitions a grid
+across hosts with no coordination, and the content-addressed outcome
+store (``ScenarioRunner(outcome_store=...)``, `repro.scenario.store`)
+persists finished cells so repeated or resumed grid runs replay them
+instead of re-simulating.  ``protemp merge`` unions shard outcome sets.
+
+See `repro.scenario.specs` for the data model (including the spec-hash
+stability contract), `repro.scenario.registry` for plugging in
+third-party platforms/workloads/policies, `repro.scenario.runner` for
+execution semantics, and docs/ARCHITECTURE.md + docs/SCALING.md for the
+system-level picture.
 """
 
 from repro.scenario.registry import (
@@ -47,6 +56,18 @@ from repro.scenario.specs import (
     WorkloadSpec,
     derive_seed,
     scenario_grid_from_config,
+    shard_of,
+    shard_specs,
+)
+from repro.scenario.store import (
+    DirectoryOutcomeStore,
+    MemoryOutcomeStore,
+    MergeResult,
+    OutcomeStore,
+    StoredOutcome,
+    merge_stores,
+    open_outcome_store,
+    union_records,
 )
 
 __all__ = [
@@ -54,9 +75,14 @@ __all__ = [
     "DEFAULT_F_GRID",
     "DEFAULT_STEP_SUBSAMPLE",
     "DEFAULT_T_GRID",
+    "DirectoryOutcomeStore",
+    "MemoryOutcomeStore",
+    "MergeResult",
+    "OutcomeStore",
     "PLATFORMS",
     "POLICIES",
     "SENSORS",
+    "StoredOutcome",
     "WORKLOADS",
     "PlatformSpec",
     "PolicySpec",
@@ -69,11 +95,16 @@ __all__ = [
     "WorkloadSpec",
     "derive_seed",
     "execute_scenario",
+    "merge_stores",
+    "open_outcome_store",
     "register_assignment",
     "register_platform",
     "register_policy",
     "register_sensor",
     "register_workload",
     "scenario_grid_from_config",
+    "shard_of",
+    "shard_specs",
     "table_key",
+    "union_records",
 ]

@@ -81,6 +81,15 @@ class Registry:
     Args:
         kind: what the registry holds ("platform", "policy", ...); used in
             error messages.
+
+    Example:
+
+        >>> demo = Registry("demo")
+        >>> @demo.register("fancy", description="a demo entry")
+        ... def _build():
+        ...     return object()
+        >>> "fancy" in demo and demo.get("fancy").description
+        'a demo entry'
     """
 
     def __init__(self, kind: str) -> None:

@@ -14,7 +14,12 @@ and the ``protemp run`` CLI:
   exactly once up front, then fans the scenarios out over a process pool
   (``n_workers``) or runs them serially; parallel and serial runs produce
   bit-identical :class:`ScenarioOutcome` lists because every stochastic
-  component is seeded from the spec (see `repro.scenario.specs`).
+  component is seeded from the spec (see `repro.scenario.specs`);
+* **outcome store** — with ``outcome_store=`` the same dedup is lifted to
+  whole scenarios: a cell whose spec hash is already in the store
+  (this session, an earlier one, another shard's host) is *replayed* —
+  ``outcome_cache_hit=True``, no simulation, no table resolve — and fresh
+  cells are written back atomically (see `repro.scenario.store`).
 
 Pre-built artifacts can be *primed* into the caches
 (:meth:`prime_platform` / :meth:`prime_table`), which is how tests and
@@ -26,16 +31,18 @@ from __future__ import annotations
 import json
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.control.manager import ThermalManagementUnit
 from repro.core.protemp import ProTempOptimizer
 from repro.core.table import FrequencyTable, build_frequency_table
-from repro.errors import ScenarioError, TableError
+from repro.errors import OutcomeStoreError, ScenarioError, TableError
 from repro.platform import Platform
 from repro.scenario.registry import (
     ASSIGNMENTS,
@@ -50,6 +57,11 @@ from repro.scenario.specs import (
     ScenarioSpec,
     _spec_hash,
 )
+from repro.scenario.store import (
+    OutcomeStore,
+    StoredOutcome,
+    open_outcome_store,
+)
 from repro.sim.engine import (
     MulticoreSimulator,
     SimulationConfig,
@@ -59,29 +71,85 @@ from repro.sim.engine import (
 
 @dataclass(frozen=True)
 class ScenarioOutcome:
-    """One executed scenario plus provenance.
+    """One scenario's outcome plus provenance — executed or replayed.
+
+    **Cache-provenance semantics** (each flag describes *this* call, never
+    an earlier run):
+
+    * ``outcome_cache_hit`` — True when the whole scenario was answered
+      from an outcome store (no simulation ran); False when this call
+      executed the simulation.
+    * ``table_cache_hit`` — True/False when this call consulted/built the
+      policy's Phase-1 table, None when *no table was touched this call*:
+      either the policy needs none, or the scenario was replayed from the
+      store (a replay never resolves a table).  The original run's table
+      provenance survives in ``stored.provenance``.
+
+    **Wall-time semantics**: ``wall_time_s`` is always this call's cost —
+    the simulation for an executed scenario, the (near-zero) store lookup
+    for a replay.  ``solve_wall_time_s`` is always the cost of the
+    simulation that produced the summary, wherever it ran: equal to
+    ``wall_time_s`` for executed scenarios, copied from the store record
+    for replays.  A replay therefore never reports the original solve's
+    wall time as its own.
 
     Attributes:
-        spec: the scenario that ran.
+        spec: the scenario.
         spec_hash: :attr:`ScenarioSpec.spec_hash` (stable across processes).
-        result: the full :class:`SimulationResult`.
-        wall_time_s: wall-clock seconds spent in the simulation itself
-            (excludes table builds, which are shared across scenarios).
-        table_cache_hit: True when the policy's Phase-1 table came from the
-            runner's cache (memory or disk), False when this run built it,
-            None when the policy needs no table.
-        table_key: cache key of the table used (None when no table).
+        result: the full :class:`SimulationResult`, or None for a replay
+            (stores persist summary rows, not timeseries); use
+            :meth:`require_result` when timeseries are mandatory.
+        wall_time_s: wall-clock seconds this call spent (see above).
+        table_cache_hit: Phase-1 table provenance of this call (see above).
+        table_key: cache key of the table used (None when no table; for
+            replays, the original run's key from the store record).
+        outcome_cache_hit: True when replayed from an outcome store.
+        solve_wall_time_s: wall time of the simulation that produced the
+            summary (see above); None only on legacy records lacking it.
+        stored: the :class:`~repro.scenario.store.StoredOutcome` a replay
+            came from (None for executed scenarios).
     """
 
     spec: ScenarioSpec
     spec_hash: str
-    result: SimulationResult
+    result: SimulationResult | None
     wall_time_s: float
     table_cache_hit: bool | None
     table_key: str | None = None
+    outcome_cache_hit: bool = False
+    solve_wall_time_s: float | None = None
+    stored: "StoredOutcome | None" = None
 
-    def summary_row(self) -> dict:
-        """Flat JSON-compatible summary (the ``protemp run --json`` row)."""
+    def require_result(self) -> SimulationResult:
+        """The full :class:`SimulationResult`, or a clear error for replays.
+
+        Raises:
+            ScenarioError: when this outcome was replayed from an outcome
+                store (only summary rows persist; re-run without the store
+                hit — e.g. a fresh store — to regain timeseries).
+        """
+        if self.result is None:
+            raise ScenarioError(
+                f"scenario {self.spec.label!r} was replayed from the outcome "
+                "store, which persists summary rows only; timeseries-level "
+                "reducers need an executed run"
+            )
+        return self.result
+
+    # -- summary access (works for executed and replayed outcomes) ---------
+
+    def data_row(self) -> dict:
+        """The deterministic summary row — pure simulation results.
+
+        This is the row the outcome store persists and ``protemp merge``
+        compares: it contains no wall times and no cache flags, so the row
+        for a given spec is bit-identical whether the cell was computed
+        here, on another shard, or in an earlier session.  All values are
+        plain JSON scalars/lists (floats round-trip exactly).
+        """
+        if self.result is None:
+            assert self.stored is not None
+            return dict(self.stored.summary)
         metrics = self.result.metrics
         return {
             "scenario": self.spec.label,
@@ -90,14 +158,74 @@ class ScenarioOutcome:
             "workload": self.result.trace_name,
             "platform": self.spec.platform.name,
             "seed": self.spec.seed,
-            "peak_c": metrics.peak_temperature,
-            "violation_fraction": metrics.violation_fraction,
-            "mean_wait_s": metrics.waiting.mean,
-            "completed_tasks": metrics.completed_tasks,
-            "arrived_tasks": metrics.arrived_tasks,
-            "wall_time_s": self.wall_time_s,
-            "table_cache_hit": self.table_cache_hit,
+            "peak_c": float(metrics.peak_temperature),
+            "violation_fraction": float(metrics.violation_fraction),
+            "mean_wait_s": float(metrics.waiting.mean),
+            "completed_tasks": int(metrics.completed_tasks),
+            "arrived_tasks": int(metrics.arrived_tasks),
+            "band_fractions": [float(f) for f in self.result.band_fractions],
+            "gradient_mean_c": float(metrics.gradient.mean),
+            "gradient_max_c": float(metrics.gradient.max),
         }
+
+    def summary_row(self) -> dict:
+        """Flat JSON-compatible summary (the ``protemp run --json`` row).
+
+        :meth:`data_row` plus this call's provenance: ``wall_time_s``,
+        ``solve_wall_time_s``, ``table_cache_hit``, ``outcome_cache_hit``.
+        """
+        row = self.data_row()
+        row["wall_time_s"] = self.wall_time_s
+        row["solve_wall_time_s"] = self.solve_wall_time_s
+        row["table_cache_hit"] = self.table_cache_hit
+        row["outcome_cache_hit"] = self.outcome_cache_hit
+        return row
+
+    # Summary-level metric accessors: reducers that only need figure-level
+    # aggregates (bands, waits, violations, gradients) use these so they
+    # work identically on executed and store-replayed outcomes.
+
+    @property
+    def policy_label(self) -> str:
+        """Display name of the policy that ran (e.g. ``"Pro-Temp"``)."""
+        return self.data_row()["policy"]
+
+    @property
+    def workload_label(self) -> str:
+        """Display name of the workload trace."""
+        return self.data_row()["workload"]
+
+    @property
+    def peak_c(self) -> float:
+        """Hottest core temperature observed (Celsius)."""
+        return self.data_row()["peak_c"]
+
+    @property
+    def violation_fraction(self) -> float:
+        """Fraction of (core, step) samples above t_max."""
+        return self.data_row()["violation_fraction"]
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Mean task waiting time (s) — the Figure 7 metric."""
+        return self.data_row()["mean_wait_s"]
+
+    @property
+    def band_fractions(self) -> np.ndarray:
+        """Mean per-band time fractions (the Figure 6 bars)."""
+        if self.result is not None:
+            return self.result.band_fractions
+        return np.asarray(self.data_row()["band_fractions"], dtype=float)
+
+    @property
+    def gradient_mean_c(self) -> float:
+        """Mean spatial gradient, max - min core temperature (Celsius)."""
+        return self.data_row()["gradient_mean_c"]
+
+    @property
+    def gradient_max_c(self) -> float:
+        """Peak spatial gradient (Celsius)."""
+        return self.data_row()["gradient_max_c"]
 
 
 def table_key(platform_spec: PlatformSpec, policy_spec: PolicySpec) -> str:
@@ -121,7 +249,18 @@ def table_key(platform_spec: PlatformSpec, policy_spec: PolicySpec) -> str:
 
 
 def build_trace(spec: ScenarioSpec, n_cores: int):
-    """Materialize the scenario's task trace (seeded from the spec)."""
+    """Materialize the scenario's task trace (seeded from the spec).
+
+    Args:
+        spec: the scenario whose workload sub-spec to resolve.
+        n_cores: number of cores the trace targets.
+
+    Returns:
+        A ``TaskTrace`` from the registered workload factory.
+
+    Raises:
+        ScenarioError: for unknown workload names.
+    """
     entry = WORKLOADS.get(spec.workload.name)
     return entry.factory(
         spec.workload.duration,
@@ -132,7 +271,19 @@ def build_trace(spec: ScenarioSpec, n_cores: int):
 
 
 def build_policy(spec: ScenarioSpec, table: FrequencyTable | None):
-    """Materialize the scenario's DFS policy (table injected if needed)."""
+    """Materialize the scenario's DFS policy (table injected if needed).
+
+    Args:
+        spec: the scenario whose policy sub-spec to resolve.
+        table: the Phase-1 table for table-driven policies (None otherwise).
+
+    Returns:
+        A ``DFSPolicy`` from the registered factory.
+
+    Raises:
+        ScenarioError: for unknown policy names, or when a table-driven
+            policy is given no table.
+    """
     entry = POLICIES.get(spec.policy.name)
     kwargs = spec.policy.factory_kwargs()
     if entry.needs_table:
@@ -167,7 +318,18 @@ def execute_scenario(
     platform: Platform,
     table: FrequencyTable | None,
 ) -> SimulationResult:
-    """Run one scenario against pre-resolved artifacts (pure, seeded)."""
+    """Run one scenario against pre-resolved artifacts (pure, seeded).
+
+    Args:
+        spec: the scenario to simulate.
+        platform: the materialized platform for ``spec.platform``.
+        table: the Phase-1 table for table-driven policies (None otherwise).
+
+    Returns:
+        The full :class:`SimulationResult`; identical specs and artifacts
+        produce bit-identical results (every stochastic component is
+        seeded from the spec).
+    """
     policy = build_policy(spec, table)
     tmu = ThermalManagementUnit(
         policy=policy,
@@ -203,6 +365,15 @@ def _run_in_worker(
 class ScenarioRunner:
     """Execute scenario specs with artifact dedup/caching and parallelism.
 
+    Example:
+
+        >>> runner = ScenarioRunner(outcome_store="outcomes/")  # doctest: +SKIP
+        >>> outcomes = runner.run_many(ScenarioSpec.grid(
+        ...     policy=["basic-dfs", "protemp"], seed=range(4),
+        ... ))  # doctest: +SKIP
+        >>> runner.scenarios_executed, runner.outcomes_replayed  # doctest: +SKIP
+        (8, 0)
+
     Args:
         n_workers: process-pool size for :meth:`run_many`; None or 1 runs
             serially.  Parallel and serial runs are bit-identical.
@@ -213,6 +384,15 @@ class ScenarioRunner:
         table_cache_dir: optional directory of JSON table caches shared
             across processes/sessions; tables are loaded when the key
             matches and written after fresh builds.
+        outcome_store: optional scenario-level result cache — an
+            :class:`~repro.scenario.store.OutcomeStore` or a directory
+            path (opened as a
+            :class:`~repro.scenario.store.DirectoryOutcomeStore`).  Before
+            solving a scenario the runner consults the store by spec hash:
+            a hit is returned as a replayed outcome
+            (``outcome_cache_hit=True``, no simulation, no table resolve),
+            a miss is executed and written back atomically, so concurrent
+            shards can share one store directory.
     """
 
     def __init__(
@@ -221,6 +401,7 @@ class ScenarioRunner:
         n_workers: int | None = None,
         table_strategy: str = "gen2",
         table_cache_dir: str | Path | None = None,
+        outcome_store: "OutcomeStore | str | Path | None" = None,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ScenarioError("n_workers must be >= 1 when given")
@@ -229,12 +410,20 @@ class ScenarioRunner:
         self.table_cache_dir = (
             Path(table_cache_dir) if table_cache_dir is not None else None
         )
+        self.outcome_store = open_outcome_store(outcome_store)
         self._platforms: dict[PlatformSpec, Platform] = {}
         self._optimizers: dict[tuple, ProTempOptimizer] = {}
         self._tables: dict[str, FrequencyTable] = {}
+        self._table_factories: dict[str, "Callable[[], FrequencyTable]"] = {}
         #: Number of tables this runner built from scratch (exposed so
         #: tests can assert the exactly-once-per-distinct-spec behavior).
         self.tables_built = 0
+        #: Number of scenarios this runner actually simulated (store
+        #: replays do not count — a fully warm outcome store must leave
+        #: this at 0, which tests assert).
+        self.scenarios_executed = 0
+        #: Number of scenarios answered from the outcome store.
+        self.outcomes_replayed = 0
 
     # -- artifact caches ---------------------------------------------------
 
@@ -285,6 +474,22 @@ class ScenarioRunner:
         """Seed the table cache for the (platform, policy) pair's key."""
         self._tables[table_key(platform_spec, policy_spec)] = table
 
+    def prime_table_lazy(
+        self,
+        platform_spec: PlatformSpec,
+        policy_spec: PolicySpec,
+        factory: "Callable[[], FrequencyTable]",
+    ) -> None:
+        """Seed the table cache with a deferred builder for the pair's key.
+
+        `factory` is only invoked if some scenario actually needs the
+        table — so a figure run whose every cell replays from a warm
+        outcome store never pays the Phase-1 build at all.  The built
+        table is cached under the key like a primed one (it counts as a
+        cache hit, not a build of this runner's own sweep).
+        """
+        self._table_factories[table_key(platform_spec, policy_spec)] = factory
+
     def table(
         self,
         platform_spec: PlatformSpec,
@@ -299,6 +504,10 @@ class ScenarioRunner:
         key = table_key(platform_spec, policy_spec)
         if key in self._tables:
             return self._tables[key], True
+        if key in self._table_factories:
+            table = self._table_factories.pop(key)()
+            self._tables[key] = table
+            return table, True
         config = policy_spec.table_config()
         platform = self.platform(platform_spec)
         cache_path = (
@@ -359,75 +568,165 @@ class ScenarioRunner:
         table, hit = self.table(spec.platform, spec.policy)
         return table, hit, key
 
+    # -- outcome store -----------------------------------------------------
+
+    def _store_lookup(self, spec: ScenarioSpec) -> ScenarioOutcome | None:
+        """A replayed outcome for `spec`, or None on a store miss.
+
+        A hit is only accepted when the stored spec dict matches the
+        requested one exactly — a record whose 12-hex key matches but whose
+        spec differs is a hash collision and raises rather than silently
+        answering with another scenario's results.
+
+        Raises:
+            OutcomeStoreError: on a spec-hash collision or corrupt record.
+        """
+        if self.outcome_store is None:
+            return None
+        started = time.perf_counter()
+        record = self.outcome_store.get(spec.spec_hash)
+        if record is None:
+            return None
+        if record.spec != spec.to_dict():
+            raise OutcomeStoreError(
+                f"spec-hash collision on {spec.spec_hash}: the store holds a "
+                f"different spec under this key (requested {spec.label!r})"
+            )
+        self.outcomes_replayed += 1
+        return ScenarioOutcome(
+            spec=spec,
+            spec_hash=spec.spec_hash,
+            result=None,
+            wall_time_s=time.perf_counter() - started,
+            table_cache_hit=None,
+            table_key=record.provenance.get("table_key"),
+            outcome_cache_hit=True,
+            solve_wall_time_s=record.provenance.get("solve_wall_time_s"),
+            stored=record,
+        )
+
+    def _store_put(self, outcome: ScenarioOutcome) -> None:
+        """Persist an executed outcome (no-op without a store)."""
+        if self.outcome_store is not None and outcome.result is not None:
+            self.outcome_store.put(StoredOutcome.from_outcome(outcome))
+
     # -- execution ---------------------------------------------------------
 
     def run(self, spec: ScenarioSpec) -> ScenarioOutcome:
-        """Execute one scenario serially."""
+        """Execute one scenario serially (store consulted first)."""
+        replayed = self._store_lookup(spec)
+        if replayed is not None:
+            return replayed
         table, hit, key = self._resolve_table(spec)
         platform = self.platform(spec.platform)
         started = time.perf_counter()
         result = execute_scenario(spec, platform, table)
-        return ScenarioOutcome(
+        wall = time.perf_counter() - started
+        self.scenarios_executed += 1
+        outcome = ScenarioOutcome(
             spec=spec,
             spec_hash=spec.spec_hash,
             result=result,
-            wall_time_s=time.perf_counter() - started,
+            wall_time_s=wall,
             table_cache_hit=hit,
             table_key=key,
+            solve_wall_time_s=wall,
         )
+        self._store_put(outcome)
+        return outcome
 
     def run_many(
         self, specs: Sequence[ScenarioSpec]
     ) -> list[ScenarioOutcome]:
         """Execute a scenario grid, reusing artifacts across scenarios.
 
-        Distinct frequency tables are resolved exactly once up front (in
-        spec order), then scenarios run serially or over a process pool
-        depending on ``n_workers``.  Output order matches input order, and
-        parallel results are bit-identical to serial ones.
+        The outcome store (when configured) is consulted first: replayed
+        scenarios skip table resolution entirely, so a fully warm store
+        performs zero scenario solves *and* zero table builds.  For the
+        misses, distinct frequency tables are resolved exactly once up
+        front (in spec order), then scenarios run serially or over a
+        process pool depending on ``n_workers``.  Output order matches
+        input order, and parallel results are bit-identical to serial
+        ones.  Freshly executed outcomes are written back to the store.
         """
         specs = list(specs)
         if not specs:
             return []
-        resolved: list[tuple[FrequencyTable | None, bool | None, str | None]] = [
-            self._resolve_table(spec) for spec in specs
+        replayed: list[ScenarioOutcome | None] = [
+            self._store_lookup(spec) for spec in specs
         ]
-        platforms = [self.platform(spec.platform) for spec in specs]
-        workers = self.n_workers or 1
-        if workers > 1 and len(specs) > 1:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(specs))
-            ) as pool:
-                futures = [
-                    pool.submit(_run_in_worker, spec, platform, table)
-                    for spec, platform, (table, _, _) in zip(
-                        specs, platforms, resolved
-                    )
-                ]
-                timed = [future.result() for future in futures]
-        else:
-            timed = [
-                _run_in_worker(spec, platform, table)
-                for spec, platform, (table, _, _) in zip(
-                    specs, platforms, resolved
-                )
-            ]
-        return [
-            ScenarioOutcome(
+        pending = [
+            (i, spec)
+            for i, (spec, hit) in enumerate(zip(specs, replayed))
+            if hit is None
+        ]
+        resolved: list[tuple[FrequencyTable | None, bool | None, str | None]] = [
+            self._resolve_table(spec) for _, spec in pending
+        ]
+        platforms = [self.platform(spec.platform) for _, spec in pending]
+        outcomes: list[ScenarioOutcome | None] = list(replayed)
+
+        def _finish(slot: int, result: SimulationResult, wall: float) -> None:
+            # Record and persist one finished scenario immediately, so an
+            # interrupted grid run keeps (and can later replay) every cell
+            # that completed before the interruption.
+            i, spec = pending[slot]
+            _, hit, key = resolved[slot]
+            self.scenarios_executed += 1
+            outcome = ScenarioOutcome(
                 spec=spec,
                 spec_hash=spec.spec_hash,
                 result=result,
                 wall_time_s=wall,
                 table_cache_hit=hit,
                 table_key=key,
+                solve_wall_time_s=wall,
             )
-            for spec, (result, wall), (_, hit, key) in zip(
-                specs, timed, resolved
-            )
-        ]
+            self._store_put(outcome)
+            outcomes[i] = outcome
 
-    def run_config(self, config: dict | str | Path) -> list[ScenarioOutcome]:
-        """Expand a JSON config (path, text, or dict) and run the grid."""
+        workers = self.n_workers or 1
+        if workers > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))
+            ) as pool:
+                futures = {
+                    pool.submit(_run_in_worker, spec, platform, table): slot
+                    for slot, ((_, spec), platform, (table, _, _)) in enumerate(
+                        zip(pending, platforms, resolved)
+                    )
+                }
+                for future in as_completed(futures):
+                    result, wall = future.result()
+                    _finish(futures[future], result, wall)
+        else:
+            for slot, ((_, spec), platform, (table, _, _)) in enumerate(
+                zip(pending, platforms, resolved)
+            ):
+                result, wall = _run_in_worker(spec, platform, table)
+                _finish(slot, result, wall)
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def run_config(
+        self,
+        config: dict | str | Path,
+        *,
+        shard_index: int | None = None,
+        shard_count: int | None = None,
+    ) -> list[ScenarioOutcome]:
+        """Expand a JSON config (path, text, or dict) and run the grid.
+
+        Args:
+            config: a config dict, a path to a config JSON file, or inline
+                JSON text.
+            shard_index: with `shard_count`, run only one deterministic
+                shard of the expanded grid (see
+                :func:`~repro.scenario.specs.shard_specs`).
+            shard_count: total number of shards.
+
+        Returns:
+            The outcomes of this shard's scenarios, in grid order.
+        """
         from repro.scenario.specs import scenario_grid_from_config
 
         if isinstance(config, (str, Path)):
@@ -438,4 +737,8 @@ class ScenarioRunner:
                 config = json.loads(config)  # inline JSON text
             else:
                 raise ScenarioError(f"no such scenario config: {config}")
-        return self.run_many(scenario_grid_from_config(config))
+        return self.run_many(
+            scenario_grid_from_config(
+                config, shard_index=shard_index, shard_count=shard_count
+            )
+        )

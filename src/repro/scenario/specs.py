@@ -18,6 +18,21 @@ One explicit ``seed`` lives on the scenario and is threaded through every
 stochastic component (trace generation, the noisy sensor model, the random
 assignment policy) via :func:`derive_seed`, so identical specs reproduce
 bit-identical results with no reliance on global RNG state.
+
+**The spec-hash stability contract.**  :attr:`ScenarioSpec.spec_hash` is
+the first 12 hex digits of the SHA-256 of the canonical (sorted-key,
+NaN-free) JSON encoding of :meth:`ScenarioSpec.to_dict`.  It therefore
+depends only on the spec's *data* — never on process identity, dict
+insertion order, platform, or Python version — which is what lets it key
+persistent artifacts: Phase-1 table caches, outcome-store records, and the
+deterministic shard assignment of :func:`shard_specs` all assume that the
+same spec hashes to the same string on every host, today and in future
+sessions.  Renaming or re-defaulting a spec *field* changes hashes and
+therefore invalidates stores; that is intentional (a different spec is a
+different scenario) but means such changes are breaking and must be called
+out.  Defaults that are *omitted* from ``to_dict`` (``max_time``,
+``name``, sub-spec ``seed``) can gain new behavior without disturbing
+existing hashes.
 """
 
 from __future__ import annotations
@@ -50,6 +65,20 @@ def derive_seed(master: int, stream: str) -> int:
     Distinct streams ("trace", "sensor", "assignment") must not share an
     RNG sequence; hashing ``master:stream`` gives independent, platform-
     stable 32-bit seeds without any global state.
+
+    Args:
+        master: the scenario's master seed.
+        stream: a short stream label.
+
+    Returns:
+        A deterministic 32-bit seed for the (master, stream) pair.
+
+    Example:
+
+        >>> derive_seed(7, "sensor") == derive_seed(7, "sensor")
+        True
+        >>> derive_seed(7, "sensor") != derive_seed(7, "trace")
+        True
     """
     digest = hashlib.blake2b(
         f"{int(master)}:{stream}".encode(), digest_size=4
@@ -318,6 +347,14 @@ class ScenarioSpec:
     hashable; JSON round-trips losslessly through
     :meth:`to_dict`/:meth:`from_dict`.
 
+    Example:
+
+        >>> spec = ScenarioSpec(policy="basic-dfs", seed=3)
+        >>> ScenarioSpec.from_dict(spec.to_dict()) == spec
+        True
+        >>> len(spec.spec_hash)  # stable content hash, keys caches/stores
+        12
+
     Attributes:
         platform: platform sub-spec (str/dict coerced).
         workload: workload sub-spec (str/dict coerced).
@@ -466,7 +503,14 @@ class ScenarioSpec:
         return replace(self, **overrides)
 
     @classmethod
-    def grid(cls, base: "ScenarioSpec | None" = None, **axes: Any) -> list["ScenarioSpec"]:
+    def grid(
+        cls,
+        base: "ScenarioSpec | None" = None,
+        *,
+        shard_index: int | None = None,
+        shard_count: int | None = None,
+        **axes: Any,
+    ) -> list["ScenarioSpec"]:
         """Expand a scenario grid: the cartesian product over the axes.
 
         Each keyword names a :class:`ScenarioSpec` field; its value is
@@ -482,10 +526,18 @@ class ScenarioSpec:
 
         Args:
             base: spec providing the non-axis fields (default: defaults).
+            shard_index: with `shard_count`, keep only this shard's cells
+                (deterministic spec-hash slicing; see :func:`shard_specs`).
+            shard_count: total number of shards.
             **axes: field name -> value or iterable of values.
 
         Returns:
-            The expanded list of specs (len = product of axis lengths).
+            The expanded list of specs (len = product of axis lengths,
+            then sliced when sharding is requested).
+
+        Raises:
+            ScenarioError: on unknown axis names, empty axes, or an
+                invalid shard request.
         """
         base = base if base is not None else cls()
         field_names = [f.name for f in fields(cls)]
@@ -499,10 +551,13 @@ class ScenarioSpec:
         for key, values in zip(keys, value_lists):
             if not values:
                 raise ScenarioError(f"grid axis {key!r} is empty")
-        return [
+        specs = [
             replace(base, **dict(zip(keys, combo)))
             for combo in itertools.product(*value_lists)
         ]
+        if shard_index is not None or shard_count is not None:
+            specs = shard_specs(specs, shard_index, shard_count)
+        return specs
 
 
 def _axis_values(value: Any) -> list:
@@ -514,7 +569,71 @@ def _axis_values(value: Any) -> list:
     return list(value)
 
 
-def scenario_grid_from_config(config: dict) -> list["ScenarioSpec"]:
+def shard_of(spec: "ScenarioSpec", shard_count: int) -> int:
+    """The shard (0-based) a spec belongs to among `shard_count` shards.
+
+    Assignment hashes the spec (``int(spec_hash, 16) % shard_count``), so
+    it is a pure function of the spec's data: every host slicing the same
+    grid with the same `shard_count` computes the same partition, in any
+    process, with no coordination — which is what makes cross-host sharding
+    just "run the same config with a different ``--shard i/n``".
+
+    Example:
+
+        >>> spec = ScenarioSpec(seed=3)
+        >>> shard_of(spec, 4) == shard_of(spec, 4)  # process-stable
+        True
+    """
+    if shard_count < 1:
+        raise ScenarioError(f"shard_count must be >= 1, got {shard_count}")
+    return int(spec.spec_hash, 16) % shard_count
+
+
+def shard_specs(
+    specs: Iterable["ScenarioSpec"],
+    shard_index: int | None,
+    shard_count: int | None,
+) -> list["ScenarioSpec"]:
+    """Keep only the specs belonging to one shard of a grid.
+
+    The shards partition the grid: every spec lands in exactly one shard,
+    and the union over ``shard_index in range(shard_count)`` is the whole
+    grid.  Relative order within a shard follows the input order.
+
+    Args:
+        specs: the full (unsharded) grid.
+        shard_index: 0-based shard to keep.
+        shard_count: total number of shards; both must be given together.
+
+    Returns:
+        The shard's specs (possibly empty — small grids may leave some
+        shards without cells).
+
+    Raises:
+        ScenarioError: when only one of the two arguments is given or the
+            indices are out of range.
+    """
+    if shard_index is None or shard_count is None:
+        raise ScenarioError(
+            "shard_index and shard_count must be given together"
+        )
+    if shard_count < 1:
+        raise ScenarioError(f"shard_count must be >= 1, got {shard_count}")
+    if not 0 <= shard_index < shard_count:
+        raise ScenarioError(
+            f"shard_index must be in [0, {shard_count}), got {shard_index}"
+        )
+    return [
+        spec for spec in specs if shard_of(spec, shard_count) == shard_index
+    ]
+
+
+def scenario_grid_from_config(
+    config: dict,
+    *,
+    shard_index: int | None = None,
+    shard_count: int | None = None,
+) -> list["ScenarioSpec"]:
     """Expand a JSON config into a scenario grid.
 
     The config format used by ``protemp run``::
@@ -528,13 +647,24 @@ def scenario_grid_from_config(config: dict) -> list["ScenarioSpec"]:
     ``grid`` maps field names to value lists.  A config that is already a
     single scenario dict (no "base"/"grid" keys) yields one spec.
 
+    Args:
+        config: the decoded JSON config.
+        shard_index: with `shard_count`, keep only one shard of the
+            expanded grid (``protemp run --shard i/n``); the slicing is
+            deterministic across hosts (see :func:`shard_specs`).
+        shard_count: total number of shards.
+
     Returns:
-        The expanded list of :class:`ScenarioSpec`.
+        The expanded (and possibly shard-sliced) list of
+        :class:`ScenarioSpec`.
     """
     if not isinstance(config, dict):
         raise ScenarioError("scenario config must be a JSON object")
     if "base" not in config and "grid" not in config:
-        return [ScenarioSpec.from_dict(config)]
+        specs = [ScenarioSpec.from_dict(config)]
+        if shard_index is not None or shard_count is not None:
+            specs = shard_specs(specs, shard_index, shard_count)
+        return specs
     extra = {k: v for k, v in config.items() if k not in ("base", "grid")}
     if "base" in config and extra:
         raise ScenarioError(
@@ -548,4 +678,7 @@ def scenario_grid_from_config(config: dict) -> list["ScenarioSpec"]:
     if not isinstance(grid, dict):
         raise ScenarioError('"grid" must map field names to value lists')
     axes = {key: _axis_values(value) for key, value in grid.items()}
-    return ScenarioSpec.grid(base, **axes)
+    specs = ScenarioSpec.grid(base, **axes)
+    if shard_index is not None or shard_count is not None:
+        specs = shard_specs(specs, shard_index, shard_count)
+    return specs

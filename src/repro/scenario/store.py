@@ -1,0 +1,494 @@
+"""Content-addressed persistence of scenario outcomes, keyed by spec hash.
+
+The outcome store is the scenario-level analogue of the runner's Phase-1
+table cache: where the table cache deduplicates the expensive *design-time*
+artifact (one frequency table per distinct platform x table config), the
+outcome store deduplicates whole *scenario solves* — a grid cell that has
+already been simulated anywhere (this process, an earlier session, another
+host sharing the directory) is answered from the store instead of being
+re-run.  That is what makes million-cell policy-comparison grids tractable:
+re-running a grid only pays for the cells that changed.
+
+Three pieces:
+
+* :class:`StoredOutcome` — the persisted record: the full spec dict (for
+  collision detection and replay), the *deterministic* summary row, and a
+  provenance block (original solve wall time, table cache provenance,
+  store timestamp).  Provenance is explicitly excluded from record
+  equality: two shards that both computed the same cell produce records
+  that differ only in wall times, and that is a benign duplicate.
+* :class:`OutcomeStore` — the minimal interface (`get`/`put`/`records`)
+  with two backends: :class:`MemoryOutcomeStore` (tests, ephemeral runs)
+  and :class:`DirectoryOutcomeStore` (a directory of JSON-lines files,
+  written atomically so concurrent shards never corrupt the store).
+* :func:`merge_stores` / :func:`union_records` — the ``protemp merge``
+  engine: union shard outcome sets, drop benign duplicates, and fail
+  loudly on spec-hash collisions and conflicting duplicates.
+
+Example — write a record, read it back bit-identically:
+
+    >>> from repro.scenario import ScenarioRunner, ScenarioSpec
+    >>> from repro.scenario.store import MemoryOutcomeStore, StoredOutcome
+    >>> store = MemoryOutcomeStore()
+    >>> outcome = ScenarioRunner().run(ScenarioSpec(policy="no-tc"))
+    >>> store.put(StoredOutcome.from_outcome(outcome))
+    >>> store.get(outcome.spec_hash).summary == outcome.data_row()
+    True
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.errors import OutcomeStoreError
+from repro.scenario.specs import _spec_hash
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from repro.scenario.runner import ScenarioOutcome
+
+
+def _canonical(payload: dict) -> str:
+    """Canonical JSON encoding used for record equality and hashing."""
+    return json.dumps(payload, sort_keys=True, allow_nan=False)
+
+
+@dataclass(frozen=True)
+class StoredOutcome:
+    """One persisted scenario outcome.
+
+    Attributes:
+        spec_hash: :attr:`ScenarioSpec.spec_hash` of the scenario — the
+            store key.
+        spec: the full ``ScenarioSpec.to_dict()`` payload.  Stored so a
+            lookup can verify the requested spec actually matches (the
+            12-hex-digit hash makes collisions unlikely, not impossible)
+            and so a store is self-describing without the producing config.
+        summary: the deterministic summary row
+            (:meth:`ScenarioOutcome.data_row`) — pure simulation results,
+            no wall times or cache flags, so records written by different
+            shards/hosts for the same spec are bit-identical.
+        provenance: how this record came to be: ``solve_wall_time_s`` (the
+            original simulation's wall time), ``table_cache_hit`` /
+            ``table_key`` (the original run's Phase-1 table provenance) and
+            ``stored_at`` (UTC ISO timestamp).  Never part of equality.
+
+    Raises:
+        OutcomeStoreError: from :meth:`from_dict` when a record read from
+            disk fails validation (missing fields, spec/hash mismatch).
+    """
+
+    spec_hash: str
+    spec: dict
+    summary: dict
+    provenance: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_outcome(cls, outcome: "ScenarioOutcome") -> "StoredOutcome":
+        """Build the persistable record for an executed outcome.
+
+        Args:
+            outcome: a :class:`ScenarioOutcome` holding a live
+                :class:`SimulationResult`.  A replayed outcome (one that
+                itself came from a store) round-trips its original record.
+
+        Returns:
+            The record to :meth:`OutcomeStore.put`.
+        """
+        if outcome.result is None and outcome.stored is not None:
+            return outcome.stored
+        return cls(
+            spec_hash=outcome.spec_hash,
+            spec=outcome.spec.to_dict(),
+            summary=outcome.data_row(),
+            provenance={
+                "solve_wall_time_s": outcome.solve_wall_time_s,
+                "table_cache_hit": outcome.table_cache_hit,
+                "table_key": outcome.table_key,
+                "stored_at": datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"
+                ),
+            },
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-data (JSON-compatible) representation."""
+        return {
+            "spec_hash": self.spec_hash,
+            "spec": self.spec,
+            "summary": self.summary,
+            "provenance": self.provenance,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, *, source: str = "record") -> "StoredOutcome":
+        """Inverse of :meth:`to_dict`, with validation.
+
+        Args:
+            data: a decoded record payload.
+            source: where the record came from (used in error messages).
+
+        Raises:
+            OutcomeStoreError: when required fields are missing or the
+                stored spec does not hash to the stored key (a corrupt or
+                hand-edited record must not silently answer lookups).
+        """
+        try:
+            record = cls(
+                spec_hash=data["spec_hash"],
+                spec=data["spec"],
+                summary=data["summary"],
+                provenance=data.get("provenance", {}),
+            )
+        except (KeyError, TypeError) as exc:
+            raise OutcomeStoreError(f"malformed outcome {source}: {exc}") from exc
+        actual = _spec_hash(record.spec)
+        if actual != record.spec_hash:
+            raise OutcomeStoreError(
+                f"corrupt outcome {source}: stored spec hashes to {actual}, "
+                f"not the record key {record.spec_hash}"
+            )
+        return record
+
+    def to_json_line(self) -> str:
+        """One-line JSON encoding (the JSON-lines on-disk format)."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, allow_nan=False,
+            separators=(",", ":"),
+        )
+
+    def same_content(self, other: "StoredOutcome") -> bool:
+        """True when the records agree on everything but provenance.
+
+        Two shards computing the same cell legitimately differ in wall
+        times and timestamps; those duplicates are benign and deduplicate
+        to one record.
+        """
+        return (
+            self.spec_hash == other.spec_hash
+            and _canonical(self.spec) == _canonical(other.spec)
+            and _canonical(self.summary) == _canonical(other.summary)
+        )
+
+
+def _describe_mismatch(existing: StoredOutcome, new: StoredOutcome) -> str:
+    """Classify a same-key disagreement for error messages."""
+    if _canonical(existing.spec) != _canonical(new.spec):
+        return (
+            f"spec-hash collision on {new.spec_hash}: two different specs "
+            f"share the key (labels {existing.spec.get('name')!r} vs "
+            f"{new.spec.get('name')!r})"
+        )
+    return (
+        f"conflicting duplicate outcome for spec {new.spec_hash}: the same "
+        "spec produced two different summary rows (scenario runs are "
+        "seeded, so this indicates nondeterminism or a corrupted record)"
+    )
+
+
+class OutcomeStore:
+    """Interface of a content-addressed outcome store.
+
+    Implementations must provide :meth:`get`, :meth:`put` and
+    :meth:`records`; everything else derives from those.  ``put`` must be
+    idempotent for same-content records and must raise
+    :class:`OutcomeStoreError` on collisions/conflicts (see
+    :func:`_describe_mismatch` for the two cases).
+    """
+
+    def get(self, spec_hash: str) -> StoredOutcome | None:
+        """The record stored under `spec_hash`, or None."""
+        raise NotImplementedError
+
+    def put(self, record: StoredOutcome) -> None:
+        """Persist `record`; a same-content duplicate is a no-op.
+
+        Raises:
+            OutcomeStoreError: when a different record already holds the key.
+        """
+        raise NotImplementedError
+
+    def records(self) -> Iterator[StoredOutcome]:
+        """Iterate every stored record (order unspecified)."""
+        raise NotImplementedError
+
+    def __contains__(self, spec_hash: str) -> bool:
+        return self.get(spec_hash) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.records())
+
+    def _check_put(self, record: StoredOutcome) -> StoredOutcome | None:
+        """Shared put-time duplicate/conflict handling.
+
+        Returns:
+            The existing same-content record (caller should no-op), or
+            None when the key is free.
+        """
+        existing = self.get(record.spec_hash)
+        if existing is None:
+            return None
+        if existing.same_content(record):
+            return existing
+        raise OutcomeStoreError(_describe_mismatch(existing, record))
+
+
+class MemoryOutcomeStore(OutcomeStore):
+    """In-process dict-backed store (tests, single-session dedup)."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, StoredOutcome] = {}
+
+    def get(self, spec_hash: str) -> StoredOutcome | None:
+        """The record stored under `spec_hash`, or None."""
+        return self._records.get(spec_hash)
+
+    def put(self, record: StoredOutcome) -> None:
+        """Store `record` (idempotent; conflicts raise)."""
+        if self._check_put(record) is None:
+            self._records[record.spec_hash] = record
+
+    def records(self) -> Iterator[StoredOutcome]:
+        """Iterate stored records."""
+        return iter(list(self._records.values()))
+
+
+class DirectoryOutcomeStore(OutcomeStore):
+    """A directory of JSON-lines outcome records, safe for concurrent shards.
+
+    Layout: each record this store writes lives in its own single-line
+    file ``outcome_<spec_hash>.jsonl`` — content-addressed, so `get` is one
+    stat away and two shards that compute the same cell write *identical*
+    files (the atomic ``os.replace`` makes the race harmless).
+
+    *Foreign* ``*.jsonl`` files — hand-concatenated shard dumps, rsync'd
+    record collections, anything not matching the per-record naming — are
+    also understood: :meth:`records` reads every line of every file, and
+    :meth:`get`/:meth:`put` consult a lazily built index of the foreign
+    files, so a store assembled by concatenation replays and
+    conflict-checks exactly like one written record-by-record.  The index
+    is built once per store instance; foreign files are assumed static
+    while the store is open (this store only ever writes per-record
+    files).
+
+    Args:
+        path: store directory; created lazily on first write.
+
+    Example::
+
+        store = DirectoryOutcomeStore("outcomes/")
+        runner = ScenarioRunner(outcome_store=store)
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._foreign: dict[str, StoredOutcome] | None = None
+
+    def _record_path(self, spec_hash: str) -> Path:
+        return self.path / f"outcome_{spec_hash}.jsonl"
+
+    def _is_own_record_file(self, path: Path) -> bool:
+        """True for files following this store's per-record naming."""
+        name = path.name
+        return (
+            name.startswith("outcome_")
+            and name.endswith(".jsonl")
+            and len(name) == len("outcome_.jsonl") + 12
+        )
+
+    def _read_lines(self, path: Path) -> Iterator[StoredOutcome]:
+        """Parse every record line of one JSON-lines file."""
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise OutcomeStoreError(
+                f"cannot read outcome store file {path}: {exc}"
+            ) from exc
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise OutcomeStoreError(
+                    f"unreadable outcome record {path}:{lineno}: {exc}"
+                ) from exc
+            yield StoredOutcome.from_dict(payload, source=f"{path}:{lineno}")
+
+    def _foreign_index(self) -> dict[str, StoredOutcome]:
+        """Index of records living in foreign (multi-record) files."""
+        if self._foreign is None:
+            index: dict[str, StoredOutcome] = {}
+            if self.path.is_dir():
+                for path in sorted(self.path.glob("*.jsonl")):
+                    if self._is_own_record_file(path):
+                        continue
+                    for record in self._read_lines(path):
+                        existing = index.get(record.spec_hash)
+                        if existing is None:
+                            index[record.spec_hash] = record
+                        elif not existing.same_content(record):
+                            raise OutcomeStoreError(
+                                _describe_mismatch(existing, record)
+                            )
+            self._foreign = index
+        return self._foreign
+
+    def get(self, spec_hash: str) -> StoredOutcome | None:
+        """Load (and validate) the record for `spec_hash`, or None.
+
+        Consults the per-record file first, then the index of foreign
+        multi-record files (see the class docstring).
+
+        Raises:
+            OutcomeStoreError: when an on-disk record is corrupt.
+        """
+        path = self._record_path(spec_hash)
+        try:
+            exists = path.exists()
+            line = path.read_text().strip() if exists else ""
+        except OSError as exc:
+            raise OutcomeStoreError(
+                f"cannot read outcome store record {path}: {exc}"
+            ) from exc
+        if line:
+            try:
+                payload = json.loads(line.splitlines()[0])
+            except json.JSONDecodeError as exc:
+                raise OutcomeStoreError(
+                    f"unreadable outcome record {path}: {exc}"
+                ) from exc
+            return StoredOutcome.from_dict(payload, source=str(path))
+        return self._foreign_index().get(spec_hash)
+
+    def put(self, record: StoredOutcome) -> None:
+        """Atomically persist `record` (idempotent; conflicts raise).
+
+        The record is written to a temporary file in the store directory
+        and moved into place with ``os.replace``, so a reader (or a
+        concurrent shard's writer) never observes a partial file.
+        """
+        if self._check_put(record) is not None:
+            return
+        try:
+            self.path.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".tmp_{record.spec_hash}_",
+                suffix=".jsonl",
+                dir=self.path,
+            )
+        except OSError as exc:
+            raise OutcomeStoreError(
+                f"cannot write to outcome store {self.path} "
+                f"(not a writable directory?): {exc}"
+            ) from exc
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(record.to_json_line() + "\n")
+            os.replace(tmp_name, self._record_path(record.spec_hash))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def records(self) -> Iterator[StoredOutcome]:
+        """Iterate every record in every ``*.jsonl`` file (sorted by file)."""
+        if not self.path.is_dir():
+            return
+        for path in sorted(self.path.glob("*.jsonl")):
+            yield from self._read_lines(path)
+
+
+def open_outcome_store(
+    store: OutcomeStore | str | Path | None,
+) -> OutcomeStore | None:
+    """Coerce a store argument: paths become directory stores.
+
+    Args:
+        store: an :class:`OutcomeStore`, a directory path, or None.
+
+    Returns:
+        An :class:`OutcomeStore` instance, or None when `store` is None.
+    """
+    if store is None or isinstance(store, OutcomeStore):
+        return store
+    if isinstance(store, (str, Path)):
+        return DirectoryOutcomeStore(store)
+    raise OutcomeStoreError(
+        f"cannot open an outcome store from {type(store).__name__}"
+    )
+
+
+@dataclass
+class MergeResult:
+    """What a merge produced.
+
+    Attributes:
+        records: the union, sorted by ``spec_hash`` (deterministic
+            regardless of shard/file order).
+        duplicates: how many benign same-content duplicates were dropped
+            (cells computed by more than one shard).
+        sources: how many input records were read in total.
+    """
+
+    records: list[StoredOutcome]
+    duplicates: int
+    sources: int
+
+    def summary_rows(self) -> list[dict]:
+        """The deterministic summary rows, sorted by spec hash."""
+        return [dict(record.summary) for record in self.records]
+
+
+def union_records(records: Iterable[StoredOutcome]) -> MergeResult:
+    """Union an iterable of records with duplicate/conflict handling.
+
+    Same-content duplicates collapse to the first-seen record;
+    disagreements raise.
+
+    Raises:
+        OutcomeStoreError: on a spec-hash collision or a conflicting
+            duplicate (same spec, different summary).
+    """
+    merged: dict[str, StoredOutcome] = {}
+    duplicates = 0
+    total = 0
+    for record in records:
+        total += 1
+        existing = merged.get(record.spec_hash)
+        if existing is None:
+            merged[record.spec_hash] = record
+        elif existing.same_content(record):
+            duplicates += 1
+        else:
+            raise OutcomeStoreError(_describe_mismatch(existing, record))
+    ordered = [merged[key] for key in sorted(merged)]
+    return MergeResult(records=ordered, duplicates=duplicates, sources=total)
+
+
+def merge_stores(stores: Iterable[OutcomeStore]) -> MergeResult:
+    """Union several stores' record sets (the ``protemp merge`` engine).
+
+    Args:
+        stores: the shard stores to union.
+
+    Returns:
+        A :class:`MergeResult`; write it into another store by ``put``-ing
+        each record.
+
+    Raises:
+        OutcomeStoreError: on collisions or conflicting duplicates.
+    """
+
+    def _all() -> Iterator[StoredOutcome]:
+        for store in stores:
+            yield from store.records()
+
+    return union_records(_all())

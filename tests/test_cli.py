@@ -109,6 +109,156 @@ class TestScenarioCommands:
         assert rows[0]["table_cache_hit"] is None
 
 
+FAST_CONFIG = {
+    "base": {
+        "platform": {"name": "core-row", "params": {"n_cores": 3}},
+        "workload": {
+            "name": "poisson",
+            "duration": 1.0,
+            "params": {"offered_load": 0.3},
+        },
+        "t_initial": 60.0,
+    },
+    "grid": {"policy": ["no-tc", "basic-dfs"], "seed": [0, 1]},
+}
+
+VOLATILE_ROW_KEYS = {
+    "wall_time_s",
+    "solve_wall_time_s",
+    "table_cache_hit",
+    "outcome_cache_hit",
+}
+
+
+def _write_config(tmp_path):
+    path = tmp_path / "config.json"
+    path.write_text(json.dumps(FAST_CONFIG))
+    return str(path)
+
+
+class TestShardingAndStore:
+    def test_shard_options_parse(self):
+        args = build_parser().parse_args(
+            ["run", "cfg.json", "--shard", "1/4", "--outcome-store", "out"]
+        )
+        assert args.shard == "1/4"
+        assert args.outcome_store == "out"
+
+    def test_malformed_shard_rejected(self, tmp_path, capsys):
+        config = _write_config(tmp_path)
+        assert main(["run", config, "--shard", "banana"]) == 2
+        assert "--shard" in capsys.readouterr().err
+
+    def test_out_of_range_shard_rejected(self, tmp_path, capsys):
+        config = _write_config(tmp_path)
+        assert main(["run", config, "--shard", "2/2"]) == 2
+        assert "shard_index" in capsys.readouterr().err
+
+    def test_sharded_runs_merge_to_the_unsharded_run(self, tmp_path, capsys):
+        """CLI acceptance loop: two --shard runs, protemp merge, and the
+        result matches the unsharded run's deterministic rows exactly."""
+        config = _write_config(tmp_path)
+        for index in range(2):
+            assert main([
+                "run", config, "--shard", f"{index}/2",
+                "--outcome-store", str(tmp_path / f"shard{index}"),
+            ]) == 0
+        capsys.readouterr()
+        assert main([
+            "merge", str(tmp_path / "shard0"), str(tmp_path / "shard1"),
+            "--output", str(tmp_path / "merged"), "--json",
+        ]) == 0
+        merged_rows = json.loads(capsys.readouterr().out)
+        assert main(["run", config, "--json"]) == 0
+        full_rows = json.loads(capsys.readouterr().out)
+        expected = sorted(
+            (
+                {k: v for k, v in row.items() if k not in VOLATILE_ROW_KEYS}
+                for row in full_rows
+            ),
+            key=lambda row: row["spec_hash"],
+        )
+        assert merged_rows == expected
+        # And the merged store warm-replays the whole grid: zero executed.
+        assert main([
+            "run", config, "--outcome-store", str(tmp_path / "merged")
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "0 executed" in err and "4 from store" in err
+
+    def test_warm_store_rerun_replays(self, tmp_path, capsys):
+        config = _write_config(tmp_path)
+        store = str(tmp_path / "store")
+        assert main(["run", config, "--outcome-store", store]) == 0
+        capsys.readouterr()
+        assert main(["run", config, "--outcome-store", store, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert all(row["outcome_cache_hit"] for row in rows)
+
+    def test_run_rejects_extra_positionals(self, tmp_path, capsys):
+        config = _write_config(tmp_path)
+        assert main(["run", config, "stray-arg"]) == 2
+        assert "single config" in capsys.readouterr().err
+
+
+class TestMergeCommand:
+    def test_merge_requires_stores(self, capsys):
+        assert main(["merge"]) == 2
+        assert "outcome-store" in capsys.readouterr().err
+
+    def test_merge_missing_store_reported(self, tmp_path, capsys):
+        assert main(["merge", str(tmp_path / "nope")]) == 2
+        assert "no such outcome store" in capsys.readouterr().err
+
+    def test_merge_conflict_detected(self, tmp_path, capsys):
+        from repro.scenario import (
+            DirectoryOutcomeStore,
+            ScenarioRunner,
+            scenario_grid_from_config,
+        )
+
+        spec = scenario_grid_from_config(FAST_CONFIG)[0]
+        ScenarioRunner(outcome_store=tmp_path / "a").run(spec)
+        ScenarioRunner(outcome_store=tmp_path / "b").run(spec)
+        # Tamper with one copy's summary to fake nondeterminism.
+        store_b = DirectoryOutcomeStore(tmp_path / "b")
+        record = store_b.get(spec.spec_hash)
+        broken = record.summary | {"peak_c": -1.0}
+        path = tmp_path / "b" / f"outcome_{spec.spec_hash}.jsonl"
+        payload = record.to_dict() | {"summary": broken}
+        path.write_text(json.dumps(payload) + "\n")
+        assert main(["merge", str(tmp_path / "a"), str(tmp_path / "b")]) == 2
+        assert "conflicting duplicate" in capsys.readouterr().err
+
+    def test_merge_rejects_run_flags(self, tmp_path, capsys):
+        """--outcome-store on merge (near-synonym of --output) must be
+        rejected with a hint, not silently ignored."""
+        store = tmp_path / "store"
+        store.mkdir()
+        assert main(
+            ["merge", str(store), "--outcome-store", str(tmp_path / "out")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--outcome-store" in err and "--output" in err
+
+    def test_run_rejects_merge_flags(self, tmp_path, capsys):
+        config = _write_config(tmp_path)
+        assert main(["run", config, "--output", str(tmp_path / "out")]) == 2
+        err = capsys.readouterr().err
+        assert "--output" in err and "--outcome-store" in err
+
+    def test_merge_prints_human_table(self, tmp_path, capsys):
+        from repro.scenario import ScenarioRunner, scenario_grid_from_config
+
+        runner = ScenarioRunner(outcome_store=tmp_path / "store")
+        runner.run_many(scenario_grid_from_config(FAST_CONFIG))
+        capsys.readouterr()
+        assert main(["merge", str(tmp_path / "store")]) == 0
+        captured = capsys.readouterr()
+        assert "No-TC" in captured.out and "Basic-DFS" in captured.out
+        assert "4 outcomes" in captured.err
+
+
 class TestMain:
     def test_calibration_runs(self, capsys):
         assert main(["calibration"]) == 0
