@@ -1,0 +1,73 @@
+"""Serve-and-submit round trip: warm caches across submissions.
+
+Boots the scenario service in-process on an ephemeral port (the same
+stack ``protemp serve`` runs), submits a small policy-comparison grid
+twice through the HTTP client, and prints the streamed NDJSON events —
+the first submission executes every cell, the second replays everything
+from the outcome store without a single solve.
+
+Run with ``PYTHONPATH=src python examples/serve_and_submit.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.scenario import MemoryOutcomeStore
+from repro.serving import ScenarioService, ServiceClient, make_server
+
+CONFIG = {
+    "base": {
+        "platform": {"name": "core-row", "params": {"n_cores": 3}},
+        "workload": {
+            "name": "poisson",
+            "duration": 2.0,
+            "params": {"offered_load": 0.4},
+        },
+        "t_initial": 60.0,
+    },
+    "grid": {"policy": ["no-tc", "basic-dfs"], "seed": [0, 1]},
+}
+
+
+def submit_once(client: ServiceClient, label: str) -> None:
+    print(f"--- {label}")
+    for event in client.submit_and_stream(CONFIG):
+        kind = event["event"]
+        if kind == "outcome":
+            row = event["row"]
+            source = "store" if event["outcome_cache_hit"] else "solved"
+            print(
+                f"  [{source}] {row['scenario']:<34s} "
+                f"peak {row['peak_c']:.1f} C, "
+                f"wait {row['mean_wait_s'] * 1e3:.1f} ms"
+            )
+        elif kind == "done":
+            print(
+                f"  done: {event['scenarios_executed']} executed, "
+                f"{event['outcomes_replayed']} from store "
+                f"in {event['wall_time_s']:.2f}s"
+            )
+
+
+def main() -> None:
+    service = ScenarioService(max_workers=2, outcome_store=MemoryOutcomeStore())
+    server = make_server(service, port=0)  # ephemeral port
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    try:
+        print("health:", json.dumps(client.health()["runner"]))
+        submit_once(client, "cold submission (every cell solves)")
+        submit_once(client, "warm submission (everything replays)")
+        print("health:", json.dumps(client.health()["runner"]))
+    finally:
+        service.drain()
+        server.shutdown()
+        server.server_close()
+
+
+if __name__ == "__main__":
+    main()

@@ -25,7 +25,7 @@ from repro.scenario import (
     WorkloadSpec,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Platform",

@@ -15,15 +15,28 @@ Three command families:
   directories (shards of one grid, or several runs), detect spec-hash
   collisions and conflicting duplicates, print the combined summary
   table, and optionally write the merged store (``--output DIR``).
+* ``protemp serve`` — run the long-lived scenario service: one warm
+  :class:`~repro.scenario.ScenarioRunner` shared across HTTP requests
+  (or stdin/NDJSON lines with ``--stdin``), outcomes streamed as
+  JSON-lines events, graceful drain on SIGTERM (see `repro.serving`).
+* ``protemp submit <config.json>`` — send a config to a running service
+  and stream its outcome events back (``--url``, ``--json``).
 * ``protemp list`` — show the registered platforms, workloads, policies,
   assignments, sensors and experiments (``--json`` for tooling).
 
-See docs/SCALING.md for the sharded-grid walkthrough.
+``protemp --version`` reports the installed package version (package
+metadata when installed, the source tree's ``repro.__version__``
+otherwise).
+
+See docs/SCALING.md for the sharded-grid walkthrough and docs/SERVING.md
+for the service endpoints and event schema.
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
+import importlib.metadata
 import json
 import sys
 import time
@@ -69,7 +82,25 @@ EXPERIMENTS = (
 )
 
 #: Scenario-API commands sharing the positional slot with the experiments.
-COMMANDS = ("run", "merge", "list")
+COMMANDS = ("run", "merge", "list", "serve", "submit")
+
+#: Distribution name in package metadata (pyproject.toml).
+DISTRIBUTION = "protemp-repro"
+
+
+def package_version() -> str:
+    """The package version: installed metadata, else the source tree's.
+
+    ``protemp --version`` must work both for an installed wheel (read the
+    distribution metadata) and for a source checkout on ``PYTHONPATH``
+    (fall back to ``repro.__version__``).
+    """
+    try:
+        return importlib.metadata.version(DISTRIBUTION)
+    except importlib.metadata.PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
 
 #: Registries shown by ``protemp list``, in display order.
 _REGISTRIES = (
@@ -81,9 +112,35 @@ _REGISTRIES = (
 )
 
 
+class _HintingArgumentParser(argparse.ArgumentParser):
+    """Argparse with did-you-mean hints for unknown subcommands.
+
+    Unknown-subcommand failures exit with the same code (2) and message
+    shape as the cross-subcommand flag guards: ``protemp: unknown command
+    'serv' (did you mean 'serve'?)``.
+    """
+
+    def error(self, message: str):
+        if "invalid choice" in message:
+            start = message.find("'") + 1
+            bad = message[start:message.find("'", start)]
+            close = difflib.get_close_matches(
+                bad, EXPERIMENTS + COMMANDS, n=1
+            )
+            hint = f" (did you mean {close[0]!r}?)" if close else (
+                "; see 'protemp list' for experiments and commands"
+            )
+            self.print_usage(sys.stderr)
+            sys.stderr.write(
+                f"{self.prog}: unknown command {bad!r}{hint}\n"
+            )
+            sys.exit(2)
+        super().error(message)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
-    parser = argparse.ArgumentParser(
+    parser = _HintingArgumentParser(
         prog="protemp",
         description=(
             "Pro-Temp reproduction (Murali et al., DATE 2008): run the "
@@ -92,10 +149,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--version",
+        action="version",
+        version=f"protemp {package_version()}",
+    )
+    parser.add_argument(
         "experiment",
         choices=EXPERIMENTS + COMMANDS,
         help=(
             "a paper experiment (figN), 'run' (execute a scenario config), "
+            "'serve'/'submit' (the long-lived scenario service), 'merge', "
             "or 'list' (show registered components)"
         ),
     )
@@ -104,8 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help=(
-            "scenario config JSON file ('run') or first outcome-store "
-            "directory ('merge')"
+            "scenario config JSON file ('run'/'submit') or first "
+            "outcome-store directory ('merge')"
         ),
     )
     parser.add_argument(
@@ -168,22 +231,58 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json",
         action="store_true",
-        help="machine-readable output ('run' and 'list')",
+        help=(
+            "machine-readable output ('run', 'list'; raw NDJSON events "
+            "for 'submit')"
+        ),
+    )
+    parser.add_argument(
+        "--host",
+        default=None,
+        help="bind address for 'serve' (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port for 'serve' (default 8765)",
+    )
+    parser.add_argument(
+        "--stdin",
+        action="store_true",
+        help=(
+            "'serve' only: read one config JSON per stdin line and write "
+            "NDJSON events to stdout instead of serving HTTP"
+        ),
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help=(
+            "base URL of the running service for 'submit' "
+            "(default http://127.0.0.1:8765)"
+        ),
     )
     return parser
+
+
+def list_payload() -> dict:
+    """The ``protemp list --json`` payload (shared with ``/registry``)."""
+    payload: dict = {
+        kind: {
+            name: entry.description for name, entry in registry.items()
+        }
+        for kind, registry in _REGISTRIES
+    }
+    payload["experiments"] = list(EXPERIMENTS)
+    return payload
 
 
 def _list_command(as_json: bool) -> int:
     """``protemp list``: registered components and experiments."""
     if as_json:
-        payload: dict = {
-            kind: {
-                name: entry.description for name, entry in registry.items()
-            }
-            for kind, registry in _REGISTRIES
-        }
-        payload["experiments"] = list(EXPERIMENTS)
-        print(json.dumps(payload, indent=1, sort_keys=True))
+        print(json.dumps(list_payload(), indent=1, sort_keys=True))
         return 0
     for kind, registry in _REGISTRIES:
         print(f"{kind}:")
@@ -257,7 +356,13 @@ def _reject_foreign_flags(
     Returns:
         An error message, or None when no foreign flag is set.
     """
-    used = [flag for flag, value in invalid.items() if value not in (None, False)]
+    used = [
+        flag
+        for flag, value in invalid.items()
+        # Identity, not equality: 0 is a meaningful value for int flags
+        # (--port 0 binds an ephemeral port) and must still be rejected.
+        if value is not None and value is not False
+    ]
     if used:
         return (
             f"protemp {command}: {', '.join(used)} "
@@ -276,9 +381,20 @@ def _run_command(args: argparse.Namespace) -> int:
         print("protemp run: takes a single config "
               f"(unexpected arguments: {args.stores})", file=sys.stderr)
         return 2
-    error = _reject_foreign_flags("run", args, {"--output": args.output})
+    error = _reject_foreign_flags(
+        "run",
+        args,
+        {
+            "--output": args.output,
+            "--host": args.host,
+            "--port": args.port,
+            "--url": args.url,
+            "--stdin": args.stdin,
+        },
+    )
     if error:
-        print(f"{error} (did you mean --outcome-store?)", file=sys.stderr)
+        hint = " (did you mean --outcome-store?)" if args.output else ""
+        print(f"{error}{hint}", file=sys.stderr)
         return 2
     runner = ScenarioRunner(
         n_workers=args.workers,
@@ -319,6 +435,10 @@ def _merge_command(args: argparse.Namespace) -> int:
             "--shard": args.shard,
             "--workers": args.workers,
             "--table-cache-dir": args.table_cache_dir,
+            "--host": args.host,
+            "--port": args.port,
+            "--url": args.url,
+            "--stdin": args.stdin,
         },
     )
     if error:
@@ -362,6 +482,138 @@ def _merge_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    """``protemp serve``: the long-lived scenario service."""
+    from repro.serving import (
+        DEFAULT_HOST,
+        DEFAULT_MAX_WORKERS,
+        DEFAULT_PORT,
+        ScenarioService,
+        serve,
+        serve_stdin,
+    )
+
+    error = _reject_foreign_flags(
+        "serve",
+        args,
+        {"--output": args.output, "--shard": args.shard, "--url": args.url},
+    )
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.config is not None or args.stores:
+        print("protemp serve: takes no positional arguments (configs are "
+              "submitted over HTTP or stdin)", file=sys.stderr)
+        return 2
+    service = ScenarioService(
+        max_workers=args.workers or DEFAULT_MAX_WORKERS,
+        table_cache_dir=args.table_cache_dir,
+        outcome_store=args.outcome_store,
+    )
+    if args.stdin:
+        if args.host is not None or args.port is not None:
+            print("protemp serve: --stdin does not take --host/--port",
+                  file=sys.stderr)
+            return 2
+        return serve_stdin(service)
+    return serve(
+        service,
+        host=args.host if args.host is not None else DEFAULT_HOST,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+    )
+
+
+def _submit_command(args: argparse.Namespace) -> int:
+    """``protemp submit <config.json>``: stream a config through a service."""
+    from repro.serving import DEFAULT_HOST, DEFAULT_PORT, ServiceClient
+    from repro.errors import ServiceError
+
+    error = _reject_foreign_flags(
+        "submit",
+        args,
+        {
+            "--output": args.output,
+            "--shard": args.shard,
+            "--workers": args.workers,
+            "--table-cache-dir": args.table_cache_dir,
+            "--outcome-store": args.outcome_store,
+            "--host": args.host,
+            "--port": args.port,
+            "--stdin": args.stdin,
+        },
+    )
+    if error:
+        hint = " (caches live on the server; see 'protemp serve')" if (
+            args.table_cache_dir or args.outcome_store
+        ) else ""
+        print(f"{error}{hint}", file=sys.stderr)
+        return 2
+    if args.config is None:
+        print("protemp submit: a scenario config JSON path is required",
+              file=sys.stderr)
+        return 2
+    if args.stores:
+        print("protemp submit: takes a single config "
+              f"(unexpected arguments: {args.stores})", file=sys.stderr)
+        return 2
+    path = Path(args.config)
+    if not path.exists():
+        print(f"protemp submit: no such scenario config: {args.config}",
+              file=sys.stderr)
+        return 2
+    try:
+        config = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"protemp submit: config is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 2
+    url = (
+        args.url
+        if args.url is not None
+        else f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+    )
+    client = ServiceClient(url)
+    rows: list[dict] = []
+    done: dict | None = None
+    try:
+        for event in client.submit_and_stream(config):
+            if args.json:
+                print(json.dumps(event))
+                sys.stdout.flush()
+            kind = event.get("event")
+            if kind == "job":
+                print(f"[{event['job_id']}: {event['n_scenarios']} "
+                      "scenarios]", file=sys.stderr)
+            elif kind == "outcome":
+                rows.append(event["row"])
+            elif kind == "scenario_error" and not args.json:
+                error = event["error"]
+                print(
+                    f"protemp submit: scenario {event['scenario']!r} "
+                    f"failed: {error['type']}: {error['message']}",
+                    file=sys.stderr,
+                )
+            if kind == "done":
+                done = event
+    except ServiceError as exc:
+        print(f"protemp submit: {exc}", file=sys.stderr)
+        return 2
+    if not args.json:
+        _print_summary_table(rows)
+    if done is None:
+        print("protemp submit: event stream ended without a done event",
+              file=sys.stderr)
+        return 1
+    print(
+        f"[{done['n_scenarios']} scenarios "
+        f"({done['scenarios_executed']} executed, "
+        f"{done['outcomes_replayed']} from store, "
+        f"{done['failed']} failed) in {done['wall_time_s']:.1f}s]",
+        file=sys.stderr,
+    )
+    return 0 if done["failed"] == 0 and not done.get("error") else 1
+
+
 def _snapshot_plot(result) -> str:
     return ascii_plot(
         result.times,
@@ -385,6 +637,10 @@ def main(argv: list[str] | None = None) -> int:
         return code
     if args.experiment == "merge":
         return _merge_command(args)
+    if args.experiment == "serve":
+        return _serve_command(args)
+    if args.experiment == "submit":
+        return _submit_command(args)
     if args.config is not None or args.stores:
         print(f"protemp {args.experiment}: unexpected positional arguments",
               file=sys.stderr)

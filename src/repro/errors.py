@@ -66,6 +66,28 @@ class OutcomeStoreError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """A scenario-service request failed (client- or server-side).
+
+    Raised by the long-lived ``protemp serve`` service and its client for
+    transport- and protocol-level failures: malformed requests, unknown
+    jobs, submits rejected while the service drains, or an unreachable
+    server.  Carries the HTTP status the condition maps to, so the server
+    can render a structured error response and the client can re-raise the
+    body it received.
+
+    Attributes:
+        status: the HTTP status code associated with the failure (e.g.
+            400 for a malformed config, 404 for an unknown job, 503 while
+            draining); None when no HTTP exchange is involved (e.g. a
+            connection failure).
+    """
+
+    def __init__(self, message: str, *, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
 class ScenarioError(ReproError, ValueError):
     """A scenario spec, registry lookup, or scenario run is invalid.
 

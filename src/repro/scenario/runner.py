@@ -29,6 +29,7 @@ experiments reuse session-scoped fixtures instead of rebuilding tables.
 from __future__ import annotations
 
 import json
+import threading
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -374,6 +375,14 @@ class ScenarioRunner:
         >>> runner.scenarios_executed, runner.outcomes_replayed  # doctest: +SKIP
         (8, 0)
 
+    The runner is **thread-safe**: the long-lived scenario service
+    (`repro.serving`) shares one runner across concurrent HTTP requests,
+    whose worker threads call :meth:`run` simultaneously.  Artifact
+    caches and counters are guarded by an internal lock, and Phase-1
+    table builds stay exactly-once per key under concurrency (a per-key
+    build lock serializes same-key requests while distinct keys build in
+    parallel).
+
     Args:
         n_workers: process-pool size for :meth:`run_many`; None or 1 runs
             serially.  Parallel and serial runs are bit-identical.
@@ -411,6 +420,15 @@ class ScenarioRunner:
             Path(table_cache_dir) if table_cache_dir is not None else None
         )
         self.outcome_store = open_outcome_store(outcome_store)
+        #: Guards the artifact caches and counters.  The runner is shared
+        #: process-wide by the serving layer, whose worker threads call
+        #: :meth:`run` concurrently; an RLock (not a plain Lock) because
+        #: cache fills nest (resolving a table materializes the platform).
+        self._lock = threading.RLock()
+        #: Per-table-key build locks: concurrent requests for the *same*
+        #: key serialize (exactly-once builds), different keys build in
+        #: parallel without holding the main lock through a sweep.
+        self._table_build_locks: dict[str, threading.Lock] = {}
         self._platforms: dict[PlatformSpec, Platform] = {}
         self._optimizers: dict[tuple, ProTempOptimizer] = {}
         self._tables: dict[str, FrequencyTable] = {}
@@ -429,14 +447,16 @@ class ScenarioRunner:
 
     def platform(self, spec: PlatformSpec) -> Platform:
         """The (cached) platform for `spec`."""
-        if spec not in self._platforms:
-            entry = PLATFORMS.get(spec.name)
-            self._platforms[spec] = entry.factory(**spec.kwargs)
-        return self._platforms[spec]
+        with self._lock:
+            if spec not in self._platforms:
+                entry = PLATFORMS.get(spec.name)
+                self._platforms[spec] = entry.factory(**spec.kwargs)
+            return self._platforms[spec]
 
     def prime_platform(self, spec: PlatformSpec, platform: Platform) -> None:
         """Seed the platform cache with a pre-built object for `spec`."""
-        self._platforms[spec] = platform
+        with self._lock:
+            self._platforms[spec] = platform
 
     def optimizer(
         self,
@@ -457,13 +477,14 @@ class ScenarioRunner:
             DEFAULT_STEP_SUBSAMPLE if step_subsample is None else step_subsample
         )
         key = (platform_spec, mode, subsample)
-        if key not in self._optimizers:
-            self._optimizers[key] = ProTempOptimizer(
-                self.platform(platform_spec),
-                mode=mode,  # type: ignore[arg-type]
-                step_subsample=subsample,
-            )
-        return self._optimizers[key]
+        with self._lock:
+            if key not in self._optimizers:
+                self._optimizers[key] = ProTempOptimizer(
+                    self.platform(platform_spec),
+                    mode=mode,  # type: ignore[arg-type]
+                    step_subsample=subsample,
+                )
+            return self._optimizers[key]
 
     def prime_table(
         self,
@@ -472,7 +493,8 @@ class ScenarioRunner:
         table: FrequencyTable,
     ) -> None:
         """Seed the table cache for the (platform, policy) pair's key."""
-        self._tables[table_key(platform_spec, policy_spec)] = table
+        with self._lock:
+            self._tables[table_key(platform_spec, policy_spec)] = table
 
     def prime_table_lazy(
         self,
@@ -488,7 +510,10 @@ class ScenarioRunner:
         table is cached under the key like a primed one (it counts as a
         cache hit, not a build of this runner's own sweep).
         """
-        self._table_factories[table_key(platform_spec, policy_spec)] = factory
+        with self._lock:
+            self._table_factories[
+                table_key(platform_spec, policy_spec)
+            ] = factory
 
     def table(
         self,
@@ -497,65 +522,83 @@ class ScenarioRunner:
     ) -> tuple[FrequencyTable, bool]:
         """The Phase-1 table the pair needs, building it at most once.
 
+        Exactly-once holds under concurrent callers too: threads asking
+        for the same key serialize on a per-key build lock (the first
+        builds, the rest find the cached table when they acquire it),
+        while distinct keys build in parallel.
+
         Returns:
             ``(table, cache_hit)`` — `cache_hit` is False only when this
             call built the table from scratch.
         """
         key = table_key(platform_spec, policy_spec)
-        if key in self._tables:
-            return self._tables[key], True
-        if key in self._table_factories:
-            table = self._table_factories.pop(key)()
-            self._tables[key] = table
-            return table, True
-        config = policy_spec.table_config()
-        platform = self.platform(platform_spec)
-        cache_path = (
-            self.table_cache_dir / f"table_{key}.json"
-            if self.table_cache_dir is not None
-            else None
-        )
-        if cache_path is not None and cache_path.exists():
-            try:
-                table = FrequencyTable.load_json(
-                    cache_path, expected_platform_hash=platform_spec.spec_hash
-                )
-            except TableError as exc:
-                warnings.warn(
-                    f"ignoring unreadable table cache {cache_path}: {exc}",
-                    stacklevel=2,
-                )
-            else:
-                if (
-                    tuple(table.t_grid) == config["t_grid"]
-                    and tuple(table.f_grid) == config["f_grid"]
-                ):
+        with self._lock:
+            if key in self._tables:
+                return self._tables[key], True
+            build_lock = self._table_build_locks.setdefault(
+                key, threading.Lock()
+            )
+        with build_lock:
+            with self._lock:
+                if key in self._tables:
+                    return self._tables[key], True
+                factory = self._table_factories.pop(key, None)
+            if factory is not None:
+                table = factory()
+                with self._lock:
                     self._tables[key] = table
-                    return table, True
-        optimizer = ProTempOptimizer(
-            platform,
-            mode=config["mode"],  # type: ignore[arg-type]
-            step_subsample=config["step_subsample"],
-        )
-        table = build_frequency_table(
-            optimizer,
-            list(config["t_grid"]),
-            list(config["f_grid"]),
-            strategy=config["strategy"] or self.table_strategy,
-            provenance={
-                "platform_spec_hash": platform_spec.spec_hash,
-                "platform_spec": platform_spec.to_dict(),
-                "built_at": datetime.now(timezone.utc).isoformat(
-                    timespec="seconds"
-                ),
-            },
-        )
-        self.tables_built += 1
-        self._tables[key] = table
-        if cache_path is not None:
-            cache_path.parent.mkdir(parents=True, exist_ok=True)
-            table.save_json(cache_path)
-        return table, False
+                return table, True
+            config = policy_spec.table_config()
+            platform = self.platform(platform_spec)
+            cache_path = (
+                self.table_cache_dir / f"table_{key}.json"
+                if self.table_cache_dir is not None
+                else None
+            )
+            if cache_path is not None and cache_path.exists():
+                try:
+                    table = FrequencyTable.load_json(
+                        cache_path,
+                        expected_platform_hash=platform_spec.spec_hash,
+                    )
+                except TableError as exc:
+                    warnings.warn(
+                        f"ignoring unreadable table cache {cache_path}: {exc}",
+                        stacklevel=2,
+                    )
+                else:
+                    if (
+                        tuple(table.t_grid) == config["t_grid"]
+                        and tuple(table.f_grid) == config["f_grid"]
+                    ):
+                        with self._lock:
+                            self._tables[key] = table
+                        return table, True
+            optimizer = ProTempOptimizer(
+                platform,
+                mode=config["mode"],  # type: ignore[arg-type]
+                step_subsample=config["step_subsample"],
+            )
+            table = build_frequency_table(
+                optimizer,
+                list(config["t_grid"]),
+                list(config["f_grid"]),
+                strategy=config["strategy"] or self.table_strategy,
+                provenance={
+                    "platform_spec_hash": platform_spec.spec_hash,
+                    "platform_spec": platform_spec.to_dict(),
+                    "built_at": datetime.now(timezone.utc).isoformat(
+                        timespec="seconds"
+                    ),
+                },
+            )
+            with self._lock:
+                self.tables_built += 1
+                self._tables[key] = table
+            if cache_path is not None:
+                cache_path.parent.mkdir(parents=True, exist_ok=True)
+                table.save_json(cache_path)
+            return table, False
 
     def _resolve_table(
         self, spec: ScenarioSpec
@@ -592,7 +635,8 @@ class ScenarioRunner:
                 f"spec-hash collision on {spec.spec_hash}: the store holds a "
                 f"different spec under this key (requested {spec.label!r})"
             )
-        self.outcomes_replayed += 1
+        with self._lock:
+            self.outcomes_replayed += 1
         return ScenarioOutcome(
             spec=spec,
             spec_hash=spec.spec_hash,
@@ -610,6 +654,22 @@ class ScenarioRunner:
         if self.outcome_store is not None and outcome.result is not None:
             self.outcome_store.put(StoredOutcome.from_outcome(outcome))
 
+    def lookup(self, spec: ScenarioSpec) -> ScenarioOutcome | None:
+        """Probe the outcome store without executing anything.
+
+        The serving layer streams store hits the moment a job is accepted
+        — ahead of misses still solving — by probing each cell through
+        this method first.
+
+        Returns:
+            A replayed outcome (``outcome_cache_hit=True``), or None when
+            the scenario is not in the store (or no store is configured).
+
+        Raises:
+            OutcomeStoreError: on a spec-hash collision or corrupt record.
+        """
+        return self._store_lookup(spec)
+
     # -- execution ---------------------------------------------------------
 
     def run(self, spec: ScenarioSpec) -> ScenarioOutcome:
@@ -622,7 +682,8 @@ class ScenarioRunner:
         started = time.perf_counter()
         result = execute_scenario(spec, platform, table)
         wall = time.perf_counter() - started
-        self.scenarios_executed += 1
+        with self._lock:
+            self.scenarios_executed += 1
         outcome = ScenarioOutcome(
             spec=spec,
             spec_hash=spec.spec_hash,
@@ -672,7 +733,8 @@ class ScenarioRunner:
             # that completed before the interruption.
             i, spec = pending[slot]
             _, hit, key = resolved[slot]
-            self.scenarios_executed += 1
+            with self._lock:
+                self.scenarios_executed += 1
             outcome = ScenarioOutcome(
                 spec=spec,
                 spec_hash=spec.spec_hash,

@@ -41,6 +41,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
@@ -239,23 +240,31 @@ class OutcomeStore:
 
 
 class MemoryOutcomeStore(OutcomeStore):
-    """In-process dict-backed store (tests, single-session dedup)."""
+    """In-process dict-backed store (tests, single-session dedup).
+
+    Thread-safe: reads during write-back are fine — the serving layer's
+    worker threads `put` while request handlers `get`/iterate.
+    """
 
     def __init__(self) -> None:
         self._records: dict[str, StoredOutcome] = {}
+        self._mutex = threading.RLock()
 
     def get(self, spec_hash: str) -> StoredOutcome | None:
         """The record stored under `spec_hash`, or None."""
-        return self._records.get(spec_hash)
+        with self._mutex:
+            return self._records.get(spec_hash)
 
     def put(self, record: StoredOutcome) -> None:
         """Store `record` (idempotent; conflicts raise)."""
-        if self._check_put(record) is None:
-            self._records[record.spec_hash] = record
+        with self._mutex:
+            if self._check_put(record) is None:
+                self._records[record.spec_hash] = record
 
     def records(self) -> Iterator[StoredOutcome]:
-        """Iterate stored records."""
-        return iter(list(self._records.values()))
+        """Iterate stored records (over a point-in-time snapshot)."""
+        with self._mutex:
+            return iter(list(self._records.values()))
 
 
 class DirectoryOutcomeStore(OutcomeStore):
@@ -276,6 +285,12 @@ class DirectoryOutcomeStore(OutcomeStore):
     while the store is open (this store only ever writes per-record
     files).
 
+    Within one process the store is thread-safe: a mutex serializes the
+    check-then-write of :meth:`put` and the lazy foreign-index build, so
+    serving-layer reads during concurrent write-back never observe a
+    half-built index (cross-process safety comes from the atomic
+    ``os.replace`` writes, as before).
+
     Args:
         path: store directory; created lazily on first write.
 
@@ -288,6 +303,7 @@ class DirectoryOutcomeStore(OutcomeStore):
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._foreign: dict[str, StoredOutcome] | None = None
+        self._mutex = threading.RLock()
 
     def _record_path(self, spec_hash: str) -> Path:
         return self.path / f"outcome_{spec_hash}.jsonl"
@@ -322,6 +338,10 @@ class DirectoryOutcomeStore(OutcomeStore):
 
     def _foreign_index(self) -> dict[str, StoredOutcome]:
         """Index of records living in foreign (multi-record) files."""
+        with self._mutex:
+            return self._foreign_index_locked()
+
+    def _foreign_index_locked(self) -> dict[str, StoredOutcome]:
         if self._foreign is None:
             index: dict[str, StoredOutcome] = {}
             if self.path.is_dir():
@@ -348,6 +368,10 @@ class DirectoryOutcomeStore(OutcomeStore):
         Raises:
             OutcomeStoreError: when an on-disk record is corrupt.
         """
+        with self._mutex:
+            return self._get_locked(spec_hash)
+
+    def _get_locked(self, spec_hash: str) -> StoredOutcome | None:
         path = self._record_path(spec_hash)
         try:
             exists = path.exists()
@@ -373,6 +397,10 @@ class DirectoryOutcomeStore(OutcomeStore):
         and moved into place with ``os.replace``, so a reader (or a
         concurrent shard's writer) never observes a partial file.
         """
+        with self._mutex:
+            self._put_locked(record)
+
+    def _put_locked(self, record: StoredOutcome) -> None:
         if self._check_put(record) is not None:
             return
         try:

@@ -1,0 +1,49 @@
+"""Long-lived scenario serving: warm caches, streamed outcomes, one runner.
+
+The paper's two-phase split — expensive offline Phase-1 tables, cheap
+online Phase-2 lookups — is the shape of a serving system, and this
+package is that system: ``protemp serve`` keeps one process-wide
+:class:`~repro.scenario.ScenarioRunner` (warm table cache, optimizer
+cache, outcome store) alive across requests, accepts scenario configs in
+the ``protemp run`` JSON format over HTTP or stdin/NDJSON, and streams
+each outcome as a JSON-lines event the moment it finishes — store hits
+replay instantly, ahead of misses still solving.
+
+Three modules:
+
+* `repro.serving.jobs` — the job layer: submissions, per-job event logs
+  and progress counters, the bounded worker pool shared across requests,
+  graceful drain;
+* `repro.serving.service` — the :class:`ScenarioService` core plus the
+  stdlib HTTP transport and the stdin/NDJSON loop;
+* `repro.serving.client` — :class:`ServiceClient`, the ``urllib``-only
+  client used by ``protemp submit``, tests, and CI.
+
+See docs/SERVING.md for endpoints, the event schema, warm-cache
+lifecycle, and drain semantics.
+"""
+
+from repro.serving.client import ServiceClient, wait_for_server
+from repro.serving.jobs import DEFAULT_MAX_WORKERS, Job, JobManager
+from repro.serving.service import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ScenarioService,
+    make_server,
+    serve,
+    serve_stdin,
+)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_MAX_WORKERS",
+    "DEFAULT_PORT",
+    "Job",
+    "JobManager",
+    "ScenarioService",
+    "ServiceClient",
+    "make_server",
+    "serve",
+    "serve_stdin",
+    "wait_for_server",
+]

@@ -1,0 +1,183 @@
+"""Client for the ``protemp serve`` HTTP service (stdlib ``urllib`` only).
+
+Used by ``protemp submit``, the test suite, and CI — and importable by
+anything that wants to talk to a running service::
+
+    from repro.serving.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    job = client.submit(config)                  # {"job_id": ..., ...}
+    for event in client.stream(job["job_id"]):   # NDJSON events, live
+        print(event)
+
+Every transport/protocol failure is raised as a
+:class:`~repro.errors.ServiceError` carrying the HTTP status and — when
+the server produced one — the structured error body's message, so
+callers never have to parse ``urllib`` exceptions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator
+
+from repro.errors import ServiceError
+
+#: Connect/read timeout for non-streaming control requests (seconds).
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServiceClient:
+    """Thin HTTP client bound to one service base URL.
+
+    Args:
+        base_url: e.g. ``"http://127.0.0.1:8765"`` (no trailing slash
+            needed).
+        timeout: socket timeout for control requests; event streams use
+            no read timeout (a long solve may sit between events).
+    """
+
+    def __init__(
+        self, base_url: str, *, timeout: float = DEFAULT_TIMEOUT
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(
+        self,
+        path: str,
+        *,
+        body: dict | None = None,
+        stream: bool = False,
+    ):
+        """Open a request; returns the live response object.
+
+        Raises:
+            ServiceError: with the server's structured message on HTTP
+                errors, or a transport message when unreachable.
+        """
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=(
+                json.dumps(body, allow_nan=False).encode()
+                if body is not None
+                else None
+            ),
+            headers={"Content-Type": "application/json"},
+            method="POST" if body is not None else "GET",
+        )
+        try:
+            return urllib.request.urlopen(
+                request, timeout=None if stream else self.timeout
+            )
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(
+                self._error_message(exc), status=exc.code
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach scenario service at {self.base_url}: "
+                f"{exc.reason}"
+            ) from exc
+
+    @staticmethod
+    def _error_message(exc: urllib.error.HTTPError) -> str:
+        """Prefer the server's structured error body over the status line."""
+        try:
+            payload = json.loads(exc.read().decode())
+            error = payload["error"]
+            return f"{error['type']}: {error['message']}"
+        except Exception:
+            return f"HTTP {exc.code}: {exc.reason}"
+
+    def _get_json(self, path: str):
+        with self._request(path) as response:
+            return json.loads(response.read().decode())
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> dict:
+        """``GET /healthz`` — liveness plus runner/cache counters."""
+        return self._get_json("/healthz")
+
+    def registry(self) -> dict:
+        """``GET /registry`` — the ``protemp list --json`` payload."""
+        return self._get_json("/registry")
+
+    def jobs(self) -> list[dict]:
+        """``GET /jobs`` — every job's status snapshot."""
+        return self._get_json("/jobs")
+
+    def status(self, job_id: str) -> dict:
+        """``GET /jobs/<id>`` — one job's status/progress counters."""
+        return self._get_json(f"/jobs/{job_id}")
+
+    def submit(self, config: dict) -> dict:
+        """``POST /jobs`` — submit a config, return ``{"job_id", ...}``."""
+        with self._request("/jobs", body=config) as response:
+            return json.loads(response.read().decode())
+
+    def stream(self, job_id: str) -> Iterator[dict]:
+        """``GET /jobs/<id>/events`` — yield events as the server emits them.
+
+        The iterator ends after the terminal ``done`` event (the server
+        closes the connection when the job is finished).
+        """
+        response = self._request(f"/jobs/{job_id}/events", stream=True)
+        try:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            response.close()
+
+    def submit_and_stream(self, config: dict) -> Iterator[dict]:
+        """Submit, then stream the job's events (two-request convenience).
+
+        The first yielded event is the ``job`` acceptance event, so
+        callers still learn the job id.
+        """
+        accepted = self.submit(config)
+        yield from self.stream(accepted["job_id"])
+
+    def wait(self, job_id: str) -> dict:
+        """Block until the job finishes; return its ``done`` event."""
+        last: dict | None = None
+        for event in self.stream(job_id):
+            last = event
+        if last is None or last.get("event") != "done":
+            raise ServiceError(
+                f"event stream for {job_id} ended without a done event"
+            )
+        return last
+
+
+def wait_for_server(
+    base_url: str, *, timeout: float = 30.0, interval: float = 0.2
+) -> dict:
+    """Poll ``/healthz`` until the service answers (service boot helper).
+
+    Returns:
+        The first successful health payload.
+
+    Raises:
+        ServiceError: when the service does not come up within `timeout`.
+    """
+    client = ServiceClient(base_url, timeout=min(5.0, timeout))
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return client.health()
+        except ServiceError as exc:
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"scenario service at {base_url} did not become healthy "
+                    f"within {timeout:.0f}s: {exc}"
+                ) from exc
+            time.sleep(interval)

@@ -1,0 +1,425 @@
+"""Job layer of the scenario service: submissions, events, and draining.
+
+A *job* is one submitted scenario config: the expanded grid plus a growing
+event log.  The :class:`JobManager` owns a bounded worker pool shared by
+every concurrent submission and drives each job through two phases:
+
+1. **replay pass** — every cell already present in the runner's outcome
+   store is answered immediately, in grid order, without touching the
+   pool's scenario slots (store hits stream ahead of misses still
+   solving);
+2. **execute pass** — the misses are fanned out over the shared pool;
+   each finished scenario appends an event the moment it completes (and
+   is persisted to the outcome store by the runner, so an interrupted or
+   drained service keeps every finished cell).
+
+Events are plain JSON-compatible dicts (the NDJSON lines the HTTP layer
+streams); :meth:`Job.events` is a blocking iterator over the log that
+multiple subscribers can consume concurrently — a late subscriber replays
+the full log from the start, a live one blocks until the next event or
+the terminal ``done`` event.
+
+Graceful drain (``SIGTERM``): :meth:`JobManager.drain` stops accepting
+new submissions (:class:`~repro.errors.ServiceError` with status 503) and
+blocks until every queued and in-flight scenario has finished — nothing
+is cancelled, and every completed cell reached the outcome store.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterator, Sequence
+
+from repro.errors import ReproError, ScenarioError, ServiceError
+from repro.scenario.registry import (
+    ASSIGNMENTS,
+    PLATFORMS,
+    POLICIES,
+    SENSORS,
+    WORKLOADS,
+)
+from repro.scenario.runner import ScenarioOutcome, ScenarioRunner
+from repro.scenario.specs import ScenarioSpec, scenario_grid_from_config
+
+#: Job lifecycle states (terminal: ``done``, ``failed``).
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Default size of the shared scenario worker pool.
+DEFAULT_MAX_WORKERS = 2
+
+
+def validate_specs(specs: Sequence[ScenarioSpec]) -> None:
+    """Reject specs referencing unregistered components at submit time.
+
+    Registry names are only resolved when a scenario executes; a service
+    must instead fail the *submission* (a structured 4xx) rather than
+    accept a job that can only ever emit per-scenario errors.
+
+    Raises:
+        ScenarioError: naming the first unknown registry reference.
+    """
+    for spec in specs:
+        PLATFORMS.get(spec.platform.name)
+        WORKLOADS.get(spec.workload.name)
+        POLICIES.get(spec.policy.name)
+        SENSORS.get(spec.sensor.name)
+        ASSIGNMENTS.get(spec.assignment)
+
+
+class Job:
+    """One submitted scenario config: expanded specs plus an event log.
+
+    Not constructed directly — :meth:`JobManager.submit` creates jobs.
+    All mutation happens under an internal condition variable; readers
+    (:meth:`status`, :meth:`events`) are safe from any thread.
+
+    Attributes:
+        job_id: stable identifier (``job-000001``, monotonically assigned).
+        specs: the expanded scenario grid, in grid order.
+    """
+
+    def __init__(self, job_id: str, specs: Sequence[ScenarioSpec]) -> None:
+        self.job_id = job_id
+        self.specs = list(specs)
+        self.created_at = time.time()
+        self.finished_at: float | None = None
+        self.state = "queued"
+        self.error: str | None = None
+        self.scenarios_executed = 0
+        self.outcomes_replayed = 0
+        self.failed = 0
+        self._events: list[dict] = []
+        self._cond = threading.Condition()
+
+    # -- read side ---------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Number of scenarios in the job's grid."""
+        return len(self.specs)
+
+    @property
+    def completed(self) -> int:
+        """Scenarios answered so far (executed + replayed + failed)."""
+        with self._cond:
+            return self.scenarios_executed + self.outcomes_replayed + self.failed
+
+    @property
+    def finished(self) -> bool:
+        """True once the job reached a terminal state."""
+        with self._cond:
+            return self.state in ("done", "failed")
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state.
+
+        Returns:
+            True when the job finished, False on timeout.
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._cond:
+            while self.state not in ("done", "failed"):
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+    def status(self) -> dict:
+        """JSON-compatible status/progress snapshot (the status endpoint)."""
+        with self._cond:
+            return {
+                "job_id": self.job_id,
+                "state": self.state,
+                "n_scenarios": self.total,
+                "completed": (
+                    self.scenarios_executed + self.outcomes_replayed + self.failed
+                ),
+                "scenarios_executed": self.scenarios_executed,
+                "outcomes_replayed": self.outcomes_replayed,
+                "failed": self.failed,
+                "created_at": self.created_at,
+                "finished_at": self.finished_at,
+                "error": self.error,
+            }
+
+    def events(self, *, follow: bool = True) -> Iterator[dict]:
+        """Iterate the event log; optionally block for events still coming.
+
+        Args:
+            follow: block until the terminal event when True (the
+                streaming endpoint); False returns only what is already
+                logged.
+
+        Yields:
+            Event dicts in emission order.  Every subscriber sees the
+            complete log regardless of when it subscribes.
+        """
+        index = 0
+        while True:
+            with self._cond:
+                while (
+                    follow
+                    and index >= len(self._events)
+                    and self.state not in ("done", "failed")
+                ):
+                    self._cond.wait()
+                batch = self._events[index:]
+                index = len(self._events)
+                finished = self.state in ("done", "failed")
+            yield from batch
+            if not batch and not follow:
+                return
+            if finished and index >= len(self._events):
+                with self._cond:
+                    if index >= len(self._events):
+                        return
+
+    # -- write side (JobManager only) --------------------------------------
+
+    def _emit(self, event: dict) -> None:
+        with self._cond:
+            event["seq"] = len(self._events)
+            event["job_id"] = self.job_id
+            self._events.append(event)
+            self._cond.notify_all()
+
+    def _start(self) -> None:
+        with self._cond:
+            if self.state == "queued":
+                self.state = "running"
+        self._emit({"event": "job", "n_scenarios": self.total})
+
+    def _record_outcome(self, index: int, outcome: ScenarioOutcome) -> None:
+        # Counter, event, and the possible terminal transition happen
+        # under ONE condition acquisition: were they separate, two
+        # threads finishing the job's last two scenarios could emit
+        # ``done`` before (or instead of) the final outcome event.
+        with self._cond:
+            if outcome.outcome_cache_hit:
+                self.outcomes_replayed += 1
+            else:
+                self.scenarios_executed += 1
+            self._emit(
+                {
+                    "event": "outcome",
+                    "index": index,
+                    "spec_hash": outcome.spec_hash,
+                    "scenario": outcome.spec.label,
+                    "outcome_cache_hit": outcome.outcome_cache_hit,
+                    "row": outcome.summary_row(),
+                }
+            )
+            self._maybe_finish()
+
+    def _record_error(self, index: int, spec: ScenarioSpec, exc: Exception) -> None:
+        with self._cond:
+            self.failed += 1
+            self._emit(
+                {
+                    "event": "scenario_error",
+                    "index": index,
+                    "spec_hash": spec.spec_hash,
+                    "scenario": spec.label,
+                    "error": {
+                        "type": type(exc).__name__,
+                        "message": str(exc),
+                    },
+                }
+            )
+            self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        # State change and terminal event are appended under one
+        # condition acquisition (Condition wraps an RLock), so a
+        # subscriber never observes a terminal state without the ``done``
+        # event being in the log.
+        with self._cond:
+            if (
+                self.state == "running"
+                and self.scenarios_executed
+                + self.outcomes_replayed
+                + self.failed
+                >= self.total
+            ):
+                self.state = "done" if self.failed == 0 else "failed"
+                self.finished_at = time.time()
+                self._emit(self._done_event())
+
+    def _fail(self, exc: Exception) -> None:
+        """Whole-job failure (dispatch crashed before/while fanning out)."""
+        with self._cond:
+            if self.state in ("done", "failed"):
+                return
+            self.state = "failed"
+            self.error = f"{type(exc).__name__}: {exc}"
+            self.finished_at = time.time()
+            self._emit(self._done_event())
+
+    def _done_event(self) -> dict:
+        with self._cond:
+            return {
+                "event": "done",
+                "state": self.state,
+                "n_scenarios": self.total,
+                "scenarios_executed": self.scenarios_executed,
+                "outcomes_replayed": self.outcomes_replayed,
+                "failed": self.failed,
+                "wall_time_s": (self.finished_at or time.time())
+                - self.created_at,
+                "error": self.error,
+            }
+
+
+class JobManager:
+    """Owns the job table and the bounded worker pool shared across jobs.
+
+    Args:
+        runner: the process-wide (thread-safe) :class:`ScenarioRunner`
+            whose warm caches every job shares.
+        max_workers: scenario worker threads shared by *all* concurrent
+            submissions — the service's load bound.
+    """
+
+    def __init__(
+        self,
+        runner: ScenarioRunner,
+        *,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+    ) -> None:
+        if max_workers < 1:
+            raise ServiceError("max_workers must be >= 1")
+        self.runner = runner
+        self.max_workers = max_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="protemp-serve"
+        )
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._next_id = 1
+        self._closing = False
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, config: dict) -> Job:
+        """Accept a scenario config (the ``protemp run`` JSON format).
+
+        Expansion and registry validation happen synchronously, so a
+        malformed submission is rejected here (a structured 4xx at the
+        HTTP layer) and never becomes a job.  Execution is asynchronous:
+        the returned job's event log fills in from pool threads.
+
+        Raises:
+            ScenarioError: malformed config or unknown registry names.
+            ServiceError: with status 503 once draining started.
+        """
+        if not isinstance(config, dict):
+            raise ScenarioError("scenario config must be a JSON object")
+        specs = scenario_grid_from_config(config)
+        validate_specs(specs)
+        with self._lock:
+            if self._closing:
+                raise ServiceError(
+                    "service is draining and no longer accepts submissions",
+                    status=503,
+                )
+            job = Job(f"job-{self._next_id:06d}", specs)
+            self._next_id += 1
+            self._jobs[job.job_id] = job
+            self._pool.submit(self._dispatch, job)
+        return job
+
+    def job(self, job_id: str) -> Job:
+        """Look up a job.
+
+        Raises:
+            ServiceError: with status 404 for unknown ids.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}", status=404)
+        return job
+
+    def jobs(self) -> list[Job]:
+        """All jobs, oldest first."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counts(self) -> dict:
+        """Job-table tallies for the health endpoint."""
+        jobs = self.jobs()
+        return {
+            "total": len(jobs),
+            "running": sum(1 for j in jobs if not j.finished),
+            "done": sum(1 for j in jobs if j.state == "done"),
+            "failed": sum(1 for j in jobs if j.state == "failed"),
+        }
+
+    # -- execution ---------------------------------------------------------
+
+    def _dispatch(self, job: Job) -> None:
+        """Replay pass then execute pass (runs on the shared pool)."""
+        try:
+            job._start()
+            misses: list[tuple[int, ScenarioSpec]] = []
+            for index, spec in enumerate(job.specs):
+                try:
+                    replayed = self.runner.lookup(spec)
+                except ReproError as exc:
+                    job._record_error(index, spec, exc)
+                    continue
+                if replayed is not None:
+                    job._record_outcome(index, replayed)
+                else:
+                    misses.append((index, spec))
+            if job.total == 0:
+                job._maybe_finish()
+                return
+            for index, spec in misses:
+                self._pool.submit(self._run_one, job, index, spec)
+        except Exception as exc:  # dispatch must never die silently
+            job._fail(exc)
+
+    def _run_one(self, job: Job, index: int, spec: ScenarioSpec) -> None:
+        """Execute one scenario miss (runs on the shared pool)."""
+        try:
+            outcome = self.runner.run(spec)
+        except Exception as exc:
+            job._record_error(index, spec, exc)
+        else:
+            job._record_outcome(index, outcome)
+
+    # -- shutdown ----------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has been called."""
+        with self._lock:
+            return self._closing
+
+    def drain(self) -> None:
+        """Stop accepting submissions and finish everything in flight.
+
+        Blocks until every queued and running scenario of every job has
+        completed (nothing is cancelled); because the runner persists each
+        outcome as it finishes, the outcome store holds every completed
+        cell when this returns.  Idempotent.
+
+        Accepted jobs finish *before* the pool shuts down — a job whose
+        dispatch is still fanning out must be able to submit its
+        remaining scenarios, so the pool only closes once every job is
+        terminal.
+        """
+        with self._lock:
+            self._closing = True
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            job.wait()
+        self._pool.shutdown(wait=True)

@@ -1,0 +1,375 @@
+"""The long-lived scenario service: HTTP endpoints and the stdin loop.
+
+``protemp serve`` keeps **one process-wide** :class:`ScenarioRunner` —
+warm Phase-1 table cache, optimizer cache, and outcome store — alive
+across requests, so the second submission of a grid replays instantly
+instead of re-solving.  Two transports share the same
+:class:`ScenarioService` core:
+
+* **HTTP** (:func:`make_server` / :func:`serve`): a stdlib
+  :class:`~http.server.ThreadingHTTPServer`; scenario configs in the
+  ``protemp run`` JSON format are POSTed and outcomes stream back as
+  JSON-lines events the moment each finishes;
+* **stdin/NDJSON** (:func:`serve_stdin`): one config JSON per input
+  line, event lines on stdout — the same warm-cache semantics with no
+  socket (pipelines, tests, batch hosts).
+
+Endpoints (see docs/SERVING.md for the event schema and curl examples):
+
+========  =====================  ===========================================
+Method    Path                   Meaning
+========  =====================  ===========================================
+GET       ``/healthz``           liveness + warm-cache/runner counters
+GET       ``/registry``          registered components (``protemp list``)
+POST      ``/jobs``              submit a config -> ``{"job_id": ...}``
+GET       ``/jobs``              all jobs' status snapshots
+GET       ``/jobs/<id>``         one job's status/progress counters
+GET       ``/jobs/<id>/events``  NDJSON event stream (blocks until done)
+POST      ``/run``               submit + stream in one request
+========  =====================  ===========================================
+
+Errors are structured JSON bodies reusing the `repro.errors` hierarchy::
+
+    {"error": {"type": "ScenarioError", "message": "unknown policy ..."}}
+
+Graceful drain: ``SIGTERM``/``SIGINT`` stop new submissions (503), wait
+for in-flight scenarios to finish (every completed cell is persisted to
+the outcome store), then close the listener and exit 0.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import IO
+
+from repro.errors import (
+    OutcomeStoreError,
+    ReproError,
+    ScenarioError,
+    ServiceError,
+)
+from repro.scenario.runner import ScenarioRunner
+from repro.serving.jobs import DEFAULT_MAX_WORKERS, Job, JobManager
+
+#: Default bind address of ``protemp serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8765
+
+
+def _error_payload(exc: Exception) -> dict:
+    """The structured error body (`repro.errors` type name + message)."""
+    return {"error": {"type": type(exc).__name__, "message": str(exc)}}
+
+
+def _error_status(exc: Exception) -> int:
+    """Map an exception to the HTTP status of its structured response."""
+    if isinstance(exc, ServiceError) and exc.status is not None:
+        return exc.status
+    if isinstance(exc, (ScenarioError, OutcomeStoreError, ValueError)):
+        return 400
+    return 500
+
+
+class ScenarioService:
+    """Transport-independent service core shared by HTTP and stdin modes.
+
+    Args:
+        runner: the process-wide runner; built from the remaining
+            arguments when None.
+        max_workers: scenario worker threads shared across jobs.
+        table_cache_dir: persistent Phase-1 table cache directory.
+        outcome_store: persistent outcome store (directory path or
+            :class:`~repro.scenario.store.OutcomeStore`).
+
+    Example::
+
+        service = ScenarioService(outcome_store="outcomes/")
+        job = service.submit(json.load(open("config.json")))
+        for event in job.events():
+            print(event)
+    """
+
+    def __init__(
+        self,
+        *,
+        runner: ScenarioRunner | None = None,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+        table_cache_dir: str | Path | None = None,
+        outcome_store=None,
+    ) -> None:
+        self.runner = runner or ScenarioRunner(
+            table_cache_dir=table_cache_dir, outcome_store=outcome_store
+        )
+        self.manager = JobManager(self.runner, max_workers=max_workers)
+        self.started_at = time.time()
+
+    # -- operations (raise repro.errors; transports map to responses) ------
+
+    def submit(self, config: dict) -> Job:
+        """Submit one scenario config (see :meth:`JobManager.submit`)."""
+        return self.manager.submit(config)
+
+    def job(self, job_id: str) -> Job:
+        """Look up a job (404-mapped :class:`ServiceError` when unknown)."""
+        return self.manager.job(job_id)
+
+    def health_payload(self) -> dict:
+        """Liveness + the warm-cache counters CI and monitoring assert on."""
+        from repro.cli import package_version
+
+        return {
+            "status": "draining" if self.manager.draining else "ok",
+            "version": package_version(),
+            "uptime_s": time.time() - self.started_at,
+            "jobs": self.manager.counts(),
+            "runner": {
+                "tables_built": self.runner.tables_built,
+                "scenarios_executed": self.runner.scenarios_executed,
+                "outcomes_replayed": self.runner.outcomes_replayed,
+            },
+        }
+
+    def registry_payload(self) -> dict:
+        """The ``protemp list --json`` payload (shared with the CLI)."""
+        from repro.cli import list_payload
+
+        return list_payload()
+
+    def jobs_payload(self) -> list[dict]:
+        """Status snapshots of every job, oldest first."""
+        return [job.status() for job in self.manager.jobs()]
+
+    def drain(self) -> None:
+        """Refuse new submissions and wait for in-flight work (idempotent)."""
+        self.manager.drain()
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto a :class:`ScenarioService`.
+
+    One instance per request (stdlib semantics); the service is attached
+    to the *server* by :func:`make_server`.  HTTP/1.0 with
+    ``Connection: close`` keeps the NDJSON stream simple: the event
+    stream ends when the job finishes and the socket closes.
+    """
+
+    server_version = "protemp-serve"
+
+    @property
+    def service(self) -> ScenarioService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Access log on stderr (the server log CI dumps on failure)."""
+        sys.stderr.write(
+            "[%s] %s\n" % (self.log_date_time_string(), format % args)
+        )
+
+    # -- response helpers --------------------------------------------------
+
+    def _send_json(self, status: int, payload) -> None:
+        body = (json.dumps(payload, indent=1) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, exc: Exception) -> None:
+        self._send_json(_error_status(exc), _error_payload(exc))
+
+    def _stream_events(self, job: Job) -> None:
+        """NDJSON event stream: one line per event, flushed immediately."""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            for event in job.events():
+                self.wfile.write(
+                    (json.dumps(event, allow_nan=False) + "\n").encode()
+                )
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; the job keeps running
+
+    def _read_config(self) -> dict:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            raise ServiceError(
+                "submissions require a Content-Length body", status=400
+            )
+        try:
+            raw = self.rfile.read(int(length))
+            config = json.loads(raw)
+        except (ValueError, OSError) as exc:
+            raise ServiceError(
+                f"request body is not valid JSON: {exc}", status=400
+            ) from exc
+        if not isinstance(config, dict):
+            raise ServiceError(
+                "scenario config must be a JSON object", status=400
+            )
+        return config
+
+    # -- routing -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        try:
+            path = self.path.rstrip("/") or "/"
+            if path == "/healthz":
+                self._send_json(200, self.service.health_payload())
+            elif path == "/registry":
+                self._send_json(200, self.service.registry_payload())
+            elif path == "/jobs":
+                self._send_json(200, self.service.jobs_payload())
+            elif path.startswith("/jobs/") and path.endswith("/events"):
+                job_id = path[len("/jobs/"):-len("/events")]
+                self._stream_events(self.service.job(job_id))
+            elif path.startswith("/jobs/"):
+                job_id = path[len("/jobs/"):]
+                self._send_json(200, self.service.job(job_id).status())
+            else:
+                raise ServiceError(f"no such endpoint: {path}", status=404)
+        except Exception as exc:  # every failure is a structured body
+            self._send_error_json(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        try:
+            path = self.path.rstrip("/")
+            if path == "/jobs":
+                job = self.service.submit(self._read_config())
+                self._send_json(
+                    202, {"job_id": job.job_id, "n_scenarios": job.total}
+                )
+            elif path == "/run":
+                job = self.service.submit(self._read_config())
+                self._stream_events(job)
+            else:
+                raise ServiceError(f"no such endpoint: {path}", status=404)
+        except Exception as exc:
+            self._send_error_json(exc)
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._send_error_json(
+            ServiceError(f"method PUT not allowed on {self.path}", status=405)
+        )
+
+    do_DELETE = do_PUT
+
+
+def make_server(
+    service: ScenarioService,
+    *,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+) -> ThreadingHTTPServer:
+    """A bound (not yet serving) threading HTTP server for `service`.
+
+    Pass ``port=0`` to bind an ephemeral port (tests); the actual address
+    is ``server.server_address``.
+    """
+    server = ThreadingHTTPServer((host, port), ServiceHandler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    return server
+
+
+def serve(
+    service: ScenarioService,
+    *,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    install_signal_handlers: bool = True,
+) -> int:
+    """Run the HTTP service until SIGTERM/SIGINT, then drain gracefully.
+
+    Returns:
+        Process exit code (0 on a clean drain).
+    """
+    server = make_server(service, host=host, port=port)
+    stop = threading.Event()
+
+    def _on_signal(signum, frame) -> None:
+        sys.stderr.write(
+            f"[serve] received {signal.Signals(signum).name}, draining...\n"
+        )
+        stop.set()
+
+    if install_signal_handlers:
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+    thread = threading.Thread(
+        target=server.serve_forever, name="protemp-http", daemon=True
+    )
+    thread.start()
+    bound_host, bound_port = server.server_address[:2]
+    sys.stderr.write(
+        f"[serve] listening on http://{bound_host}:{bound_port} "
+        f"(workers={service.manager.max_workers})\n"
+    )
+    try:
+        stop.wait()
+    finally:
+        # Drain first (in-flight scenarios finish and persist), then stop
+        # accepting connections, so clients streaming a finishing job see
+        # its terminal event before the socket closes.
+        service.drain()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+    sys.stderr.write("[serve] drained, exiting\n")
+    return 0
+
+
+def serve_stdin(
+    service: ScenarioService,
+    in_stream: IO[str] | None = None,
+    out_stream: IO[str] | None = None,
+) -> int:
+    """NDJSON loop: one config per input line, event lines on stdout.
+
+    Jobs run sequentially (each line's events are fully streamed before
+    the next line is read) but share the service's warm caches, so a
+    repeated config line replays from the outcome store.  A malformed
+    line emits one structured ``error`` event and the loop continues.
+
+    Returns:
+        Process exit code: 0 when every line's job finished without
+        failures, 1 otherwise.
+    """
+    in_stream = in_stream if in_stream is not None else sys.stdin
+    out_stream = out_stream if out_stream is not None else sys.stdout
+    failures = 0
+
+    def _write(payload: dict) -> None:
+        out_stream.write(json.dumps(payload, allow_nan=False) + "\n")
+        out_stream.flush()
+
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            config = json.loads(line)
+            if not isinstance(config, dict):
+                raise ScenarioError("scenario config must be a JSON object")
+            job = service.submit(config)
+        except (ReproError, ValueError) as exc:
+            failures += 1
+            _write({"event": "error", **_error_payload(exc)})
+            continue
+        for event in job.events():
+            _write(event)
+            if event.get("event") == "done" and (
+                event.get("failed") or event.get("error")
+            ):
+                failures += 1
+    service.drain()
+    return 0 if failures == 0 else 1

@@ -259,6 +259,123 @@ class TestMergeCommand:
         assert "4 outcomes" in captured.err
 
 
+class TestVersionAndHints:
+    def test_version_flag_reports_package_version(self, capsys):
+        import repro
+        from repro.cli import package_version
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"protemp {package_version()}"
+        # Uninstalled source tree: metadata lookup falls back to __version__.
+        assert repro.__version__ in out
+
+    def test_unknown_command_exit_code_and_hint(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serv"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown command 'serv'" in err
+        assert "did you mean 'serve'?" in err
+
+    def test_unknown_command_without_close_match(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["xyzzy123"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown command 'xyzzy123'" in err
+
+
+class TestServeSubmitFlags:
+    def test_serve_and_submit_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "9000", "--stdin"])
+        assert args.experiment == "serve" and args.port == 9000 and args.stdin
+        args = parser.parse_args(
+            ["submit", "cfg.json", "--url", "http://localhost:1234"]
+        )
+        assert args.experiment == "submit"
+        assert args.url == "http://localhost:1234"
+
+    def test_serve_rejects_positionals_and_foreign_flags(self, capsys):
+        assert main(["serve", "config.json"]) == 2
+        assert "no positional" in capsys.readouterr().err
+        assert main(["serve", "--url", "http://x"]) == 2
+        assert "--url" in capsys.readouterr().err
+
+    def test_submit_requires_config(self, capsys):
+        assert main(["submit"]) == 2
+        assert "config" in capsys.readouterr().err
+
+    def test_submit_missing_config_reported(self, capsys):
+        assert main(["submit", "no-such.json"]) == 2
+        assert "no such scenario config" in capsys.readouterr().err
+
+    def test_submit_rejects_server_side_flags(self, tmp_path, capsys):
+        config = _write_config(tmp_path)
+        assert main(
+            ["submit", config, "--outcome-store", str(tmp_path / "s")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--outcome-store" in err and "server" in err
+
+    def test_submit_unreachable_server_reported(self, tmp_path, capsys):
+        config = _write_config(tmp_path)
+        assert main(
+            ["submit", config, "--url", "http://127.0.0.1:1"]
+        ) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_run_rejects_serve_flags(self, tmp_path, capsys):
+        config = _write_config(tmp_path)
+        assert main(["run", config, "--port", "9000"]) == 2
+        assert "--port" in capsys.readouterr().err
+        # 0 is falsy but still a set value (ephemeral port) — rejected too.
+        assert main(["run", config, "--port", "0"]) == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_submit_streams_against_live_service(self, tmp_path, capsys):
+        """End-to-end: a real server thread, `protemp submit` twice —
+        cold executes, warm replays everything from the store."""
+        import threading
+
+        from repro.scenario import MemoryOutcomeStore
+        from repro.serving import ScenarioService, make_server
+
+        service = ScenarioService(
+            max_workers=2, outcome_store=MemoryOutcomeStore()
+        )
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        config = _write_config(tmp_path)
+        try:
+            assert main(["submit", config, "--url", url]) == 0
+            captured = capsys.readouterr()
+            assert "No-TC" in captured.out and "Basic-DFS" in captured.out
+            assert "4 executed, 0 from store" in captured.err
+
+            assert main(["submit", config, "--url", url, "--json"]) == 0
+            captured = capsys.readouterr()
+            events = [
+                json.loads(line)
+                for line in captured.out.splitlines()
+                if line.strip()
+            ]
+            done = events[-1]
+            assert done["event"] == "done"
+            assert done["scenarios_executed"] == 0
+            assert done["outcomes_replayed"] == 4
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.drain()
+
+
 class TestMain:
     def test_calibration_runs(self, capsys):
         assert main(["calibration"]) == 0

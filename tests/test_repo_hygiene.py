@@ -27,6 +27,7 @@ PUBLIC_MODULES = [
     "repro.floorplan",
     "repro.platform",
     "repro.power",
+    "repro.serving",
     "repro.sim",
     "repro.solver",
     "repro.thermal",
