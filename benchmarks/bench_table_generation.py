@@ -20,8 +20,16 @@ fast paths recover on the paper's Niagara platform grid:
   constraint pruning (near-active thermal rows + structurally subsampled
   gradient rows, full-stack post-check and polish) and gap-estimated warm
   barrier schedules.
-* **gen2-batched** — column-major walk solving every temperature row of a
-  column in lockstep against the shared constraint matrix.
+* **gen2-batched** — (deprecated) column-major walk solving every
+  temperature row of a column in lockstep against the shared constraint
+  matrix.
+* **gen3** — gen2 plus structure-exploiting kernels: the +/- antisymmetry
+  of the pairwise gradient rows is folded so the full-stack barrier
+  evaluations share one GEMV and halve their log count.
+* **gen3-wavefront** — gen3 with the row-wave scheduler: each temperature
+  row advances as one lockstep batch, warm-started from the hotter row,
+  with a cascade of anchor-warmed cells replacing most per-row cold
+  solves.
 * **parallel** — the warm path with temperature rows distributed over a
   process pool (``n_workers``); identical output, wall-clock bounded by
   the slowest row on multi-core hosts.
@@ -31,13 +39,21 @@ feasibility and to 1e-9 relative on feasible frequencies (gen2 modes are
 polished on the full constraint stack at the cold schedule's final
 barrier weight, so they agree to Newton tolerance, not merely the duality
 gap); gen2 is >= 2x faster than the PR 1 warm path; warm beats cold; the
-parallel sweep does not lose to serial warm.
+parallel sweep does not lose to serial warm.  The gen3 family is held to
+a tighter 1e-12 worst-vs-cold agreement and must not lose to gen2
+(modest noise margin) — both checked on the smoke grid too, so CI catches
+a structure-kernel regression without paying for the full grid.
+
+Alongside the text report, a machine-readable
+``benchmarks/results/table_generation.json`` records per-mode seconds,
+ms/cell, speedup vs cold and worst-vs-cold agreement.
 
 Set ``PROTEMP_BENCH_TABLE_GRID=smoke`` for a tiny CI smoke grid; fixed
 overheads dominate there, so the speedup assertions are skipped and only
-agreement is checked.  ``PROTEMP_BENCH_TABLE_MODES`` (comma list) selects
-a subset of the non-cold modes — CI runs the legacy and gen2 families in
-separate steps so a disagreement pinpoints the offending family.
+agreement (plus the gen3-vs-gen2 guard) is checked.
+``PROTEMP_BENCH_TABLE_MODES`` (comma list) selects a subset of the
+non-cold modes — CI runs the legacy and gen2/gen3 families in separate
+steps so a disagreement pinpoints the offending family.
 """
 
 from __future__ import annotations
@@ -46,7 +62,7 @@ import os
 import time
 
 import numpy as np
-from conftest import print_header, save_result
+from conftest import print_header, save_json_result, save_result
 
 from repro.core import ProTempOptimizer, build_frequency_table
 from repro.solver.barrier import BarrierOptions
@@ -54,7 +70,27 @@ from repro.solver.newton import NewtonOptions
 from repro.units import mhz
 
 SMOKE = os.environ.get("PROTEMP_BENCH_TABLE_GRID", "") == "smoke"
-ALL_MODES = ("legacy-warm", "warm", "gen2", "gen2-batched", "parallel")
+ALL_MODES = (
+    "legacy-warm",
+    "warm",
+    "gen2",
+    "gen2-batched",
+    "gen3",
+    "gen3-wavefront",
+    "parallel",
+)
+
+#: Worst allowed relative frequency deviation from the cold reference for
+#: the gen3 family (the generic modes are held to 1e-9; gen3's structured
+#: kernels are algebraically exact rewrites, so they must track the cold
+#: solve essentially to roundoff).
+GEN3_AGREEMENT_TOL = 1e-12
+
+#: gen3 may not lose to gen2 beyond this noise margin.  Both sweeps share
+#: the warm/pruned machinery; the margin absorbs scheduler jitter and the
+#: smoke grid's fixed-overhead domination, not a real regression.
+GEN3_VS_GEN2_MARGIN = 1.25
+GEN3_VS_GEN2_SLACK_S = 0.2
 
 
 def _modes() -> tuple[str, ...]:
@@ -173,6 +209,42 @@ def test_table_generation_speedup(platform):
     )
     print(body)
     save_result("table_generation", body)
+    save_json_result(
+        "table_generation",
+        {
+            "grid": {
+                "kind": "smoke" if SMOKE else "full",
+                "t_grid_c": list(t_grid),
+                "f_grid_hz": list(f_grid),
+                "cells": cells,
+            },
+            "modes": {
+                mode: {
+                    "seconds": times[mode],
+                    "ms_per_cell": times[mode] / cells * 1e3,
+                    "speedup_vs_cold": t_cold / times[mode],
+                    "worst_vs_cold": worsts.get(mode),
+                }
+                for mode in times
+            },
+        },
+    )
+
+    # gen3-family guards run on every grid (including smoke, which is what
+    # CI exercises): the structured kernels must stay agreement-exact and
+    # must never regress below the gen2 baseline they extend.
+    for mode in ("gen3", "gen3-wavefront"):
+        if mode in worsts:
+            assert worsts[mode] <= GEN3_AGREEMENT_TOL, (
+                f"{mode} worst-vs-cold {worsts[mode]:.2e} above "
+                f"{GEN3_AGREEMENT_TOL:.0e}"
+            )
+    if "gen3" in times and "gen2" in times:
+        bound = times["gen2"] * GEN3_VS_GEN2_MARGIN + GEN3_VS_GEN2_SLACK_S
+        assert times["gen3"] <= bound, (
+            f"gen3 sweep regressed below gen2: {times['gen3']:.2f}s vs "
+            f"gen2 {times['gen2']:.2f}s (bound {bound:.2f}s)"
+        )
 
     if SMOKE:
         return

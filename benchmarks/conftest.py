@@ -12,6 +12,7 @@ be scaled with the ``PROTEMP_BENCH_DURATION`` environment variable
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -61,3 +62,15 @@ def save_result(slug: str, text: str) -> None:
     """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{slug}.txt").write_text(text.rstrip() + "\n")
+
+
+def save_json_result(slug: str, payload: dict) -> None:
+    """Persist a machine-readable result next to the text one.
+
+    CI uploads these as artifacts so run-over-run numbers can be compared
+    without parsing the human-oriented text reports.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{slug}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

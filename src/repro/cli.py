@@ -35,7 +35,6 @@ for the service endpoints and event schema.
 from __future__ import annotations
 
 import argparse
-import difflib
 import importlib.metadata
 import json
 import sys
@@ -54,7 +53,7 @@ from repro.analysis import (
     run_snapshot,
     run_waiting_comparison,
 )
-from repro.errors import OutcomeStoreError, ScenarioError
+from repro.errors import OutcomeStoreError, ScenarioError, did_you_mean
 from repro.scenario import (
     ASSIGNMENTS,
     PLATFORMS,
@@ -116,18 +115,16 @@ class _HintingArgumentParser(argparse.ArgumentParser):
     """Argparse with did-you-mean hints for unknown subcommands.
 
     Unknown-subcommand failures exit with the same code (2) and message
-    shape as the cross-subcommand flag guards: ``protemp: unknown command
-    'serv' (did you mean 'serve'?)``.
+    shape as every other unknown-name error in the package
+    (:func:`repro.errors.did_you_mean`): ``protemp: unknown command
+    'serv'; did you mean 'serve'?``.
     """
 
     def error(self, message: str):
         if "invalid choice" in message:
             start = message.find("'") + 1
             bad = message[start:message.find("'", start)]
-            close = difflib.get_close_matches(
-                bad, EXPERIMENTS + COMMANDS, n=1
-            )
-            hint = f" (did you mean {close[0]!r}?)" if close else (
+            hint = did_you_mean(bad, EXPERIMENTS + COMMANDS) or (
                 "; see 'protemp list' for experiments and commands"
             )
             self.print_usage(sys.stderr)

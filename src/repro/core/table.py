@@ -60,6 +60,16 @@ interleaved flags:
   instead of rows and solves every temperature row's cell of a column in
   lockstep against one shared constraint matrix
   (`repro.core.protemp.ProTempOptimizer.solve_batch`);
+* *structure-exploiting kernels* (``structure``) — pre-final barrier
+  stages evaluate through the antisymmetry-folded gradient rows and the
+  rank-compressed thermal tail (`repro.solver.compiled.CompiledStructure`);
+  the final stage always runs on the exact stack, so agreement with the
+  cold solver is unchanged;
+* *wavefront row waves* (``wavefront``) — rows are walked hottest first
+  and each row's cells are solved in a handful of large lockstep batches
+  (`repro.core.protemp.ProTempOptimizer.solve_wave`), every cell
+  warm-started from its hotter-row same-column optimum; this amortizes
+  per-stage solver dispatch over batches the size of the frequency grid;
 * *row parallelism* (``n_workers``) — temperature rows are independent
   (unless cross-row warm starts tie them together), so whole rows can be
   distributed over a process pool with identical results.
@@ -82,7 +92,7 @@ from typing import Callable, Literal
 
 import numpy as np
 
-from repro.errors import TableError
+from repro.errors import TableError, did_you_mean
 from repro.core.protemp import FrequencyAssignment, ProTempOptimizer
 from repro.solver.newton import NewtonOptions
 from repro.thermal.constants import PAPER_DFS_PERIOD
@@ -183,6 +193,12 @@ class SweepStrategy:
             gap weight instead of ``t_initial``.
         batch_rows: walk columns and solve all temperature rows of a
             column in one batched solve (requires warm starts; serial).
+        structure: evaluate pre-final barrier stages through the
+            structure-exploiting kernels (antisymmetry fold +
+            rank-compressed thermal tail).
+        wavefront: solve each temperature row's cells in large lockstep
+            batches, warm-started from the hotter row (requires
+            ``hot-first`` order and warm starts; serial).
         n_workers: when > 1, distribute temperature rows over a process
             pool of this size (incompatible with cross-row warm starts
             and batching, which order cells across rows).
@@ -195,6 +211,8 @@ class SweepStrategy:
     prune_constraints: bool = False
     warm_schedule: bool = False
     batch_rows: bool = False
+    structure: bool = False
+    wavefront: bool = False
     n_workers: int | None = None
 
     def __post_init__(self) -> None:
@@ -218,11 +236,24 @@ class SweepStrategy:
                 raise TableError("batch_rows cannot combine with n_workers")
             if not self.warm_start:
                 raise TableError("batch_rows requires warm_start")
+        if self.wavefront:
+            if self.row_order != "hot-first":
+                raise TableError(
+                    "wavefront sweeps require row_order='hot-first' (each "
+                    "wave warm-starts from the already-solved hotter row)"
+                )
+            if parallel or self.batch_rows or self.cross_row_warm_start:
+                raise TableError(
+                    "wavefront orders rows sequentially and batches within "
+                    "them; it cannot combine with n_workers, batch_rows or "
+                    "cross_row_warm_start"
+                )
+            if not self.warm_start:
+                raise TableError("wavefront requires warm_start")
 
     @classmethod
-    def preset(cls, name: str) -> "SweepStrategy":
-        """Named strategies: cold, warm, gen2, gen2-batched."""
-        presets = {
+    def _preset_map(cls) -> dict[str, "SweepStrategy"]:
+        return {
             "cold": cls(warm_start=False),
             "warm": cls(),
             "gen2": cls(
@@ -236,19 +267,49 @@ class SweepStrategy:
                 warm_schedule=True,
                 batch_rows=True,
             ),
+            "gen3": cls(
+                row_order="hot-first",
+                cross_row_warm_start=True,
+                prune_constraints=True,
+                warm_schedule=True,
+                structure=True,
+            ),
+            "gen3-wavefront": cls(
+                row_order="hot-first",
+                prune_constraints=True,
+                warm_schedule=True,
+                structure=True,
+                wavefront=True,
+            ),
         }
+
+    @classmethod
+    def preset(cls, name: str) -> "SweepStrategy":
+        """Named strategies: cold, warm, gen2, gen3, gen3-wavefront
+        (plus the deprecated gen2-batched)."""
+        presets = cls._preset_map()
         if name not in presets:
             raise TableError(
                 f"unknown sweep strategy {name!r}; "
                 f"choose from {sorted(presets)}"
+                + did_you_mean(name, presets)
+            )
+        if name == "gen2-batched":
+            warnings.warn(
+                "the 'gen2-batched' preset is deprecated: its column-major "
+                "batching is slower than 'gen2', and the 'gen3-wavefront' "
+                "row-wave scheduler supersedes it; switch to "
+                "'gen3-wavefront' (or 'gen3')",
+                DeprecationWarning,
+                stacklevel=2,
             )
         return presets[name]
 
     @property
     def preset_name(self) -> str | None:
         """The preset this strategy equals, or None for a custom one."""
-        for name in ("cold", "warm", "gen2", "gen2-batched"):
-            if self == self.preset(name):
+        for name, preset in self._preset_map().items():
+            if self == preset:
                 return name
         return None
 
@@ -729,6 +790,7 @@ def _build_row(
                 warm_from=warm,
                 prune=strategy.prune_constraints,
                 warm_schedule=strategy.warm_schedule,
+                structure=strategy.structure,
             )
             row[fi] = TableEntry.from_assignment(assignment)
             assignments[fi] = assignment
@@ -782,6 +844,7 @@ def _sweep_batched(
             warms,
             prune=strategy.prune_constraints,
             warm_schedule=strategy.warm_schedule,
+            structure=strategy.structure,
         )
         for ti, warm, assignment in zip(active, warms, batch):
             if assignment is None:
@@ -791,6 +854,7 @@ def _sweep_batched(
                     warm_from=warm,
                     prune=strategy.prune_constraints,
                     warm_schedule=strategy.warm_schedule,
+                    structure=strategy.structure,
                 )
             entries[(ti, fi)] = TableEntry.from_assignment(assignment)
             if assignment.feasible:
@@ -798,6 +862,77 @@ def _sweep_batched(
             else:
                 previous.pop(ti, None)
             tick()
+    return entries
+
+
+def _sweep_wavefront(
+    optimizer: ProTempOptimizer,
+    t_grid: list[float],
+    f_grid: list[float],
+    strategy: SweepStrategy,
+    tick: Callable[[], None],
+) -> dict[tuple[int, int], TableEntry]:
+    """Hot-first row waves, each row a couple of large lockstep solves.
+
+    Rows are walked hottest first; each wave hands the whole row — every
+    frequency column past the feasibility boundary — to
+    :meth:`~repro.core.protemp.ProTempOptimizer.solve_wave`, with each
+    cell warm-started from the hotter row's same-column optimum (the
+    hottest row runs as one cold lockstep batch).  Cells the wave cannot
+    serve are re-solved serially, preferring the row's right-neighbor and
+    falling back to the hotter-row start, so the result matches the
+    serial sweeps to solver tolerance.
+    """
+    n_cores = optimizer.platform.n_cores
+    entries: dict[tuple[int, int], TableEntry] = {}
+    hotter: dict[int, FrequencyAssignment] = {}
+    for ti in reversed(range(len(t_grid))):
+        t_start = t_grid[ti]
+        boundary = (
+            optimizer.max_feasible_target(t_start)
+            if strategy.prune_feasibility
+            else None
+        )
+        active: list[int] = []
+        for fi in reversed(range(len(f_grid))):
+            if boundary is not None and f_grid[fi] > boundary:
+                entries[(ti, fi)] = _infeasible_entry(
+                    t_start, f_grid[fi], n_cores
+                )
+                tick()
+            else:
+                active.append(fi)
+        assignments: dict[int, FrequencyAssignment] = {}
+        if active:
+            warms = [hotter.get(fi) for fi in active]
+            wave = optimizer.solve_wave(
+                t_start,
+                [f_grid[fi] for fi in active],
+                warms,
+                prune=strategy.prune_constraints,
+                warm_schedule=strategy.warm_schedule,
+                structure=strategy.structure,
+            )
+            prev: FrequencyAssignment | None = None
+            for fi, warm, assignment in zip(active, warms, wave):
+                if assignment is None:
+                    fallback = (
+                        prev if prev is not None and prev.feasible else warm
+                    )
+                    assignment = optimizer.solve(
+                        t_start,
+                        f_grid[fi],
+                        warm_from=fallback,
+                        prune=strategy.prune_constraints,
+                        warm_schedule=strategy.warm_schedule,
+                        structure=strategy.structure,
+                    )
+                entries[(ti, fi)] = TableEntry.from_assignment(assignment)
+                if assignment.feasible:
+                    assignments[fi] = assignment
+                prev = assignment
+                tick()
+        hotter = assignments
     return entries
 
 
@@ -820,8 +955,9 @@ def build_frequency_table(
         t_grid: starting temperatures (Celsius), strictly increasing.
         f_grid: average-frequency targets (Hz), strictly increasing.
         strategy: a :class:`SweepStrategy`, a preset name (``"cold"``,
-            ``"warm"``, ``"gen2"``, ``"gen2-batched"``), or None to build
-            one from the legacy keyword flags below.
+            ``"warm"``, ``"gen2"``, ``"gen3"``, ``"gen3-wavefront"``, or
+            the deprecated ``"gen2-batched"``), or None to build one from
+            the legacy keyword flags below.
         progress: optional callback ``(done, total)`` for long sweeps
             (per cell when serial or batched, per completed row when
             parallel).
@@ -878,7 +1014,11 @@ def build_frequency_table(
             progress(done, total)
 
     workers = strategy.n_workers
-    if strategy.batch_rows:
+    if strategy.wavefront:
+        entries = _sweep_wavefront(
+            optimizer, list(t_grid), list(f_grid), strategy, tick
+        )
+    elif strategy.batch_rows:
         entries = _sweep_batched(
             optimizer, list(t_grid), list(f_grid), strategy, tick
         )

@@ -8,6 +8,24 @@ failures.
 
 from __future__ import annotations
 
+import difflib
+from typing import Iterable
+
+
+def did_you_mean(name: str, choices: Iterable[str]) -> str:
+    """Error-message suffix suggesting the closest valid choice.
+
+    Returns ``"; did you mean 'x'?"`` when `name` is close to one of
+    `choices` (by :func:`difflib.get_close_matches`), otherwise an empty
+    string — so callers can unconditionally append it to a message.
+    Shared by the CLI subcommand dispatcher and the spec/registry
+    validators so every unknown-name error reads the same way.
+    """
+    matches = difflib.get_close_matches(name, list(choices), n=1)
+    if not matches:
+        return ""
+    return f"; did you mean {matches[0]!r}?"
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""

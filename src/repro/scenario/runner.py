@@ -234,19 +234,23 @@ def table_key(platform_spec: PlatformSpec, policy_spec: PolicySpec) -> str:
 
     Two specs share a table exactly when they agree on the platform spec
     and the policy's table configuration (mode, grids, subsampling,
-    strategy) — the remaining policy params do not influence the table.
+    strategy, backend) — the remaining policy params do not influence the
+    table.
     """
     config = policy_spec.table_config()
-    return _spec_hash(
-        {
-            "platform": platform_spec.to_dict(),
-            "mode": config["mode"],
-            "t_grid": list(config["t_grid"]),
-            "f_grid": list(config["f_grid"]),
-            "step_subsample": config["step_subsample"],
-            "strategy": config["strategy"],
-        }
-    )
+    payload = {
+        "platform": platform_spec.to_dict(),
+        "mode": config["mode"],
+        "t_grid": list(config["t_grid"]),
+        "f_grid": list(config["f_grid"]),
+        "step_subsample": config["step_subsample"],
+        "strategy": config["strategy"],
+    }
+    # The default backend is omitted so pre-backend cache keys (and the
+    # table caches stored under them) stay valid.
+    if config["backend"] != "barrier":
+        payload["backend"] = config["backend"]
+    return _spec_hash(payload)
 
 
 def build_trace(spec: ScenarioSpec, n_cores: int):
@@ -578,6 +582,7 @@ class ScenarioRunner:
                 platform,
                 mode=config["mode"],  # type: ignore[arg-type]
                 step_subsample=config["step_subsample"],
+                backend=config["backend"],  # type: ignore[arg-type]
             )
             table = build_frequency_table(
                 optimizer,

@@ -43,7 +43,7 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Iterable, Mapping
 
-from repro.errors import ScenarioError
+from repro.errors import ScenarioError, did_you_mean
 from repro.thermal.constants import PAPER_DFS_PERIOD
 from repro.units import mhz
 
@@ -228,9 +228,13 @@ class PolicySpec:
 
     For table-driven policies (``"protemp"``) the params may carry the
     Phase-1 table configuration consumed by the runner, not the policy
-    factory: ``mode``, ``t_grid``, ``f_grid``, ``step_subsample`` and
-    ``strategy`` (a sweep preset name).  Everything else is forwarded to
-    the policy factory.
+    factory: ``mode``, ``t_grid``, ``f_grid``, ``step_subsample``,
+    ``strategy`` (a sweep preset name) and ``backend`` (``"barrier"`` or
+    ``"scipy"``).  Everything else is forwarded to the policy factory.
+
+    ``strategy`` and ``backend`` are validated at construction — an
+    unknown name fails at spec-parse time (and therefore at service
+    submit time) with a did-you-mean hint, not deep inside a sweep.
 
     Attributes:
         name: key into the policy registry (e.g. ``"basic-dfs"``).
@@ -241,10 +245,40 @@ class PolicySpec:
     params: str = "{}"
 
     #: Param keys consumed by the runner's table builder, not the factory.
-    TABLE_PARAM_KEYS = ("mode", "t_grid", "f_grid", "step_subsample", "strategy")
+    TABLE_PARAM_KEYS = (
+        "mode",
+        "t_grid",
+        "f_grid",
+        "step_subsample",
+        "strategy",
+        "backend",
+    )
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", canonical_params(self.params))
+        params = self.kwargs
+        strategy = params.get("strategy")
+        backend = params.get("backend")
+        if strategy is not None or backend is not None:
+            # Lazy: repro.core is heavy and never needed for pure spec
+            # plumbing (hashing, sharding, JSON round-trips).
+            from repro.core.protemp import BACKENDS
+            from repro.core.table import SweepStrategy
+
+            if strategy is not None:
+                presets = SweepStrategy._preset_map()
+                if strategy not in presets:
+                    raise ScenarioError(
+                        f"unknown sweep strategy {strategy!r}; "
+                        f"choose from {sorted(presets)}"
+                        + did_you_mean(strategy, presets)
+                    )
+            if backend is not None and backend not in BACKENDS:
+                raise ScenarioError(
+                    f"unknown solver backend {backend!r}; "
+                    f"choose from {list(BACKENDS)}"
+                    + did_you_mean(backend, BACKENDS)
+                )
 
     @property
     def kwargs(self) -> dict:
@@ -270,6 +304,7 @@ class PolicySpec:
                 params.get("step_subsample", DEFAULT_STEP_SUBSAMPLE)
             ),
             "strategy": params.get("strategy"),
+            "backend": params.get("backend", "barrier"),
         }
 
     def to_dict(self) -> dict:

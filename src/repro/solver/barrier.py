@@ -480,6 +480,7 @@ def solve_barrier(
     compiled: "CompiledConstraints | None" = None,
     initial_violation: float | None = None,
     t_start_hint: float | None = None,
+    stage_compiled: "CompiledConstraints | None" = None,
 ) -> SolveResult:
     """Solve ``minimize objective(x) s.t. all blocks`` by the barrier method.
 
@@ -503,6 +504,17 @@ def solve_barrier(
             :func:`warm_stage_weights`, which finishes at the same final
             weight — and hence the same point — as a cold solve.  Ignored
             when phase I runs (the hint presumes a feasible start).
+        stage_compiled: optional structure-exploiting twin of `compiled`
+            (same constraints, a `CompiledStructure` attached) used for
+            every barrier stage *except the last*.  The final stage — the
+            one whose Newton-converged center is the returned point —
+            always evaluates through `compiled`, so any certified
+            approximation in the structured stack (the rank tail) cannot
+            move the result.  At the hand-off the iterate is checked
+            against the exact stack; if the structured stages drifted
+            outside the exact domain (a violated truncation bound), the
+            whole schedule transparently re-runs on the exact stack.
+            Requires `compiled`.
 
     Returns:
         A :class:`SolveResult`; status INFEASIBLE when phase I certifies an
@@ -547,13 +559,13 @@ def solve_barrier(
     m = total_constraints(blocks) or 1
     newton_opts = opts.newton or NewtonOptions()
 
-    def stage_function(t_weight: float):
+    def stage_function(t_weight: float, comp: "CompiledConstraints | None"):
         def func(z: np.ndarray) -> tuple[float, np.ndarray, np.ndarray]:
             value = t_weight * objective.value(z)
             grad = t_weight * objective.gradient(z)
             hess = t_weight * objective.hessian(z)
-            if compiled is not None:
-                b_val, b_grad, b_hess = compiled.barrier(z)
+            if comp is not None:
+                b_val, b_grad, b_hess = comp.barrier(z)
                 if not np.isfinite(b_val):
                     return np.inf, grad, hess
                 return value + b_val, grad + b_grad, hess + b_hess
@@ -568,16 +580,82 @@ def solve_barrier(
 
         return func
 
+    def stage_value_function(
+        t_weight: float, comp: "CompiledConstraints | None"
+    ):
+        # Value-only twin of stage_function for line-search probes; the
+        # arithmetic is identical term-for-term (same order of additions)
+        # so line-search decisions — and hence the iterates — match the
+        # full evaluator bit-for-bit.
+        if comp is None:
+            return None
+
+        def vf(z: np.ndarray) -> float:
+            value = t_weight * objective.value(z)
+            b_val = comp.barrier_value(z)
+            if not np.isfinite(b_val):
+                return np.inf
+            return value + b_val
+
+        return vf
+
+    use_stage = stage_compiled is not None and compiled is not None
+    # A tail-free structure (pair fold only) is exact algebra, not an
+    # approximation: the final stage may run on it too, skipping both the
+    # hand-off check and the full-stack evaluations of the most expensive
+    # stage.  Only a rank tail forces the exact final stage.
+    exact_structure = (
+        use_stage
+        and stage_compiled.structure is not None
+        and stage_compiled.structure.tail is None
+    )
+
+    def run_schedule(weights, x_start, structured):
+        """Run a barrier schedule; None signals structured hand-off failure.
+
+        With `structured` every stage but the last evaluates through the
+        structure-exploiting stack; the last always uses the exact one, so
+        the returned point (the final stage's Newton center) is unchanged.
+        (A tail-free structured stack is itself exact, so it serves the
+        final stage as well.)  Before an exact final stage the iterate is
+        validated against the exact domain — a violated rank-tail bound
+        can only surface there, and returning None lets the caller re-run
+        the whole schedule exactly.
+        """
+        z = x_start
+        iters = 0
+        stage_converged = True
+        last = len(weights) - 1
+        for i, t_weight in enumerate(weights):
+            comp = (
+                stage_compiled
+                if structured and (i < last or exact_structure)
+                else compiled
+            )
+            if structured and not exact_structure and i == last and last > 0:
+                if not np.isfinite(compiled.barrier_value(z)):
+                    return None
+            outcome = minimize_newton(
+                stage_function(t_weight, comp),
+                z,
+                newton_opts,
+                value_func=stage_value_function(t_weight, comp),
+            )
+            z = outcome.x
+            iters += outcome.iterations
+            stage_converged = outcome.converged
+        return z, iters, stage_converged
+
     if warm_started and t_start_hint is not None:
         # Near-optimal warm start: few big jumps, same final weight (and
         # hence the same returned center) as the cold schedule below.
-        t = opts.t_initial
-        converged = True
-        for t in warm_stage_weights(m, opts, t_start_hint):
-            outcome = minimize_newton(stage_function(t), x, newton_opts)
-            x = outcome.x
-            total_iterations += outcome.iterations
-            converged = outcome.converged
+        weights = warm_stage_weights(m, opts, t_start_hint)
+        run = run_schedule(weights, x, use_stage)
+        if run is None:
+            run = run_schedule(weights, x, False)
+        x, stage_iters, converged = run
+        total_iterations += stage_iters
+        t = weights[-1]
         if not converged:
             # The final stage ran out of iteration budget mid-progress:
             # the point is not the stage center, so don't claim it is —
@@ -601,11 +679,13 @@ def solve_barrier(
             max_violation=violation_at(x),
         )
 
-    t = opts.t_initial
-    for t in cold_stage_weights(m, opts):
-        outcome = minimize_newton(stage_function(t), x, newton_opts)
-        x = outcome.x
-        total_iterations += outcome.iterations
+    weights = cold_stage_weights(m, opts)
+    run = run_schedule(weights, x, use_stage)
+    if run is None:
+        run = run_schedule(weights, x, False)
+    x, stage_iters, _converged = run
+    total_iterations += stage_iters
+    t = weights[-1]
 
     if m / t < opts.gap_tol:
         duals = _dual_estimates(blocks, x, t)
@@ -635,6 +715,7 @@ def solve_barrier_batch(
     options: BarrierOptions | None = None,
     *,
     t_start_hint: float | None = None,
+    stage_batched: "BatchedCompiledConstraints | None" = None,
 ) -> list[SolveResult]:
     """Solve several warm-started linear-objective cells in lockstep.
 
@@ -657,6 +738,13 @@ def solve_barrier_batch(
         t_start_hint: optional initial barrier weight; switches to the
             accelerated :func:`warm_stage_weights` schedule, which ends at
             the same final weight as the cold schedule.
+        stage_batched: optional structure-exploiting twin of `batched`
+            (same cells, a `CompiledStructure` attached), used for every
+            stage but the last; the final stage always evaluates through
+            the exact stack.  Cells whose hand-off iterate falls outside
+            the exact domain (a violated rank-tail bound) are dropped from
+            the final stage and reported MAX_ITERATIONS so callers
+            re-solve them serially.
 
     Returns:
         One :class:`SolveResult` per cell, in batch order.
@@ -682,16 +770,26 @@ def solve_barrier_batch(
     newton_opts = opts.newton or NewtonOptions()
     iterations = np.zeros(batch, dtype=int)
 
-    def stage_function(t_weight: float):
+    def stage_function(t_weight: float, comp, live: np.ndarray):
+        # `live` maps the sub-batch the Newton loop sees onto the full
+        # batch: when hand-off validation drops cells before the final
+        # stage the survivors are renumbered 0..k-1 inside the solver.
         def func(
             z: np.ndarray, cols: np.ndarray
         ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-            values, grads, hessians = batched.barrier(z, cols)
+            values, grads, hessians = comp.barrier(z, live[cols])
             values = values + t_weight * (c @ z)
             grads = grads + t_weight * c[None, :]
             return values, grads, hessians
 
         return func
+
+    def stage_value_function(t_weight: float, comp, live: np.ndarray):
+        def vf(z: np.ndarray, cols: np.ndarray) -> np.ndarray:
+            values = comp.barrier_value(z, live[cols])
+            return values + t_weight * (c @ z)
+
+        return vf
 
     if t_start_hint is not None:
         schedule = warm_stage_weights(m, opts, t_start_hint)
@@ -700,23 +798,56 @@ def solve_barrier_batch(
 
     t = schedule[-1]
     converged = np.ones(batch, dtype=bool)
-    for t_weight in schedule:
-        outcome = minimize_newton_batch(
-            stage_function(t_weight), x, newton_opts
+    handoff_failed = np.zeros(batch, dtype=bool)
+    live = all_cols
+    last = len(schedule) - 1
+    # Mirror of the serial `exact_structure` rule: a fold-only structured
+    # stack is exact, so it may evaluate the final stage too (and the
+    # hand-off check is moot).
+    exact_structure = (
+        stage_batched is not None
+        and stage_batched.structure is not None
+        and stage_batched.structure.tail is None
+    )
+    use_stage = stage_batched is not None and (last > 0 or exact_structure)
+    for i, t_weight in enumerate(schedule):
+        comp = (
+            stage_batched
+            if use_stage and (i < last or exact_structure)
+            else batched
         )
-        x = outcome.x
-        iterations += outcome.iterations
-        converged = outcome.converged
+        if use_stage and not exact_structure and i == last:
+            # Hand-off to the exact stack: drop cells whose structured
+            # iterate is outside the exact domain.
+            vals = batched.barrier_value(x[:, live], live)
+            good = np.isfinite(vals)
+            if not np.all(good):
+                handoff_failed[live[~good]] = True
+                live = live[good]
+                if live.size == 0:
+                    break
+        outcome = minimize_newton_batch(
+            stage_function(t_weight, comp, live),
+            x[:, live],
+            newton_opts,
+            value_func=stage_value_function(t_weight, comp, live),
+        )
+        x[:, live] = outcome.x
+        iterations[live] += outcome.iterations
+        converged[live] = outcome.converged
 
     final_violation = batched.max_violation(x, all_cols)
     return [
         SolveResult(
             # A cell whose final stage exhausted its Newton budget is not
             # at the stage center; report MAX_ITERATIONS so callers
-            # re-solve it serially instead of trusting the point.
+            # re-solve it serially instead of trusting the point.  Same
+            # for cells dropped at the structured hand-off.
             status=(
                 SolveStatus.OPTIMAL
-                if converged[j] and m / t < opts.gap_tol
+                if converged[j]
+                and m / t < opts.gap_tol
+                and not handoff_failed[j]
                 else SolveStatus.MAX_ITERATIONS
             ),
             x=x[:, j].copy(),

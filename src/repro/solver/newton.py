@@ -72,6 +72,7 @@ def minimize_newton(
     func: ValueGradHess,
     x0: np.ndarray,
     options: NewtonOptions | None = None,
+    value_func: Callable[[np.ndarray], float] | None = None,
 ) -> NewtonOutcome:
     """Minimize a smooth convex `func` from a feasible start `x0`.
 
@@ -80,6 +81,11 @@ def minimize_newton(
             `x0`.
         x0: strictly feasible starting point.
         options: see :class:`NewtonOptions`.
+        value_func: optional value-only evaluator, arithmetically
+            identical to ``func(x)[0]``.  When given, line-search trial
+            points are evaluated value-only (the accepted point gets one
+            full evaluation) — same iterates bit-for-bit, but the
+            rejected trials skip every gradient/Hessian product.
 
     Returns:
         A :class:`NewtonOutcome`.
@@ -110,7 +116,10 @@ def minimize_newton(
         t = 1.0
         while True:
             candidate = x + t * step
-            cand_value, cand_grad, cand_hess = func(candidate)
+            if value_func is None:
+                cand_value, cand_grad, cand_hess = func(candidate)
+            else:
+                cand_value = value_func(candidate)
             if np.isfinite(cand_value) and (
                 cand_value <= value - opts.alpha * t * decrement_sq
             ):
@@ -119,6 +128,8 @@ def minimize_newton(
             if t < 1e-14:
                 # No progress possible: treat as converged at x.
                 return NewtonOutcome(x, value, iteration, converged=True)
+        if value_func is not None:
+            _full_value, cand_grad, cand_hess = func(candidate)
         if value - cand_value <= opts.stall_tolerance * max(1.0, abs(value)):
             stalled += 1
         else:
@@ -160,6 +171,7 @@ def minimize_newton_batch(
     func: BatchValueGradHess,
     x0: np.ndarray,
     options: NewtonOptions | None = None,
+    value_func: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
 ) -> BatchNewtonOutcome:
     """Minimize several independent smooth convex cells in lockstep.
 
@@ -175,6 +187,11 @@ def minimize_newton_batch(
             hessians)`` evaluator; must be finite at every start column.
         x0: starting columns, shape (n, batch); each strictly feasible.
         options: see :class:`NewtonOptions`.
+        value_func: optional value-only evaluator ``(columns, batch
+            indices) -> values``, arithmetically identical to
+            ``func(...)[0]``.  When given, line-search rounds evaluate
+            values only; cells that accepted a step get one shared full
+            evaluation per iteration to refresh their derivatives.
 
     Returns:
         A :class:`BatchNewtonOutcome`.
@@ -229,10 +246,14 @@ def minimize_newton_batch(
         # set of cells that have not yet accepted a step.
         t = np.ones(idx.size)
         pending = np.arange(idx.size)
+        refresh: list[np.ndarray] = []
         while pending.size:
             cols = idx[pending]
             candidates = x[:, cols] + t[pending] * steps[pending].T
-            c_vals, c_grads, c_hess = func(candidates, cols)
+            if value_func is None:
+                c_vals, c_grads, c_hess = func(candidates, cols)
+            else:
+                c_vals = value_func(candidates, cols)
             accept = np.isfinite(c_vals) & (
                 c_vals
                 <= values[cols]
@@ -247,8 +268,11 @@ def minimize_newton_batch(
                 stalled[acc_cols] = np.where(small, stalled[acc_cols] + 1, 0)
                 x[:, acc_cols] = candidates[:, accept]
                 values[acc_cols] = c_vals[accept]
-                grads[acc_cols] = c_grads[accept]
-                hessians[acc_cols] = c_hess[accept]
+                if value_func is None:
+                    grads[acc_cols] = c_grads[accept]
+                    hessians[acc_cols] = c_hess[accept]
+                else:
+                    refresh.append(acc_cols)
                 frozen = acc_cols[
                     stalled[acc_cols] >= opts.stall_iterations
                 ]
@@ -267,6 +291,15 @@ def minimize_newton_batch(
                 active[frozen] = False
                 rejected = rejected[~exhausted]
             pending = rejected
+        if value_func is not None and refresh:
+            # One shared full evaluation refreshes the derivatives of every
+            # cell that accepted a step and is still iterating.
+            ref = np.concatenate(refresh)
+            ref = ref[active[ref]]
+            if ref.size:
+                _vals, r_grads, r_hess = func(x[:, ref], ref)
+                grads[ref] = r_grads
+                hessians[ref] = r_hess
 
     return BatchNewtonOutcome(
         x=x, values=values, iterations=iterations, converged=converged
