@@ -12,7 +12,6 @@ Not paper figures — these quantify the knobs the paper fixes implicitly:
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import bench_duration, print_header, save_result
 
 from repro.analysis.ablations import (

@@ -9,7 +9,6 @@ peak, and both cores respect t_max throughout.
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import bench_duration, print_header, save_result
 
 from repro.analysis.ascii_plot import ascii_plot

@@ -11,7 +11,6 @@ its thermal calibration, and compares its feasibility boundary against the
 Run:  python examples/custom_floorplan.py
 """
 
-import numpy as np
 
 from repro import Platform
 from repro.core import ProTempOptimizer

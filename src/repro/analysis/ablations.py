@@ -17,11 +17,11 @@ harness and EXPERIMENTS.md's discussion:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.cache import DEFAULT_F_GRID, cached_table
+from repro.analysis.cache import DEFAULT_F_GRID
 from repro.control import BasicDFSPolicy, ProTempPolicy, ThermalManagementUnit
 from repro.core import ProTempOptimizer, build_frequency_table
 from repro.core.table import FrequencyTable

@@ -23,6 +23,12 @@ Three command families:
   and stream its outcome events back (``--url``, ``--json``).
 * ``protemp list`` — show the registered platforms, workloads, policies,
   assignments, sensors and experiments (``--json`` for tooling).
+* ``protemp check [paths]`` — run the project-invariant static-analysis
+  pass (`repro.devtools.check`) over the given files/directories
+  (default ``src``): determinism, lock discipline, cache-key
+  completeness, float hygiene, registry/spec discipline.  ``--rule``
+  filters to specific rules, ``--json`` emits the versioned report (see
+  docs/DEVTOOLS.md).
 
 ``protemp --version`` reports the installed package version (package
 metadata when installed, the source tree's ``repro.__version__``
@@ -81,7 +87,7 @@ EXPERIMENTS = (
 )
 
 #: Scenario-API commands sharing the positional slot with the experiments.
-COMMANDS = ("run", "merge", "list", "serve", "submit")
+COMMANDS = ("run", "merge", "list", "serve", "submit", "check")
 
 #: Distribution name in package metadata (pyproject.toml).
 DISTRIBUTION = "protemp-repro"
@@ -156,7 +162,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "a paper experiment (figN), 'run' (execute a scenario config), "
             "'serve'/'submit' (the long-lived scenario service), 'merge', "
-            "or 'list' (show registered components)"
+            "'check' (static analysis), or 'list' (show registered "
+            "components)"
         ),
     )
     parser.add_argument(
@@ -164,15 +171,19 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help=(
-            "scenario config JSON file ('run'/'submit') or first "
-            "outcome-store directory ('merge')"
+            "scenario config JSON file ('run'/'submit'), first "
+            "outcome-store directory ('merge'), or first path to "
+            "analyze ('check')"
         ),
     )
     parser.add_argument(
         "stores",
         nargs="*",
         default=[],
-        help="additional outcome-store directories to union ('merge')",
+        help=(
+            "additional outcome-store directories to union ('merge') or "
+            "additional paths to analyze ('check')"
+        ),
     )
     parser.add_argument(
         "--duration",
@@ -259,6 +270,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "base URL of the running service for 'submit' "
             "(default http://127.0.0.1:8765)"
+        ),
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help=(
+            "'check' only: run just this rule (repeatable, e.g. "
+            "--rule PT001 --rule PT004; default: all rules)"
         ),
     )
     return parser
@@ -387,6 +408,7 @@ def _run_command(args: argparse.Namespace) -> int:
             "--port": args.port,
             "--url": args.url,
             "--stdin": args.stdin,
+            "--rule": args.rule,
         },
     )
     if error:
@@ -436,6 +458,7 @@ def _merge_command(args: argparse.Namespace) -> int:
             "--port": args.port,
             "--url": args.url,
             "--stdin": args.stdin,
+            "--rule": args.rule,
         },
     )
     if error:
@@ -493,7 +516,12 @@ def _serve_command(args: argparse.Namespace) -> int:
     error = _reject_foreign_flags(
         "serve",
         args,
-        {"--output": args.output, "--shard": args.shard, "--url": args.url},
+        {
+            "--output": args.output,
+            "--shard": args.shard,
+            "--url": args.url,
+            "--rule": args.rule,
+        },
     )
     if error:
         print(error, file=sys.stderr)
@@ -537,6 +565,7 @@ def _submit_command(args: argparse.Namespace) -> int:
             "--host": args.host,
             "--port": args.port,
             "--stdin": args.stdin,
+            "--rule": args.rule,
         },
     )
     if error:
@@ -611,6 +640,56 @@ def _submit_command(args: argparse.Namespace) -> int:
     return 0 if done["failed"] == 0 and not done.get("error") else 1
 
 
+def _check_command(args: argparse.Namespace) -> int:
+    """``protemp check [paths]``: the project-invariant static analysis.
+
+    Exit codes follow the usual linter convention: 0 clean (waived-only
+    counts as clean), 1 active findings, 2 usage errors (unknown rule
+    ids, missing paths).
+    """
+    # Lazy: devtools is pure stdlib but irrelevant to every other command.
+    from repro.devtools.check import render_json, render_text, run_check
+    from repro.errors import DevtoolsError
+
+    error = _reject_foreign_flags(
+        "check",
+        args,
+        {
+            "--duration": args.duration,
+            "--table-cache": args.table_cache,
+            "--workers": args.workers,
+            "--table-cache-dir": args.table_cache_dir,
+            "--shard": args.shard,
+            "--outcome-store": args.outcome_store,
+            "--output": args.output,
+            "--host": args.host,
+            "--port": args.port,
+            "--stdin": args.stdin,
+            "--url": args.url,
+        },
+    )
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    paths = ([args.config] if args.config else []) + list(args.stores)
+    if not paths:
+        if not Path("src").is_dir():
+            print(
+                "protemp check: no paths given and no ./src directory to "
+                "default to",
+                file=sys.stderr,
+            )
+            return 2
+        paths = ["src"]
+    try:
+        report = run_check(paths, rules=args.rule)
+    except DevtoolsError as exc:
+        print(f"protemp check: {exc}", file=sys.stderr)
+        return 2
+    print(render_json(report) if args.json else render_text(report))
+    return report.exit_code
+
+
 def _snapshot_plot(result) -> str:
     return ascii_plot(
         result.times,
@@ -638,6 +717,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_command(args)
     if args.experiment == "submit":
         return _submit_command(args)
+    if args.experiment == "check":
+        return _check_command(args)
     if args.config is not None or args.stores:
         print(f"protemp {args.experiment}: unexpected positional arguments",
               file=sys.stderr)

@@ -1,0 +1,19 @@
+"""Developer tooling for the Pro-Temp reproduction.
+
+This package holds the tools that keep the *project invariants* machine-
+checked rather than folklore: ``repro.devtools.check`` is an AST-based
+static-analysis pass (``protemp check``) whose rules encode the platform's
+correctness contracts — deterministic replay, lock discipline on shared
+state, cache-key completeness, float hygiene, and registry/spec
+discipline.  See docs/DEVTOOLS.md for the rule catalogue and waiver
+syntax.
+
+Nothing here is imported by the library at runtime; the scenario, solver
+and serving layers never depend on devtools.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.check import Finding, all_rules, run_check
+
+__all__ = ["Finding", "all_rules", "run_check"]

@@ -1,0 +1,48 @@
+"""``protemp check`` — AST-based project-invariant static analysis.
+
+The public surface re-exported here is what the CLI and the tests use:
+:func:`run_check` runs the pass, :func:`all_rules` enumerates the rule
+registry, and the reporters render a :class:`CheckReport` as text or
+versioned JSON.  Importing this package registers every built-in rule
+(the ``rules``/``project_rules`` imports below are the registration
+side effect).
+"""
+
+from __future__ import annotations
+
+from repro.devtools.check.engine import (
+    CheckedFile,
+    CheckReport,
+    Finding,
+    ProjectRule,
+    Rule,
+    all_rules,
+    register_rule,
+    run_check,
+)
+from repro.devtools.check.waivers import (
+    MALFORMED_WAIVER_RULE,
+    Waiver,
+    WaiverProblem,
+    parse_waivers,
+)
+from repro.devtools.check import project_rules as _project_rules  # noqa: F401
+from repro.devtools.check import rules as _rules  # noqa: F401
+from repro.devtools.check.report import render_json, render_text
+
+__all__ = [
+    "CheckReport",
+    "CheckedFile",
+    "Finding",
+    "MALFORMED_WAIVER_RULE",
+    "ProjectRule",
+    "Rule",
+    "Waiver",
+    "WaiverProblem",
+    "all_rules",
+    "parse_waivers",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "run_check",
+]

@@ -1,0 +1,395 @@
+"""Core of ``protemp check``: files, findings, the rule registry, the run.
+
+The engine is deliberately small: it walks the requested paths, parses
+each Python file once (:class:`CheckedFile` carries the AST plus the
+parsed waivers), hands the files to every active :class:`Rule`, and folds
+the raw findings against the waivers into a :class:`CheckReport`.
+
+Rules come in two shapes:
+
+* a plain :class:`Rule` sees one file at a time (most invariants are
+  local — an unseeded RNG call is wrong wherever it appears);
+* a :class:`ProjectRule` sees the whole file set at once, for invariants
+  that span files (PT003 compares ``PolicySpec.TABLE_PARAM_KEYS`` against
+  the ``table_key`` computation, which live in different modules).
+
+Rules self-register via :func:`register_rule`; the registry is what the
+CLI's ``--rule`` filter and the reporters enumerate.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import DevtoolsError, did_you_mean
+from repro.devtools.check.waivers import (
+    MALFORMED_WAIVER_RULE,
+    Waiver,
+    WaiverProblem,
+    parse_waivers,
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (possibly waived) at a source location.
+
+    Attributes:
+        rule: rule id (``"PT001"``; :data:`MALFORMED_WAIVER_RULE` for
+            engine-level problems).
+        path: file the finding is in (as given, not resolved).
+        line: 1-based line number.
+        col: 0-based column offset.
+        message: what is wrong and which invariant it breaks.
+        waived: True when a waiver comment covers this finding (reported
+            but not counted against the exit code).
+        waiver_reason: the covering waiver's reason, when waived.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    waived: bool = False
+    waiver_reason: str | None = None
+
+    def location(self) -> str:
+        """``path:line:col`` (the clickable prefix of the text report)."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation (the ``--json`` findings rows)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "waived": self.waived,
+            "waiver_reason": self.waiver_reason,
+        }
+
+
+@dataclass
+class CheckedFile:
+    """One parsed source file, as the rules see it.
+
+    Attributes:
+        path: the file's path (kept relative when given relative).
+        module: dotted module name inferred from the path (None when the
+            file does not live under a ``repro`` package root) — rules use
+            it to scope themselves to the packages their invariant covers.
+        text: the file's source text.
+        tree: the parsed AST (None when the file failed to parse; the
+            engine reports that as a finding and rules skip the file).
+        waivers: parsed waiver comments.
+        waiver_problems: waiver-looking comments that failed to parse.
+    """
+
+    path: Path
+    module: str | None
+    text: str
+    tree: ast.Module | None
+    waivers: list[Waiver] = field(default_factory=list)
+    waiver_problems: list[WaiverProblem] = field(default_factory=list)
+
+    def finding(
+        self, rule: str, node: ast.AST | int, message: str, *, col: int = 0
+    ) -> Finding:
+        """Build a finding anchored at an AST node (or a bare line number)."""
+        if isinstance(node, ast.AST):
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        else:
+            line = node
+        return Finding(
+            rule=rule, path=str(self.path), line=line, col=col, message=message
+        )
+
+
+def infer_module(path: Path) -> str | None:
+    """Dotted module name for a file under a ``repro`` package root.
+
+    ``src/repro/scenario/runner.py`` -> ``repro.scenario.runner`` (package
+    ``__init__`` files map to the package itself).  Returns None for files
+    outside any ``repro`` directory — scoped rules then leave them alone.
+    """
+    parts = list(path.with_suffix("").parts)
+    if "repro" not in parts:
+        return None
+    parts = parts[parts.index("repro"):]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class Rule:
+    """Base class: one invariant, checked one file at a time.
+
+    Subclasses set the three class attributes and implement
+    :meth:`check`; :meth:`applies_to` scopes the rule to the packages its
+    invariant covers (default: every checked file).
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    invariant: str = ""
+
+    def applies_to(self, file: CheckedFile) -> bool:
+        """Whether this rule runs on `file` (override to scope)."""
+        return True
+
+    def check(self, file: CheckedFile) -> Iterator[Finding]:
+        """Yield raw findings for one parsed file."""
+        raise NotImplementedError
+
+    def describe(self) -> dict[str, str]:
+        """Registry row for reporters and ``protemp check --json``."""
+        return {
+            "rule": self.rule_id,
+            "title": self.title,
+            "invariant": self.invariant,
+        }
+
+
+class ProjectRule(Rule):
+    """A rule whose invariant spans files (runs once over the whole set)."""
+
+    def check(self, file: CheckedFile) -> Iterator[Finding]:
+        """Per-file entry point — unused for project rules."""
+        return iter(())
+
+    def check_project(
+        self, files: Sequence[CheckedFile]
+    ) -> Iterator[Finding]:
+        """Yield findings computed over the complete file set."""
+        raise NotImplementedError
+
+
+#: The rule registry: id -> singleton rule instance.
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (ids must be unique)."""
+    rule = cls()
+    if not rule.rule_id:
+        raise DevtoolsError(f"rule class {cls.__name__} has no rule_id")
+    if rule.rule_id in _RULES:
+        raise DevtoolsError(f"duplicate rule id {rule.rule_id}")
+    _RULES[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """The registered rules, keyed by id (sorted)."""
+    return {rule_id: _RULES[rule_id] for rule_id in sorted(_RULES)}
+
+
+def resolve_rules(rule_ids: Iterable[str] | None) -> list[Rule]:
+    """The rule instances to run, validating any explicit id filter.
+
+    Raises:
+        DevtoolsError: for unknown rule ids (with a did-you-mean hint).
+    """
+    if rule_ids is None:
+        return list(all_rules().values())
+    resolved: list[Rule] = []
+    for rule_id in rule_ids:
+        canonical = rule_id.strip().upper()
+        if canonical not in _RULES:
+            raise DevtoolsError(
+                f"unknown rule {rule_id!r}; available: "
+                f"{', '.join(sorted(_RULES))}"
+                + did_you_mean(canonical, _RULES)
+            )
+        resolved.append(_RULES[canonical])
+    return resolved
+
+
+def _iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand the requested paths into a sorted list of ``.py`` files.
+
+    Raises:
+        DevtoolsError: for missing paths or non-Python files.
+    """
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.is_file():
+            if path.suffix != ".py":
+                raise DevtoolsError(f"not a Python file: {path}")
+            files.append(path)
+        else:
+            raise DevtoolsError(f"no such file or directory: {path}")
+    # De-duplicate while keeping a deterministic order.
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def load_file(path: Path) -> tuple[CheckedFile, Finding | None]:
+    """Parse one source file into a :class:`CheckedFile`.
+
+    Returns:
+        The checked file plus a parse-error finding (None when the file
+        parses) — an unparseable file is a finding, not a crash, so one
+        bad file cannot hide every other finding in the run.
+    """
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise DevtoolsError(f"cannot read {path}: {exc}") from exc
+    parse_error: Finding | None = None
+    tree: ast.Module | None = None
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        parse_error = Finding(
+            rule=MALFORMED_WAIVER_RULE,
+            path=str(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+        )
+    waivers, problems = parse_waivers(text)
+    file = CheckedFile(
+        path=path,
+        module=infer_module(path),
+        text=text,
+        tree=tree,
+        waivers=waivers,
+        waiver_problems=problems,
+    )
+    return file, parse_error
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``protemp check`` run produced.
+
+    Attributes:
+        findings: all findings (waived ones included), sorted by location.
+        files_checked: number of files parsed and checked.
+        rules: ids of the rules that ran.
+    """
+
+    findings: list[Finding]
+    files_checked: int
+    rules: list[str]
+
+    @property
+    def active(self) -> list[Finding]:
+        """Findings that count against the exit code (not waived)."""
+        return [finding for finding in self.findings if not finding.waived]
+
+    @property
+    def waived(self) -> list[Finding]:
+        """Findings suppressed by a waiver comment."""
+        return [finding for finding in self.findings if finding.waived]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean (waived-only counts as clean), 1 otherwise."""
+        return 1 if self.active else 0
+
+
+def _apply_waivers(file: CheckedFile, findings: Iterable[Finding]) -> Iterator[Finding]:
+    """Mark findings covered by one of the file's waiver comments.
+
+    Malformed-waiver findings (:data:`MALFORMED_WAIVER_RULE`) are never
+    waivable — a broken waiver cannot excuse itself.
+    """
+    for finding in findings:
+        if finding.rule != MALFORMED_WAIVER_RULE:
+            for waiver in file.waivers:
+                if waiver.covers(finding.rule, finding.line):
+                    yield Finding(
+                        rule=finding.rule,
+                        path=finding.path,
+                        line=finding.line,
+                        col=finding.col,
+                        message=finding.message,
+                        waived=True,
+                        waiver_reason=waiver.reason,
+                    )
+                    break
+            else:
+                yield finding
+        else:
+            yield finding
+
+
+def run_check(
+    paths: Sequence[str | Path],
+    *,
+    rules: Iterable[str] | None = None,
+) -> CheckReport:
+    """Run the static-analysis pass over `paths`.
+
+    Args:
+        paths: files and/or directories (directories recurse, skipping
+            ``__pycache__``).
+        rules: optional rule-id filter; None runs every registered rule.
+
+    Returns:
+        The :class:`CheckReport` (findings sorted by path, line, rule).
+
+    Raises:
+        DevtoolsError: unknown rule ids, missing paths, unreadable files.
+    """
+    active_rules = resolve_rules(rules)
+    files: list[CheckedFile] = []
+    findings: list[Finding] = []
+    for path in _iter_python_files(paths):
+        file, parse_error = load_file(path)
+        files.append(file)
+        raw: list[Finding] = []
+        if parse_error is not None:
+            raw.append(parse_error)
+        raw.extend(
+            Finding(
+                rule=MALFORMED_WAIVER_RULE,
+                path=str(file.path),
+                line=problem.line,
+                col=0,
+                message=problem.message,
+            )
+            for problem in file.waiver_problems
+        )
+        if file.tree is not None:
+            for rule in active_rules:
+                if not isinstance(rule, ProjectRule) and rule.applies_to(file):
+                    raw.extend(rule.check(file))
+        findings.extend(_apply_waivers(file, raw))
+    by_path = {str(file.path): file for file in files}
+    for rule in active_rules:
+        if isinstance(rule, ProjectRule):
+            project_findings = list(rule.check_project(files))
+            for finding in project_findings:
+                owner = by_path.get(finding.path)
+                if owner is not None:
+                    findings.extend(_apply_waivers(owner, [finding]))
+                else:
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return CheckReport(
+        findings=findings,
+        files_checked=len(files),
+        rules=[rule.rule_id for rule in active_rules],
+    )

@@ -1,0 +1,203 @@
+"""The cross-file rule (PT003): cache-key completeness.
+
+PR 6 taught this codebase the failure mode PT003 guards against: a new
+``PolicySpec`` parameter (``backend``) that changes which table gets
+built *must* also flow into :func:`repro.scenario.runner.table_key`, or
+two policies that need different tables silently share a cache slot.
+The two halves of the contract live in different modules — the parameter
+list on the spec, the key computation in the runner — so this rule runs
+over the whole file set at once.
+
+Three checks, each silent when its anchor is absent from the checked
+set (so fixture corpora can exercise one half at a time):
+
+1. every ``PolicySpec.TABLE_PARAM_KEYS`` entry appears as a string
+   constant inside the module-level ``table_key`` function;
+2. every ``params.get("X", ...)`` key read by
+   ``PolicySpec.table_config`` is declared in ``TABLE_PARAM_KEYS``;
+3. every ``config["X"]`` subscript inside ``ScenarioRunner.table`` is
+   declared in ``TABLE_PARAM_KEYS``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.devtools.check.engine import (
+    CheckedFile,
+    Finding,
+    ProjectRule,
+    register_rule,
+)
+
+
+def _string_constants(node: ast.AST) -> set[str]:
+    """Every string literal appearing anywhere under `node`."""
+    return {
+        child.value
+        for child in ast.walk(node)
+        if isinstance(child, ast.Constant) and isinstance(child.value, str)
+    }
+
+
+def _find_class(
+    files: Sequence[CheckedFile], name: str
+) -> tuple[CheckedFile, ast.ClassDef] | None:
+    for file in files:
+        if file.tree is None:
+            continue
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ClassDef) and node.name == name:
+                return file, node
+    return None
+
+
+def _find_function(
+    files: Sequence[CheckedFile], name: str
+) -> tuple[CheckedFile, ast.FunctionDef] | None:
+    """A module-level function definition, searched across the file set."""
+    for file in files:
+        if file.tree is None:
+            continue
+        for node in file.tree.body:
+            if isinstance(node, ast.FunctionDef) and node.name == name:
+                return file, node
+    return None
+
+
+def _method(cls: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for item in cls.body:
+        if isinstance(item, ast.FunctionDef) and item.name == name:
+            return item
+    return None
+
+
+def _table_param_keys(cls: ast.ClassDef) -> tuple[int, tuple[str, ...]] | None:
+    """``(line, keys)`` of the ``TABLE_PARAM_KEYS`` tuple, if declared."""
+    for item in cls.body:
+        targets: list[ast.expr] = []
+        if isinstance(item, ast.Assign):
+            targets = item.targets
+        elif isinstance(item, ast.AnnAssign) and item.value is not None:
+            targets = [item.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "TABLE_PARAM_KEYS":
+                value = item.value
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    keys = tuple(
+                        element.value
+                        for element in value.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    )
+                    return item.lineno, keys
+    return None
+
+
+def _params_get_keys(func: ast.FunctionDef) -> list[tuple[int, str]]:
+    """``(line, key)`` for every ``<name>.get("key", ...)`` call in `func`."""
+    reads: list[tuple[int, str]] = []
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            reads.append((node.lineno, node.args[0].value))
+    return reads
+
+
+def _config_subscript_keys(func: ast.FunctionDef) -> list[tuple[int, str]]:
+    """``(line, key)`` for every ``config["key"]`` subscript in `func`."""
+    reads: list[tuple[int, str]] = []
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "config"
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            reads.append((node.lineno, node.slice.value))
+    return reads
+
+
+@register_rule
+class CacheKeyCompletenessRule(ProjectRule):
+    """Every table-shaping PolicySpec param participates in table_key."""
+
+    rule_id = "PT003"
+    title = "cache-key completeness"
+    invariant = (
+        "every PolicySpec parameter that shapes the Phase-1 table "
+        "(TABLE_PARAM_KEYS) flows into table_key, and no table-shaping "
+        "read happens outside the declared key set — otherwise distinct "
+        "tables silently share a cache slot"
+    )
+
+    def check_project(
+        self, files: Sequence[CheckedFile]
+    ) -> Iterator[Finding]:
+        spec = _find_class(files, "PolicySpec")
+        if spec is None:
+            return
+        spec_file, spec_cls = spec
+        declared = _table_param_keys(spec_cls)
+        if declared is None:
+            yield spec_file.finding(
+                self.rule_id,
+                spec_cls,
+                "PolicySpec declares no literal TABLE_PARAM_KEYS tuple: "
+                "the cache-key contract cannot be checked statically",
+            )
+            return
+        keys_line, keys = declared
+        key_set = set(keys)
+
+        # (1) every declared key is consumed by table_key's payload.
+        table_key = _find_function(files, "table_key")
+        if table_key is not None:
+            key_file, key_func = table_key
+            used = _string_constants(key_func)
+            for key in keys:
+                if key not in used:
+                    yield key_file.finding(
+                        self.rule_id,
+                        key_func,
+                        f"TABLE_PARAM_KEYS entry {key!r} never appears in "
+                        "table_key: policies differing only in "
+                        f"{key!r} would share a cached table",
+                    )
+
+        # (2) table_config reads only declared keys.
+        table_config = _method(spec_cls, "table_config")
+        if table_config is not None:
+            for line, key in _params_get_keys(table_config):
+                if key not in key_set:
+                    yield spec_file.finding(
+                        self.rule_id,
+                        line,
+                        f"table_config reads param {key!r} which is not in "
+                        "TABLE_PARAM_KEYS: add it there (and to table_key) "
+                        "or the cache key will ignore it",
+                    )
+
+        # (3) ScenarioRunner.table consumes only declared config keys.
+        runner = _find_class(files, "ScenarioRunner")
+        if runner is not None:
+            runner_file, runner_cls = runner
+            table_method = _method(runner_cls, "table")
+            if table_method is not None:
+                for line, key in _config_subscript_keys(table_method):
+                    if key not in key_set:
+                        yield runner_file.finding(
+                            self.rule_id,
+                            line,
+                            f"ScenarioRunner.table reads config[{key!r}] "
+                            "which is not in TABLE_PARAM_KEYS: the table "
+                            "build depends on a param the cache key omits",
+                        )

@@ -1,0 +1,77 @@
+"""Reporters for ``protemp check``: human text and machine JSON.
+
+The JSON document is versioned (``{"version": 1, ...}``) so the CI
+artifact consumers can evolve independently of the text output; its
+schema is pinned by ``tests/test_devtools_check.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.devtools.check.engine import CheckReport, all_rules
+
+
+def render_text(report: CheckReport) -> str:
+    """The human-facing report: one ``path:line:col RULE message`` per row.
+
+    Waived findings are listed after the active block (marked ``waived:``
+    with their reason) so accepted violations stay visible without
+    failing the run; the trailer summarizes counts either way.
+    """
+    lines: list[str] = []
+    for finding in report.active:
+        lines.append(
+            f"{finding.location()} {finding.rule} {finding.message}"
+        )
+    waived = report.waived
+    if waived:
+        if lines:
+            lines.append("")
+        for finding in waived:
+            lines.append(
+                f"{finding.location()} {finding.rule} waived: "
+                f"{finding.waiver_reason} [{finding.message}]"
+            )
+    if lines:
+        lines.append("")
+    lines.append(
+        f"protemp check: {len(report.active)} finding(s), "
+        f"{len(waived)} waived, {report.files_checked} file(s), "
+        f"rules: {', '.join(report.rules)}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: CheckReport) -> str:
+    """The machine-facing report (stable, versioned schema).
+
+    Layout::
+
+        {
+          "version": 1,
+          "summary": {"files_checked": N, "active": N, "waived": N,
+                      "exit_code": 0|1},
+          "rules": [{"rule": id, "title": ..., "invariant": ...}, ...],
+          "findings": [{"rule", "path", "line", "col", "message",
+                        "waived", "waiver_reason"}, ...]
+        }
+    """
+    registered = all_rules()
+    document: dict[str, Any] = {
+        "version": 1,
+        "summary": {
+            "files_checked": report.files_checked,
+            "active": len(report.active),
+            "waived": len(report.waived),
+            "exit_code": report.exit_code,
+        },
+        "rules": [
+            registered[rule_id].describe()
+            for rule_id in report.rules
+            if rule_id in registered
+        ],
+        "findings": [finding.to_dict() for finding in report.findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True, allow_nan=False)

@@ -1,0 +1,500 @@
+"""The per-file project-invariant rules (PT001/PT002/PT004/PT005).
+
+Each rule encodes one contract the platform's correctness story depends
+on (see docs/DEVTOOLS.md for the full catalogue):
+
+* **PT001** — determinism: the replayable packages must not consult
+  global RNGs or wall clocks; seeds flow through
+  :func:`repro.scenario.specs.derive_seed`.
+* **PT002** — lock discipline: shared-state attributes of the
+  thread-shared classes are only written under their lock (or in
+  ``__init__``, or in a ``*_locked`` method — the documented convention
+  for helpers that require the caller to hold the lock).
+* **PT004** — float hygiene: no ``==``/``!=`` against float literals in
+  the numerical packages, and persistence-path ``json.dump(s)`` must pin
+  ``allow_nan=False`` (NaN/Infinity do not round-trip standard JSON).
+* **PT005** — registry/spec discipline: spec dataclasses stay frozen
+  (they are dict keys and hash inputs) and ``register_*`` names stay
+  string literals (``protemp list`` and the spec validators enumerate
+  them statically).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Mapping
+
+from repro.devtools.check.engine import CheckedFile, Finding, Rule, register_rule
+
+
+# -- shared AST helpers ----------------------------------------------------
+
+
+def import_map(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the canonical dotted path they import.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``; ``from datetime import
+    datetime`` -> ``{"datetime": "datetime.datetime"}``.  Relative imports
+    are skipped (their targets are package-internal and never the stdlib
+    modules the rules look for).
+    """
+    mapping: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    mapping[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    mapping[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            for alias in node.names:
+                mapping[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def dotted_chain(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def canonical_call(imports: Mapping[str, str], call: ast.Call) -> str | None:
+    """The canonical dotted path of a call target, via the import map."""
+    chain = dotted_chain(call.func)
+    if chain is None or chain[0] not in imports:
+        return None
+    return ".".join([imports[chain[0]], *chain[1:]])
+
+
+def _module_in(module: str | None, prefixes: tuple[str, ...]) -> bool:
+    """True when `module` is one of `prefixes` or nested inside one."""
+    if module is None:
+        return False
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in prefixes
+    )
+
+
+# -- PT001: determinism ----------------------------------------------------
+
+#: Packages whose results must replay bit-identically from the
+#: OutcomeStore: scenario execution, simulation, and the solver stack.
+DETERMINISTIC_PACKAGES = (
+    "repro.scenario",
+    "repro.sim",
+    "repro.solver",
+    "repro.core",
+)
+
+#: Wall-clock calls that leak host time into deterministic code.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: numpy.random attributes that are *not* the legacy global-state API.
+_NUMPY_RNG_OK = frozenset({"default_rng", "Generator", "SeedSequence", "BitGenerator"})
+
+
+@register_rule
+class DeterminismRule(Rule):
+    """No global RNGs or wall clocks in the replayable packages."""
+
+    rule_id = "PT001"
+    title = "determinism"
+    invariant = (
+        "repro.{scenario,sim,solver,core} replay bit-identically from the "
+        "OutcomeStore: randomness is seeded through derive_seed and no "
+        "wall clock influences results"
+    )
+
+    def applies_to(self, file: CheckedFile) -> bool:
+        return _module_in(file.module, DETERMINISTIC_PACKAGES)
+
+    def check(self, file: CheckedFile) -> Iterator[Finding]:
+        assert file.tree is not None
+        imports = import_map(file.tree)
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = canonical_call(imports, node)
+            if target is None:
+                continue
+            if target in _WALL_CLOCK_CALLS:
+                yield file.finding(
+                    self.rule_id,
+                    node,
+                    f"wall-clock call {target}() in a deterministic "
+                    "package: results must not depend on host time",
+                )
+            elif target == "random" or target.startswith("random."):
+                yield file.finding(
+                    self.rule_id,
+                    node,
+                    f"stdlib global RNG call {target}(): use a seeded "
+                    "np.random.default_rng(derive_seed(...)) stream instead",
+                )
+            elif target == "numpy.random.default_rng" and not (
+                node.args or node.keywords
+            ):
+                yield file.finding(
+                    self.rule_id,
+                    node,
+                    "unseeded np.random.default_rng(): pass a seed derived "
+                    "via derive_seed so replays are bit-identical",
+                )
+            elif (
+                target.startswith("numpy.random.")
+                and target.split(".")[2] not in _NUMPY_RNG_OK
+            ):
+                yield file.finding(
+                    self.rule_id,
+                    node,
+                    f"legacy numpy global-RNG call {target}(): hidden "
+                    "global state breaks replay; use a seeded Generator",
+                )
+
+
+# -- PT002: lock discipline ------------------------------------------------
+
+#: Thread-shared classes and the lock attribute guarding their state.
+#: Writes to ``self.<attr>`` outside ``__init__`` must happen inside
+#: ``with self.<lock>:`` or in a ``*_locked`` method (the codebase's
+#: convention for helpers whose caller must hold the lock).
+SHARED_STATE_CLASSES: dict[str, tuple[str, ...]] = {
+    "ScenarioRunner": ("_lock",),
+    "JobManager": ("_lock",),
+    "Job": ("_cond",),
+    "MemoryOutcomeStore": ("_mutex",),
+    "DirectoryOutcomeStore": ("_mutex",),
+}
+
+
+def _self_write_target(node: ast.AST) -> str | None:
+    """The ``self.X`` attribute a write targets (through subscripts)."""
+    if isinstance(node, ast.Subscript):
+        return _self_write_target(node.value)
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _holds_lock(node: ast.With | ast.AsyncWith, locks: tuple[str, ...]) -> bool:
+    """True when one of the with-items is ``self.<lock>``."""
+    for item in node.items:
+        target = item.context_expr
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and target.attr in locks
+        ):
+            return True
+    return False
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    """Shared-state attribute writes stay inside their class's lock."""
+
+    rule_id = "PT002"
+    title = "lock discipline"
+    invariant = (
+        "the thread-shared classes (ScenarioRunner, JobManager, Job, the "
+        "outcome stores) only mutate instance state under their lock, in "
+        "__init__, or in a *_locked helper"
+    )
+
+    def check(self, file: CheckedFile) -> Iterator[Finding]:
+        assert file.tree is not None
+        for node in ast.walk(file.tree):
+            if (
+                isinstance(node, ast.ClassDef)
+                and node.name in SHARED_STATE_CLASSES
+            ):
+                yield from self._check_class(file, node)
+
+    def _check_class(
+        self, file: CheckedFile, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        locks = SHARED_STATE_CLASSES[cls.name]
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name == "__init__" or item.name.endswith("_locked"):
+                continue
+            yield from self._check_body(file, cls.name, locks, item.body, False)
+
+    def _check_body(
+        self,
+        file: CheckedFile,
+        class_name: str,
+        locks: tuple[str, ...],
+        stmts: list[ast.stmt],
+        locked: bool,
+    ) -> Iterator[Finding]:
+        for node in stmts:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                inner = locked or _holds_lock(node, locks)
+                yield from self._check_body(
+                    file, class_name, locks, node.body, inner
+                )
+                continue
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                elements = (
+                    list(target.elts)
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                for element in elements:
+                    attr = _self_write_target(element)
+                    if attr is not None and attr not in locks and not locked:
+                        yield file.finding(
+                            self.rule_id,
+                            node,
+                            f"write to shared attribute self.{attr} of "
+                            f"{class_name} outside 'with self.{locks[0]}:' "
+                            "(shared classes mutate state only under their "
+                            "lock, in __init__, or in a *_locked helper)",
+                        )
+            # Recurse into every nested statement list (if/for/try/def...).
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    yield from self._check_body(
+                        file, class_name, locks, [child], locked
+                    )
+
+
+# -- PT004: float hygiene --------------------------------------------------
+
+#: Numerical packages where bare float equality is (almost) always wrong.
+FLOAT_SENSITIVE_PACKAGES = ("repro.solver", "repro.thermal")
+
+#: Modules whose json.dump/json.dumps calls persist replayable artifacts
+#: and must reject NaN/Infinity (they do not round-trip standard JSON).
+PERSISTENCE_MODULES = (
+    "repro.scenario.store",
+    "repro.scenario.specs",
+    "repro.core.table",
+    "repro.workloads.trace_io",
+    "repro.floorplan.floorplan",
+)
+
+#: Function-name prefixes that mark persistence paths in any module.
+_PERSISTENCE_FUNC_PREFIXES = ("save", "write", "dump", "to_json")
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register_rule
+class FloatHygieneRule(Rule):
+    """No bare float equality; persisted JSON pins allow_nan=False."""
+
+    rule_id = "PT004"
+    title = "float hygiene"
+    invariant = (
+        "numerical code never compares floats with ==/!= against float "
+        "literals, and persistence-path json.dump(s) always passes "
+        "allow_nan=False so NaN/Infinity cannot poison stored artifacts"
+    )
+
+    def check(self, file: CheckedFile) -> Iterator[Finding]:
+        assert file.tree is not None
+        if _module_in(file.module, FLOAT_SENSITIVE_PACKAGES):
+            yield from self._check_float_equality(file)
+        yield from self._check_json_calls(file)
+
+    def _check_float_equality(self, file: CheckedFile) -> Iterator[Finding]:
+        assert file.tree is not None
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(operands[index]) or _is_float_literal(
+                    operands[index + 1]
+                ):
+                    yield file.finding(
+                        self.rule_id,
+                        node,
+                        "bare ==/!= against a float literal in numerical "
+                        "code: compare against a tolerance (or waive with "
+                        "a reason when exact-zero structure is intended)",
+                    )
+                    break
+
+    def _check_json_calls(self, file: CheckedFile) -> Iterator[Finding]:
+        assert file.tree is not None
+        imports = import_map(file.tree)
+        in_persistence_module = _module_in(file.module, PERSISTENCE_MODULES)
+
+        def visit(node: ast.AST, func_name: str | None) -> Iterator[Finding]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                func_name = node.name
+            if isinstance(node, ast.Call):
+                target = canonical_call(imports, node)
+                if target in ("json.dump", "json.dumps"):
+                    in_scope = in_persistence_module or (
+                        func_name is not None
+                        and func_name.lstrip("_").startswith(
+                            _PERSISTENCE_FUNC_PREFIXES
+                        )
+                    )
+                    if in_scope:
+                        allow_nan = next(
+                            (
+                                kw
+                                for kw in node.keywords
+                                if kw.arg == "allow_nan"
+                            ),
+                            None,
+                        )
+                        if allow_nan is None:
+                            yield Finding(
+                                rule=self.rule_id,
+                                path=str(file.path),
+                                line=node.lineno,
+                                col=node.col_offset,
+                                message=(
+                                    f"{target}(...) on a persistence path "
+                                    "without allow_nan=False: NaN/Infinity "
+                                    "would not round-trip standard JSON"
+                                ),
+                            )
+                        elif not (
+                            isinstance(allow_nan.value, ast.Constant)
+                            and allow_nan.value.value is False
+                        ):
+                            yield Finding(
+                                rule=self.rule_id,
+                                path=str(file.path),
+                                line=node.lineno,
+                                col=node.col_offset,
+                                message=(
+                                    f"{target}(...) on a persistence path "
+                                    "must pass allow_nan=False literally"
+                                ),
+                            )
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, func_name)
+
+        yield from visit(file.tree, None)
+
+
+# -- PT005: registry/spec discipline ---------------------------------------
+
+_REGISTER_NAME_RE = re.compile(r"^register_[a-z_]+$")
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    """The ``@dataclass`` / ``@dataclass(...)`` decorator, if present."""
+    for decorator in node.decorator_list:
+        call_target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        chain = dotted_chain(call_target)
+        if chain is not None and chain[-1] == "dataclass":
+            return decorator
+    return None
+
+
+@register_rule
+class RegistrySpecDisciplineRule(Rule):
+    """Spec dataclasses stay frozen; registry names stay string literals."""
+
+    rule_id = "PT005"
+    title = "registry/spec discipline"
+    invariant = (
+        "*Spec dataclasses are frozen=True (they key caches and hash into "
+        "spec_hash) and register_* names are string literals (protemp "
+        "list and the spec validators enumerate registries statically)"
+    )
+
+    def check(self, file: CheckedFile) -> Iterator[Finding]:
+        assert file.tree is not None
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ClassDef) and node.name.endswith("Spec"):
+                decorator = _dataclass_decorator(node)
+                if decorator is not None and not self._is_frozen(decorator):
+                    yield file.finding(
+                        self.rule_id,
+                        node,
+                        f"spec dataclass {node.name} is not frozen=True: "
+                        "specs key caches and hash into spec_hash, so they "
+                        "must stay immutable",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_register_call(file, node)
+
+    @staticmethod
+    def _is_frozen(decorator: ast.expr) -> bool:
+        if not isinstance(decorator, ast.Call):
+            return False  # bare @dataclass defaults to frozen=False
+        for keyword in decorator.keywords:
+            if keyword.arg == "frozen":
+                return (
+                    isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                )
+        return False
+
+    def _check_register_call(
+        self, file: CheckedFile, node: ast.Call
+    ) -> Iterator[Finding]:
+        func = node.func
+        is_register = False
+        if isinstance(func, ast.Name) and _REGISTER_NAME_RE.match(func.id):
+            is_register = True
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "register"
+            and isinstance(func.value, ast.Name)
+            and func.value.id.isupper()
+        ):
+            is_register = True
+        if not is_register:
+            return
+        name_arg: ast.expr | None = node.args[0] if node.args else None
+        if name_arg is None:
+            name_arg = next(
+                (kw.value for kw in node.keywords if kw.arg == "name"), None
+            )
+        if name_arg is None:
+            return
+        if not (
+            isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)
+        ):
+            yield file.finding(
+                self.rule_id,
+                node,
+                "registry registration with a non-literal name: names must "
+                "be string literals so 'protemp list' and the spec "
+                "validators stay statically enumerable",
+            )

@@ -1,0 +1,152 @@
+"""Waiver comments: ``# protemp: allow[RULE] -- reason``.
+
+A waiver suppresses one rule's findings on one line — never silently: the
+rule id must be spelled out and a human-readable reason is mandatory, so
+every accepted violation in the tree documents *why* it is acceptable.
+
+Grammar (one comment, end-of-line or on the line directly above)::
+
+    # protemp: allow[PT001] -- provenance timestamp, not replay state
+    # protemp: allow[PT001,PT004] -- shared reason for both rules
+
+Placement:
+
+* an **inline** waiver (code before the ``#``) covers its own line;
+* a **standalone** waiver (comment-only line) covers its own line and the
+  line directly below it — use it when the offending line has no room.
+
+A comment that starts with ``protemp:`` but does not parse as a valid
+waiver — unknown directive, empty rule list, or a missing ``-- reason`` —
+is itself reported as a :data:`MALFORMED_WAIVER_RULE` finding: a waiver
+that silently fails to apply would be worse than no waiver at all.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Rule id under which malformed waivers (and unparseable files) report.
+MALFORMED_WAIVER_RULE = "PT000"
+
+_DIRECTIVE_RE = re.compile(r"#\s*protemp\s*:\s*(?P<body>.*)$")
+_ALLOW_RE = re.compile(
+    r"^allow\[(?P<rules>[A-Za-z0-9_,\s]*)\]\s*(?:--\s*(?P<reason>.*))?$"
+)
+_RULE_ID_RE = re.compile(r"^[A-Z]+[0-9]+$")
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One parsed waiver comment.
+
+    Attributes:
+        line: 1-based line the comment sits on.
+        rules: the rule ids it suppresses.
+        reason: the mandatory justification text.
+        standalone: True when the comment is the only thing on its line
+            (it then also covers the following line).
+    """
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    standalone: bool
+
+    def covers(self, rule_id: str, line: int) -> bool:
+        """True when this waiver suppresses `rule_id` findings on `line`."""
+        if rule_id not in self.rules:
+            return False
+        if line == self.line:
+            return True
+        return self.standalone and line == self.line + 1
+
+
+@dataclass(frozen=True)
+class WaiverProblem:
+    """A ``protemp:`` comment that failed to parse as a waiver."""
+
+    line: int
+    message: str
+
+
+def _comments(text: str) -> Iterator[tuple[int, int, str]]:
+    """Yield ``(line, col, comment_text)`` for every comment in `text`.
+
+    Tokenization (not a line regex) so ``#`` characters inside string
+    literals never masquerade as comments.  Files that fail to tokenize
+    yield nothing — the engine reports the syntax error separately.
+    """
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
+def parse_waivers(text: str) -> tuple[list[Waiver], list[WaiverProblem]]:
+    """Extract waivers (and malformed waiver attempts) from source text.
+
+    Returns:
+        ``(waivers, problems)`` — `problems` are comments that *look* like
+        waivers but do not satisfy the grammar; the engine turns each into
+        a :data:`MALFORMED_WAIVER_RULE` finding.
+    """
+    waivers: list[Waiver] = []
+    problems: list[WaiverProblem] = []
+    lines = text.splitlines()
+    for line_no, col, comment in _comments(text):
+        directive = _DIRECTIVE_RE.search(comment)
+        if directive is None:
+            continue
+        body = directive.group("body").strip()
+        allow = _ALLOW_RE.match(body)
+        if allow is None:
+            problems.append(
+                WaiverProblem(
+                    line=line_no,
+                    message=(
+                        f"malformed waiver comment {comment.strip()!r}: "
+                        "expected '# protemp: allow[RULE,...] -- reason'"
+                    ),
+                )
+            )
+            continue
+        rules = tuple(
+            part.strip() for part in allow.group("rules").split(",") if part.strip()
+        )
+        reason = (allow.group("reason") or "").strip()
+        bad_ids = [rule for rule in rules if not _RULE_ID_RE.match(rule)]
+        if not rules or bad_ids:
+            problems.append(
+                WaiverProblem(
+                    line=line_no,
+                    message=(
+                        f"waiver names no valid rule ids ({bad_ids or 'empty list'}); "
+                        "expected e.g. allow[PT001]"
+                    ),
+                )
+            )
+            continue
+        if not reason:
+            problems.append(
+                WaiverProblem(
+                    line=line_no,
+                    message=(
+                        "waiver is missing its mandatory reason: every "
+                        "accepted violation must say why "
+                        "('# protemp: allow[RULE] -- reason')"
+                    ),
+                )
+            )
+            continue
+        source_line = lines[line_no - 1] if line_no - 1 < len(lines) else ""
+        standalone = source_line[:col].strip() == ""
+        waivers.append(
+            Waiver(line=line_no, rules=rules, reason=reason, standalone=standalone)
+        )
+    return waivers, problems

@@ -106,6 +106,16 @@ class ServiceError(ReproError):
         self.status = status
 
 
+class DevtoolsError(ReproError):
+    """A developer-tooling invocation is invalid (``protemp check``).
+
+    Raised for *usage* problems — unknown rule ids, missing paths,
+    unreadable inputs — never for findings: a finding is a result (the
+    check exits 1), while a :class:`DevtoolsError` means the check could
+    not run as requested (exit 2, like every other CLI usage error).
+    """
+
+
 class ScenarioError(ReproError, ValueError):
     """A scenario spec, registry lookup, or scenario run is invalid.
 

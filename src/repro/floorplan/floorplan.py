@@ -262,7 +262,9 @@ class Floorplan:
 
     def save_json(self, path: str | Path) -> None:
         """Write the floorplan to a JSON file."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, allow_nan=False)
+        )
 
     @classmethod
     def load_json(cls, path: str | Path) -> "Floorplan":

@@ -14,7 +14,7 @@ actually supports (and that the Phase-1 table is indexed by).
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -29,8 +29,8 @@ Factory calling conventions (enforced by the runner):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.control import BasicDFSPolicy, NoTCPolicy, ProTempPolicy
 from repro.errors import ScenarioError
@@ -69,7 +69,7 @@ class RegistryEntry:
     """
 
     name: str
-    factory: Callable
+    factory: Callable[..., Any]
     description: str = ""
     needs_table: bool = False
     needs_seed: bool = False
@@ -99,19 +99,19 @@ class Registry:
     def register(
         self,
         name: str,
-        factory: Callable | None = None,
+        factory: Callable[..., Any] | None = None,
         *,
         description: str = "",
         needs_table: bool = False,
         needs_seed: bool = False,
-    ) -> Callable:
+    ) -> Callable[..., Any]:
         """Register a factory under `name`; usable as a decorator.
 
         Raises:
             ScenarioError: when `name` is already taken (re-registration
                 is always a bug — unregister explicitly in tests).
         """
-        def _add(fn: Callable) -> Callable:
+        def _add(fn: Callable[..., Any]) -> Callable[..., Any]:
             if name in self._entries:
                 raise ScenarioError(
                     f"duplicate {self.kind} registration {name!r}"
@@ -184,7 +184,7 @@ register_sensor = SENSORS.register
     "niagara8",
     description="The paper's 8-core Niagara evaluation platform (section 5)",
 )
-def _niagara8(**params) -> Platform:
+def _niagara8(**params: Any) -> Platform:
     return Platform.niagara8(**params)
 
 
@@ -192,7 +192,7 @@ def _niagara8(**params) -> Platform:
     "core-row",
     description="n cores in a row (fast synthetic platform for testing)",
 )
-def _core_row(n_cores: int = 3, **params) -> Platform:
+def _core_row(n_cores: int = 3, **params: Any) -> Platform:
     floorplan = core_row(n_cores)
     return Platform.from_floorplan(floorplan, name=f"row{n_cores}", **params)
 
@@ -201,7 +201,7 @@ def _core_row(n_cores: int = 3, **params) -> Platform:
     "core-grid",
     description="rows x cols core grid (synthetic many-core platform)",
 )
-def _core_grid(rows: int = 2, cols: int = 2, **params) -> Platform:
+def _core_grid(rows: int = 2, cols: int = 2, **params: Any) -> Platform:
     floorplan = core_grid(rows, cols)
     return Platform.from_floorplan(
         floorplan, name=f"grid{rows}x{cols}", **params
@@ -212,7 +212,9 @@ def _core_grid(rows: int = 2, cols: int = 2, **params) -> Platform:
     "core-grid-cache-ring",
     description="core grid surrounded by a ring of cache blocks",
 )
-def _core_grid_cache_ring(rows: int = 2, cols: int = 2, **params) -> Platform:
+def _core_grid_cache_ring(
+    rows: int = 2, cols: int = 2, **params: Any
+) -> Platform:
     floorplan = core_grid_with_cache_ring(rows, cols)
     return Platform.from_floorplan(
         floorplan, name=f"grid{rows}x{cols}+ring", **params
@@ -324,7 +326,7 @@ def _basic_dfs(
     needs_table=True,
     description="proactive convex-optimized table lookup (the paper's Pro-Temp)",
 )
-def _protemp(table, name: str | None = None) -> ProTempPolicy:
+def _protemp(table: Any, name: str | None = None) -> ProTempPolicy:
     return ProTempPolicy(table, name=name)
 
 

@@ -592,6 +592,7 @@ class ScenarioRunner:
                 provenance={
                     "platform_spec_hash": platform_spec.spec_hash,
                     "platform_spec": platform_spec.to_dict(),
+                    # protemp: allow[PT001] -- provenance timestamp only; excluded from record equality and replay
                     "built_at": datetime.now(timezone.utc).isoformat(
                         timespec="seconds"
                     ),

@@ -41,7 +41,7 @@ import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, cast
 
 from repro.errors import ScenarioError, did_you_mean
 from repro.thermal.constants import PAPER_DFS_PERIOD
@@ -116,12 +116,14 @@ def canonical_params(params: Mapping[str, Any] | str | None) -> str:
         raise ScenarioError(f"params are not JSON-representable: {exc}") from exc
 
 
-def _spec_hash(payload: dict) -> str:
+def _spec_hash(payload: dict[str, Any]) -> str:
     blob = json.dumps(payload, sort_keys=True, allow_nan=False)
     return hashlib.sha256(blob.encode()).hexdigest()[:12]
 
 
-def _check_keys(data: Mapping, allowed: tuple[str, ...], what: str) -> None:
+def _check_keys(
+    data: Mapping[str, Any], allowed: tuple[str, ...], what: str
+) -> None:
     """Reject unknown keys in a spec dict — a typo'd field name must fail
     loudly, not silently fall back to the default."""
     unknown = sorted(set(data) - set(allowed))
@@ -148,16 +150,16 @@ class PlatformSpec:
         object.__setattr__(self, "params", canonical_params(self.params))
 
     @property
-    def kwargs(self) -> dict:
+    def kwargs(self) -> dict[str, Any]:
         """Decoded builder keyword arguments."""
-        return json.loads(self.params)
+        return cast(dict[str, Any], json.loads(self.params))
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Plain-data representation."""
         return {"name": self.name, "params": self.kwargs}
 
     @classmethod
-    def from_dict(cls, data: dict | str) -> "PlatformSpec":
+    def from_dict(cls, data: dict[str, Any] | str) -> "PlatformSpec":
         """Inverse of :meth:`to_dict`; also accepts a bare name string."""
         if isinstance(data, str):
             return cls(name=data)
@@ -193,13 +195,13 @@ class WorkloadSpec:
         object.__setattr__(self, "params", canonical_params(self.params))
 
     @property
-    def kwargs(self) -> dict:
+    def kwargs(self) -> dict[str, Any]:
         """Decoded generator keyword arguments."""
-        return json.loads(self.params)
+        return cast(dict[str, Any], json.loads(self.params))
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Plain-data representation."""
-        data: dict = {
+        data: dict[str, Any] = {
             "name": self.name,
             "duration": self.duration,
             "params": self.kwargs,
@@ -209,7 +211,7 @@ class WorkloadSpec:
         return data
 
     @classmethod
-    def from_dict(cls, data: dict | str) -> "WorkloadSpec":
+    def from_dict(cls, data: dict[str, Any] | str) -> "WorkloadSpec":
         """Inverse of :meth:`to_dict`; also accepts a bare name string."""
         if isinstance(data, str):
             return cls(name=data)
@@ -281,11 +283,11 @@ class PolicySpec:
                 )
 
     @property
-    def kwargs(self) -> dict:
+    def kwargs(self) -> dict[str, Any]:
         """Decoded parameters (table keys included)."""
-        return json.loads(self.params)
+        return cast(dict[str, Any], json.loads(self.params))
 
-    def factory_kwargs(self) -> dict:
+    def factory_kwargs(self) -> dict[str, Any]:
         """Parameters forwarded to the policy factory (table keys removed)."""
         return {
             k: v
@@ -293,7 +295,7 @@ class PolicySpec:
             if k not in self.TABLE_PARAM_KEYS
         }
 
-    def table_config(self) -> dict:
+    def table_config(self) -> dict[str, Any]:
         """Phase-1 table configuration with defaults filled in."""
         params = self.kwargs
         return {
@@ -307,12 +309,12 @@ class PolicySpec:
             "backend": params.get("backend", "barrier"),
         }
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Plain-data representation."""
         return {"name": self.name, "params": self.kwargs}
 
     @classmethod
-    def from_dict(cls, data: dict | str) -> "PolicySpec":
+    def from_dict(cls, data: dict[str, Any] | str) -> "PolicySpec":
         """Inverse of :meth:`to_dict`; also accepts a bare name string."""
         if isinstance(data, str):
             return cls(name=data)
@@ -339,19 +341,19 @@ class SensorSpec:
         object.__setattr__(self, "params", canonical_params(self.params))
 
     @property
-    def kwargs(self) -> dict:
+    def kwargs(self) -> dict[str, Any]:
         """Decoded sensor keyword arguments."""
-        return json.loads(self.params)
+        return cast(dict[str, Any], json.loads(self.params))
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Plain-data representation."""
-        data: dict = {"name": self.name, "params": self.kwargs}
+        data: dict[str, Any] = {"name": self.name, "params": self.kwargs}
         if self.seed is not None:
             data["seed"] = self.seed
         return data
 
     @classmethod
-    def from_dict(cls, data: dict | str) -> "SensorSpec":
+    def from_dict(cls, data: dict[str, Any] | str) -> "SensorSpec":
         """Inverse of :meth:`to_dict`; also accepts a bare name string."""
         if isinstance(data, str):
             return cls(name=data)
@@ -363,7 +365,7 @@ class SensorSpec:
         )
 
 
-def _coerce(kind: type, value: Any) -> Any:
+def _coerce(kind: type[Any], value: Any) -> Any:
     """Coerce a str/dict into the given spec type; pass specs through."""
     if isinstance(value, kind):
         return value
@@ -470,9 +472,9 @@ class ScenarioSpec:
 
     # -- serialization -----------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Plain-data (JSON-compatible) representation."""
-        data: dict = {
+        data: dict[str, Any] = {
             "platform": self.platform.to_dict(),
             "workload": self.workload.to_dict(),
             "policy": self.policy.to_dict(),
@@ -503,7 +505,7 @@ class ScenarioSpec:
     )
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ScenarioSpec":
+    def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":
         """Inverse of :meth:`to_dict` (unknown keys are rejected)."""
         _check_keys(data, cls._DICT_KEYS, "scenario")
         try:
@@ -595,7 +597,7 @@ class ScenarioSpec:
         return specs
 
 
-def _axis_values(value: Any) -> list:
+def _axis_values(value: Any) -> list[Any]:
     """Interpret a grid-axis value: scalars wrap, iterables expand."""
     if isinstance(value, (str, bytes, dict, Mapping)) or not isinstance(
         value, Iterable
@@ -664,7 +666,7 @@ def shard_specs(
 
 
 def scenario_grid_from_config(
-    config: dict,
+    config: dict[str, Any],
     *,
     shard_index: int | None = None,
     shard_count: int | None = None,

@@ -45,7 +45,7 @@ import threading
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from repro.errors import OutcomeStoreError
 from repro.scenario.specs import _spec_hash
@@ -54,7 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
     from repro.scenario.runner import ScenarioOutcome
 
 
-def _canonical(payload: dict) -> str:
+def _canonical(payload: dict[str, Any]) -> str:
     """Canonical JSON encoding used for record equality and hashing."""
     return json.dumps(payload, sort_keys=True, allow_nan=False)
 
@@ -85,9 +85,9 @@ class StoredOutcome:
     """
 
     spec_hash: str
-    spec: dict
-    summary: dict
-    provenance: dict = field(default_factory=dict)
+    spec: dict[str, Any]
+    summary: dict[str, Any]
+    provenance: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def from_outcome(cls, outcome: "ScenarioOutcome") -> "StoredOutcome":
@@ -111,13 +111,14 @@ class StoredOutcome:
                 "solve_wall_time_s": outcome.solve_wall_time_s,
                 "table_cache_hit": outcome.table_cache_hit,
                 "table_key": outcome.table_key,
+                # protemp: allow[PT001] -- provenance timestamp only; excluded from record equality and replay
                 "stored_at": datetime.now(timezone.utc).isoformat(
                     timespec="seconds"
                 ),
             },
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Plain-data (JSON-compatible) representation."""
         return {
             "spec_hash": self.spec_hash,
@@ -127,7 +128,9 @@ class StoredOutcome:
         }
 
     @classmethod
-    def from_dict(cls, data: dict, *, source: str = "record") -> "StoredOutcome":
+    def from_dict(
+        cls, data: dict[str, Any], *, source: str = "record"
+    ) -> "StoredOutcome":
         """Inverse of :meth:`to_dict`, with validation.
 
         Args:
@@ -470,7 +473,7 @@ class MergeResult:
     duplicates: int
     sources: int
 
-    def summary_rows(self) -> list[dict]:
+    def summary_rows(self) -> list[dict[str, Any]]:
         """The deterministic summary rows, sorted by spec hash."""
         return [dict(record.summary) for record in self.records]
 

@@ -9,7 +9,7 @@ trace of ~60,000 tasks covering several hundred seconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -11,7 +11,7 @@ meaningful check.
 from __future__ import annotations
 
 import numpy as np
-from scipy.optimize import NonlinearConstraint, minimize
+from scipy.optimize import minimize
 
 from repro.errors import SolverError
 from repro.solver.problem import (

@@ -24,7 +24,7 @@ temperature grows without bound).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -108,8 +108,10 @@ class RCNetwork:
             raise ThermalModelError("conductances must be non-negative")
         if not np.allclose(self.conductance, self.conductance.T):
             raise ThermalModelError("lateral conductance matrix must be symmetric")
+        # protemp: allow[PT004] -- structural exact-zero check: the diagonal is zero by construction, not by arithmetic
         if np.any(np.diagonal(self.conductance) != 0.0):
             raise ThermalModelError("conductance diagonal must be zero")
+        # protemp: allow[PT004] -- structural exact-zero check: detects a fully decoupled (all-literal-zero) ambient vector
         if np.all(self.ambient_conductance == 0.0):
             raise ThermalModelError(
                 "at least one node must couple to ambient (no heat removal "

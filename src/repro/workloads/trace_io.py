@@ -79,7 +79,7 @@ def save_trace_jsonl(trace: TaskTrace, path: str | Path) -> None:
     with path.open("w") as handle:
         handle.write(
             json.dumps({"kind": "trace-meta", "name": trace.name,
-                        "tasks": len(trace)})
+                        "tasks": len(trace)}, allow_nan=False)
             + "\n"
         )
         for task in trace:
@@ -89,7 +89,8 @@ def save_trace_jsonl(trace: TaskTrace, path: str | Path) -> None:
                         "id": task.task_id,
                         "arrival": task.arrival,
                         "workload": task.workload,
-                    }
+                    },
+                    allow_nan=False,
                 )
                 + "\n"
             )

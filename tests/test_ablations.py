@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.analysis.ablations import (
     ablate_dfs_period,
@@ -11,7 +9,6 @@ from repro.analysis.ablations import (
     ablate_sensor_noise,
     ablate_step_subsample,
 )
-from repro.units import mhz
 
 
 class TestGradientWeight:

@@ -1,0 +1,623 @@
+"""Tests for ``protemp check`` (repro.devtools.check).
+
+The fixture corpus lives under ``tmp_path/repro/<package>/`` so the
+engine's module inference scopes the rules exactly as it does for the
+real tree: every rule is proven both to *fire* on a minimal violation
+and to stay *silent* on the compliant twin.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.devtools.check import (
+    MALFORMED_WAIVER_RULE,
+    all_rules,
+    parse_waivers,
+    render_json,
+    render_text,
+    run_check,
+)
+from repro.errors import DevtoolsError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write(tmp_path: Path, relpath: str, source: str) -> Path:
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def rules_fired(report) -> set:
+    return {finding.rule for finding in report.active}
+
+
+class TestRegistry:
+    def test_at_least_five_rules_registered(self):
+        assert len(all_rules()) >= 5
+
+    def test_rules_have_ids_titles_invariants(self):
+        for rule_id, rule in all_rules().items():
+            assert rule.rule_id == rule_id
+            assert rule.title
+            assert rule.invariant
+
+    def test_unknown_rule_rejected_with_hint(self, tmp_path):
+        write(tmp_path, "repro/solver/x.py", "x = 1\n")
+        with pytest.raises(DevtoolsError, match="PT005"):
+            run_check([tmp_path], rules=["PT905"])
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        with pytest.raises(DevtoolsError, match="no such file"):
+            run_check([tmp_path / "missing"])
+
+
+class TestPT001Determinism:
+    def test_fires_on_global_rng_and_wall_clock(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/solver/bad.py",
+            """\
+            import random
+            import time
+            from datetime import datetime
+            import numpy as np
+
+            def solve():
+                random.random()
+                time.time()
+                datetime.now()
+                return np.random.default_rng()
+            """,
+        )
+        report = run_check([path], rules=["PT001"])
+        messages = [finding.message for finding in report.active]
+        assert len(report.active) == 4
+        assert any("random" in m for m in messages)
+        assert any("time.time" in m for m in messages)
+        assert any("datetime" in m for m in messages)
+        assert any("unseeded" in m for m in messages)
+
+    def test_fires_on_legacy_numpy_global_rng(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/sim/bad.py",
+            """\
+            import numpy as np
+
+            def noise():
+                return np.random.rand(3)
+            """,
+        )
+        report = run_check([path], rules=["PT001"])
+        assert rules_fired(report) == {"PT001"}
+
+    def test_silent_on_seeded_rng_and_perf_counter(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/scenario/good.py",
+            """\
+            import time
+            import numpy as np
+            from repro.scenario.specs import derive_seed
+
+            def solve(seed):
+                started = time.perf_counter()
+                rng = np.random.default_rng(derive_seed(seed, "trace"))
+                return rng, time.perf_counter() - started
+            """,
+        )
+        report = run_check([path], rules=["PT001"])
+        assert report.active == []
+
+    def test_silent_outside_deterministic_packages(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/serving/clock.py",
+            """\
+            import time
+
+            def now():
+                return time.time()
+            """,
+        )
+        report = run_check([path], rules=["PT001"])
+        assert report.active == []
+
+
+class TestPT002LockDiscipline:
+    def test_fires_on_unlocked_shared_write(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/scenario/bad_runner.py",
+            """\
+            import threading
+
+            class ScenarioRunner:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self.tables_built = 0
+
+                def bump(self):
+                    self.tables_built += 1
+            """,
+        )
+        report = run_check([path], rules=["PT002"])
+        assert rules_fired(report) == {"PT002"}
+        assert "tables_built" in report.active[0].message
+
+    def test_silent_under_lock_init_or_locked_helper(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/scenario/good_runner.py",
+            """\
+            import threading
+
+            class ScenarioRunner:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self.tables_built = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.tables_built += 1
+
+                def _bump_locked(self):
+                    self.tables_built += 1
+            """,
+        )
+        report = run_check([path], rules=["PT002"])
+        assert report.active == []
+
+    def test_silent_on_unlisted_classes(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/scenario/other.py",
+            """\
+            class Accumulator:
+                def bump(self):
+                    self.count = 1
+            """,
+        )
+        report = run_check([path], rules=["PT002"])
+        assert report.active == []
+
+
+class TestPT003CacheKeyCompleteness:
+    SPECS_TEMPLATE = """\
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class PolicySpec:
+            params: str = "{{}}"
+
+            TABLE_PARAM_KEYS = ({keys})
+
+            def table_config(self):
+                params = {{}}
+                return {{
+                    {reads}
+                }}
+        """
+
+    RUNNER_TEMPLATE = """\
+        def table_key(platform_spec, policy_spec):
+            config = policy_spec.table_config()
+            payload = {{
+                {payload}
+            }}
+            return str(sorted(payload.items()))
+        """
+
+    def test_fires_when_declared_key_missing_from_table_key(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/scenario/specs.py",
+            self.SPECS_TEMPLATE.format(
+                keys='"mode", "backend",',
+                reads='"mode": params.get("mode"), '
+                '"backend": params.get("backend"),',
+            ),
+        )
+        write(
+            tmp_path,
+            "repro/scenario/runner.py",
+            self.RUNNER_TEMPLATE.format(payload='"mode": config["mode"],'),
+        )
+        report = run_check([tmp_path], rules=["PT003"])
+        assert rules_fired(report) == {"PT003"}
+        assert "backend" in report.active[0].message
+
+    def test_fires_when_table_config_reads_undeclared_param(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/scenario/specs.py",
+            self.SPECS_TEMPLATE.format(
+                keys='"mode",',
+                reads='"mode": params.get("mode"), '
+                '"tuning": params.get("tuning"),',
+            ),
+        )
+        report = run_check([tmp_path], rules=["PT003"])
+        assert rules_fired(report) == {"PT003"}
+        assert "tuning" in report.active[0].message
+
+    def test_silent_when_key_set_and_table_key_agree(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/scenario/specs.py",
+            self.SPECS_TEMPLATE.format(
+                keys='"mode", "backend",',
+                reads='"mode": params.get("mode"), '
+                '"backend": params.get("backend"),',
+            ),
+        )
+        write(
+            tmp_path,
+            "repro/scenario/runner.py",
+            self.RUNNER_TEMPLATE.format(
+                payload='"mode": config["mode"], '
+                '"backend": config["backend"],'
+            ),
+        )
+        report = run_check([tmp_path], rules=["PT003"])
+        assert report.active == []
+
+    def test_real_tree_satisfies_the_contract(self):
+        report = run_check(
+            [
+                REPO_ROOT / "src/repro/scenario/specs.py",
+                REPO_ROOT / "src/repro/scenario/runner.py",
+            ],
+            rules=["PT003"],
+        )
+        assert report.active == []
+
+
+class TestPT004FloatHygiene:
+    def test_fires_on_bare_float_equality(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/solver/bad.py",
+            """\
+            def converged(residual):
+                return residual == 0.0
+            """,
+        )
+        report = run_check([path], rules=["PT004"])
+        assert rules_fired(report) == {"PT004"}
+
+    def test_silent_on_tolerance_comparison_and_int_equality(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/solver/good.py",
+            """\
+            def converged(residual, iterations):
+                return abs(residual) < 1e-12 or iterations == 0
+            """,
+        )
+        report = run_check([path], rules=["PT004"])
+        assert report.active == []
+
+    def test_float_equality_ignored_outside_numerical_packages(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/serving/progress.py",
+            """\
+            def is_done(fraction):
+                return fraction == 1.0
+            """,
+        )
+        report = run_check([path], rules=["PT004"])
+        assert report.active == []
+
+    def test_fires_on_json_dump_without_allow_nan(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/floorplan/io.py",
+            """\
+            import json
+
+            def save_thing(thing, path):
+                path.write_text(json.dumps(thing))
+            """,
+        )
+        report = run_check([path], rules=["PT004"])
+        assert rules_fired(report) == {"PT004"}
+        assert "allow_nan" in report.active[0].message
+
+    def test_silent_with_allow_nan_false(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/floorplan/io.py",
+            """\
+            import json
+
+            def save_thing(thing, path):
+                path.write_text(json.dumps(thing, allow_nan=False))
+            """,
+        )
+        report = run_check([path], rules=["PT004"])
+        assert report.active == []
+
+
+class TestPT005RegistrySpecDiscipline:
+    def test_fires_on_unfrozen_spec_dataclass(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/scenario/bad_spec.py",
+            """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class WidgetSpec:
+                name: str = "widget"
+            """,
+        )
+        report = run_check([path], rules=["PT005"])
+        assert rules_fired(report) == {"PT005"}
+        assert "WidgetSpec" in report.active[0].message
+
+    def test_silent_on_frozen_spec_dataclass(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/scenario/good_spec.py",
+            """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class WidgetSpec:
+                name: str = "widget"
+            """,
+        )
+        report = run_check([path], rules=["PT005"])
+        assert report.active == []
+
+    def test_fires_on_non_literal_registration_name(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/scenario/bad_reg.py",
+            """\
+            from repro.scenario import register_policy
+
+            NAME = "dynamic-" + "policy"
+
+            @register_policy(NAME)
+            def _build():
+                return object()
+            """,
+        )
+        report = run_check([path], rules=["PT005"])
+        assert rules_fired(report) == {"PT005"}
+
+    def test_silent_on_literal_registration_name(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/scenario/good_reg.py",
+            """\
+            from repro.scenario import register_policy
+
+            @register_policy("static-policy", description="fine")
+            def _build():
+                return object()
+            """,
+        )
+        report = run_check([path], rules=["PT005"])
+        assert report.active == []
+
+
+class TestWaivers:
+    def test_parse_valid_waiver(self):
+        waivers, problems = parse_waivers(
+            "x = 1  # protemp: allow[PT001,PT004] -- a good reason\n"
+        )
+        assert problems == []
+        (waiver,) = waivers
+        assert waiver.rules == ("PT001", "PT004")
+        assert waiver.reason == "a good reason"
+        assert not waiver.standalone
+
+    def test_missing_reason_rejected(self):
+        waivers, problems = parse_waivers(
+            "x = 1  # protemp: allow[PT001]\n"
+        )
+        assert waivers == []
+        (problem,) = problems
+        assert "reason" in problem.message
+
+    def test_unknown_directive_rejected(self):
+        waivers, problems = parse_waivers(
+            "x = 1  # protemp: suppress[PT001] -- nope\n"
+        )
+        assert waivers == []
+        assert len(problems) == 1
+
+    def test_bad_rule_id_rejected(self):
+        waivers, problems = parse_waivers(
+            "x = 1  # protemp: allow[pt1] -- reason\n"
+        )
+        assert waivers == []
+        assert len(problems) == 1
+
+    def test_hash_inside_string_is_not_a_waiver(self):
+        waivers, problems = parse_waivers(
+            'x = "# protemp: allow[PT001] -- not a comment"\n'
+        )
+        assert waivers == [] and problems == []
+
+    def test_inline_waiver_suppresses_finding_on_its_line(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/solver/waived.py",
+            """\
+            import random
+
+            def roll():
+                return random.random()  # protemp: allow[PT001] -- test fixture
+            """,
+        )
+        report = run_check([path], rules=["PT001"])
+        assert report.active == []
+        (finding,) = report.waived
+        assert finding.waiver_reason == "test fixture"
+        assert report.exit_code == 0
+
+    def test_standalone_waiver_covers_next_line(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/solver/waived.py",
+            """\
+            import random
+
+            def roll():
+                # protemp: allow[PT001] -- standalone fixture
+                return random.random()
+            """,
+        )
+        report = run_check([path], rules=["PT001"])
+        assert report.active == [] and len(report.waived) == 1
+
+    def test_waiver_does_not_cover_other_rules_or_lines(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/solver/waived.py",
+            """\
+            import random
+
+            def roll():  # protemp: allow[PT004] -- wrong rule
+                return random.random()
+            """,
+        )
+        report = run_check([path], rules=["PT001"])
+        assert rules_fired(report) == {"PT001"}
+
+    def test_malformed_waiver_is_an_unwaivable_finding(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/solver/broken.py",
+            """\
+            # protemp: allow[PT000]
+            x = 1
+            """,
+        )
+        report = run_check([path])
+        assert rules_fired(report) == {MALFORMED_WAIVER_RULE}
+        assert report.exit_code == 1
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        path = write(tmp_path, "repro/solver/broken.py", "def f(:\n")
+        report = run_check([path])
+        assert rules_fired(report) == {MALFORMED_WAIVER_RULE}
+
+
+class TestReporters:
+    def fixture_report(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/solver/mixed.py",
+            """\
+            import random
+
+            def roll():
+                random.seed(1)  # protemp: allow[PT001] -- fixture
+                return random.random()
+            """,
+        )
+        return run_check([tmp_path])
+
+    def test_text_report_lists_active_and_waived(self, tmp_path):
+        report = self.fixture_report(tmp_path)
+        text = render_text(report)
+        assert "PT001" in text
+        assert "waived: fixture" in text
+        assert "1 finding(s), 1 waived" in text
+
+    def test_json_schema(self, tmp_path):
+        report = self.fixture_report(tmp_path)
+        payload = json.loads(render_json(report))
+        assert payload["version"] == 1
+        assert set(payload) == {"version", "summary", "rules", "findings"}
+        assert payload["summary"] == {
+            "files_checked": 1,
+            "active": 1,
+            "waived": 1,
+            "exit_code": 1,
+        }
+        assert [r["rule"] for r in payload["rules"]] == sorted(
+            all_rules()
+        )
+        for finding in payload["findings"]:
+            assert set(finding) == {
+                "rule", "path", "line", "col", "message",
+                "waived", "waiver_reason",
+            }
+
+
+class TestCli:
+    def test_check_clean_file_exits_zero(self, tmp_path, capsys):
+        path = write(tmp_path, "repro/solver/ok.py", "x = 1\n")
+        assert main(["check", str(path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_check_finding_exits_one(self, tmp_path, capsys):
+        path = write(
+            tmp_path,
+            "repro/solver/bad.py",
+            "import random\nrandom.random()\n",
+        )
+        assert main(["check", str(path)]) == 1
+        assert "PT001" in capsys.readouterr().out
+
+    def test_check_json_output(self, tmp_path, capsys):
+        path = write(tmp_path, "repro/solver/ok.py", "x = 1\n")
+        assert main(["check", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["summary"]["exit_code"] == 0
+
+    def test_rule_filter(self, tmp_path, capsys):
+        path = write(
+            tmp_path,
+            "repro/solver/bad.py",
+            "import random\nrandom.random()\n",
+        )
+        assert main(["check", str(path), "--rule", "PT004"]) == 0
+        assert main(["check", str(path), "--rule", "PT001"]) == 1
+        capsys.readouterr()
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        path = write(tmp_path, "repro/solver/ok.py", "x = 1\n")
+        assert main(["check", str(path), "--rule", "PT999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["check", "definitely-not-a-path.py"]) == 2
+        assert "protemp check" in capsys.readouterr().err
+
+    def test_foreign_flags_rejected(self, tmp_path, capsys):
+        path = write(tmp_path, "repro/solver/ok.py", "x = 1\n")
+        assert main(["check", str(path), "--workers", "2"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_rule_flag_rejected_on_other_commands(self, capsys):
+        assert main(["run", "cfg.json", "--rule", "PT001"]) == 2
+        assert "--rule" in capsys.readouterr().err
+
+
+class TestSelfCheck:
+    def test_src_tree_is_clean(self):
+        """The shipped tree passes its own static analysis (CI gate)."""
+        report = run_check([REPO_ROOT / "src"])
+        assert report.exit_code == 0, render_text(report)
+
+    def test_every_waiver_in_tree_carries_a_reason(self):
+        report = run_check([REPO_ROOT / "src"])
+        for finding in report.waived:
+            assert finding.waiver_reason, finding.location()

@@ -14,7 +14,6 @@ from repro.sim import (
     Task,
     TaskTrace,
 )
-from repro.units import ghz
 
 
 def make_tmu(platform, policy=None):

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import FloorplanError
-from repro.floorplan import BlockKind, build_niagara8, core_row
+from repro.floorplan import build_niagara8, core_row
 from repro.thermal import ThermalModel, build_rc_network
 from repro.thermal.grid import refine_floorplan
 from repro.units import mm

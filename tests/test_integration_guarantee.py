@@ -10,7 +10,6 @@ violate under the same conditions (i.e. the guarantee is non-vacuous).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis.experiments import run_simulation

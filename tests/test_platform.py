@@ -8,7 +8,7 @@ import pytest
 from repro.floorplan import core_row
 from repro.platform import Platform
 from repro.power import LeakageModel
-from repro.units import ghz, mhz
+from repro.units import ghz
 
 
 class TestNiagaraBuilder:

@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import PowerModelError
 from repro.floorplan import build_niagara8, core_row
-from repro.power import LeakageModel, PlatformPowerModel, QuadraticScaling
+from repro.power import LeakageModel, PlatformPowerModel
 from repro.units import ghz, mhz
 
 

@@ -23,6 +23,7 @@ PUBLIC_MODULES = [
     "repro.analysis",
     "repro.control",
     "repro.core",
+    "repro.devtools",
     "repro.errors",
     "repro.floorplan",
     "repro.platform",

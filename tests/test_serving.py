@@ -356,7 +356,7 @@ class TestStdinMode:
         out = io.StringIO()
         code = serve_stdin(service, io.StringIO(line + "\n" + line + "\n"), out)
         assert code == 0
-        events = [json.loads(l) for l in out.getvalue().splitlines()]
+        events = [json.loads(line) for line in out.getvalue().splitlines()]
         dones = [e for e in events if e["event"] == "done"]
         assert len(dones) == 2
         assert dones[0]["scenarios_executed"] == 4
@@ -371,7 +371,7 @@ class TestStdinMode:
         stdin = io.StringIO("not json\n" + json.dumps(FAST_CONFIG) + "\n")
         code = serve_stdin(service, stdin, out)
         assert code == 1  # the bad line counts as a failure
-        events = [json.loads(l) for l in out.getvalue().splitlines()]
+        events = [json.loads(line) for line in out.getvalue().splitlines()]
         assert events[0]["event"] == "error"
         assert [e for e in events if e["event"] == "done"][0][
             "scenarios_executed"
