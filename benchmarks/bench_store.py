@@ -1,0 +1,165 @@
+"""Outcome-store backends: put/get/replay throughput at 10k+ records.
+
+The roadmap's scenario breadth (heterogeneous platforms, tech-node axes)
+multiplies grids by orders of magnitude, so the store — not the solver —
+becomes the warm-path bottleneck: a service replaying a million-cell grid
+performs a million ``get`` calls.  This benchmark measures the three
+backends behind ``open_outcome_store`` on the same synthetic record set:
+
+* **memory** — dict lookups; the in-process upper bound.
+* **directory** — one JSON-lines file per record.  Puts pay a file write
+  + atomic rename each; the PR 8 mtime-watched index makes a warm replay
+  pay one directory scan total instead of an O(files) rescan per lookup.
+* **sqlite** — one WAL-mode file, records in a B-tree keyed by
+  ``spec_hash``; puts are single-row inserts, lookups one indexed read.
+
+Three phases per backend, all over the same ``N`` records
+(``PROTEMP_BENCH_STORE_RECORDS``, default 10_000):
+
+1. **put** — populate an empty store;
+2. **get** — point lookups on the already-open (warm) store instance;
+3. **replay** — a *fresh* store instance performing the full get pass,
+   the shape of a restarted service warming back up (the directory
+   backend's index build is paid here).
+
+Correctness is asserted alongside the numbers: every backend holds all
+``N`` records after the put phase, and replayed records are
+content-identical across backends.
+
+Machine-readable output: ``benchmarks/results/store.json`` (records/s
+per phase per backend, like ``table_generation.json``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import print_header, save_json_result, save_result
+
+from repro.scenario import (
+    DirectoryOutcomeStore,
+    MemoryOutcomeStore,
+    PlatformSpec,
+    ScenarioSpec,
+    SqliteOutcomeStore,
+    StoredOutcome,
+)
+
+N_RECORDS = int(os.environ.get("PROTEMP_BENCH_STORE_RECORDS", "10000"))
+
+ROW3 = PlatformSpec("core-row", {"n_cores": 3})
+
+
+def _records(n: int) -> list[StoredOutcome]:
+    """`n` distinct, valid records (synthetic — no simulation needed)."""
+    records = []
+    for seed in range(n):
+        spec = ScenarioSpec(platform=ROW3, seed=seed)
+        records.append(
+            StoredOutcome(
+                spec_hash=spec.spec_hash,
+                spec=spec.to_dict(),
+                summary={
+                    "scenario": spec.label,
+                    "spec_hash": spec.spec_hash,
+                    "policy": "No-TC",
+                    "peak_c": 80.0 + (seed % 17) * 0.25,
+                    "violation_fraction": 0.0,
+                    "completed_tasks": 10 + seed % 5,
+                    "arrived_tasks": 12,
+                    "mean_wait_s": 0.004,
+                },
+                provenance={"solve_wall_time_s": 0.5},
+            )
+        )
+    return records
+
+
+def test_store_backends_throughput(tmp_path):
+    records = _records(N_RECORDS)
+    hashes = [record.spec_hash for record in records]
+
+    backends = {
+        "memory": (
+            lambda: MemoryOutcomeStore(),
+            lambda: MemoryOutcomeStore(),  # no persistence: fresh = empty
+        ),
+        "directory": (
+            lambda: DirectoryOutcomeStore(tmp_path / "dir"),
+            lambda: DirectoryOutcomeStore(tmp_path / "dir"),
+        ),
+        "sqlite": (
+            lambda: SqliteOutcomeStore(tmp_path / "store.sqlite"),
+            lambda: SqliteOutcomeStore(tmp_path / "store.sqlite"),
+        ),
+    }
+
+    results: dict[str, dict[str, float]] = {}
+    replay_samples: dict[str, StoredOutcome] = {}
+    for name, (make_store, make_fresh) in backends.items():
+        store = make_store()
+        start = time.perf_counter()
+        for record in records:
+            store.put(record)
+        put_s = time.perf_counter() - start
+        assert len(store) == N_RECORDS
+
+        start = time.perf_counter()
+        for spec_hash in hashes:
+            assert store.get(spec_hash) is not None
+        get_s = time.perf_counter() - start
+
+        fresh = make_fresh()
+        if name == "memory":
+            for record in records:  # memory has no file to re-open
+                fresh.put(record)
+        start = time.perf_counter()
+        for spec_hash in hashes:
+            assert fresh.get(spec_hash) is not None
+        replay_s = time.perf_counter() - start
+        replay_samples[name] = fresh.get(hashes[N_RECORDS // 2])
+
+        results[name] = {
+            "put_s": put_s,
+            "get_s": get_s,
+            "replay_s": replay_s,
+        }
+
+    # Replayed content is identical across backends (modulo source path).
+    reference = replay_samples["memory"]
+    for name, sample in replay_samples.items():
+        assert sample.same_content(reference), name
+
+    lines = [f"records: {N_RECORDS}"]
+    for name, timing in results.items():
+        lines.append(
+            f"{name:<10s} "
+            f"put {N_RECORDS / timing['put_s']:>9.0f} rec/s   "
+            f"get {N_RECORDS / timing['get_s']:>9.0f} rec/s   "
+            f"replay {N_RECORDS / timing['replay_s']:>9.0f} rec/s"
+        )
+    body = "\n".join(lines)
+    print_header(
+        "Outcome-store backends",
+        "warm replay must outpace solving by orders of magnitude",
+    )
+    print(body)
+    save_result("store", body)
+    save_json_result(
+        "store",
+        {
+            "records": N_RECORDS,
+            "backends": {
+                name: {
+                    "put_s": timing["put_s"],
+                    "get_s": timing["get_s"],
+                    "replay_s": timing["replay_s"],
+                    "put_per_s": N_RECORDS / timing["put_s"],
+                    "get_per_s": N_RECORDS / timing["get_s"],
+                    "replay_per_s": N_RECORDS / timing["replay_s"],
+                }
+                for name, timing in results.items()
+            },
+        },
+    )

@@ -11,14 +11,19 @@ Three command families:
   process pool (``--workers``), restricted to one deterministic shard
   (``--shard i/n``), and/or backed by a persistent scenario-outcome cache
   (``--outcome-store DIR``; see `repro.scenario.store`).
-* ``protemp merge <store>...`` — union the outcome sets of several store
-  directories (shards of one grid, or several runs), detect spec-hash
-  collisions and conflicting duplicates, print the combined summary
-  table, and optionally write the merged store (``--output DIR``).
+* ``protemp merge <store>...`` — union the outcome sets of several
+  stores (shards of one grid, or several runs; directories and sqlite
+  files mix freely), detect spec-hash collisions and conflicting
+  duplicates, print the combined summary table, and optionally write
+  the merged store (``--output STORE``).
+* ``protemp migrate <src> <dst>`` — copy one outcome store onto another
+  backend (directory → sqlite and back) with the merge conflict
+  semantics against whatever the destination already holds.
 * ``protemp serve`` — run the long-lived scenario service: one warm
   :class:`~repro.scenario.ScenarioRunner` shared across HTTP requests
   (or stdin/NDJSON lines with ``--stdin``), outcomes streamed as
-  JSON-lines events, graceful drain on SIGTERM (see `repro.serving`).
+  JSON-lines events, graceful drain on SIGTERM, durable job state with
+  ``--state`` (see `repro.serving`).
 * ``protemp submit <config.json>`` — send a config to a running service
   and stream its outcome events back (``--url``, ``--json``).
 * ``protemp list`` — show the registered platforms, workloads, policies,
@@ -66,9 +71,10 @@ from repro.scenario import (
     POLICIES,
     SENSORS,
     WORKLOADS,
-    DirectoryOutcomeStore,
     ScenarioRunner,
     merge_stores,
+    open_existing_store,
+    open_outcome_store,
 )
 from repro.thermal.calibration import calibration_report, format_report
 
@@ -87,7 +93,7 @@ EXPERIMENTS = (
 )
 
 #: Scenario-API commands sharing the positional slot with the experiments.
-COMMANDS = ("run", "merge", "list", "serve", "submit", "check")
+COMMANDS = ("run", "merge", "migrate", "list", "serve", "submit", "check")
 
 #: Distribution name in package metadata (pyproject.toml).
 DISTRIBUTION = "protemp-repro"
@@ -161,7 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=EXPERIMENTS + COMMANDS,
         help=(
             "a paper experiment (figN), 'run' (execute a scenario config), "
-            "'serve'/'submit' (the long-lived scenario service), 'merge', "
+            "'serve'/'submit' (the long-lived scenario service), "
+            "'merge'/'migrate' (combine or convert outcome stores), "
             "'check' (static analysis), or 'list' (show registered "
             "components)"
         ),
@@ -172,8 +179,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "scenario config JSON file ('run'/'submit'), first "
-            "outcome-store directory ('merge'), or first path to "
-            "analyze ('check')"
+            "outcome store ('merge'), source store ('migrate'), or "
+            "first path to analyze ('check')"
         ),
     )
     parser.add_argument(
@@ -181,8 +188,9 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=[],
         help=(
-            "additional outcome-store directories to union ('merge') or "
-            "additional paths to analyze ('check')"
+            "additional outcome stores to union ('merge'), the "
+            "destination store ('migrate'), or additional paths to "
+            "analyze ('check')"
         ),
     )
     parser.add_argument(
@@ -223,11 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--outcome-store",
         default=None,
-        metavar="DIR",
+        metavar="STORE",
         help=(
             "persistent scenario-outcome store: cells already in the store "
             "are replayed instead of re-simulated, fresh cells are written "
-            "back ('run')"
+            "back ('run', 'serve'); a directory, a *.sqlite/*.db file, or "
+            "a sqlite:/dir: URL"
         ),
     )
     parser.add_argument(
@@ -280,6 +289,27 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "'check' only: run just this rule (repeatable, e.g. "
             "--rule PT001 --rule PT004; default: all rules)"
+        ),
+    )
+    parser.add_argument(
+        "--state",
+        default=None,
+        metavar="FILE",
+        help=(
+            "'serve' only: journal job state to this SQLite file so a "
+            "restarted service re-enqueues interrupted jobs (finished "
+            "cells replay from the outcome store) and idempotency keys "
+            "survive restarts"
+        ),
+    )
+    parser.add_argument(
+        "--idempotency-key",
+        default=None,
+        metavar="KEY",
+        help=(
+            "'submit' only: retry token — resubmitting the same config "
+            "under the same key streams the existing job instead of "
+            "running it twice"
         ),
     )
     return parser
@@ -409,6 +439,8 @@ def _run_command(args: argparse.Namespace) -> int:
             "--url": args.url,
             "--stdin": args.stdin,
             "--rule": args.rule,
+            "--state": args.state,
+            "--idempotency-key": args.idempotency_key,
         },
     )
     if error:
@@ -445,7 +477,12 @@ def _run_command(args: argparse.Namespace) -> int:
 
 
 def _merge_command(args: argparse.Namespace) -> int:
-    """``protemp merge <store>...``: union shard outcome sets."""
+    """``protemp merge <store>...``: union shard outcome sets.
+
+    Stores are named like ``--outcome-store``: a directory, a
+    ``*.sqlite``/``*.db`` file, or a ``sqlite:``/``dir:`` URL — shards
+    on different backends merge freely.
+    """
     error = _reject_foreign_flags(
         "merge",
         args,
@@ -459,6 +496,8 @@ def _merge_command(args: argparse.Namespace) -> int:
             "--url": args.url,
             "--stdin": args.stdin,
             "--rule": args.rule,
+            "--state": args.state,
+            "--idempotency-key": args.idempotency_key,
         },
     )
     if error:
@@ -471,18 +510,13 @@ def _merge_command(args: argparse.Namespace) -> int:
         return 2
     paths = ([args.config] if args.config else []) + list(args.stores)
     if not paths:
-        print("protemp merge: at least one outcome-store directory is "
-              "required", file=sys.stderr)
-        return 2
-    missing = [p for p in paths if not Path(p).is_dir()]
-    if missing:
-        print(f"protemp merge: no such outcome store: {', '.join(missing)}",
+        print("protemp merge: at least one outcome-store path is required",
               file=sys.stderr)
         return 2
     try:
-        merged = merge_stores(DirectoryOutcomeStore(p) for p in paths)
+        merged = merge_stores(open_existing_store(p) for p in paths)
         if args.output is not None:
-            target = DirectoryOutcomeStore(args.output)
+            target = open_outcome_store(args.output)
             for record in merged.records:
                 target.put(record)
     except OutcomeStoreError as exc:
@@ -499,6 +533,77 @@ def _merge_command(args: argparse.Namespace) -> int:
         + "]",
         file=sys.stderr,
     )
+    return 0
+
+
+def _migrate_command(args: argparse.Namespace) -> int:
+    """``protemp migrate <src> <dst>``: copy a store onto another backend.
+
+    Any backend to any other (directory → sqlite and back); ``put``
+    applies the merge conflict semantics against whatever the
+    destination already holds, so migrating into a non-empty store is a
+    union (benign duplicates skip, conflicting records abort).
+    """
+    error = _reject_foreign_flags(
+        "migrate",
+        args,
+        {
+            "--outcome-store": args.outcome_store,
+            "--shard": args.shard,
+            "--workers": args.workers,
+            "--table-cache-dir": args.table_cache_dir,
+            "--output": args.output,
+            "--host": args.host,
+            "--port": args.port,
+            "--url": args.url,
+            "--stdin": args.stdin,
+            "--rule": args.rule,
+            "--state": args.state,
+            "--idempotency-key": args.idempotency_key,
+        },
+    )
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.config is None or len(args.stores) != 1:
+        print("protemp migrate: takes exactly a source and a destination "
+              "store (e.g. protemp migrate outcomes/ outcomes.sqlite)",
+              file=sys.stderr)
+        return 2
+    src_name, dst_name = args.config, args.stores[0]
+    copied = skipped = 0
+    try:
+        source = open_existing_store(src_name)
+        destination = open_outcome_store(dst_name)
+        for record in source.records():
+            if destination.get(record.spec_hash) is None:
+                destination.put(record)
+                copied += 1
+            else:
+                destination.put(record)  # conflict check vs existing
+                skipped += 1
+        total = len(destination)
+    except OutcomeStoreError as exc:
+        print(f"protemp migrate: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(
+            {
+                "source": src_name,
+                "destination": dst_name,
+                "copied": copied,
+                "skipped": skipped,
+                "destination_records": total,
+            },
+            indent=1,
+            allow_nan=False,
+        ))
+    else:
+        print(
+            f"[{copied} records copied {src_name} -> {dst_name} "
+            f"({skipped} already present; destination holds {total})]",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -521,6 +626,7 @@ def _serve_command(args: argparse.Namespace) -> int:
             "--shard": args.shard,
             "--url": args.url,
             "--rule": args.rule,
+            "--idempotency-key": args.idempotency_key,
         },
     )
     if error:
@@ -534,6 +640,7 @@ def _serve_command(args: argparse.Namespace) -> int:
         max_workers=args.workers or DEFAULT_MAX_WORKERS,
         table_cache_dir=args.table_cache_dir,
         outcome_store=args.outcome_store,
+        state=args.state,
     )
     if args.stdin:
         if args.host is not None or args.port is not None:
@@ -566,6 +673,7 @@ def _submit_command(args: argparse.Namespace) -> int:
             "--port": args.port,
             "--stdin": args.stdin,
             "--rule": args.rule,
+            "--state": args.state,
         },
     )
     if error:
@@ -602,7 +710,9 @@ def _submit_command(args: argparse.Namespace) -> int:
     rows: list[dict] = []
     done: dict | None = None
     try:
-        for event in client.submit_and_stream(config):
+        for event in client.submit_and_stream(
+            config, idempotency_key=args.idempotency_key
+        ):
             if args.json:
                 print(json.dumps(event))
                 sys.stdout.flush()
@@ -666,6 +776,8 @@ def _check_command(args: argparse.Namespace) -> int:
             "--port": args.port,
             "--stdin": args.stdin,
             "--url": args.url,
+            "--state": args.state,
+            "--idempotency-key": args.idempotency_key,
         },
     )
     if error:
@@ -713,6 +825,8 @@ def main(argv: list[str] | None = None) -> int:
         return code
     if args.experiment == "merge":
         return _merge_command(args)
+    if args.experiment == "migrate":
+        return _migrate_command(args)
     if args.experiment == "serve":
         return _serve_command(args)
     if args.experiment == "submit":

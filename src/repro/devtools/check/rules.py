@@ -181,6 +181,8 @@ SHARED_STATE_CLASSES: dict[str, tuple[str, ...]] = {
     "Job": ("_cond",),
     "MemoryOutcomeStore": ("_mutex",),
     "DirectoryOutcomeStore": ("_mutex",),
+    "SqliteOutcomeStore": ("_mutex",),
+    "JobJournal": ("_mutex",),
 }
 
 
@@ -297,10 +299,12 @@ FLOAT_SENSITIVE_PACKAGES = ("repro.solver", "repro.thermal")
 #: and must reject NaN/Infinity (they do not round-trip standard JSON).
 PERSISTENCE_MODULES = (
     "repro.scenario.store",
+    "repro.scenario.store_sql",
     "repro.scenario.specs",
     "repro.core.table",
     "repro.workloads.trace_io",
     "repro.floorplan.floorplan",
+    "repro.serving.state",
 )
 
 #: Function-name prefixes that mark persistence paths in any module.

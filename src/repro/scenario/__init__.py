@@ -66,9 +66,11 @@ from repro.scenario.store import (
     OutcomeStore,
     StoredOutcome,
     merge_stores,
+    open_existing_store,
     open_outcome_store,
     union_records,
 )
+from repro.scenario.store_sql import SqliteOutcomeStore
 
 __all__ = [
     "ASSIGNMENTS",
@@ -92,10 +94,12 @@ __all__ = [
     "ScenarioRunner",
     "ScenarioSpec",
     "SensorSpec",
+    "SqliteOutcomeStore",
     "WorkloadSpec",
     "derive_seed",
     "execute_scenario",
     "merge_stores",
+    "open_existing_store",
     "open_outcome_store",
     "register_assignment",
     "register_platform",

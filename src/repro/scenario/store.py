@@ -18,9 +18,12 @@ Three pieces:
   equality: two shards that both computed the same cell produce records
   that differ only in wall times, and that is a benign duplicate.
 * :class:`OutcomeStore` — the minimal interface (`get`/`put`/`records`)
-  with two backends: :class:`MemoryOutcomeStore` (tests, ephemeral runs)
-  and :class:`DirectoryOutcomeStore` (a directory of JSON-lines files,
-  written atomically so concurrent shards never corrupt the store).
+  with three backends: :class:`MemoryOutcomeStore` (tests, ephemeral
+  runs), :class:`DirectoryOutcomeStore` (a directory of JSON-lines files,
+  written atomically so concurrent shards never corrupt the store), and
+  :class:`~repro.scenario.store_sql.SqliteOutcomeStore` (one indexed
+  file for large stores; selected via ``sqlite:PATH`` URLs or a
+  ``.sqlite``/``.db`` suffix — see :func:`open_outcome_store`).
 * :func:`merge_stores` / :func:`union_records` — the ``protemp merge``
   engine: union shard outcome sets, drop benign duplicates, and fail
   loudly on spec-hash collisions and conflicting duplicates.
@@ -284,9 +287,11 @@ class DirectoryOutcomeStore(OutcomeStore):
     :meth:`get`/:meth:`put` consult a lazily built index of the foreign
     files, so a store assembled by concatenation replays and
     conflict-checks exactly like one written record-by-record.  The index
-    is built once per store instance; foreign files are assumed static
-    while the store is open (this store only ever writes per-record
-    files).
+    (per-record hashes and foreign records alike) is built with one
+    directory scan and reused until the directory mtime changes, so a
+    warm replay over a large store is O(1) per lookup after the initial
+    scan — and files dropped into the directory while the store is open
+    are noticed instead of being silently ignored.
 
     Within one process the store is thread-safe: a mutex serializes the
     check-then-write of :meth:`put` and the lazy foreign-index build, so
@@ -305,7 +310,12 @@ class DirectoryOutcomeStore(OutcomeStore):
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
+        #: One-shot directory index (see :meth:`_refresh_index_locked`):
+        #: the spec hashes with a per-record file, the foreign-file record
+        #: index, and the directory mtime both were built against.
+        self._own: set[str] | None = None
         self._foreign: dict[str, StoredOutcome] | None = None
+        self._dir_mtime_ns: int | None = None
         self._mutex = threading.RLock()
 
     def _record_path(self, spec_hash: str) -> Path:
@@ -339,34 +349,84 @@ class DirectoryOutcomeStore(OutcomeStore):
                 ) from exc
             yield StoredOutcome.from_dict(payload, source=f"{path}:{lineno}")
 
-    def _foreign_index(self) -> dict[str, StoredOutcome]:
-        """Index of records living in foreign (multi-record) files."""
-        with self._mutex:
-            return self._foreign_index_locked()
+    def _dir_mtime(self) -> int | None:
+        """The store directory's mtime (ns), or None when it is absent."""
+        try:
+            return self.path.stat().st_mtime_ns
+        except OSError:
+            return None
 
-    def _foreign_index_locked(self) -> dict[str, StoredOutcome]:
-        if self._foreign is None:
-            index: dict[str, StoredOutcome] = {}
-            if self.path.is_dir():
-                for path in sorted(self.path.glob("*.jsonl")):
-                    if self._is_own_record_file(path):
-                        continue
-                    for record in self._read_lines(path):
-                        existing = index.get(record.spec_hash)
-                        if existing is None:
-                            index[record.spec_hash] = record
-                        elif not existing.same_content(record):
-                            raise OutcomeStoreError(
-                                _describe_mismatch(existing, record)
-                            )
-            self._foreign = index
-        return self._foreign
+    def _refresh_index_locked(self) -> None:
+        """(Re)build the directory index when the directory changed.
+
+        One ``scandir`` classifies every ``*.jsonl`` entry: per-record
+        files contribute their spec hash to ``self._own`` (cheap — the
+        hash is in the name, no file is opened), foreign multi-record
+        files are parsed into ``self._foreign``.  The index is reused
+        until the directory mtime moves (adding a file to a directory
+        bumps its mtime on every supported platform), so a warm-replay
+        pass over a large store pays one scan total instead of touching
+        the filesystem per lookup — and foreign files added after the
+        store was opened are picked up instead of being silently ignored.
+        """
+        mtime = self._dir_mtime()
+        if (
+            self._own is not None
+            and self._foreign is not None
+            and mtime == self._dir_mtime_ns
+        ):
+            return
+        own: set[str] = set()
+        foreign: dict[str, StoredOutcome] = {}
+        if mtime is not None:
+            for path in sorted(self.path.glob("*.jsonl")):
+                if self._is_own_record_file(path):
+                    own.add(path.name[len("outcome_"):-len(".jsonl")])
+                    continue
+                for record in self._read_lines(path):
+                    existing = foreign.get(record.spec_hash)
+                    if existing is None:
+                        foreign[record.spec_hash] = record
+                    elif not existing.same_content(record):
+                        raise OutcomeStoreError(
+                            _describe_mismatch(existing, record)
+                        )
+        self._own = own
+        self._foreign = foreign
+        self._dir_mtime_ns = mtime
+
+    def _read_record_file(self, path: Path) -> StoredOutcome | None:
+        """Parse a per-record file; None when it does not exist.
+
+        ``NotADirectoryError`` also reads as a miss: it means the store
+        path is a regular file, and the clearer "not a writable
+        directory?" diagnosis belongs to the put path.
+        """
+        try:
+            line = path.read_text().strip()
+        except (FileNotFoundError, NotADirectoryError):
+            return None
+        except OSError as exc:
+            raise OutcomeStoreError(
+                f"cannot read outcome store record {path}: {exc}"
+            ) from exc
+        if not line:
+            return None
+        try:
+            payload = json.loads(line.splitlines()[0])
+        except json.JSONDecodeError as exc:
+            raise OutcomeStoreError(
+                f"unreadable outcome record {path}: {exc}"
+            ) from exc
+        return StoredOutcome.from_dict(payload, source=str(path))
 
     def get(self, spec_hash: str) -> StoredOutcome | None:
         """Load (and validate) the record for `spec_hash`, or None.
 
-        Consults the per-record file first, then the index of foreign
-        multi-record files (see the class docstring).
+        Consults the directory index (per-record files first, then the
+        foreign multi-record files); the index is rebuilt only when the
+        directory mtime changes, so lookups on a large warm store are
+        O(1) after one initial scan.
 
         Raises:
             OutcomeStoreError: when an on-disk record is corrupt.
@@ -375,23 +435,22 @@ class DirectoryOutcomeStore(OutcomeStore):
             return self._get_locked(spec_hash)
 
     def _get_locked(self, spec_hash: str) -> StoredOutcome | None:
-        path = self._record_path(spec_hash)
-        try:
-            exists = path.exists()
-            line = path.read_text().strip() if exists else ""
-        except OSError as exc:
-            raise OutcomeStoreError(
-                f"cannot read outcome store record {path}: {exc}"
-            ) from exc
-        if line:
-            try:
-                payload = json.loads(line.splitlines()[0])
-            except json.JSONDecodeError as exc:
-                raise OutcomeStoreError(
-                    f"unreadable outcome record {path}: {exc}"
-                ) from exc
-            return StoredOutcome.from_dict(payload, source=str(path))
-        return self._foreign_index().get(spec_hash)
+        self._refresh_index_locked()
+        assert self._own is not None and self._foreign is not None
+        if spec_hash in self._own:
+            record = self._read_record_file(self._record_path(spec_hash))
+            if record is not None:
+                return record
+            self._own.discard(spec_hash)  # deleted since the scan
+        if spec_hash in self._foreign:
+            return self._foreign[spec_hash]
+        # Same-mtime race guard: a concurrent shard may have renamed a
+        # record into the directory within the current mtime granule; one
+        # direct probe keeps misses correct without a rescan.
+        record = self._read_record_file(self._record_path(spec_hash))
+        if record is not None:
+            self._own.add(spec_hash)
+        return record
 
     def put(self, record: StoredOutcome) -> None:
         """Atomically persist `record` (idempotent; conflicts raise).
@@ -428,6 +487,13 @@ class DirectoryOutcomeStore(OutcomeStore):
             except OSError:
                 pass
             raise
+        # Fold the write into the index instead of invalidating it: the
+        # temp-file + rename bumped the directory mtime, and rescanning
+        # the whole store after every put would make a cold grid run
+        # O(records^2) in directory operations.
+        if self._own is not None:
+            self._own.add(record.spec_hash)
+            self._dir_mtime_ns = self._dir_mtime()
 
     def records(self) -> Iterator[StoredOutcome]:
         """Iterate every record in every ``*.jsonl`` file (sorted by file)."""
@@ -437,13 +503,29 @@ class DirectoryOutcomeStore(OutcomeStore):
             yield from self._read_lines(path)
 
 
+#: File suffixes routed to the SQLite backend when no scheme is given.
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
 def open_outcome_store(
     store: OutcomeStore | str | Path | None,
 ) -> OutcomeStore | None:
-    """Coerce a store argument: paths become directory stores.
+    """Coerce a store argument, selecting the backend from its URL/path.
+
+    Strings and paths choose a backend:
+
+    * ``sqlite:PATH`` (or a path ending in ``.sqlite`` / ``.sqlite3`` /
+      ``.db``) — a single-file
+      :class:`~repro.scenario.store_sql.SqliteOutcomeStore`;
+    * ``dir:PATH`` or any other path — a :class:`DirectoryOutcomeStore`;
+    * ``memory:`` — a fresh :class:`MemoryOutcomeStore` (ephemeral).
+
+    Every CLI surface that accepts a store (``protemp run/serve
+    --outcome-store``, ``protemp merge``, ``protemp migrate``) funnels
+    through here, so the same URL grammar works everywhere.
 
     Args:
-        store: an :class:`OutcomeStore`, a directory path, or None.
+        store: an :class:`OutcomeStore`, a backend URL/path, or None.
 
     Returns:
         An :class:`OutcomeStore` instance, or None when `store` is None.
@@ -451,10 +533,56 @@ def open_outcome_store(
     if store is None or isinstance(store, OutcomeStore):
         return store
     if isinstance(store, (str, Path)):
-        return DirectoryOutcomeStore(store)
+        # Lazy import: store_sql imports this module (interface + record
+        # types), so the sqlite backend must not be a top-level import.
+        from repro.scenario.store_sql import SqliteOutcomeStore
+
+        if isinstance(store, str):
+            scheme, sep, rest = store.partition(":")
+            if sep and scheme in ("sqlite", "dir", "memory"):
+                if scheme == "memory":
+                    return MemoryOutcomeStore()
+                if not rest:
+                    raise OutcomeStoreError(
+                        f"outcome store URL {store!r} is missing a path "
+                        f"(expected {scheme}:PATH)"
+                    )
+                if scheme == "sqlite":
+                    return SqliteOutcomeStore(rest)
+                return DirectoryOutcomeStore(rest)
+        path = Path(store)
+        if path.suffix.lower() in SQLITE_SUFFIXES:
+            return SqliteOutcomeStore(path)
+        return DirectoryOutcomeStore(path)
     raise OutcomeStoreError(
         f"cannot open an outcome store from {type(store).__name__}"
     )
+
+
+def open_existing_store(store: str | Path) -> OutcomeStore:
+    """Open a store that must already exist on disk (merge/migrate sources).
+
+    A typo'd source path must fail loudly instead of silently merging an
+    empty store.
+
+    Raises:
+        OutcomeStoreError: when the resolved backend's file/directory does
+            not exist, or the reference is malformed.
+    """
+    opened = open_outcome_store(store)
+    if opened is None:
+        raise OutcomeStoreError("an outcome store reference is required")
+    if isinstance(opened, DirectoryOutcomeStore) and not opened.path.is_dir():
+        raise OutcomeStoreError(
+            f"no such outcome store directory: {opened.path}"
+        )
+    from repro.scenario.store_sql import SqliteOutcomeStore
+
+    if isinstance(opened, SqliteOutcomeStore) and not opened.path.is_file():
+        raise OutcomeStoreError(
+            f"no such sqlite outcome store: {opened.path}"
+        )
+    return opened
 
 
 @dataclass

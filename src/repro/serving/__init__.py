@@ -9,11 +9,15 @@ the ``protemp run`` JSON format over HTTP or stdin/NDJSON, and streams
 each outcome as a JSON-lines event the moment it finishes — store hits
 replay instantly, ahead of misses still solving.
 
-Three modules:
+Four modules:
 
 * `repro.serving.jobs` — the job layer: submissions, per-job event logs
   and progress counters, the bounded worker pool shared across requests,
-  graceful drain;
+  graceful drain, idempotency-key replay;
+* `repro.serving.state` — :class:`JobJournal`, the SQLite job journal
+  behind ``protemp serve --state``: a restarted service re-enqueues
+  interrupted jobs (finished cells replay from the outcome store) and
+  answers idempotency-key resubmits across processes;
 * `repro.serving.service` — the :class:`ScenarioService` core plus the
   stdlib HTTP transport and the stdin/NDJSON loop;
 * `repro.serving.client` — :class:`ServiceClient`, the ``urllib``-only
@@ -33,13 +37,16 @@ from repro.serving.service import (
     serve,
     serve_stdin,
 )
+from repro.serving.state import JobJournal, JournalEntry
 
 __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_MAX_WORKERS",
     "DEFAULT_PORT",
     "Job",
+    "JobJournal",
     "JobManager",
+    "JournalEntry",
     "ScenarioService",
     "ServiceClient",
     "make_server",

@@ -54,6 +54,7 @@ class ServiceClient:
         *,
         body: dict | None = None,
         stream: bool = False,
+        headers: dict | None = None,
     ):
         """Open a request; returns the live response object.
 
@@ -68,7 +69,7 @@ class ServiceClient:
                 if body is not None
                 else None
             ),
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": "application/json", **(headers or {})},
             method="POST" if body is not None else "GET",
         )
         try:
@@ -117,9 +118,26 @@ class ServiceClient:
         """``GET /jobs/<id>`` — one job's status/progress counters."""
         return self._get_json(f"/jobs/{job_id}")
 
-    def submit(self, config: dict) -> dict:
-        """``POST /jobs`` — submit a config, return ``{"job_id", ...}``."""
-        with self._request("/jobs", body=config) as response:
+    def submit(
+        self, config: dict, *, idempotency_key: str | None = None
+    ) -> dict:
+        """``POST /jobs`` — submit a config, return ``{"job_id", ...}``.
+
+        Args:
+            config: the scenario config object.
+            idempotency_key: optional retry token (sent as the
+                ``Idempotency-Key`` header).  Resubmitting the same
+                config under the same key returns the existing job —
+                ``idempotent_replay`` is true in the response — instead
+                of running it twice; a different config under the same
+                key is a 409 :class:`ServiceError`.
+        """
+        headers = (
+            {"Idempotency-Key": idempotency_key}
+            if idempotency_key is not None
+            else None
+        )
+        with self._request("/jobs", body=config, headers=headers) as response:
             return json.loads(response.read().decode())
 
     def stream(self, job_id: str) -> Iterator[dict]:
@@ -137,13 +155,15 @@ class ServiceClient:
         finally:
             response.close()
 
-    def submit_and_stream(self, config: dict) -> Iterator[dict]:
+    def submit_and_stream(
+        self, config: dict, *, idempotency_key: str | None = None
+    ) -> Iterator[dict]:
         """Submit, then stream the job's events (two-request convenience).
 
         The first yielded event is the ``job`` acceptance event, so
         callers still learn the job id.
         """
-        accepted = self.submit(config)
+        accepted = self.submit(config, idempotency_key=idempotency_key)
         yield from self.stream(accepted["job_id"])
 
     def wait(self, job_id: str) -> dict:

@@ -23,14 +23,25 @@ Graceful drain (``SIGTERM``): :meth:`JobManager.drain` stops accepting
 new submissions (:class:`~repro.errors.ServiceError` with status 503) and
 blocks until every queued and in-flight scenario has finished — nothing
 is cancelled, and every completed cell reached the outcome store.
+
+Durability (``protemp serve --state``): give the manager a
+:class:`~repro.serving.state.JobJournal` and every submission and state
+transition is journaled.  A restarted manager **re-enqueues** each job
+the previous process left unfinished — its finished cells replay from
+the outcome store, so recovery re-solves only what the crash actually
+interrupted — and **resurrects** finished jobs lazily on lookup.  A
+client-supplied *idempotency key* makes submits retry-safe: the same key
+returns the existing job (even across restarts) instead of running the
+grid twice; the same key with a *different* config is a 409.
 """
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.errors import ReproError, ScenarioError, ServiceError
 from repro.scenario.registry import (
@@ -42,6 +53,7 @@ from repro.scenario.registry import (
 )
 from repro.scenario.runner import ScenarioOutcome, ScenarioRunner
 from repro.scenario.specs import ScenarioSpec, scenario_grid_from_config
+from repro.serving.state import JobJournal, JournalEntry, canonical_config
 
 #: Job lifecycle states (terminal: ``done``, ``failed``).
 JOB_STATES = ("queued", "running", "done", "failed")
@@ -78,12 +90,25 @@ class Job:
     Attributes:
         job_id: stable identifier (``job-000001``, monotonically assigned).
         specs: the expanded scenario grid, in grid order.
+        total: number of scenarios in the grid (a resurrected job keeps
+            its journaled count even if the config no longer expands).
+        idempotency_key: the client-supplied submit key, if any.
     """
 
-    def __init__(self, job_id: str, specs: Sequence[ScenarioSpec]) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        specs: Sequence[ScenarioSpec],
+        *,
+        idempotency_key: str | None = None,
+        created_at: float | None = None,
+        on_state: "Callable[[Job], None] | None" = None,
+    ) -> None:
         self.job_id = job_id
         self.specs = list(specs)
-        self.created_at = time.time()
+        self.total = len(self.specs)
+        self.idempotency_key = idempotency_key
+        self.created_at = created_at if created_at is not None else time.time()
         self.finished_at: float | None = None
         self.state = "queued"
         self.error: str | None = None
@@ -92,13 +117,9 @@ class Job:
         self.failed = 0
         self._events: list[dict] = []
         self._cond = threading.Condition()
+        self._on_state = on_state
 
     # -- read side ---------------------------------------------------------
-
-    @property
-    def total(self) -> int:
-        """Number of scenarios in the job's grid."""
-        return len(self.specs)
 
     @property
     def completed(self) -> int:
@@ -147,6 +168,7 @@ class Job:
                 "created_at": self.created_at,
                 "finished_at": self.finished_at,
                 "error": self.error,
+                "idempotency_key": self.idempotency_key,
             }
 
     def events(self, *, follow: bool = True) -> Iterator[dict]:
@@ -190,11 +212,30 @@ class Job:
             self._events.append(event)
             self._cond.notify_all()
 
+    def _notify_state(self) -> None:
+        """Report a state transition to the manager's journal hook.
+
+        Journal failures must not kill the worker thread driving the job
+        (the job itself is still correct in memory), so they are logged
+        and swallowed.
+        """
+        if self._on_state is None:
+            return
+        try:
+            self._on_state(self)
+        except Exception as exc:
+            sys.stderr.write(
+                f"[jobs] journal write failed for {self.job_id}: {exc}\n"
+            )
+
     def _start(self) -> None:
         with self._cond:
-            if self.state == "queued":
+            started = self.state == "queued"
+            if started:
                 self.state = "running"
         self._emit({"event": "job", "n_scenarios": self.total})
+        if started:
+            self._notify_state()
 
     def _record_outcome(self, index: int, outcome: ScenarioOutcome) -> None:
         # Counter, event, and the possible terminal transition happen
@@ -240,6 +281,7 @@ class Job:
         # condition acquisition (Condition wraps an RLock), so a
         # subscriber never observes a terminal state without the ``done``
         # event being in the log.
+        finished = False
         with self._cond:
             if (
                 self.state == "running"
@@ -251,6 +293,9 @@ class Job:
                 self.state = "done" if self.failed == 0 else "failed"
                 self.finished_at = time.time()
                 self._emit(self._done_event())
+                finished = True
+        if finished:
+            self._notify_state()
 
     def _fail(self, exc: Exception) -> None:
         """Whole-job failure (dispatch crashed before/while fanning out)."""
@@ -261,6 +306,7 @@ class Job:
             self.error = f"{type(exc).__name__}: {exc}"
             self.finished_at = time.time()
             self._emit(self._done_event())
+        self._notify_state()
 
     def _done_event(self) -> dict:
         with self._cond:
@@ -285,6 +331,12 @@ class JobManager:
             whose warm caches every job shares.
         max_workers: scenario worker threads shared by *all* concurrent
             submissions — the service's load bound.
+        journal: optional :class:`~repro.serving.state.JobJournal`; when
+            given, submissions and state transitions persist, job
+            numbering resumes past the journal's highest id, and jobs
+            the previous process left unfinished are re-enqueued
+            immediately (their finished cells replay from the outcome
+            store, so recovery re-solves only interrupted work).
     """
 
     def __init__(
@@ -292,6 +344,7 @@ class JobManager:
         runner: ScenarioRunner,
         *,
         max_workers: int = DEFAULT_MAX_WORKERS,
+        journal: JobJournal | None = None,
     ) -> None:
         if max_workers < 1:
             raise ServiceError("max_workers must be >= 1")
@@ -302,12 +355,138 @@ class JobManager:
         )
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
-        self._next_id = 1
+        self._journal = journal
+        #: idempotency key -> (job_id, canonical config) for live jobs.
+        self._keys: dict[str, tuple[str, str]] = {}
+        self._next_id = 1 if journal is None else journal.max_job_number() + 1
         self._closing = False
+        if journal is not None:
+            with self._lock:
+                self._recover_locked()
+
+    @property
+    def durable(self) -> bool:
+        """True when submissions and job state persist to a journal."""
+        return self._journal is not None
+
+    # -- journal plumbing --------------------------------------------------
+
+    def _journal_state(self, job: Job) -> None:
+        """The :class:`Job` state-transition hook (journal the snapshot)."""
+        if self._journal is not None:
+            self._journal.record_status(job.status())
+
+    def _recover_locked(self) -> None:
+        """Re-enqueue every job the previous process left unfinished.
+
+        The journaled config re-expands to the same grid (spec hashing is
+        deterministic), so the replay pass answers every cell that
+        reached the outcome store before the crash and only the
+        interrupted remainder executes.  A config that no longer expands
+        (e.g. a registry renamed between versions) fails the job in the
+        journal instead of aborting boot.
+        """
+        assert self._journal is not None
+        for entry in self._journal.unfinished():
+            try:
+                specs = scenario_grid_from_config(entry.config)
+                validate_specs(specs)
+            except ReproError as exc:
+                self._journal.record_status(
+                    {
+                        "job_id": entry.job_id,
+                        "state": "failed",
+                        "error": (
+                            "recovery could not re-expand the journaled "
+                            f"config: {type(exc).__name__}: {exc}"
+                        ),
+                        "scenarios_executed": entry.scenarios_executed,
+                        "outcomes_replayed": entry.outcomes_replayed,
+                        "failed": entry.failed,
+                        "finished_at": time.time(),
+                    }
+                )
+                continue
+            job = Job(
+                entry.job_id,
+                specs,
+                idempotency_key=entry.idempotency_key,
+                created_at=entry.created_at,
+                on_state=self._journal_state,
+            )
+            self._jobs[job.job_id] = job
+            if entry.idempotency_key is not None:
+                self._keys[entry.idempotency_key] = (
+                    entry.job_id,
+                    entry.config_canonical,
+                )
+            self._pool.submit(self._dispatch, job)
+
+    def _resurrect_locked(self, entry: JournalEntry) -> Job:
+        """Rebuild an in-memory :class:`Job` from a journaled row.
+
+        Used for *finished* jobs after a restart: status lookups and
+        idempotency-key replays keep working without re-running
+        anything.  The per-outcome event log is not journaled (outcome
+        rows live in the outcome store), so a resurrected job's event
+        stream is empty — :meth:`Job.status` is the authoritative view.
+        """
+        existing = self._jobs.get(entry.job_id)
+        if existing is not None:
+            return existing
+        try:
+            specs = scenario_grid_from_config(entry.config)
+        except ReproError:
+            specs = []  # registry drift; the snapshot below still stands
+        job = Job(
+            entry.job_id,
+            specs,
+            idempotency_key=entry.idempotency_key,
+            created_at=entry.created_at,
+        )
+        with job._cond:
+            job.total = entry.n_scenarios
+            job.state = entry.state
+            job.error = entry.error
+            job.scenarios_executed = entry.scenarios_executed
+            job.outcomes_replayed = entry.outcomes_replayed
+            job.failed = entry.failed
+            job.finished_at = entry.finished_at
+        self._jobs[entry.job_id] = job
+        if entry.idempotency_key is not None:
+            self._keys[entry.idempotency_key] = (
+                entry.job_id,
+                entry.config_canonical,
+            )
+        return job
+
+    def _find_by_key_locked(self, key: str) -> tuple[Job, str] | None:
+        """The live (or resurrected) job submitted under `key`, if any."""
+        hit = self._keys.get(key)
+        if hit is not None:
+            job_id, canonical = hit
+            return self._jobs[job_id], canonical
+        if self._journal is not None:
+            entry = self._journal.find_by_key(key)
+            if entry is not None:
+                return self._resurrect_locked(entry), entry.config_canonical
+        return None
 
     # -- submission --------------------------------------------------------
 
     def submit(self, config: dict) -> Job:
+        """Accept a scenario config (compatibility wrapper).
+
+        See :meth:`submit_job` for the full semantics; this keeps the
+        original one-value signature for callers that predate
+        idempotency keys.
+        """
+        job, _ = self.submit_job(config)
+        return job
+
+    def submit_job(
+        self, config: dict, *, idempotency_key: str | None = None
+    ) -> tuple[Job, bool]:
         """Accept a scenario config (the ``protemp run`` JSON format).
 
         Expansion and registry validation happen synchronously, so a
@@ -315,34 +494,79 @@ class JobManager:
         HTTP layer) and never becomes a job.  Execution is asynchronous:
         the returned job's event log fills in from pool threads.
 
+        Args:
+            config: the scenario config object.
+            idempotency_key: optional client-chosen retry token.  A
+                resubmit with the same key and the same config returns
+                the existing job (even across service restarts when a
+                journal is attached) instead of running the grid twice.
+
+        Returns:
+            ``(job, created)`` — `created` is False when the key matched
+            an existing submission and that job was returned instead.
+
         Raises:
             ScenarioError: malformed config or unknown registry names.
-            ServiceError: with status 503 once draining started.
+            ServiceError: status 409 when the key was already used with a
+                *different* config; status 503 once draining started.
         """
         if not isinstance(config, dict):
             raise ScenarioError("scenario config must be a JSON object")
+        canonical = canonical_config(config)
         specs = scenario_grid_from_config(config)
         validate_specs(specs)
         with self._lock:
+            if idempotency_key is not None:
+                found = self._find_by_key_locked(idempotency_key)
+                if found is not None:
+                    job, stored = found
+                    if stored != canonical:
+                        raise ServiceError(
+                            f"idempotency key {idempotency_key!r} was "
+                            "already used with a different config",
+                            status=409,
+                        )
+                    return job, False
             if self._closing:
                 raise ServiceError(
                     "service is draining and no longer accepts submissions",
                     status=503,
                 )
-            job = Job(f"job-{self._next_id:06d}", specs)
+            job = Job(
+                f"job-{self._next_id:06d}",
+                specs,
+                idempotency_key=idempotency_key,
+                on_state=(
+                    self._journal_state if self._journal is not None else None
+                ),
+            )
             self._next_id += 1
+            if self._journal is not None:
+                self._journal.record_submit(
+                    job.job_id,
+                    config,
+                    idempotency_key=idempotency_key,
+                    n_scenarios=job.total,
+                    created_at=job.created_at,
+                )
             self._jobs[job.job_id] = job
+            if idempotency_key is not None:
+                self._keys[idempotency_key] = (job.job_id, canonical)
             self._pool.submit(self._dispatch, job)
-        return job
+        return job, True
 
     def job(self, job_id: str) -> Job:
-        """Look up a job.
+        """Look up a job (journaled jobs resurrect across restarts).
 
         Raises:
             ServiceError: with status 404 for unknown ids.
         """
         with self._lock:
             job = self._jobs.get(job_id)
+            if job is None and self._journal is not None:
+                entry = self._journal.entry(job_id)
+                if entry is not None:
+                    job = self._resurrect_locked(entry)
         if job is None:
             raise ServiceError(f"unknown job {job_id!r}", status=404)
         return job
@@ -423,3 +647,5 @@ class JobManager:
         for job in jobs:
             job.wait()
         self._pool.shutdown(wait=True)
+        if self._journal is not None:
+            self._journal.close()

@@ -22,6 +22,7 @@ Method    Path                   Meaning
 GET       ``/healthz``           liveness + warm-cache/runner counters
 GET       ``/registry``          registered components (``protemp list``)
 POST      ``/jobs``              submit a config -> ``{"job_id": ...}``
+                                 (retry-safe via ``Idempotency-Key``)
 GET       ``/jobs``              all jobs' status snapshots
 GET       ``/jobs/<id>``         one job's status/progress counters
 GET       ``/jobs/<id>/events``  NDJSON event stream (blocks until done)
@@ -35,6 +36,12 @@ Errors are structured JSON bodies reusing the `repro.errors` hierarchy::
 Graceful drain: ``SIGTERM``/``SIGINT`` stop new submissions (503), wait
 for in-flight scenarios to finish (every completed cell is persisted to
 the outcome store), then close the listener and exit 0.
+
+Durability: ``protemp serve --state jobs.sqlite`` journals every job
+(`repro.serving.state`); a SIGKILLed service relaunched with the same
+``--state`` re-enqueues interrupted jobs (finished cells replay from the
+outcome store — zero re-solves) and answers idempotency-key resubmits
+with the original job.
 """
 
 from __future__ import annotations
@@ -56,6 +63,7 @@ from repro.errors import (
 )
 from repro.scenario.runner import ScenarioRunner
 from repro.serving.jobs import DEFAULT_MAX_WORKERS, Job, JobManager
+from repro.serving.state import JobJournal
 
 #: Default bind address of ``protemp serve``.
 DEFAULT_HOST = "127.0.0.1"
@@ -84,8 +92,13 @@ class ScenarioService:
             arguments when None.
         max_workers: scenario worker threads shared across jobs.
         table_cache_dir: persistent Phase-1 table cache directory.
-        outcome_store: persistent outcome store (directory path or
+        outcome_store: persistent outcome store (directory path,
+            ``sqlite:`` URL / ``*.sqlite`` path, or
             :class:`~repro.scenario.store.OutcomeStore`).
+        state: optional job-journal path (``protemp serve --state``);
+            when given, submissions survive restarts — unfinished jobs
+            re-enqueue on boot (finished cells replay from the outcome
+            store) and idempotency keys replay across processes.
 
     Example::
 
@@ -102,11 +115,15 @@ class ScenarioService:
         max_workers: int = DEFAULT_MAX_WORKERS,
         table_cache_dir: str | Path | None = None,
         outcome_store=None,
+        state: str | Path | None = None,
     ) -> None:
         self.runner = runner or ScenarioRunner(
             table_cache_dir=table_cache_dir, outcome_store=outcome_store
         )
-        self.manager = JobManager(self.runner, max_workers=max_workers)
+        self.journal = JobJournal(state) if state is not None else None
+        self.manager = JobManager(
+            self.runner, max_workers=max_workers, journal=self.journal
+        )
         self.started_at = time.time()
 
     # -- operations (raise repro.errors; transports map to responses) ------
@@ -114,6 +131,17 @@ class ScenarioService:
     def submit(self, config: dict) -> Job:
         """Submit one scenario config (see :meth:`JobManager.submit`)."""
         return self.manager.submit(config)
+
+    def submit_job(
+        self, config: dict, *, idempotency_key: str | None = None
+    ) -> tuple[Job, bool]:
+        """Submit with an optional idempotency key.
+
+        Returns ``(job, created)`` — see :meth:`JobManager.submit_job`.
+        """
+        return self.manager.submit_job(
+            config, idempotency_key=idempotency_key
+        )
 
     def job(self, job_id: str) -> Job:
         """Look up a job (404-mapped :class:`ServiceError` when unknown)."""
@@ -127,6 +155,9 @@ class ScenarioService:
             "status": "draining" if self.manager.draining else "ok",
             "version": package_version(),
             "uptime_s": time.time() - self.started_at,
+            "durable_state": (
+                str(self.journal.path) if self.journal is not None else None
+            ),
             "jobs": self.manager.counts(),
             "runner": {
                 "tables_built": self.runner.tables_built,
@@ -199,7 +230,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away; the job keeps running
 
-    def _read_config(self) -> dict:
+    def _read_submission(self) -> tuple[dict, str | None]:
+        """Parse a submit body into ``(config, idempotency_key)``.
+
+        The key travels either as the ``Idempotency-Key`` header or in
+        an envelope body ``{"config": ..., "idempotency_key": ...}``;
+        sending both (with different values) is a 400.
+        """
         length = self.headers.get("Content-Length")
         if length is None:
             raise ServiceError(
@@ -212,11 +249,28 @@ class ServiceHandler(BaseHTTPRequestHandler):
             raise ServiceError(
                 f"request body is not valid JSON: {exc}", status=400
             ) from exc
+        key = self.headers.get("Idempotency-Key")
+        if (
+            isinstance(config, dict)
+            and "config" in config
+            and set(config) <= {"config", "idempotency_key"}
+        ):
+            body_key = config.get("idempotency_key")
+            if body_key is not None and not isinstance(body_key, str):
+                raise ServiceError(
+                    "idempotency_key must be a string", status=400
+                )
+            if key is not None and body_key is not None and key != body_key:
+                raise ServiceError(
+                    "Idempotency-Key header and body disagree", status=400
+                )
+            key = key if key is not None else body_key
+            config = config["config"]
         if not isinstance(config, dict):
             raise ServiceError(
                 "scenario config must be a JSON object", status=400
             )
-        return config
+        return config, key
 
     # -- routing -----------------------------------------------------------
 
@@ -244,12 +298,21 @@ class ServiceHandler(BaseHTTPRequestHandler):
         try:
             path = self.path.rstrip("/")
             if path == "/jobs":
-                job = self.service.submit(self._read_config())
+                config, key = self._read_submission()
+                job, created = self.service.submit_job(
+                    config, idempotency_key=key
+                )
                 self._send_json(
-                    202, {"job_id": job.job_id, "n_scenarios": job.total}
+                    202,
+                    {
+                        "job_id": job.job_id,
+                        "n_scenarios": job.total,
+                        "idempotent_replay": not created,
+                    },
                 )
             elif path == "/run":
-                job = self.service.submit(self._read_config())
+                config, key = self._read_submission()
+                job, _ = self.service.submit_job(config, idempotency_key=key)
                 self._stream_events(job)
             else:
                 raise ServiceError(f"no such endpoint: {path}", status=404)

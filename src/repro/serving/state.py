@@ -1,0 +1,399 @@
+"""Durable job state: the SQLite journal behind ``protemp serve --state``.
+
+:class:`JobJournal` records every submitted job — its config (canonical
+JSON), optional idempotency key, lifecycle state, and final counters —
+in a single SQLite file, so a restarted service can pick up where the
+previous process died:
+
+* jobs that never reached a terminal state are **re-enqueued** on boot:
+  the journaled config re-expands to the same grid, finished cells
+  replay from the outcome store (zero re-solves), and only the cells the
+  crash interrupted execute again;
+* finished jobs are **resurrected lazily** when a client asks for them
+  (status lookups and idempotency-key replays keep working across
+  restarts without loading the whole history into memory);
+* job numbering resumes past the journal's highest id, so restarted
+  services never reuse a ``job-NNNNNN``.
+
+The journal is intentionally *not* an event store: the per-outcome rows
+live in the outcome store (content-addressed, shared across jobs), so
+journal writes happen only on submit and on state transitions — a few
+rows per job, regardless of grid size.
+
+Like `repro.scenario.store_sql`, the file is WAL-mode, carries its
+``schema_version`` in a ``meta`` table, and upgrades through registered
+:data:`STATE_MIGRATIONS` (a future layout refuses to open).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import ServiceError
+
+#: Current journal schema version (see STATE_MIGRATIONS for the history).
+STATE_SCHEMA_VERSION = 1
+
+#: Cross-process write-lock patience (milliseconds).
+BUSY_TIMEOUT_MS = 10_000
+
+#: Job states the journal treats as terminal (mirrors jobs.JOB_STATES).
+_TERMINAL_STATES = ("done", "failed")
+
+#: Ordered schema migrations: ``STATE_MIGRATIONS[v]`` upgrades a
+#: version-``v`` journal to ``v + 1`` (version 0 is the empty file).
+STATE_MIGRATIONS: dict[int, Callable[[sqlite3.Connection], None]] = {}
+
+
+def _migration(version: int) -> Callable[
+    [Callable[[sqlite3.Connection], None]],
+    Callable[[sqlite3.Connection], None],
+]:
+    def register(
+        func: Callable[[sqlite3.Connection], None],
+    ) -> Callable[[sqlite3.Connection], None]:
+        if version in STATE_MIGRATIONS:
+            raise ServiceError(
+                f"duplicate job-journal schema migration for version {version}"
+            )
+        STATE_MIGRATIONS[version] = func
+        return func
+
+    return register
+
+
+@_migration(0)
+def _initial_schema(connection: sqlite3.Connection) -> None:
+    """Version 0 -> 1: the jobs table."""
+    connection.execute(
+        "CREATE TABLE IF NOT EXISTS jobs ("
+        " job_id TEXT PRIMARY KEY,"
+        " config TEXT NOT NULL,"
+        " idempotency_key TEXT UNIQUE,"
+        " state TEXT NOT NULL,"
+        " error TEXT,"
+        " n_scenarios INTEGER NOT NULL,"
+        " scenarios_executed INTEGER NOT NULL DEFAULT 0,"
+        " outcomes_replayed INTEGER NOT NULL DEFAULT 0,"
+        " failed INTEGER NOT NULL DEFAULT 0,"
+        " created_at REAL NOT NULL,"
+        " finished_at REAL)"
+    )
+
+
+def canonical_config(config: dict[str, Any]) -> str:
+    """Canonical JSON for a scenario config (idempotency comparisons).
+
+    Two submits with the same key must carry the *same request*; key
+    order and whitespace do not make a config different, so comparisons
+    happen on this canonical form.
+
+    Raises:
+        ServiceError: when the config is not JSON-serializable (contains
+            NaN/Infinity or non-JSON types).
+    """
+    try:
+        return json.dumps(
+            config, sort_keys=True, allow_nan=False, separators=(",", ":")
+        )
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(
+            f"scenario config is not canonical JSON: {exc}", status=400
+        ) from exc
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journaled job row (see the ``jobs`` table)."""
+
+    job_id: str
+    config: dict[str, Any]
+    config_canonical: str
+    idempotency_key: str | None
+    state: str
+    error: str | None
+    n_scenarios: int
+    scenarios_executed: int
+    outcomes_replayed: int
+    failed: int
+    created_at: float
+    finished_at: float | None
+
+    @property
+    def finished(self) -> bool:
+        """True when the journaled state is terminal."""
+        return self.state in _TERMINAL_STATES
+
+
+class JobJournal:
+    """Persistent job table for a durable :class:`~repro.serving.JobManager`.
+
+    Args:
+        path: the journal file (``protemp serve --state PATH``); created
+            with parents on first open.
+
+    Thread-safe (one shared connection behind a mutex) and WAL-mode so a
+    liveness probe can read the file while the service writes it.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._mutex = threading.RLock()
+        self._connection: sqlite3.Connection | None = None
+
+    # -- connection / schema lifecycle --------------------------------------
+
+    def _connect_locked(self) -> sqlite3.Connection:
+        if self._connection is not None:
+            return self._connection
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            connection = sqlite3.connect(
+                self.path, check_same_thread=False, isolation_level=None
+            )
+        except (OSError, sqlite3.Error) as exc:
+            raise ServiceError(
+                f"cannot open job journal {self.path}: {exc}"
+            ) from exc
+        try:
+            connection.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS:d}")
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            self._ensure_schema_locked(connection)
+        except BaseException:
+            connection.close()
+            raise
+        self._connection = connection
+        return connection
+
+    def _ensure_schema_locked(self, connection: sqlite3.Connection) -> None:
+        try:
+            connection.execute("BEGIN IMMEDIATE")
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS meta ("
+                " key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            row = connection.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            version = int(row[0]) if row is not None else 0
+            if version > STATE_SCHEMA_VERSION:
+                raise ServiceError(
+                    f"job journal {self.path} has schema version {version}, "
+                    f"newer than this build's {STATE_SCHEMA_VERSION}; "
+                    "upgrade the package instead of reading a future layout"
+                )
+            while version < STATE_SCHEMA_VERSION:
+                migrate = STATE_MIGRATIONS.get(version)
+                if migrate is None:
+                    raise ServiceError(
+                        f"no job-journal schema migration from version "
+                        f"{version} (journal {self.path})"
+                    )
+                migrate(connection)
+                version += 1
+            connection.execute(
+                "INSERT INTO meta(key, value) VALUES('schema_version', ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (str(version),),
+            )
+            connection.execute("COMMIT")
+        except sqlite3.Error as exc:
+            connection.execute("ROLLBACK")
+            raise ServiceError(
+                f"cannot initialize job journal {self.path}: {exc}"
+            ) from exc
+        except BaseException:
+            connection.execute("ROLLBACK")
+            raise
+
+    def schema_version(self) -> int:
+        """The journal file's current schema version (tests, tooling)."""
+        with self._mutex:
+            connection = self._connect_locked()
+            row = connection.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            return int(row[0]) if row is not None else 0
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent; reopens on use)."""
+        with self._mutex:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- writes --------------------------------------------------------------
+
+    def record_submit(
+        self,
+        job_id: str,
+        config: dict[str, Any],
+        *,
+        idempotency_key: str | None,
+        n_scenarios: int,
+        created_at: float,
+    ) -> None:
+        """Journal a freshly accepted job (state ``queued``).
+
+        Raises:
+            ServiceError: when the id or idempotency key is already
+                journaled (the manager checks first; this is the
+                last-line uniqueness guarantee).
+        """
+        with self._mutex:
+            connection = self._connect_locked()
+            try:
+                connection.execute(
+                    "INSERT INTO jobs (job_id, config, idempotency_key,"
+                    " state, error, n_scenarios, created_at)"
+                    " VALUES (?, ?, ?, 'queued', NULL, ?, ?)",
+                    (
+                        job_id,
+                        canonical_config(config),
+                        idempotency_key,
+                        n_scenarios,
+                        created_at,
+                    ),
+                )
+            except sqlite3.IntegrityError as exc:
+                raise ServiceError(
+                    f"job journal {self.path} already holds job {job_id!r} "
+                    f"or idempotency key {idempotency_key!r}: {exc}",
+                    status=409,
+                ) from exc
+            except sqlite3.Error as exc:
+                raise ServiceError(
+                    f"cannot write job journal {self.path}: {exc}"
+                ) from exc
+
+    def record_status(self, status: dict[str, Any]) -> None:
+        """Journal a job's state transition (a :meth:`Job.status` snapshot).
+
+        Called on queued→running and on the terminal transition, so the
+        journal always knows whether a job needs re-enqueueing after a
+        crash and what the final counters were.
+        """
+        with self._mutex:
+            connection = self._connect_locked()
+            try:
+                connection.execute(
+                    "UPDATE jobs SET state = ?, error = ?,"
+                    " scenarios_executed = ?, outcomes_replayed = ?,"
+                    " failed = ?, finished_at = ? WHERE job_id = ?",
+                    (
+                        status["state"],
+                        status["error"],
+                        status["scenarios_executed"],
+                        status["outcomes_replayed"],
+                        status["failed"],
+                        status["finished_at"],
+                        status["job_id"],
+                    ),
+                )
+            except sqlite3.Error as exc:
+                raise ServiceError(
+                    f"cannot write job journal {self.path}: {exc}"
+                ) from exc
+
+    # -- reads ---------------------------------------------------------------
+
+    _COLUMNS = (
+        "job_id, config, idempotency_key, state, error, n_scenarios,"
+        " scenarios_executed, outcomes_replayed, failed, created_at,"
+        " finished_at"
+    )
+
+    def _entry(self, row: "tuple[Any, ...]") -> JournalEntry:
+        try:
+            config = json.loads(row[1])
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"unreadable config for job {row[0]!r} in journal "
+                f"{self.path}: {exc}"
+            ) from exc
+        return JournalEntry(
+            job_id=row[0],
+            config=config,
+            config_canonical=row[1],
+            idempotency_key=row[2],
+            state=row[3],
+            error=row[4],
+            n_scenarios=int(row[5]),
+            scenarios_executed=int(row[6]),
+            outcomes_replayed=int(row[7]),
+            failed=int(row[8]),
+            created_at=float(row[9]),
+            finished_at=float(row[10]) if row[10] is not None else None,
+        )
+
+    def _select(
+        self, where: str = "", params: "tuple[Any, ...]" = ()
+    ) -> list[JournalEntry]:
+        with self._mutex:
+            connection = self._connect_locked()
+            try:
+                rows = connection.execute(
+                    f"SELECT {self._COLUMNS} FROM jobs {where}"
+                    " ORDER BY job_id",
+                    params,
+                ).fetchall()
+            except sqlite3.Error as exc:
+                raise ServiceError(
+                    f"cannot read job journal {self.path}: {exc}"
+                ) from exc
+        return [self._entry(row) for row in rows]
+
+    def entry(self, job_id: str) -> JournalEntry | None:
+        """The journaled row for `job_id`, or None."""
+        entries = self._select("WHERE job_id = ?", (job_id,))
+        return entries[0] if entries else None
+
+    def entries(self) -> list[JournalEntry]:
+        """Every journaled job, ordered by id."""
+        return self._select()
+
+    def find_by_key(self, idempotency_key: str) -> JournalEntry | None:
+        """The job journaled under `idempotency_key`, or None."""
+        entries = self._select(
+            "WHERE idempotency_key = ?", (idempotency_key,)
+        )
+        return entries[0] if entries else None
+
+    def unfinished(self) -> list[JournalEntry]:
+        """Jobs whose journaled state is not terminal (boot recovery)."""
+        return self._select("WHERE state NOT IN ('done', 'failed')")
+
+    def max_job_number(self) -> int:
+        """The highest ``job-NNNNNN`` number journaled (0 when empty).
+
+        Restarted managers resume numbering past this, so a recovered
+        service never hands out an id the journal already knows.
+        """
+        with self._mutex:
+            connection = self._connect_locked()
+            try:
+                rows = connection.execute(
+                    "SELECT job_id FROM jobs"
+                ).fetchall()
+            except sqlite3.Error as exc:
+                raise ServiceError(
+                    f"cannot read job journal {self.path}: {exc}"
+                ) from exc
+        numbers = [0]
+        for (job_id,) in rows:
+            _, _, suffix = job_id.partition("-")
+            if suffix.isdigit():
+                numbers.append(int(suffix))
+        return max(numbers)

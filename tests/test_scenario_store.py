@@ -75,11 +75,15 @@ def make_record(seed: int = 0, **summary_overrides) -> StoredOutcome:
     )
 
 
-@pytest.fixture(params=["memory", "directory"])
+@pytest.fixture(params=["memory", "directory", "sqlite"])
 def store(request, tmp_path):
-    """Both backends behind the one OutcomeStore interface."""
+    """All three backends behind the one OutcomeStore interface."""
     if request.param == "memory":
         return MemoryOutcomeStore()
+    if request.param == "sqlite":
+        from repro.scenario import SqliteOutcomeStore
+
+        return SqliteOutcomeStore(tmp_path / "store.sqlite")
     return DirectoryOutcomeStore(tmp_path / "store")
 
 

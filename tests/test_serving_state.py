@@ -1,0 +1,362 @@
+"""Durable serving state: journal, restart recovery, idempotent submits.
+
+Covers the ISSUE 8 service acceptance criteria: a job interrupted
+mid-flight re-enqueues on restart and completes with zero re-solves for
+already-finished cells (bit-identical rows), and a double ``POST /jobs``
+with the same idempotency key runs exactly one job — in-process and over
+real HTTP, within one process and across a simulated restart.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.scenario import ScenarioRunner, SqliteOutcomeStore
+from repro.scenario.specs import scenario_grid_from_config
+from repro.serving import (
+    JobJournal,
+    ScenarioService,
+    ServiceClient,
+    make_server,
+)
+from repro.serving.state import STATE_SCHEMA_VERSION, canonical_config
+from test_serving import FAST_CONFIG, _sanitize
+
+
+@pytest.fixture()
+def paths(tmp_path):
+    """(outcome-store path, journal path) for one durable service."""
+    return tmp_path / "outcomes.sqlite", tmp_path / "state.sqlite"
+
+
+def durable_service(paths, **kwargs) -> ScenarioService:
+    store, state = paths
+    return ScenarioService(
+        max_workers=2, outcome_store=str(store), state=state, **kwargs
+    )
+
+
+class TestJobJournal:
+    def test_fresh_journal_is_current_version(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.sqlite")
+        assert journal.schema_version() == STATE_SCHEMA_VERSION
+
+    def test_submit_and_status_round_trip(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.sqlite")
+        journal.record_submit(
+            "job-000007",
+            FAST_CONFIG,
+            idempotency_key="k",
+            n_scenarios=4,
+            created_at=123.0,
+        )
+        entry = journal.entry("job-000007")
+        assert entry.state == "queued"
+        assert entry.idempotency_key == "k"
+        assert entry.config == FAST_CONFIG
+        assert entry.config_canonical == canonical_config(FAST_CONFIG)
+        assert not entry.finished
+        journal.record_status(
+            {
+                "job_id": "job-000007",
+                "state": "done",
+                "error": None,
+                "scenarios_executed": 4,
+                "outcomes_replayed": 0,
+                "failed": 0,
+                "finished_at": 125.0,
+            }
+        )
+        entry = journal.entry("job-000007")
+        assert entry.finished and entry.scenarios_executed == 4
+        assert journal.unfinished() == []
+        assert journal.find_by_key("k").job_id == "job-000007"
+        assert journal.find_by_key("other") is None
+        assert journal.max_job_number() == 7
+
+    def test_duplicate_key_rejected_by_journal(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.sqlite")
+        journal.record_submit(
+            "job-000001", {}, idempotency_key="k", n_scenarios=0,
+            created_at=0.0,
+        )
+        with pytest.raises(ServiceError, match="already holds"):
+            journal.record_submit(
+                "job-000002", {}, idempotency_key="k", n_scenarios=0,
+                created_at=0.0,
+            )
+
+    def test_future_schema_version_refuses(self, tmp_path):
+        path = tmp_path / "j.sqlite"
+        JobJournal(path).schema_version()
+        with sqlite3.connect(path) as raw:
+            raw.execute(
+                "UPDATE meta SET value = '99' WHERE key = 'schema_version'"
+            )
+        with pytest.raises(ServiceError, match="newer"):
+            JobJournal(path).entries()
+
+
+class TestIdempotentSubmits:
+    def test_same_key_same_config_runs_once(self, paths):
+        service = durable_service(paths)
+        try:
+            job, created = service.submit_job(
+                FAST_CONFIG, idempotency_key="retry-1"
+            )
+            again, created_again = service.submit_job(
+                FAST_CONFIG, idempotency_key="retry-1"
+            )
+            assert created and not created_again
+            assert again is job
+            assert len(service.manager.jobs()) == 1
+        finally:
+            service.drain()
+
+    def test_same_key_different_config_is_409(self, paths):
+        service = durable_service(paths)
+        try:
+            service.submit_job(FAST_CONFIG, idempotency_key="retry-1")
+            other = json.loads(json.dumps(FAST_CONFIG))
+            other["grid"]["seed"] = [7]
+            with pytest.raises(ServiceError, match="different config") as err:
+                service.submit_job(other, idempotency_key="retry-1")
+            assert err.value.status == 409
+        finally:
+            service.drain()
+
+    def test_key_replays_across_restart(self, paths):
+        first = durable_service(paths)
+        job, _ = first.submit_job(FAST_CONFIG, idempotency_key="retry-1")
+        job.wait(60)
+        first.drain()
+
+        second = durable_service(paths)
+        try:
+            replay, created = second.submit_job(
+                FAST_CONFIG, idempotency_key="retry-1"
+            )
+            assert not created
+            assert replay.job_id == job.job_id
+            assert replay.state == "done"
+            # Equivalent key order is the same config (canonical compare).
+            reordered = json.loads(
+                json.dumps(FAST_CONFIG, sort_keys=True)
+            )
+            also, created = second.submit_job(
+                reordered, idempotency_key="retry-1"
+            )
+            assert not created and also is replay
+            assert second.manager.runner.scenarios_executed == 0
+        finally:
+            second.drain()
+
+    def test_key_without_journal_still_replays_in_process(self):
+        service = ScenarioService(max_workers=2)
+        try:
+            job, created = service.submit_job(
+                FAST_CONFIG, idempotency_key="k"
+            )
+            again, created_again = service.submit_job(
+                FAST_CONFIG, idempotency_key="k"
+            )
+            assert created and not created_again and again is job
+        finally:
+            service.drain()
+
+
+class TestRestartRecovery:
+    def _journal_interrupted_job(
+        self, paths, config, *, solved: int
+    ) -> list[dict]:
+        """Simulate a SIGKILLed service: `solved` cells reached the
+        outcome store, the journal says the job was still running.
+        Returns the reference rows of an uninterrupted run."""
+        store_path, state_path = paths
+        specs = scenario_grid_from_config(config)
+        reference = [
+            o.data_row() for o in ScenarioRunner().run_many(specs)
+        ]
+        runner = ScenarioRunner(outcome_store=str(store_path))
+        for spec in specs[:solved]:
+            runner.run(spec)
+        journal = JobJournal(state_path)
+        journal.record_submit(
+            "job-000001",
+            config,
+            idempotency_key="crash-key",
+            n_scenarios=len(specs),
+            created_at=time.time(),
+        )
+        journal.record_status(
+            {
+                "job_id": "job-000001",
+                "state": "running",
+                "error": None,
+                "scenarios_executed": solved,
+                "outcomes_replayed": 0,
+                "failed": 0,
+                "finished_at": None,
+            }
+        )
+        journal.close()
+        return reference
+
+    def test_interrupted_job_completes_warm_on_boot(self, paths):
+        """Acceptance: restart re-enqueues the interrupted job; finished
+        cells replay (zero re-solves) and rows are bit-identical."""
+        reference = self._journal_interrupted_job(
+            paths, FAST_CONFIG, solved=2
+        )
+        service = durable_service(paths)
+        try:
+            job = service.manager.job("job-000001")
+            assert job.wait(60)
+            assert job.state == "done"
+            assert job.outcomes_replayed == 2
+            assert job.scenarios_executed == len(reference) - 2
+            rows = [
+                e["row"]
+                for e in job.events(follow=False)
+                if e["event"] == "outcome"
+            ]
+            assert sorted(
+                (_sanitize(r) for r in rows), key=lambda r: r["spec_hash"]
+            ) == sorted(
+                (_sanitize(r) for r in reference),
+                key=lambda r: r["spec_hash"],
+            )
+            assert service.journal.entry("job-000001").state == "done"
+        finally:
+            service.drain()
+
+    def test_fully_solved_job_recovers_with_zero_executes(self, paths):
+        self._journal_interrupted_job(paths, FAST_CONFIG, solved=4)
+        service = durable_service(paths)
+        try:
+            job = service.manager.job("job-000001")
+            assert job.wait(60)
+            assert job.scenarios_executed == 0
+            assert job.outcomes_replayed == 4
+            assert service.runner.scenarios_executed == 0
+        finally:
+            service.drain()
+
+    def test_job_numbering_resumes_past_journal(self, paths):
+        self._journal_interrupted_job(paths, FAST_CONFIG, solved=4)
+        service = durable_service(paths)
+        try:
+            job, _ = service.submit_job(FAST_CONFIG)
+            assert job.job_id == "job-000002"
+        finally:
+            service.drain()
+
+    def test_finished_job_resurrects_on_lookup(self, paths):
+        first = durable_service(paths)
+        job, _ = first.submit_job(FAST_CONFIG, idempotency_key="k")
+        job.wait(60)
+        done_status = job.status()
+        first.drain()
+
+        second = durable_service(paths)
+        try:
+            assert second.manager.jobs() == []  # lazy: nothing eager
+            resurrected = second.manager.job(job.job_id)
+            status = resurrected.status()
+            for key in ("state", "n_scenarios", "scenarios_executed",
+                        "outcomes_replayed", "failed", "idempotency_key"):
+                assert status[key] == done_status[key]
+        finally:
+            second.drain()
+
+    def test_unknown_job_still_404s_with_journal(self, paths):
+        service = durable_service(paths)
+        try:
+            with pytest.raises(ServiceError) as err:
+                service.manager.job("job-999999")
+            assert err.value.status == 404
+        finally:
+            service.drain()
+
+
+class TestHTTPDurability:
+    @pytest.fixture()
+    def live(self, paths):
+        service = durable_service(paths)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield service, ServiceClient(f"http://{host}:{port}")
+        server.shutdown()
+        server.server_close()
+        service.drain()
+
+    def test_health_reports_durable_state(self, live, paths):
+        _, client = live
+        assert client.health()["durable_state"] == str(paths[1])
+
+    def test_double_post_with_header_runs_one_job(self, live):
+        """Acceptance: double POST /jobs with the same Idempotency-Key
+        runs exactly one job."""
+        _, client = live
+        first = client.submit(FAST_CONFIG, idempotency_key="retry-9")
+        assert first["idempotent_replay"] is False
+        second = client.submit(FAST_CONFIG, idempotency_key="retry-9")
+        assert second["job_id"] == first["job_id"]
+        assert second["idempotent_replay"] is True
+        assert client.health()["jobs"]["total"] == 1
+        done = client.wait(first["job_id"])
+        assert done["state"] == "done"
+
+    def test_envelope_body_carries_key(self, live):
+        _, client = live
+        envelope = {"config": FAST_CONFIG, "idempotency_key": "env-key"}
+        first = client.submit(envelope)
+        second = client.submit(envelope)
+        assert second["job_id"] == first["job_id"]
+        assert second["idempotent_replay"] is True
+
+    def test_conflicting_key_is_http_409(self, live):
+        _, client = live
+        client.submit(FAST_CONFIG, idempotency_key="retry-9")
+        other = json.loads(json.dumps(FAST_CONFIG))
+        other["grid"]["seed"] = [9]
+        with pytest.raises(ServiceError) as err:
+            client.submit(other, idempotency_key="retry-9")
+        assert err.value.status == 409
+
+    def test_header_and_body_disagreement_is_400(self, live):
+        _, client = live
+        envelope = {"config": FAST_CONFIG, "idempotency_key": "a"}
+        with pytest.raises(ServiceError) as err:
+            client.submit(envelope, idempotency_key="b")
+        assert err.value.status == 400
+
+    def test_status_of_previous_process_job_served(self, paths, live):
+        """A status lookup for a job finished before the restart answers
+        from the journal (resurrection over HTTP)."""
+        service, client = live
+        job, _ = service.submit_job(FAST_CONFIG, idempotency_key="warm")
+        job.wait(60)
+        # New service over the same journal, fresh HTTP server.
+        second = durable_service(paths)
+        server = make_server(second, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            client2 = ServiceClient(f"http://{host}:{port}")
+            status = client2.status(job.job_id)
+            assert status["state"] == "done"
+            assert status["n_scenarios"] == job.total
+        finally:
+            server.shutdown()
+            server.server_close()
+            second.drain()
