@@ -25,7 +25,13 @@ Three command families:
   JSON-lines events, graceful drain on SIGTERM, durable job state with
   ``--state`` (see `repro.serving`).
 * ``protemp submit <config.json>`` — send a config to a running service
-  and stream its outcome events back (``--url``, ``--json``).
+  and stream its outcome events back (``--url``, ``--json``,
+  ``--priority`` to schedule ahead of the default-priority backlog).
+* ``protemp report [STORE...]`` — summarize a run: per-policy outcome
+  totals from outcome stores, per-job state/priority tables from a
+  ``--state`` job journal, and per-phase wall-time/cache-hit/solve-count
+  tables from a saved ``--metrics`` snapshot (``/metrics`` JSON);
+  ``--json`` emits the versioned report object.
 * ``protemp list`` — show the registered platforms, workloads, policies,
   assignments, sensors and experiments (``--json`` for tooling).
 * ``protemp check [paths]`` — run the project-invariant static-analysis
@@ -93,7 +99,16 @@ EXPERIMENTS = (
 )
 
 #: Scenario-API commands sharing the positional slot with the experiments.
-COMMANDS = ("run", "merge", "migrate", "list", "serve", "submit", "check")
+COMMANDS = (
+    "run",
+    "merge",
+    "migrate",
+    "list",
+    "serve",
+    "submit",
+    "check",
+    "report",
+)
 
 #: Distribution name in package metadata (pyproject.toml).
 DISTRIBUTION = "protemp-repro"
@@ -312,6 +327,36 @@ def build_parser() -> argparse.ArgumentParser:
             "running it twice"
         ),
     )
+    parser.add_argument(
+        "--priority",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "'submit' only: scheduling priority for the job (higher "
+            "runs first; default 0)"
+        ),
+    )
+    parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "'serve' only: admission-control limit — reject submissions "
+            "with 429 once this many scenario cells are accepted but not "
+            "yet finished (default: unbounded)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help=(
+            "'report' only: a saved /metrics JSON snapshot to summarize "
+            "into per-phase timing tables"
+        ),
+    )
     return parser
 
 
@@ -441,6 +486,9 @@ def _run_command(args: argparse.Namespace) -> int:
             "--rule": args.rule,
             "--state": args.state,
             "--idempotency-key": args.idempotency_key,
+            "--priority": args.priority,
+            "--queue-capacity": args.queue_capacity,
+            "--metrics": args.metrics,
         },
     )
     if error:
@@ -498,6 +546,9 @@ def _merge_command(args: argparse.Namespace) -> int:
             "--rule": args.rule,
             "--state": args.state,
             "--idempotency-key": args.idempotency_key,
+            "--priority": args.priority,
+            "--queue-capacity": args.queue_capacity,
+            "--metrics": args.metrics,
         },
     )
     if error:
@@ -560,6 +611,9 @@ def _migrate_command(args: argparse.Namespace) -> int:
             "--rule": args.rule,
             "--state": args.state,
             "--idempotency-key": args.idempotency_key,
+            "--priority": args.priority,
+            "--queue-capacity": args.queue_capacity,
+            "--metrics": args.metrics,
         },
     )
     if error:
@@ -627,6 +681,8 @@ def _serve_command(args: argparse.Namespace) -> int:
             "--url": args.url,
             "--rule": args.rule,
             "--idempotency-key": args.idempotency_key,
+            "--priority": args.priority,
+            "--metrics": args.metrics,
         },
     )
     if error:
@@ -641,6 +697,7 @@ def _serve_command(args: argparse.Namespace) -> int:
         table_cache_dir=args.table_cache_dir,
         outcome_store=args.outcome_store,
         state=args.state,
+        queue_capacity=args.queue_capacity,
     )
     if args.stdin:
         if args.host is not None or args.port is not None:
@@ -674,6 +731,8 @@ def _submit_command(args: argparse.Namespace) -> int:
             "--stdin": args.stdin,
             "--rule": args.rule,
             "--state": args.state,
+            "--queue-capacity": args.queue_capacity,
+            "--metrics": args.metrics,
         },
     )
     if error:
@@ -711,7 +770,9 @@ def _submit_command(args: argparse.Namespace) -> int:
     done: dict | None = None
     try:
         for event in client.submit_and_stream(
-            config, idempotency_key=args.idempotency_key
+            config,
+            idempotency_key=args.idempotency_key,
+            priority=args.priority,
         ):
             if args.json:
                 print(json.dumps(event))
@@ -732,7 +793,9 @@ def _submit_command(args: argparse.Namespace) -> int:
             if kind == "done":
                 done = event
     except ServiceError as exc:
-        print(f"protemp submit: {exc}", file=sys.stderr)
+        retry = getattr(exc, "retry_after_s", None)
+        suffix = f" (retry after {retry}s)" if retry is not None else ""
+        print(f"protemp submit: {exc}{suffix}", file=sys.stderr)
         return 2
     if not args.json:
         _print_summary_table(rows)
@@ -778,6 +841,9 @@ def _check_command(args: argparse.Namespace) -> int:
             "--url": args.url,
             "--state": args.state,
             "--idempotency-key": args.idempotency_key,
+            "--priority": args.priority,
+            "--queue-capacity": args.queue_capacity,
+            "--metrics": args.metrics,
         },
     )
     if error:
@@ -800,6 +866,78 @@ def _check_command(args: argparse.Namespace) -> int:
         return 2
     print(render_json(report) if args.json else render_text(report))
     return report.exit_code
+
+
+def _report_command(args: argparse.Namespace) -> int:
+    """``protemp report [STORE...]``: summarize a run's artifacts.
+
+    Any combination of inputs works — outcome stores (positional),
+    a job journal (``--state``), and a saved ``/metrics`` JSON snapshot
+    (``--metrics``); at least one must be given.  Exit 0 with the
+    rendered tables, 2 on usage errors or unreadable inputs.
+    """
+    # Lazy like _serve_command: report pulls in the serving layer only
+    # when a --state journal is named.
+    from repro.observability.report import build_report, render_report
+    from repro.errors import ServiceError
+
+    error = _reject_foreign_flags(
+        "report",
+        args,
+        {
+            "--duration": args.duration,
+            "--table-cache": args.table_cache,
+            "--workers": args.workers,
+            "--table-cache-dir": args.table_cache_dir,
+            "--shard": args.shard,
+            "--outcome-store": args.outcome_store,
+            "--output": args.output,
+            "--host": args.host,
+            "--port": args.port,
+            "--stdin": args.stdin,
+            "--url": args.url,
+            "--rule": args.rule,
+            "--idempotency-key": args.idempotency_key,
+            "--priority": args.priority,
+            "--queue-capacity": args.queue_capacity,
+        },
+    )
+    if error:
+        hint = (
+            " (did you mean a positional store path?)"
+            if args.outcome_store is not None
+            else ""
+        )
+        print(f"{error}{hint}", file=sys.stderr)
+        return 2
+    store_paths = ([args.config] if args.config else []) + list(args.stores)
+    if not store_paths and args.state is None and args.metrics is None:
+        print(
+            "protemp report: nothing to report — give outcome stores, "
+            "--state JOURNAL, and/or --metrics SNAPSHOT",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = build_report(
+            stores=store_paths or None,
+            state=args.state,
+            metrics=args.metrics,
+        )
+    except (OutcomeStoreError, ScenarioError, ServiceError, OSError) as exc:
+        print(f"protemp report: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(
+            f"protemp report: metrics snapshot is not valid JSON: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True, allow_nan=False))
+    else:
+        print(render_report(report), end="")
+    return 0
 
 
 def _snapshot_plot(result) -> str:
@@ -833,6 +971,8 @@ def main(argv: list[str] | None = None) -> int:
         return _submit_command(args)
     if args.experiment == "check":
         return _check_command(args)
+    if args.experiment == "report":
+        return _report_command(args)
     if args.config is not None or args.stores:
         print(f"protemp {args.experiment}: unexpected positional arguments",
               file=sys.stderr)

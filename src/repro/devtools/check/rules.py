@@ -179,10 +179,16 @@ SHARED_STATE_CLASSES: dict[str, tuple[str, ...]] = {
     "ScenarioRunner": ("_lock",),
     "JobManager": ("_lock",),
     "Job": ("_cond",),
+    "_WorkerPool": ("_cond",),
     "MemoryOutcomeStore": ("_mutex",),
     "DirectoryOutcomeStore": ("_mutex",),
     "SqliteOutcomeStore": ("_mutex",),
     "JobJournal": ("_mutex",),
+    "MetricsRegistry": ("_lock",),
+    "Counter": ("_lock",),
+    "Gauge": ("_lock",),
+    "Histogram": ("_lock",),
+    "SpanTracker": ("_lock",),
 }
 
 

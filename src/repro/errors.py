@@ -99,11 +99,22 @@ class ServiceError(ReproError):
             400 for a malformed config, 404 for an unknown job, 503 while
             draining); None when no HTTP exchange is involved (e.g. a
             connection failure).
+        retry_after_s: backoff hint in seconds, set on overload
+            rejections (status 429) by the admission controller; rendered
+            as a top-level ``retry_after_s`` field in the error body and
+            a ``Retry-After`` header.  None for every other failure.
     """
 
-    def __init__(self, message: str, *, status: int | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int | None = None,
+        retry_after_s: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after_s = retry_after_s
 
 
 class DevtoolsError(ReproError):

@@ -1,0 +1,25 @@
+"""Process observability: metric registry, nested spans, run reports.
+
+`repro.observability.report` is intentionally *not* re-exported here:
+it reads job journals from `repro.serving`, and the scenario layer
+imports this package — importing report eagerly would make the import
+graph circular.  CLI and tests import it by module path.
+"""
+
+from repro.observability.metrics import (
+    SNAPSHOT_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.spans import SpanTracker
+
+__all__ = [
+    "SNAPSHOT_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanTracker",
+]

@@ -1,0 +1,311 @@
+"""Lock-safe process metrics: counters, gauges, histograms, timers.
+
+The registry is the service's single source of telemetry truth: the
+scenario runner, the outcome stores, and the job manager all write into
+one :class:`MetricsRegistry`, and ``/metrics``, ``/healthz``
+reconciliation, and ``protemp report`` all read from it.  Three design
+rules keep it honest:
+
+* **One lock.**  Every metric instance shares the registry's lock, so a
+  ``snapshot()`` is a consistent cut across all instruments — counters
+  observed together were incremented together.  The classes are listed
+  in ``protemp check``'s PT002 shared-state table, so an unguarded write
+  is a static-analysis failure, not a code-review hope.
+* **Monotone counters.**  ``Counter.inc`` rejects negative deltas; a
+  counter that can go down is a gauge, and reconciliation tests rely on
+  monotonicity.
+* **Injectable clock.**  Timers read an injected ``clock`` callable
+  (default ``time.perf_counter``), so tests drive deterministic,
+  clock-free latency through the same code path production uses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from typing import Any
+
+from repro.observability.spans import SpanTracker
+
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Histogram bucket upper bounds, in seconds.  Chosen for the observed
+#: dynamic range of this service: store round-trips are sub-millisecond,
+#: scenario executions tens of milliseconds to seconds, table builds
+#: seconds to minutes.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count.  Negative increments raise."""
+
+    def __init__(self, name: str, help_text: str, lock: threading.RLock) -> None:
+        self._lock = lock
+        with self._lock:
+            self.name = name
+            self.help_text = help_text
+            self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc({amount!r}))"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, in-flight counts)."""
+
+    def __init__(self, name: str, help_text: str, lock: threading.RLock) -> None:
+        self._lock = lock
+        with self._lock:
+            self.name = name
+            self.help_text = help_text
+            self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram with count/sum/min/max summary stats."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        lock: threading.RLock,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        self._lock = lock
+        with self._lock:
+            self.name = name
+            self.help_text = help_text
+            self._bounds = tuple(sorted(buckets))
+            self._bucket_counts = [0] * (len(self._bounds) + 1)  # +inf tail
+            self._count = 0
+            self._sum = 0.0
+            self._min: float | None = None
+            self._max: float | None = None
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            for i, bound in enumerate(self._bounds):
+                if value <= bound:
+                    self._bucket_counts[i] += 1
+                    return
+            self._bucket_counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float | None:
+        with self._lock:
+            if self._count == 0:
+                return None
+            return self._sum / self._count
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            cumulative: list[dict[str, Any]] = []
+            running = 0
+            for bound, n in zip(self._bounds, self._bucket_counts[:-1]):
+                running += n
+                cumulative.append({"le": bound, "count": running})
+            cumulative.append({"le": "+Inf", "count": self._count})
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "buckets": cumulative,
+            }
+
+
+class MetricsRegistry:
+    """Get-or-create registry for all instruments plus nested span timing.
+
+    ``counter``/``gauge``/``histogram`` are idempotent by name — asking
+    twice returns the same instance, so instrumentation sites never need
+    to coordinate creation.  Re-registering a name as a different kind
+    is a bug and raises.
+    """
+
+    def __init__(self, *, clock: Callable[[], float] | None = None) -> None:
+        self._lock = threading.RLock()
+        with self._lock:
+            self._clock: Callable[[], float] = (
+                clock if clock is not None else time.perf_counter
+            )
+            self._counters: dict[str, Counter] = {}
+            self._gauges: dict[str, Gauge] = {}
+            self._histograms: dict[str, Histogram] = {}
+            self._spans = SpanTracker(lock=self._lock, clock=self._clock)
+
+    # -- instrument creation ------------------------------------------------
+
+    def _check_kind(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other_kind}"
+                )
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        with self._lock:
+            self._check_kind(name, "counter")
+            found = self._counters.get(name)
+            if found is None:
+                found = Counter(name, help_text, self._lock)
+                self._counters[name] = found
+            return found
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        with self._lock:
+            self._check_kind(name, "gauge")
+            found = self._gauges.get(name)
+            if found is None:
+                found = Gauge(name, help_text, self._lock)
+                self._gauges[name] = found
+            return found
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            self._check_kind(name, "histogram")
+            found = self._histograms.get(name)
+            if found is None:
+                found = Histogram(name, help_text, self._lock, buckets)
+                self._histograms[name] = found
+            return found
+
+    # -- timing -------------------------------------------------------------
+
+    @contextmanager
+    def time(self, name: str, help_text: str = "") -> Iterator[None]:
+        """Observe the duration of the ``with`` body into histogram *name*."""
+        hist = self.histogram(name, help_text)
+        start = self._clock()
+        try:
+            yield
+        finally:
+            hist.observe(self._clock() - start)
+
+    def span(self, name: str) -> Any:
+        """Open a nested timing span (see :class:`SpanTracker`)."""
+        return self._spans.span(name)
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A consistent, JSON-serializable cut of every instrument."""
+        with self._lock:
+            return {
+                "schema_version": SNAPSHOT_SCHEMA_VERSION,
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.value for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: h.stats()
+                    for name, h in sorted(self._histograms.items())
+                },
+                "spans": self._spans.tree(),
+            }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (metric names prefixed ``protemp_``)."""
+        with self._lock:
+            lines: list[str] = []
+            for name, counter in sorted(self._counters.items()):
+                full = f"protemp_{name}"
+                if counter.help_text:
+                    lines.append(f"# HELP {full} {counter.help_text}")
+                lines.append(f"# TYPE {full} counter")
+                lines.append(f"{full} {_format_value(counter.value)}")
+            for name, gauge in sorted(self._gauges.items()):
+                full = f"protemp_{name}"
+                if gauge.help_text:
+                    lines.append(f"# HELP {full} {gauge.help_text}")
+                lines.append(f"# TYPE {full} gauge")
+                lines.append(f"{full} {_format_value(gauge.value)}")
+            for name, hist in sorted(self._histograms.items()):
+                full = f"protemp_{name}"
+                stats = hist.stats()
+                if hist.help_text:
+                    lines.append(f"# HELP {full} {hist.help_text}")
+                lines.append(f"# TYPE {full} histogram")
+                for bucket in stats["buckets"]:
+                    le = bucket["le"]
+                    le_text = le if isinstance(le, str) else _format_value(le)
+                    lines.append(
+                        f'{full}_bucket{{le="{le_text}"}} {bucket["count"]}'
+                    )
+                lines.append(f"{full}_sum {_format_value(stats['sum'])}")
+                lines.append(f"{full}_count {stats['count']}")
+            return "\n".join(lines) + "\n"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)

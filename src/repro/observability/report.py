@@ -1,0 +1,304 @@
+"""`protemp report`: summarize a run from its persisted artifacts.
+
+A finished run leaves up to three artifacts behind — the outcome store
+(what was computed), the job journal (what the service accepted and how
+it went), and a ``/metrics`` snapshot (where the wall-time went).  This
+module turns any subset of them into one report: per-policy solve
+counts and wall times, cache-hit tallies, job states and priorities,
+and a per-phase wall-time table flattened from the span tree.
+
+The totals here are *the same numbers* the service exposes live:
+``report["stores"][i]["totals"]["records"]`` counts the rows that
+``/metrics``' ``scenarios_executed_total`` counted as they were solved,
+which is what the reconciliation tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.scenario.store import OutcomeStore, open_existing_store
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def store_report(store: OutcomeStore) -> dict[str, Any]:
+    """Summarize one outcome store: solve counts, wall time, cache hits."""
+    total = 0
+    solve_wall = 0.0
+    table_hits = 0
+    table_builds = 0
+    table_keys: set[str] = set()
+    policies: dict[str, dict[str, Any]] = {}
+    for record in store.records():
+        total += 1
+        provenance = record.provenance
+        wall = float(provenance.get("solve_wall_time_s") or 0.0)
+        solve_wall += wall
+        if provenance.get("table_cache_hit"):
+            table_hits += 1
+        elif provenance.get("table_key"):
+            table_builds += 1
+        key = provenance.get("table_key")
+        if key:
+            table_keys.add(str(key))
+        name = str(record.summary.get("policy", "?"))
+        entry = policies.setdefault(
+            name,
+            {"records": 0, "solve_wall_time_s": 0.0, "max_solve_wall_time_s": 0.0},
+        )
+        entry["records"] += 1
+        entry["solve_wall_time_s"] += wall
+        if wall > entry["max_solve_wall_time_s"]:
+            entry["max_solve_wall_time_s"] = wall
+    return {
+        "totals": {
+            "records": total,
+            "solve_wall_time_s": solve_wall,
+            "table_cache_hits": table_hits,
+            "table_cold_builds": table_builds,
+            "distinct_table_keys": len(table_keys),
+        },
+        "policies": {name: policies[name] for name in sorted(policies)},
+    }
+
+
+def journal_report(state_path: str | Path) -> dict[str, Any]:
+    """Summarize a job journal: states, counters, priorities, durations."""
+    from repro.serving.state import JobJournal
+
+    journal = JobJournal(state_path)
+    try:
+        states: dict[str, int] = {}
+        executed = 0
+        replayed = 0
+        failed = 0
+        priorities: dict[str, int] = {}
+        jobs: list[dict[str, Any]] = []
+        for entry in journal.entries():
+            states[entry.state] = states.get(entry.state, 0) + 1
+            executed += entry.scenarios_executed
+            replayed += entry.outcomes_replayed
+            failed += entry.failed
+            priorities[str(entry.priority)] = (
+                priorities.get(str(entry.priority), 0) + 1
+            )
+            duration: float | None = None
+            if entry.finished_at is not None:
+                duration = entry.finished_at - entry.created_at
+            jobs.append(
+                {
+                    "job_id": entry.job_id,
+                    "state": entry.state,
+                    "priority": entry.priority,
+                    "n_scenarios": entry.n_scenarios,
+                    "scenarios_executed": entry.scenarios_executed,
+                    "outcomes_replayed": entry.outcomes_replayed,
+                    "failed": entry.failed,
+                    "duration_s": duration,
+                }
+            )
+        return {
+            "schema_version": journal.schema_version(),
+            "jobs": jobs,
+            "totals": {
+                "jobs": len(jobs),
+                "by_state": {s: states[s] for s in sorted(states)},
+                "by_priority": {p: priorities[p] for p in sorted(priorities)},
+                "scenarios_executed": executed,
+                "outcomes_replayed": replayed,
+                "failed": failed,
+            },
+        }
+    finally:
+        journal.close()
+
+
+def _flatten_spans(
+    tree: dict[str, Any], prefix: str = ""
+) -> list[dict[str, Any]]:
+    rows: list[dict[str, Any]] = []
+    for name in sorted(tree):
+        node = tree[name]
+        path = f"{prefix}/{name}" if prefix else name
+        rows.append(
+            {
+                "phase": path,
+                "count": node["count"],
+                "total_s": node["total_s"],
+                "mean_s": (
+                    node["total_s"] / node["count"] if node["count"] else None
+                ),
+                "max_s": node["max_s"],
+            }
+        )
+        rows.extend(_flatten_spans(node["children"], path))
+    return rows
+
+
+def metrics_report(snapshot: dict[str, Any]) -> dict[str, Any]:
+    """Summarize a ``/metrics`` JSON snapshot: counters + phase table."""
+    return {
+        "schema_version": snapshot.get("schema_version"),
+        "counters": dict(snapshot.get("counters", {})),
+        "gauges": dict(snapshot.get("gauges", {})),
+        "phases": _flatten_spans(snapshot.get("spans", {})),
+    }
+
+
+def build_report(
+    *,
+    stores: list[str] | None = None,
+    state: str | None = None,
+    metrics: str | None = None,
+) -> dict[str, Any]:
+    """Assemble the full report from any subset of run artifacts.
+
+    Args:
+        stores: outcome-store locations (`open_existing_store` grammar —
+            the store must already exist; a report never creates one).
+        state: path of a `--state` job journal.
+        metrics: path of a saved ``/metrics`` JSON snapshot.
+    """
+    report: dict[str, Any] = {"schema_version": REPORT_SCHEMA_VERSION}
+    if stores:
+        summaries = []
+        for location in stores:
+            summary = store_report(open_existing_store(location))
+            summary["store"] = str(location)
+            summaries.append(summary)
+        report["stores"] = summaries
+    if state is not None:
+        report["journal"] = journal_report(state)
+    if metrics is not None:
+        snapshot = json.loads(Path(metrics).read_text(encoding="utf-8"))
+        report["metrics"] = metrics_report(snapshot)
+    return report
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return lines
+
+
+def _seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.3f}"
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """Human-readable text rendering of :func:`build_report` output."""
+    lines: list[str] = []
+    for summary in report.get("stores", []):
+        totals = summary["totals"]
+        lines.append(f"outcome store: {summary['store']}")
+        lines.append(
+            f"  records {totals['records']}"
+            f" | solve wall {_seconds(totals['solve_wall_time_s'])}s"
+            f" | table cache hits {totals['table_cache_hits']}"
+            f" | cold builds {totals['table_cold_builds']}"
+            f" | distinct tables {totals['distinct_table_keys']}"
+        )
+        if summary["policies"]:
+            rows = [
+                [
+                    name,
+                    str(entry["records"]),
+                    _seconds(entry["solve_wall_time_s"]),
+                    _seconds(entry["max_solve_wall_time_s"]),
+                ]
+                for name, entry in summary["policies"].items()
+            ]
+            lines.append("")
+            lines.extend(
+                "  " + line
+                for line in _table(
+                    ["policy", "records", "solve_wall_s", "max_solve_s"], rows
+                )
+            )
+        lines.append("")
+    journal = report.get("journal")
+    if journal is not None:
+        totals = journal["totals"]
+        lines.append(
+            f"job journal: {totals['jobs']} jobs"
+            f" (schema v{journal['schema_version']})"
+        )
+        lines.append(
+            f"  by state {totals['by_state']}"
+            f" | by priority {totals['by_priority']}"
+        )
+        lines.append(
+            f"  scenarios executed {totals['scenarios_executed']}"
+            f" | replayed {totals['outcomes_replayed']}"
+            f" | failed {totals['failed']}"
+        )
+        if journal["jobs"]:
+            rows = [
+                [
+                    job["job_id"],
+                    job["state"],
+                    str(job["priority"]),
+                    f"{job['scenarios_executed']}/{job['n_scenarios']}",
+                    str(job["outcomes_replayed"]),
+                    _seconds(job["duration_s"]),
+                ]
+                for job in journal["jobs"]
+            ]
+            lines.append("")
+            lines.extend(
+                "  " + line
+                for line in _table(
+                    ["job", "state", "prio", "executed", "replayed", "wall_s"],
+                    rows,
+                )
+            )
+        lines.append("")
+    metrics = report.get("metrics")
+    if metrics is not None:
+        lines.append("metrics snapshot")
+        counters = metrics["counters"]
+        if counters:
+            rows = [
+                [name, _format_number(value)]
+                for name, value in sorted(counters.items())
+            ]
+            lines.extend("  " + line for line in _table(["counter", "value"], rows))
+            lines.append("")
+        if metrics["phases"]:
+            rows = [
+                [
+                    row["phase"],
+                    str(row["count"]),
+                    _seconds(row["total_s"]),
+                    _seconds(row["mean_s"]),
+                    _seconds(row["max_s"]),
+                ]
+                for row in metrics["phases"]
+            ]
+            lines.extend(
+                "  " + line
+                for line in _table(
+                    ["phase", "count", "total_s", "mean_s", "max_s"], rows
+                )
+            )
+            lines.append("")
+    if not lines:
+        return "nothing to report (no store, journal, or metrics given)\n"
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _format_number(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.3f}"

@@ -1,0 +1,118 @@
+"""Nested span timing: who spent the wall-time, and inside what.
+
+A *span* is a named ``with`` block.  Spans opened while another span is
+active on the same thread become its children, so the aggregate is a
+tree keyed by path — ``scenario`` → ``table_resolve`` → ``table_build``
+tells you not just that table builds are slow but which fraction of
+scenario time they account for.  Per-thread nesting state lives in a
+``threading.local`` (no cross-thread sharing to guard); only the
+aggregated statistics are shared, and every write to them happens under
+the registry lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from typing import Any
+
+
+class _SpanStats:
+    __slots__ = ("count", "total_s", "min_s", "max_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s: float | None = None
+        self.max_s: float | None = None
+
+    def add(self, duration: float) -> None:
+        self.count += 1
+        self.total_s += duration
+        if self.min_s is None or duration < self.min_s:
+            self.min_s = duration
+        if self.max_s is None or duration > self.max_s:
+            self.max_s = duration
+
+
+class SpanTracker:
+    """Aggregates nested span timings into a path-keyed tree."""
+
+    def __init__(
+        self, *, lock: threading.RLock, clock: Callable[[], float]
+    ) -> None:
+        self._lock = lock
+        with self._lock:
+            self._clock = clock
+            self._stats: dict[tuple[str, ...], _SpanStats] = {}
+            self._local = threading.local()
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack  # type: ignore[no-any-return]
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        if "/" in name:
+            raise ValueError(f"span name may not contain '/': {name!r}")
+        stack = self._stack()
+        stack.append(name)
+        path = tuple(stack)
+        start = self._clock()
+        try:
+            yield
+        finally:
+            duration = self._clock() - start
+            popped = stack.pop()
+            assert popped == name
+            with self._lock:
+                self._record_locked(path, duration)
+
+    def _record_locked(self, path: tuple[str, ...], duration: float) -> None:
+        stats = self._stats.get(path)
+        if stats is None:
+            stats = _SpanStats()
+            self._stats[path] = stats
+        stats.add(duration)
+
+    def active_depth(self) -> int:
+        """Nesting depth of the calling thread (0 outside any span)."""
+        return len(self._stack())
+
+    def paths(self) -> list[tuple[str, ...]]:
+        with self._lock:
+            return sorted(self._stats)
+
+    def tree(self) -> dict[str, Any]:
+        """Nested ``{name: {count, total_s, min_s, max_s, children}}``.
+
+        A parent span finishes *after* its children, so a child path can
+        be recorded while its parent has no stats yet; such placeholder
+        nodes report ``count == 0`` until the parent closes.
+        """
+        with self._lock:
+            root: dict[str, Any] = {}
+            for path in sorted(self._stats):
+                level = root
+                for name in path:
+                    node = level.get(name)
+                    if node is None:
+                        node = {
+                            "count": 0,
+                            "total_s": 0.0,
+                            "min_s": None,
+                            "max_s": None,
+                            "children": {},
+                        }
+                        level[name] = node
+                    level = node["children"]
+                stats = self._stats[path]
+                node["count"] = stats.count
+                node["total_s"] = stats.total_s
+                node["min_s"] = stats.min_s
+                node["max_s"] = stats.max_s
+            return root

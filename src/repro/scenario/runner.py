@@ -43,6 +43,7 @@ import numpy as np
 from repro.control.manager import ThermalManagementUnit
 from repro.core.protemp import ProTempOptimizer
 from repro.core.table import FrequencyTable, build_frequency_table
+from repro.observability import MetricsRegistry
 from repro.errors import OutcomeStoreError, ScenarioError, TableError
 from repro.platform import Platform
 from repro.scenario.registry import (
@@ -406,6 +407,16 @@ class ScenarioRunner:
             (``outcome_cache_hit=True``, no simulation, no table resolve),
             a miss is executed and written back atomically, so concurrent
             shards can share one store directory.
+        metrics: optional :class:`~repro.observability.MetricsRegistry` to
+            instrument into (the serving layer passes its service-wide
+            registry so ``/metrics`` covers the runner); by default the
+            runner creates a private one.  The runner's legacy integer
+            counters (``tables_built`` etc.) stay authoritative and are
+            mirrored 1:1 into registry counters
+            (``tables_built_total``, ``scenarios_executed_total``,
+            ``outcomes_replayed_total``) — reconciliation tests pin the
+            mirror down.  The outcome store, when configured, is bound to
+            the same registry.
     """
 
     def __init__(
@@ -415,6 +426,7 @@ class ScenarioRunner:
         table_strategy: str = "gen2",
         table_cache_dir: str | Path | None = None,
         outcome_store: "OutcomeStore | str | Path | None" = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ScenarioError("n_workers must be >= 1 when given")
@@ -424,6 +436,9 @@ class ScenarioRunner:
             Path(table_cache_dir) if table_cache_dir is not None else None
         )
         self.outcome_store = open_outcome_store(outcome_store)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if self.outcome_store is not None:
+            self.outcome_store.bind_metrics(self.metrics)
         #: Guards the artifact caches and counters.  The runner is shared
         #: process-wide by the serving layer, whose worker threads call
         #: :meth:`run` concurrently; an RLock (not a plain Lock) because
@@ -584,20 +599,43 @@ class ScenarioRunner:
                 step_subsample=config["step_subsample"],
                 backend=config["backend"],  # type: ignore[arg-type]
             )
-            table = build_frequency_table(
-                optimizer,
-                list(config["t_grid"]),
-                list(config["f_grid"]),
-                strategy=config["strategy"] or self.table_strategy,
-                provenance={
-                    "platform_spec_hash": platform_spec.spec_hash,
-                    "platform_spec": platform_spec.to_dict(),
-                    # protemp: allow[PT001] -- provenance timestamp only; excluded from record equality and replay
-                    "built_at": datetime.now(timezone.utc).isoformat(
-                        timespec="seconds"
-                    ),
-                },
+            cells = self.metrics.counter(
+                "table_build_cells_total",
+                "Phase-1 sweep cells solved across all table builds",
             )
+            progress_seen = {"done": 0}
+
+            def _tick(done: int, total: int) -> None:
+                # The sweep reports cumulative progress (per cell when
+                # serial, per row when parallel); mirror the deltas so the
+                # counter stays monotone either way.
+                delta = done - progress_seen["done"]
+                progress_seen["done"] = done
+                if delta > 0:
+                    cells.inc(delta)
+
+            with self.metrics.span("table_build"):
+                with self.metrics.time(
+                    "table_build_seconds", "Phase-1 table build wall time"
+                ):
+                    table = build_frequency_table(
+                        optimizer,
+                        list(config["t_grid"]),
+                        list(config["f_grid"]),
+                        strategy=config["strategy"] or self.table_strategy,
+                        progress=_tick,
+                        provenance={
+                            "platform_spec_hash": platform_spec.spec_hash,
+                            "platform_spec": platform_spec.to_dict(),
+                            # protemp: allow[PT001] -- provenance timestamp only; excluded from record equality and replay
+                            "built_at": datetime.now(timezone.utc).isoformat(
+                                timespec="seconds"
+                            ),
+                        },
+                    )
+            self.metrics.counter(
+                "tables_built_total", "Phase-1 tables built from scratch"
+            ).inc()
             with self._lock:
                 self.tables_built += 1
                 self._tables[key] = table
@@ -614,7 +652,8 @@ class ScenarioRunner:
         if not POLICIES.get(spec.policy.name).needs_table:
             return None, None, None
         key = table_key(spec.platform, spec.policy)
-        table, hit = self.table(spec.platform, spec.policy)
+        with self.metrics.span("table_resolve"):
+            table, hit = self.table(spec.platform, spec.policy)
         return table, hit, key
 
     # -- outcome store -----------------------------------------------------
@@ -643,6 +682,9 @@ class ScenarioRunner:
             )
         with self._lock:
             self.outcomes_replayed += 1
+        self.metrics.counter(
+            "outcomes_replayed_total", "scenarios answered from the store"
+        ).inc()
         return ScenarioOutcome(
             spec=spec,
             spec_hash=spec.spec_hash,
@@ -678,18 +720,33 @@ class ScenarioRunner:
 
     # -- execution ---------------------------------------------------------
 
+    def _count_executed(self, wall: float) -> None:
+        """Record one freshly simulated scenario in both counter systems."""
+        with self._lock:
+            self.scenarios_executed += 1
+        self.metrics.counter(
+            "scenarios_executed_total", "scenarios actually simulated"
+        ).inc()
+        self.metrics.histogram(
+            "scenario_execute_seconds", "per-scenario simulation wall time"
+        ).observe(wall)
+
     def run(self, spec: ScenarioSpec) -> ScenarioOutcome:
         """Execute one scenario serially (store consulted first)."""
+        with self.metrics.span("scenario"):
+            return self._run_instrumented(spec)
+
+    def _run_instrumented(self, spec: ScenarioSpec) -> ScenarioOutcome:
         replayed = self._store_lookup(spec)
         if replayed is not None:
             return replayed
         table, hit, key = self._resolve_table(spec)
         platform = self.platform(spec.platform)
         started = time.perf_counter()
-        result = execute_scenario(spec, platform, table)
+        with self.metrics.span("execute"):
+            result = execute_scenario(spec, platform, table)
         wall = time.perf_counter() - started
-        with self._lock:
-            self.scenarios_executed += 1
+        self._count_executed(wall)
         outcome = ScenarioOutcome(
             spec=spec,
             spec_hash=spec.spec_hash,
@@ -719,9 +776,10 @@ class ScenarioRunner:
         specs = list(specs)
         if not specs:
             return []
-        replayed: list[ScenarioOutcome | None] = [
-            self._store_lookup(spec) for spec in specs
-        ]
+        with self.metrics.span("replay_pass"):
+            replayed: list[ScenarioOutcome | None] = [
+                self._store_lookup(spec) for spec in specs
+            ]
         pending = [
             (i, spec)
             for i, (spec, hit) in enumerate(zip(specs, replayed))
@@ -739,8 +797,7 @@ class ScenarioRunner:
             # that completed before the interruption.
             i, spec = pending[slot]
             _, hit, key = resolved[slot]
-            with self._lock:
-                self.scenarios_executed += 1
+            self._count_executed(wall)
             outcome = ScenarioOutcome(
                 spec=spec,
                 spec_hash=spec.spec_hash,
@@ -771,7 +828,8 @@ class ScenarioRunner:
             for slot, ((_, spec), platform, (table, _, _)) in enumerate(
                 zip(pending, platforms, resolved)
             ):
-                result, wall = _run_in_worker(spec, platform, table)
+                with self.metrics.span("execute"):
+                    result, wall = _run_in_worker(spec, platform, table)
                 _finish(slot, result, wall)
         return [outcome for outcome in outcomes if outcome is not None]
 

@@ -45,6 +45,7 @@ import json
 import os
 import tempfile
 import threading
+from contextlib import AbstractContextManager, contextmanager, nullcontext
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
@@ -54,6 +55,7 @@ from repro.errors import OutcomeStoreError
 from repro.scenario.specs import _spec_hash
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from repro.observability import MetricsRegistry
     from repro.scenario.runner import ScenarioOutcome
 
 
@@ -198,6 +200,19 @@ def _describe_mismatch(existing: StoredOutcome, new: StoredOutcome) -> str:
     )
 
 
+@contextmanager
+def _observed(registry: MetricsRegistry, op: str) -> Iterator[None]:
+    """Count + span + time one store operation against `registry`."""
+    registry.counter(
+        f"store_{op}s_total", f"outcome-store {op} attempts"
+    ).inc()
+    with registry.span(f"store_{op}"):
+        with registry.time(
+            f"store_{op}_seconds", f"outcome-store {op} latency"
+        ):
+            yield
+
+
 class OutcomeStore:
     """Interface of a content-addressed outcome store.
 
@@ -206,7 +221,35 @@ class OutcomeStore:
     idempotent for same-content records and must raise
     :class:`OutcomeStoreError` on collisions/conflicts (see
     :func:`_describe_mismatch` for the two cases).
+
+    A store can optionally be *bound* to a :class:`MetricsRegistry`
+    (:meth:`bind_metrics`); backends then wrap their public ``get``/``put``
+    in :meth:`_observe`, which times the operation — including any wait on
+    the store mutex, so lock contention is visible — into
+    ``store_{get,put}_seconds`` and opens a ``store_get``/``store_put``
+    span (nesting under whatever span the calling thread has open).
     """
+
+    #: Bound metrics registry, or None for an uninstrumented store.  Set
+    #: once via :meth:`bind_metrics` before concurrent use; rebinding a
+    #: store shared by several runners keeps only the latest registry.
+    _metrics: MetricsRegistry | None = None
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Route this store's get/put telemetry into `registry`."""
+        self._metrics = registry
+
+    def _observe(self, op: str) -> AbstractContextManager[None]:
+        """Timing/span/counter context for one public ``get`` or ``put``.
+
+        The ``store_{op}s_total`` counter counts *attempts* (it ticks even
+        when the operation raises — fault-injection tests rely on failed
+        puts still being visible in the telemetry).
+        """
+        registry = self._metrics
+        if registry is None:
+            return nullcontext()
+        return _observed(registry, op)
 
     def get(self, spec_hash: str) -> StoredOutcome | None:
         """The record stored under `spec_hash`, or None."""
@@ -258,14 +301,16 @@ class MemoryOutcomeStore(OutcomeStore):
 
     def get(self, spec_hash: str) -> StoredOutcome | None:
         """The record stored under `spec_hash`, or None."""
-        with self._mutex:
-            return self._records.get(spec_hash)
+        with self._observe("get"):
+            with self._mutex:
+                return self._records.get(spec_hash)
 
     def put(self, record: StoredOutcome) -> None:
         """Store `record` (idempotent; conflicts raise)."""
-        with self._mutex:
-            if self._check_put(record) is None:
-                self._records[record.spec_hash] = record
+        with self._observe("put"):
+            with self._mutex:
+                if self._check_put(record) is None:
+                    self._records[record.spec_hash] = record
 
     def records(self) -> Iterator[StoredOutcome]:
         """Iterate stored records (over a point-in-time snapshot)."""
@@ -431,8 +476,9 @@ class DirectoryOutcomeStore(OutcomeStore):
         Raises:
             OutcomeStoreError: when an on-disk record is corrupt.
         """
-        with self._mutex:
-            return self._get_locked(spec_hash)
+        with self._observe("get"):
+            with self._mutex:
+                return self._get_locked(spec_hash)
 
     def _get_locked(self, spec_hash: str) -> StoredOutcome | None:
         self._refresh_index_locked()
@@ -459,8 +505,9 @@ class DirectoryOutcomeStore(OutcomeStore):
         and moved into place with ``os.replace``, so a reader (or a
         concurrent shard's writer) never observes a partial file.
         """
-        with self._mutex:
-            self._put_locked(record)
+        with self._observe("put"):
+            with self._mutex:
+                self._put_locked(record)
 
     def _put_locked(self, record: StoredOutcome) -> None:
         if self._check_put(record) is not None:

@@ -251,21 +251,22 @@ class SqliteOutcomeStore(OutcomeStore):
             OutcomeStoreError: when the stored row is corrupt (its spec no
                 longer hashes to the key) or the file is unreadable.
         """
-        with self._mutex:
-            connection = self._connect_locked()
-            try:
-                row = connection.execute(
-                    "SELECT spec_hash, spec, summary, provenance "
-                    "FROM outcomes WHERE spec_hash = ?",
-                    (spec_hash,),
-                ).fetchone()
-            except sqlite3.Error as exc:
-                raise OutcomeStoreError(
-                    f"cannot read sqlite outcome store {self.path}: {exc}"
-                ) from exc
-        if row is None:
-            return None
-        return self._load(row)
+        with self._observe("get"):
+            with self._mutex:
+                connection = self._connect_locked()
+                try:
+                    row = connection.execute(
+                        "SELECT spec_hash, spec, summary, provenance "
+                        "FROM outcomes WHERE spec_hash = ?",
+                        (spec_hash,),
+                    ).fetchone()
+                except sqlite3.Error as exc:
+                    raise OutcomeStoreError(
+                        f"cannot read sqlite outcome store {self.path}: {exc}"
+                    ) from exc
+            if row is None:
+                return None
+            return self._load(row)
 
     def put(self, record: StoredOutcome) -> None:
         """Persist `record` (idempotent; conflicts raise).
@@ -279,30 +280,32 @@ class SqliteOutcomeStore(OutcomeStore):
             OutcomeStoreError: when a different record already holds the
                 key (spec-hash collision or conflicting duplicate).
         """
-        with self._mutex:
-            connection = self._connect_locked()
-            if self._check_put(record) is not None:
-                return
-            try:
-                cursor = connection.execute(
-                    "INSERT OR IGNORE INTO outcomes"
-                    " (spec_hash, spec, summary, provenance)"
-                    " VALUES (?, ?, ?, ?)",
-                    (
-                        record.spec_hash,
-                        _dump(record.spec),
-                        _dump(record.summary),
-                        _dump(record.provenance),
-                    ),
-                )
-            except (sqlite3.Error, ValueError) as exc:
-                raise OutcomeStoreError(
-                    f"cannot write to sqlite outcome store {self.path}: {exc}"
-                ) from exc
-            if cursor.rowcount == 0:
-                # Lost a cross-process race since _check_put: re-read and
-                # apply the same benign-duplicate / conflict semantics.
-                self._check_put(record)
+        with self._observe("put"):
+            with self._mutex:
+                connection = self._connect_locked()
+                if self._check_put(record) is not None:
+                    return
+                try:
+                    cursor = connection.execute(
+                        "INSERT OR IGNORE INTO outcomes"
+                        " (spec_hash, spec, summary, provenance)"
+                        " VALUES (?, ?, ?, ?)",
+                        (
+                            record.spec_hash,
+                            _dump(record.spec),
+                            _dump(record.summary),
+                            _dump(record.provenance),
+                        ),
+                    )
+                except (sqlite3.Error, ValueError) as exc:
+                    raise OutcomeStoreError(
+                        f"cannot write to sqlite outcome store {self.path}: "
+                        f"{exc}"
+                    ) from exc
+                if cursor.rowcount == 0:
+                    # Lost a cross-process race since _check_put: re-read and
+                    # apply the same benign-duplicate / conflict semantics.
+                    self._check_put(record)
 
     def records(self) -> Iterator[StoredOutcome]:
         """Iterate every record, ordered by spec hash (deterministic)."""

@@ -77,8 +77,9 @@ class ServiceClient:
                 request, timeout=None if stream else self.timeout
             )
         except urllib.error.HTTPError as exc:
+            message, retry_after_s = self._error_details(exc)
             raise ServiceError(
-                self._error_message(exc), status=exc.code
+                message, status=exc.code, retry_after_s=retry_after_s
             ) from exc
         except urllib.error.URLError as exc:
             raise ServiceError(
@@ -87,14 +88,27 @@ class ServiceClient:
             ) from exc
 
     @staticmethod
-    def _error_message(exc: urllib.error.HTTPError) -> str:
-        """Prefer the server's structured error body over the status line."""
+    def _error_details(
+        exc: urllib.error.HTTPError,
+    ) -> tuple[str, float | None]:
+        """Prefer the server's structured error body over the status line.
+
+        Returns the rendered message plus the body's ``retry_after_s``
+        backoff hint (present on 429 overload rejections, None otherwise)
+        so the raised :class:`ServiceError` carries both.
+        """
         try:
             payload = json.loads(exc.read().decode())
             error = payload["error"]
-            return f"{error['type']}: {error['message']}"
+            message = f"{error['type']}: {error['message']}"
         except Exception:
-            return f"HTTP {exc.code}: {exc.reason}"
+            return f"HTTP {exc.code}: {exc.reason}", None
+        retry_after = payload.get("retry_after_s")
+        if not isinstance(retry_after, (int, float)) or isinstance(
+            retry_after, bool
+        ):
+            retry_after = None
+        return message, retry_after
 
     def _get_json(self, path: str):
         with self._request(path) as response:
@@ -118,8 +132,24 @@ class ServiceClient:
         """``GET /jobs/<id>`` — one job's status/progress counters."""
         return self._get_json(f"/jobs/{job_id}")
 
+    def metrics(self, *, format: str | None = None) -> dict | str:
+        """``GET /metrics`` — the service's metrics snapshot.
+
+        Returns the versioned JSON snapshot by default; pass
+        ``format="prometheus"`` for the text exposition format (returned
+        as a string).
+        """
+        if format == "prometheus":
+            with self._request("/metrics?format=prometheus") as response:
+                return response.read().decode()
+        return self._get_json("/metrics")
+
     def submit(
-        self, config: dict, *, idempotency_key: str | None = None
+        self,
+        config: dict,
+        *,
+        idempotency_key: str | None = None,
+        priority: int | None = None,
     ) -> dict:
         """``POST /jobs`` — submit a config, return ``{"job_id", ...}``.
 
@@ -131,13 +161,21 @@ class ServiceClient:
                 ``idempotent_replay`` is true in the response — instead
                 of running it twice; a different config under the same
                 key is a 409 :class:`ServiceError`.
+            priority: optional scheduling priority (sent as the
+                ``X-Priority`` header); higher runs first, default 0.
+
+        Raises:
+            ServiceError: with ``status=429`` and a ``retry_after_s``
+                backoff hint when the service's admission queue is full.
         """
-        headers = (
-            {"Idempotency-Key": idempotency_key}
-            if idempotency_key is not None
-            else None
-        )
-        with self._request("/jobs", body=config, headers=headers) as response:
+        headers: dict[str, str] = {}
+        if idempotency_key is not None:
+            headers["Idempotency-Key"] = idempotency_key
+        if priority is not None:
+            headers["X-Priority"] = str(priority)
+        with self._request(
+            "/jobs", body=config, headers=headers or None
+        ) as response:
             return json.loads(response.read().decode())
 
     def stream(self, job_id: str) -> Iterator[dict]:
@@ -156,14 +194,20 @@ class ServiceClient:
             response.close()
 
     def submit_and_stream(
-        self, config: dict, *, idempotency_key: str | None = None
+        self,
+        config: dict,
+        *,
+        idempotency_key: str | None = None,
+        priority: int | None = None,
     ) -> Iterator[dict]:
         """Submit, then stream the job's events (two-request convenience).
 
         The first yielded event is the ``job`` acceptance event, so
         callers still learn the job id.
         """
-        accepted = self.submit(config, idempotency_key=idempotency_key)
+        accepted = self.submit(
+            config, idempotency_key=idempotency_key, priority=priority
+        )
         yield from self.stream(accepted["job_id"])
 
     def wait(self, job_id: str) -> dict:

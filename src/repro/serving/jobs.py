@@ -33,17 +33,29 @@ interrupted — and **resurrects** finished jobs lazily on lookup.  A
 client-supplied *idempotency key* makes submits retry-safe: the same key
 returns the existing job (even across restarts) instead of running the
 grid twice; the same key with a *different* config is a 409.
+
+Admission control (``protemp serve --queue-capacity``): the manager can
+bound its backlog, measured in *scenario cells* (accepted but not yet
+completed).  A submission that would push the backlog past the capacity
+is rejected with a :class:`~repro.errors.ServiceError` carrying status
+429 and a ``retry_after_s`` estimate — the client sees a structured
+overload signal instead of unbounded queueing.  Each job also carries a
+client-chosen **priority** (higher runs first; default 0): the worker
+pool is a priority queue, so an urgent grid jumps ahead of queued bulk
+work without preempting anything already running.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import sys
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterator, Sequence
 
 from repro.errors import ReproError, ScenarioError, ServiceError
+from repro.observability import MetricsRegistry
 from repro.scenario.registry import (
     ASSIGNMENTS,
     PLATFORMS,
@@ -60,6 +72,79 @@ JOB_STATES = ("queued", "running", "done", "failed")
 
 #: Default size of the shared scenario worker pool.
 DEFAULT_MAX_WORKERS = 2
+
+#: Per-cell wall-time guess used for ``retry_after_s`` until the service
+#: has measured its own ``scenario_execute_seconds`` distribution.
+DEFAULT_CELL_SECONDS = 1.0
+
+
+class _WorkerPool:
+    """Priority-ordered replacement for the job layer's thread pool.
+
+    Tasks are ``(priority, fn, args)``; higher priority pops first,
+    equal priorities run in submission (FIFO) order via a monotonically
+    increasing tiebreaker, which preserves the pre-priority behavior for
+    a service where every submit uses the default.  ``shutdown`` lets
+    already-queued tasks drain (nothing is cancelled) and then joins the
+    workers — the semantics :meth:`JobManager.drain` relies on.
+    """
+
+    def __init__(
+        self, max_workers: int, *, thread_name_prefix: str = "protemp-serve"
+    ) -> None:
+        self._cond = threading.Condition()
+        self._heap: list[tuple[int, int, Callable, tuple]] = []
+        self._tiebreak = itertools.count()
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker,
+                name=f"{thread_name_prefix}-{i}",
+                daemon=True,
+            )
+            for i in range(max_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(
+        self, fn: Callable, *args: object, priority: int = 0
+    ) -> None:
+        """Enqueue ``fn(*args)``; raises once :meth:`shutdown` started."""
+        with self._cond:
+            if self._closed:
+                raise ServiceError("worker pool is shut down")
+            heapq.heappush(
+                self._heap, (-priority, next(self._tiebreak), fn, args)
+            )
+            self._cond.notify()
+
+    def queued(self) -> int:
+        """Tasks accepted but not yet picked up by a worker."""
+        with self._cond:
+            return len(self._heap)
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._heap and not self._closed:
+                    self._cond.wait()
+                if not self._heap:
+                    return  # closed and drained
+                _, _, fn, args = heapq.heappop(self._heap)
+            try:
+                fn(*args)
+            except Exception as exc:  # a task must never kill its worker
+                sys.stderr.write(f"[jobs] worker task crashed: {exc}\n")
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting tasks, drain the queue, optionally join."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join()
 
 
 def validate_specs(specs: Sequence[ScenarioSpec]) -> None:
@@ -93,6 +178,10 @@ class Job:
         total: number of scenarios in the grid (a resurrected job keeps
             its journaled count even if the config no longer expands).
         idempotency_key: the client-supplied submit key, if any.
+        priority: scheduling priority (higher runs first; default 0).
+        timings: per-phase wall-time breakdown (`queued_s`,
+            `replay_pass_s`, `replayed_wall_s`, `executed_wall_s`,
+            `total_s`) — phases appear as the job reaches them.
     """
 
     def __init__(
@@ -101,13 +190,16 @@ class Job:
         specs: Sequence[ScenarioSpec],
         *,
         idempotency_key: str | None = None,
+        priority: int = 0,
         created_at: float | None = None,
         on_state: "Callable[[Job], None] | None" = None,
+        on_cell: "Callable[[], None] | None" = None,
     ) -> None:
         self.job_id = job_id
         self.specs = list(specs)
         self.total = len(self.specs)
         self.idempotency_key = idempotency_key
+        self.priority = priority
         self.created_at = created_at if created_at is not None else time.time()
         self.finished_at: float | None = None
         self.state = "queued"
@@ -115,9 +207,15 @@ class Job:
         self.scenarios_executed = 0
         self.outcomes_replayed = 0
         self.failed = 0
+        self.timings: dict[str, float] = {
+            "replayed_wall_s": 0.0,
+            "executed_wall_s": 0.0,
+        }
+        self._accepted_monotonic = time.monotonic()
         self._events: list[dict] = []
         self._cond = threading.Condition()
         self._on_state = on_state
+        self._on_cell = on_cell
 
     # -- read side ---------------------------------------------------------
 
@@ -169,6 +267,8 @@ class Job:
                 "finished_at": self.finished_at,
                 "error": self.error,
                 "idempotency_key": self.idempotency_key,
+                "priority": self.priority,
+                "timings": dict(self.timings),
             }
 
     def events(self, *, follow: bool = True) -> Iterator[dict]:
@@ -228,12 +328,40 @@ class Job:
                 f"[jobs] journal write failed for {self.job_id}: {exc}\n"
             )
 
+    def _notify_cell(self) -> None:
+        """Report one completed cell to the manager's backlog accounting.
+
+        Called *outside* the job condition so the manager's lock is never
+        acquired while a job lock is held with callers waiting.
+        """
+        if self._on_cell is None:
+            return
+        try:
+            self._on_cell()
+        except Exception as exc:
+            sys.stderr.write(
+                f"[jobs] backlog accounting failed for {self.job_id}: {exc}\n"
+            )
+
+    def _set_timing(self, name: str, value: float) -> None:
+        with self._cond:
+            self.timings[name] = value
+
     def _start(self) -> None:
         with self._cond:
             started = self.state == "queued"
             if started:
                 self.state = "running"
-        self._emit({"event": "job", "n_scenarios": self.total})
+                self.timings["queued_s"] = (
+                    time.monotonic() - self._accepted_monotonic
+                )
+        self._emit(
+            {
+                "event": "job",
+                "n_scenarios": self.total,
+                "priority": self.priority,
+            }
+        )
         if started:
             self._notify_state()
 
@@ -245,8 +373,10 @@ class Job:
         with self._cond:
             if outcome.outcome_cache_hit:
                 self.outcomes_replayed += 1
+                self.timings["replayed_wall_s"] += outcome.wall_time_s or 0.0
             else:
                 self.scenarios_executed += 1
+                self.timings["executed_wall_s"] += outcome.wall_time_s or 0.0
             self._emit(
                 {
                     "event": "outcome",
@@ -258,6 +388,7 @@ class Job:
                 }
             )
             self._maybe_finish()
+        self._notify_cell()
 
     def _record_error(self, index: int, spec: ScenarioSpec, exc: Exception) -> None:
         with self._cond:
@@ -275,6 +406,7 @@ class Job:
                 }
             )
             self._maybe_finish()
+        self._notify_cell()
 
     def _maybe_finish(self) -> None:
         # State change and terminal event are appended under one
@@ -292,6 +424,7 @@ class Job:
             ):
                 self.state = "done" if self.failed == 0 else "failed"
                 self.finished_at = time.time()
+                self.timings["total_s"] = self.finished_at - self.created_at
                 self._emit(self._done_event())
                 finished = True
         if finished:
@@ -305,6 +438,7 @@ class Job:
             self.state = "failed"
             self.error = f"{type(exc).__name__}: {exc}"
             self.finished_at = time.time()
+            self.timings["total_s"] = self.finished_at - self.created_at
             self._emit(self._done_event())
         self._notify_state()
 
@@ -337,6 +471,15 @@ class JobManager:
             the previous process left unfinished are re-enqueued
             immediately (their finished cells replay from the outcome
             store, so recovery re-solves only interrupted work).
+        queue_capacity: optional bound on the backlog, in scenario
+            cells (accepted but not yet completed).  A submission that
+            would exceed it is rejected with status 429 and a
+            ``retry_after_s`` estimate; None (the default) keeps the
+            historical unbounded behavior.  Recovered jobs are re-admitted
+            regardless of capacity — they were accepted before the
+            restart.
+        metrics: registry for job/admission telemetry; defaults to the
+            runner's registry so one ``/metrics`` payload covers both.
     """
 
     def __init__(
@@ -345,13 +488,19 @@ class JobManager:
         *,
         max_workers: int = DEFAULT_MAX_WORKERS,
         journal: JobJournal | None = None,
+        queue_capacity: int | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_workers < 1:
             raise ServiceError("max_workers must be >= 1")
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ServiceError("queue_capacity must be >= 1 when given")
         self.runner = runner
         self.max_workers = max_workers
-        self._pool = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="protemp-serve"
+        self.queue_capacity = queue_capacity
+        self.metrics = metrics if metrics is not None else runner.metrics
+        self._pool = _WorkerPool(
+            max_workers, thread_name_prefix="protemp-serve"
         )
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
@@ -360,6 +509,27 @@ class JobManager:
         self._keys: dict[str, tuple[str, str]] = {}
         self._next_id = 1 if journal is None else journal.max_job_number() + 1
         self._closing = False
+        #: Cells accepted but not yet completed, total and per live job.
+        #: Submission admits against the total; each recorded cell (and a
+        #: terminal transition, for cells a whole-job failure orphaned)
+        #: releases — the per-job table makes release exactly-once.
+        self._backlog = 0
+        self._backlog_by_job: dict[str, int] = {}
+        self._m_submitted = self.metrics.counter(
+            "jobs_submitted_total", "jobs accepted (idempotent replays excluded)"
+        )
+        self._m_rejected = self.metrics.counter(
+            "submits_rejected_total", "submissions rejected with 429 (queue full)"
+        )
+        self._m_done = self.metrics.counter(
+            "jobs_completed_total", "jobs that reached state done"
+        )
+        self._m_failed = self.metrics.counter(
+            "jobs_failed_total", "jobs that reached state failed"
+        )
+        self._m_depth = self.metrics.gauge(
+            "queue_depth_cells", "scenario cells accepted but not completed"
+        )
         if journal is not None:
             with self._lock:
                 self._recover_locked()
@@ -372,9 +542,64 @@ class JobManager:
     # -- journal plumbing --------------------------------------------------
 
     def _journal_state(self, job: Job) -> None:
-        """The :class:`Job` state-transition hook (journal the snapshot)."""
+        """The :class:`Job` state-transition hook.
+
+        Journals the snapshot (when durable), counts terminal states, and
+        releases whatever backlog the job still holds once it is terminal
+        — for a normally finished job that is zero (every cell already
+        released itself), but a whole-job failure orphans its unrecorded
+        cells and they must not occupy queue capacity forever.
+        """
+        if job.finished:
+            self._release_cells(job.job_id, job.total)
+            (self._m_done if job.state == "done" else self._m_failed).inc()
         if self._journal is not None:
             self._journal.record_status(job.status())
+
+    # -- backlog accounting ------------------------------------------------
+
+    def _admit_cells_locked(self, job_id: str, n_cells: int) -> None:
+        """Charge an accepted job's cells against the backlog."""
+        if n_cells <= 0:
+            return
+        self._backlog += n_cells
+        self._backlog_by_job[job_id] = n_cells
+        self._m_depth.set(self._backlog)
+
+    def _release_cells(self, job_id: str, n_cells: int) -> None:
+        """Release up to `n_cells` of a job's backlog charge, exactly once.
+
+        Clamped against the job's remaining charge, so the per-cell
+        release and the terminal sweep in :meth:`_journal_state` can both
+        run without double-counting.
+        """
+        with self._lock:
+            remaining = self._backlog_by_job.get(job_id, 0)
+            take = min(n_cells, remaining)
+            if take <= 0:
+                return
+            left = remaining - take
+            if left:
+                self._backlog_by_job[job_id] = left
+            else:
+                del self._backlog_by_job[job_id]
+            self._backlog -= take
+            self._m_depth.set(self._backlog)
+
+    def _retry_after_locked(self) -> float:
+        """Estimated seconds until queue capacity frees up.
+
+        Backlog cells divided by pool width, priced at the measured mean
+        scenario execution time (or a fixed guess before any cell has
+        run).  An estimate, not a promise — clients should treat it as a
+        backoff hint.
+        """
+        mean = self.metrics.histogram(
+            "scenario_execute_seconds", "per-scenario simulation wall time"
+        ).mean
+        per_cell = mean if mean is not None else DEFAULT_CELL_SECONDS
+        estimate = self._backlog * per_cell / self.max_workers
+        return round(max(estimate, 0.1), 2)
 
     def _recover_locked(self) -> None:
         """Re-enqueue every job the previous process left unfinished.
@@ -411,8 +636,10 @@ class JobManager:
                 entry.job_id,
                 specs,
                 idempotency_key=entry.idempotency_key,
+                priority=entry.priority,
                 created_at=entry.created_at,
                 on_state=self._journal_state,
+                on_cell=self._make_cell_hook(entry.job_id),
             )
             self._jobs[job.job_id] = job
             if entry.idempotency_key is not None:
@@ -420,7 +647,8 @@ class JobManager:
                     entry.job_id,
                     entry.config_canonical,
                 )
-            self._pool.submit(self._dispatch, job)
+            self._admit_cells_locked(job.job_id, job.total)
+            self._pool.submit(self._dispatch, job, priority=job.priority)
 
     def _resurrect_locked(self, entry: JournalEntry) -> Job:
         """Rebuild an in-memory :class:`Job` from a journaled row.
@@ -442,6 +670,7 @@ class JobManager:
             entry.job_id,
             specs,
             idempotency_key=entry.idempotency_key,
+            priority=entry.priority,
             created_at=entry.created_at,
         )
         with job._cond:
@@ -484,8 +713,20 @@ class JobManager:
         job, _ = self.submit_job(config)
         return job
 
+    def _make_cell_hook(self, job_id: str) -> Callable[[], None]:
+        """Per-job callback releasing one backlog cell per completion."""
+
+        def _release_one() -> None:
+            self._release_cells(job_id, 1)
+
+        return _release_one
+
     def submit_job(
-        self, config: dict, *, idempotency_key: str | None = None
+        self,
+        config: dict,
+        *,
+        idempotency_key: str | None = None,
+        priority: int = 0,
     ) -> tuple[Job, bool]:
         """Accept a scenario config (the ``protemp run`` JSON format).
 
@@ -500,18 +741,30 @@ class JobManager:
                 resubmit with the same key and the same config returns
                 the existing job (even across service restarts when a
                 journal is attached) instead of running the grid twice.
+            priority: scheduling priority — higher jumps the worker
+                queue (nothing running is preempted).  Persisted to the
+                journal, so a recovered job keeps its place in line.
+                An idempotent replay keeps the original submission's
+                priority; the retry's value is ignored.
 
         Returns:
             ``(job, created)`` — `created` is False when the key matched
             an existing submission and that job was returned instead.
 
         Raises:
-            ScenarioError: malformed config or unknown registry names.
+            ScenarioError: malformed config, unknown registry names, or a
+                non-integer priority.
             ServiceError: status 409 when the key was already used with a
-                *different* config; status 503 once draining started.
+                *different* config; status 429 (with ``retry_after_s``)
+                when the submission would exceed ``queue_capacity``;
+                status 503 once draining started.
         """
         if not isinstance(config, dict):
             raise ScenarioError("scenario config must be a JSON object")
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise ScenarioError(
+                f"priority must be an integer, got {priority!r}"
+            )
         canonical = canonical_config(config)
         specs = scenario_grid_from_config(config)
         validate_specs(specs)
@@ -532,13 +785,26 @@ class JobManager:
                     "service is draining and no longer accepts submissions",
                     status=503,
                 )
+            if (
+                self.queue_capacity is not None
+                and self._backlog + len(specs) > self.queue_capacity
+            ):
+                self._m_rejected.inc()
+                raise ServiceError(
+                    f"queue is full: {self._backlog} of "
+                    f"{self.queue_capacity} scenario slots in use and the "
+                    f"submission needs {len(specs)}; retry later",
+                    status=429,
+                    retry_after_s=self._retry_after_locked(),
+                )
+            job_id = f"job-{self._next_id:06d}"
             job = Job(
-                f"job-{self._next_id:06d}",
+                job_id,
                 specs,
                 idempotency_key=idempotency_key,
-                on_state=(
-                    self._journal_state if self._journal is not None else None
-                ),
+                priority=priority,
+                on_state=self._journal_state,
+                on_cell=self._make_cell_hook(job_id),
             )
             self._next_id += 1
             if self._journal is not None:
@@ -548,11 +814,14 @@ class JobManager:
                     idempotency_key=idempotency_key,
                     n_scenarios=job.total,
                     created_at=job.created_at,
+                    priority=priority,
                 )
             self._jobs[job.job_id] = job
             if idempotency_key is not None:
                 self._keys[idempotency_key] = (job.job_id, canonical)
-            self._pool.submit(self._dispatch, job)
+            self._admit_cells_locked(job.job_id, job.total)
+            self._m_submitted.inc()
+            self._pool.submit(self._dispatch, job, priority=priority)
         return job, True
 
     def job(self, job_id: str) -> Job:
@@ -586,35 +855,49 @@ class JobManager:
             "failed": sum(1 for j in jobs if j.state == "failed"),
         }
 
+    def queue_info(self) -> dict:
+        """Admission-control snapshot (capacity, live backlog in cells)."""
+        with self._lock:
+            return {
+                "capacity": self.queue_capacity,
+                "depth_cells": self._backlog,
+            }
+
     # -- execution ---------------------------------------------------------
 
     def _dispatch(self, job: Job) -> None:
         """Replay pass then execute pass (runs on the shared pool)."""
         try:
             job._start()
+            started = time.monotonic()
             misses: list[tuple[int, ScenarioSpec]] = []
-            for index, spec in enumerate(job.specs):
-                try:
-                    replayed = self.runner.lookup(spec)
-                except ReproError as exc:
-                    job._record_error(index, spec, exc)
-                    continue
-                if replayed is not None:
-                    job._record_outcome(index, replayed)
-                else:
-                    misses.append((index, spec))
+            with self.metrics.span("job_replay_pass"):
+                for index, spec in enumerate(job.specs):
+                    try:
+                        replayed = self.runner.lookup(spec)
+                    except ReproError as exc:
+                        job._record_error(index, spec, exc)
+                        continue
+                    if replayed is not None:
+                        job._record_outcome(index, replayed)
+                    else:
+                        misses.append((index, spec))
+            job._set_timing("replay_pass_s", time.monotonic() - started)
             if job.total == 0:
                 job._maybe_finish()
                 return
             for index, spec in misses:
-                self._pool.submit(self._run_one, job, index, spec)
+                self._pool.submit(
+                    self._run_one, job, index, spec, priority=job.priority
+                )
         except Exception as exc:  # dispatch must never die silently
             job._fail(exc)
 
     def _run_one(self, job: Job, index: int, spec: ScenarioSpec) -> None:
         """Execute one scenario miss (runs on the shared pool)."""
         try:
-            outcome = self.runner.run(spec)
+            with self.metrics.span("job_cell"):
+                outcome = self.runner.run(spec)
         except Exception as exc:
             job._record_error(index, spec, exc)
         else:

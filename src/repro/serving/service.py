@@ -20,11 +20,15 @@ Endpoints (see docs/SERVING.md for the event schema and curl examples):
 Method    Path                   Meaning
 ========  =====================  ===========================================
 GET       ``/healthz``           liveness + warm-cache/runner counters
+GET       ``/metrics``           telemetry snapshot (versioned JSON; add
+                                 ``?format=prometheus`` for text format)
 GET       ``/registry``          registered components (``protemp list``)
 POST      ``/jobs``              submit a config -> ``{"job_id": ...}``
-                                 (retry-safe via ``Idempotency-Key``)
+                                 (retry-safe via ``Idempotency-Key``;
+                                 ``X-Priority`` jumps the queue)
 GET       ``/jobs``              all jobs' status snapshots
-GET       ``/jobs/<id>``         one job's status/progress counters
+GET       ``/jobs/<id>``         one job's status/progress counters and
+                                 per-phase timing breakdown
 GET       ``/jobs/<id>/events``  NDJSON event stream (blocks until done)
 POST      ``/run``               submit + stream in one request
 ========  =====================  ===========================================
@@ -32,6 +36,13 @@ POST      ``/run``               submit + stream in one request
 Errors are structured JSON bodies reusing the `repro.errors` hierarchy::
 
     {"error": {"type": "ScenarioError", "message": "unknown policy ..."}}
+
+Overload rejections (``--queue-capacity`` exceeded) are 429s whose body
+carries a top-level ``retry_after_s`` hint (also sent as a
+``Retry-After`` header, rounded up to whole seconds)::
+
+    {"error": {"type": "ServiceError", "message": "queue is full: ..."},
+     "retry_after_s": 3.5}
 
 Graceful drain: ``SIGTERM``/``SIGINT`` stop new submissions (503), wait
 for in-flight scenarios to finish (every completed cell is persisted to
@@ -47,6 +58,7 @@ with the original job.
 from __future__ import annotations
 
 import json
+import math
 import signal
 import sys
 import threading
@@ -54,6 +66,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import IO
+from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import (
     OutcomeStoreError,
@@ -71,8 +84,17 @@ DEFAULT_PORT = 8765
 
 
 def _error_payload(exc: Exception) -> dict:
-    """The structured error body (`repro.errors` type name + message)."""
-    return {"error": {"type": type(exc).__name__, "message": str(exc)}}
+    """The structured error body (`repro.errors` type name + message).
+
+    Overload rejections additionally carry a top-level ``retry_after_s``
+    backoff hint so clients can implement polite retry without parsing
+    the message text.
+    """
+    payload = {"error": {"type": type(exc).__name__, "message": str(exc)}}
+    retry_after = getattr(exc, "retry_after_s", None)
+    if retry_after is not None:
+        payload["retry_after_s"] = retry_after
+    return payload
 
 
 def _error_status(exc: Exception) -> int:
@@ -99,6 +121,10 @@ class ScenarioService:
             when given, submissions survive restarts — unfinished jobs
             re-enqueue on boot (finished cells replay from the outcome
             store) and idempotency keys replay across processes.
+        queue_capacity: optional admission-control bound on the backlog,
+            in scenario cells (``protemp serve --queue-capacity``);
+            submissions that would exceed it get a structured 429 with
+            ``retry_after_s`` instead of queueing unboundedly.
 
     Example::
 
@@ -116,13 +142,19 @@ class ScenarioService:
         table_cache_dir: str | Path | None = None,
         outcome_store=None,
         state: str | Path | None = None,
+        queue_capacity: int | None = None,
     ) -> None:
         self.runner = runner or ScenarioRunner(
             table_cache_dir=table_cache_dir, outcome_store=outcome_store
         )
+        self.metrics = self.runner.metrics
         self.journal = JobJournal(state) if state is not None else None
         self.manager = JobManager(
-            self.runner, max_workers=max_workers, journal=self.journal
+            self.runner,
+            max_workers=max_workers,
+            journal=self.journal,
+            queue_capacity=queue_capacity,
+            metrics=self.metrics,
         )
         self.started_at = time.time()
 
@@ -133,14 +165,18 @@ class ScenarioService:
         return self.manager.submit(config)
 
     def submit_job(
-        self, config: dict, *, idempotency_key: str | None = None
+        self,
+        config: dict,
+        *,
+        idempotency_key: str | None = None,
+        priority: int = 0,
     ) -> tuple[Job, bool]:
-        """Submit with an optional idempotency key.
+        """Submit with an optional idempotency key and priority.
 
         Returns ``(job, created)`` — see :meth:`JobManager.submit_job`.
         """
         return self.manager.submit_job(
-            config, idempotency_key=idempotency_key
+            config, idempotency_key=idempotency_key, priority=priority
         )
 
     def job(self, job_id: str) -> Job:
@@ -159,12 +195,21 @@ class ScenarioService:
                 str(self.journal.path) if self.journal is not None else None
             ),
             "jobs": self.manager.counts(),
+            "queue": self.manager.queue_info(),
             "runner": {
                 "tables_built": self.runner.tables_built,
                 "scenarios_executed": self.runner.scenarios_executed,
                 "outcomes_replayed": self.runner.outcomes_replayed,
             },
         }
+
+    def metrics_payload(self) -> dict:
+        """The ``/metrics`` JSON body (a versioned registry snapshot)."""
+        return self.metrics.snapshot()
+
+    def metrics_text(self) -> str:
+        """The ``/metrics?format=prometheus`` text exposition."""
+        return self.metrics.render_prometheus()
 
     def registry_payload(self) -> dict:
         """The ``protemp list --json`` payload (shared with the CLI)."""
@@ -204,16 +249,34 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     # -- response helpers --------------------------------------------------
 
-    def _send_json(self, status: int, payload) -> None:
+    def _send_json(
+        self, status: int, payload, headers: dict[str, str] | None = None
+    ) -> None:
         body = (json.dumps(payload, indent=1) + "\n").encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error_json(self, exc: Exception) -> None:
-        self._send_json(_error_status(exc), _error_payload(exc))
+        headers = None
+        retry_after = getattr(exc, "retry_after_s", None)
+        if retry_after is not None:
+            # Retry-After is delta-seconds (an integer per RFC 9110);
+            # the precise float stays in the JSON body.
+            headers = {"Retry-After": str(max(1, math.ceil(retry_after)))}
+        self._send_json(_error_status(exc), _error_payload(exc), headers)
 
     def _stream_events(self, job: Job) -> None:
         """NDJSON event stream: one line per event, flushed immediately."""
@@ -230,12 +293,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away; the job keeps running
 
-    def _read_submission(self) -> tuple[dict, str | None]:
-        """Parse a submit body into ``(config, idempotency_key)``.
+    def _read_submission(self) -> tuple[dict, str | None, int]:
+        """Parse a submit body into ``(config, idempotency_key, priority)``.
 
         The key travels either as the ``Idempotency-Key`` header or in
         an envelope body ``{"config": ..., "idempotency_key": ...}``;
-        sending both (with different values) is a 400.
+        sending both (with different values) is a 400.  Priority travels
+        as the ``X-Priority`` header or the envelope's ``"priority"``
+        field (same disagreement rule); it must be an integer and
+        defaults to 0.
         """
         length = self.headers.get("Content-Length")
         if length is None:
@@ -250,10 +316,20 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 f"request body is not valid JSON: {exc}", status=400
             ) from exc
         key = self.headers.get("Idempotency-Key")
+        priority: int | None = None
+        header_priority = self.headers.get("X-Priority")
+        if header_priority is not None:
+            try:
+                priority = int(header_priority)
+            except ValueError as exc:
+                raise ServiceError(
+                    f"X-Priority must be an integer, got {header_priority!r}",
+                    status=400,
+                ) from exc
         if (
             isinstance(config, dict)
             and "config" in config
-            and set(config) <= {"config", "idempotency_key"}
+            and set(config) <= {"config", "idempotency_key", "priority"}
         ):
             body_key = config.get("idempotency_key")
             if body_key is not None and not isinstance(body_key, str):
@@ -265,20 +341,51 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     "Idempotency-Key header and body disagree", status=400
                 )
             key = key if key is not None else body_key
+            body_priority = config.get("priority")
+            if body_priority is not None:
+                if isinstance(body_priority, bool) or not isinstance(
+                    body_priority, int
+                ):
+                    raise ServiceError(
+                        "priority must be an integer", status=400
+                    )
+                if priority is not None and priority != body_priority:
+                    raise ServiceError(
+                        "X-Priority header and body disagree", status=400
+                    )
+                priority = body_priority
             config = config["config"]
         if not isinstance(config, dict):
             raise ServiceError(
                 "scenario config must be a JSON object", status=400
             )
-        return config, key
+        return config, key, priority if priority is not None else 0
 
     # -- routing -----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         try:
-            path = self.path.rstrip("/") or "/"
+            parts = urlsplit(self.path)
+            path = parts.path.rstrip("/") or "/"
             if path == "/healthz":
                 self._send_json(200, self.service.health_payload())
+            elif path == "/metrics":
+                query = parse_qs(parts.query)
+                fmt = query.get("format", ["json"])[-1]
+                if fmt == "prometheus":
+                    self._send_text(
+                        200,
+                        self.service.metrics_text(),
+                        "text/plain; version=0.0.4",
+                    )
+                elif fmt == "json":
+                    self._send_json(200, self.service.metrics_payload())
+                else:
+                    raise ServiceError(
+                        f"unknown metrics format {fmt!r} "
+                        "(expected 'json' or 'prometheus')",
+                        status=400,
+                    )
             elif path == "/registry":
                 self._send_json(200, self.service.registry_payload())
             elif path == "/jobs":
@@ -296,11 +403,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
         try:
-            path = self.path.rstrip("/")
+            path = urlsplit(self.path).path.rstrip("/")
             if path == "/jobs":
-                config, key = self._read_submission()
+                config, key, priority = self._read_submission()
                 job, created = self.service.submit_job(
-                    config, idempotency_key=key
+                    config, idempotency_key=key, priority=priority
                 )
                 self._send_json(
                     202,
@@ -311,8 +418,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     },
                 )
             elif path == "/run":
-                config, key = self._read_submission()
-                job, _ = self.service.submit_job(config, idempotency_key=key)
+                config, key, priority = self._read_submission()
+                job, _ = self.service.submit_job(
+                    config, idempotency_key=key, priority=priority
+                )
                 self._stream_events(job)
             else:
                 raise ServiceError(f"no such endpoint: {path}", status=404)

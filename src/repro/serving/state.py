@@ -37,7 +37,7 @@ from typing import Any, Callable
 from repro.errors import ServiceError
 
 #: Current journal schema version (see STATE_MIGRATIONS for the history).
-STATE_SCHEMA_VERSION = 1
+STATE_SCHEMA_VERSION = 2
 
 #: Cross-process write-lock patience (milliseconds).
 BUSY_TIMEOUT_MS = 10_000
@@ -86,6 +86,18 @@ def _initial_schema(connection: sqlite3.Connection) -> None:
     )
 
 
+@_migration(1)
+def _add_priority(connection: sqlite3.Connection) -> None:
+    """Version 1 -> 2: per-job scheduling priority.
+
+    Jobs journaled before the admission-control release ran at the
+    default priority, so backfilling 0 preserves their behavior exactly.
+    """
+    connection.execute(
+        "ALTER TABLE jobs ADD COLUMN priority INTEGER NOT NULL DEFAULT 0"
+    )
+
+
 def canonical_config(config: dict[str, Any]) -> str:
     """Canonical JSON for a scenario config (idempotency comparisons).
 
@@ -123,6 +135,7 @@ class JournalEntry:
     failed: int
     created_at: float
     finished_at: float | None
+    priority: int = 0
 
     @property
     def finished(self) -> bool:
@@ -244,6 +257,7 @@ class JobJournal:
         idempotency_key: str | None,
         n_scenarios: int,
         created_at: float,
+        priority: int = 0,
     ) -> None:
         """Journal a freshly accepted job (state ``queued``).
 
@@ -257,14 +271,15 @@ class JobJournal:
             try:
                 connection.execute(
                     "INSERT INTO jobs (job_id, config, idempotency_key,"
-                    " state, error, n_scenarios, created_at)"
-                    " VALUES (?, ?, ?, 'queued', NULL, ?, ?)",
+                    " state, error, n_scenarios, created_at, priority)"
+                    " VALUES (?, ?, ?, 'queued', NULL, ?, ?, ?)",
                     (
                         job_id,
                         canonical_config(config),
                         idempotency_key,
                         n_scenarios,
                         created_at,
+                        priority,
                     ),
                 )
             except sqlite3.IntegrityError as exc:
@@ -312,7 +327,7 @@ class JobJournal:
     _COLUMNS = (
         "job_id, config, idempotency_key, state, error, n_scenarios,"
         " scenarios_executed, outcomes_replayed, failed, created_at,"
-        " finished_at"
+        " finished_at, priority"
     )
 
     def _entry(self, row: "tuple[Any, ...]") -> JournalEntry:
@@ -336,6 +351,7 @@ class JobJournal:
             failed=int(row[8]),
             created_at=float(row[9]),
             finished_at=float(row[10]) if row[10] is not None else None,
+            priority=int(row[11]),
         )
 
     def _select(

@@ -1,0 +1,227 @@
+"""Reusable fault-injection helpers for the serving test suite.
+
+Three families of controlled failure, all deterministic (no sleeps as a
+synchronization mechanism — everything blocks on explicit gates):
+
+* :class:`Gate` — a waiter-counting event.  Code under test blocks in
+  :meth:`Gate.wait`; the test observes *that it is blocked* via
+  :meth:`Gate.wait_for_waiters` and releases it with :meth:`Gate.open`.
+  This replaces ``time.sleep`` latency injection: a "slow" component is
+  exactly as slow as the test wants, with no race on how slow.
+* store wrappers — :class:`FailingStore` (raises
+  :class:`~repro.errors.OutcomeStoreError` on ``put`` and/or ``get``)
+  and :class:`SlowStore` (blocks each operation on a gate) delegate to a
+  real inner store, so everything not being faulted behaves normally.
+* :func:`stalling_policy` — registers a policy whose *factory* blocks on
+  a named gate before delegating to the built-in ``no-tc`` policy.  A
+  scenario cell using it occupies a worker-pool thread until the test
+  opens the gate — the deterministic way to pin workers and fill the
+  admission queue.  The gate is addressed by name through the module
+  registry :data:`GATES`, because policy params must stay JSON-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import OutcomeStoreError
+from repro.scenario.registry import POLICIES
+from repro.scenario.store import OutcomeStore, StoredOutcome
+
+#: Name -> live :class:`Gate`, so JSON-safe spec params can reach a gate.
+GATES: dict[str, "Gate"] = {}
+
+
+class Gate:
+    """An event that counts how many threads are blocked on it.
+
+    ``wait_for_waiters`` is the test-side synchronization point: it
+    returns only once the code under test is *provably* parked inside
+    :meth:`wait`, which makes "while the worker is stalled..."
+    assertions race-free.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._waiters = 0
+
+    def wait(self, timeout: float = 30.0) -> None:
+        """Block until the gate opens (code-under-test side).
+
+        Raises:
+            TimeoutError: after `timeout` — a safety valve so a test bug
+                fails the test instead of hanging the suite.
+        """
+        with self._lock:
+            self._waiters += 1
+        try:
+            if not self._event.wait(timeout):
+                raise TimeoutError("gate never opened")
+        finally:
+            with self._lock:
+                self._waiters -= 1
+
+    def open(self) -> None:
+        """Release every current and future waiter."""
+        self._event.set()
+
+    @property
+    def waiters(self) -> int:
+        """Threads currently blocked in :meth:`wait`."""
+        with self._lock:
+            return self._waiters
+
+    def wait_for_waiters(self, n: int, timeout: float = 10.0) -> None:
+        """Block the *test* until `n` threads are parked on the gate.
+
+        Raises:
+            TimeoutError: when fewer than `n` waiters arrive in time.
+        """
+        deadline = time.monotonic() + timeout
+        while self.waiters < n:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"expected {n} gate waiters, saw {self.waiters}"
+                )
+            time.sleep(0.005)
+
+
+@contextmanager
+def gate(name: str) -> Iterator[Gate]:
+    """A named :class:`Gate` registered in :data:`GATES` for its scope.
+
+    Opens the gate on exit so any straggler blocked in it unsticks even
+    when the test body raised.
+    """
+    g = Gate()
+    GATES[name] = g
+    try:
+        yield g
+    finally:
+        g.open()
+        GATES.pop(name, None)
+
+
+class _DelegatingStore(OutcomeStore):
+    """Base for wrappers: everything not faulted goes to the inner store."""
+
+    def __init__(self, inner: OutcomeStore) -> None:
+        self.inner = inner
+
+    def get(self, spec_hash: str) -> StoredOutcome | None:
+        return self.inner.get(spec_hash)
+
+    def put(self, record: StoredOutcome) -> None:
+        self.inner.put(record)
+
+    def records(self) -> Iterator[StoredOutcome]:
+        return self.inner.records()
+
+
+class FailingStore(_DelegatingStore):
+    """A store whose ``put`` (and optionally ``get``) raise on command.
+
+    Args:
+        inner: the real store taking non-faulted traffic.
+        fail_puts: raise :class:`OutcomeStoreError` from every ``put``.
+        fail_gets: raise from every ``get`` as well.
+
+    The flags are plain attributes — flip them mid-test to fail only a
+    window of operations.  Failed attempts are counted in
+    :attr:`put_failures` / :attr:`get_failures`.
+    """
+
+    def __init__(
+        self,
+        inner: OutcomeStore,
+        *,
+        fail_puts: bool = True,
+        fail_gets: bool = False,
+    ) -> None:
+        super().__init__(inner)
+        self.fail_puts = fail_puts
+        self.fail_gets = fail_gets
+        self.put_failures = 0
+        self.get_failures = 0
+
+    def get(self, spec_hash: str) -> StoredOutcome | None:
+        if self.fail_gets:
+            self.get_failures += 1
+            raise OutcomeStoreError("injected fault: store read failed")
+        return self.inner.get(spec_hash)
+
+    def put(self, record: StoredOutcome) -> None:
+        if self.fail_puts:
+            self.put_failures += 1
+            raise OutcomeStoreError("injected fault: store write failed")
+        self.inner.put(record)
+
+
+class SlowStore(_DelegatingStore):
+    """A store whose operations block on a :class:`Gate` before running.
+
+    Latency is injected without clocks: an operation takes exactly as
+    long as the gate stays shut.  Gate either ``get``s, ``put``s, or
+    both.
+    """
+
+    def __init__(
+        self,
+        inner: OutcomeStore,
+        gate: Gate,
+        *,
+        slow_gets: bool = True,
+        slow_puts: bool = True,
+    ) -> None:
+        super().__init__(inner)
+        self.gate = gate
+        self.slow_gets = slow_gets
+        self.slow_puts = slow_puts
+
+    def get(self, spec_hash: str) -> StoredOutcome | None:
+        if self.slow_gets:
+            self.gate.wait()
+        return self.inner.get(spec_hash)
+
+    def put(self, record: StoredOutcome) -> None:
+        if self.slow_puts:
+            self.gate.wait()
+        self.inner.put(record)
+
+
+def _stall_gate_policy(gate: str = "") -> object:
+    """Factory for the test-only ``stall-gate`` policy.
+
+    Blocks on ``GATES[gate]`` while *building* the policy — i.e. during
+    scenario execution, on the worker-pool thread — then behaves exactly
+    like the built-in ``no-tc`` policy.
+    """
+    GATES[gate].wait()
+    return POLICIES.get("no-tc").factory()
+
+
+@contextmanager
+def stalling_policy(name: str = "stall-gate") -> Iterator[str]:
+    """Register the gate-blocking policy under `name` for the test's scope.
+
+    Use with :func:`gate`::
+
+        with gate("g1") as g, stalling_policy() as policy:
+            job = service.submit(config_using(policy, gate="g1"))
+            g.wait_for_waiters(1)   # a worker is now provably stalled
+            ...                     # assert liveness properties
+            g.open()
+    """
+    POLICIES.register(
+        name,
+        _stall_gate_policy,
+        description="test stub: blocks on a named gate, then acts as no-tc",
+    )
+    try:
+        yield name
+    finally:
+        POLICIES.unregister(name)

@@ -1,0 +1,217 @@
+"""Concurrency stress: N submitters race a capacity-K admission queue.
+
+The admission controller's contract under contention:
+
+* accepted + rejected == attempted, with *deterministic* accounting —
+  exactly as many submissions fit as the capacity allows, every
+  rejection is a structured 429, and ``submits_rejected_total`` matches
+  the rejection count exactly;
+* the queue depth gauge never exceeds the capacity;
+* accepted jobs all complete, bit-identical to an uncontended run;
+* shared-table grids build their Phase-1 table exactly once no matter
+  how many jobs hammer the runner concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from faultlib import gate, stalling_policy
+from repro.errors import ServiceError
+from repro.scenario import MemoryOutcomeStore
+from repro.serving import ScenarioService
+
+ROW3 = {"name": "core-row", "params": {"n_cores": 3}}
+
+BASE = {
+    "platform": ROW3,
+    "workload": {
+        "name": "poisson",
+        "duration": 1.0,
+        "params": {"offered_load": 0.3},
+    },
+    "t_initial": 60.0,
+}
+
+#: Tiny Phase-1 config (2x2 grid, heavy subsampling) shared by the
+#: table-dedup stress case — same shape as tests/test_serving.py.
+SMALL_TABLE_PARAMS = {
+    "t_grid": [80.0, 100.0],
+    "f_grid": [3e8, 6e8],
+    "step_subsample": 20,
+}
+
+
+def _one_cell(seed: int, policy: object = "no-tc") -> dict:
+    return {
+        "base": dict(BASE),
+        "grid": {"policy": [policy], "seed": [seed]},
+    }
+
+
+class TestAdmissionUnderContention:
+    def test_exactly_k_of_n_racing_submits_are_accepted(self):
+        """With the pool pinned, capacity K admits exactly K of N cells."""
+        n_threads, capacity = 12, 5
+        with gate("stress-pin") as pin, stalling_policy() as policy:
+            service = ScenarioService(max_workers=1, queue_capacity=capacity)
+            try:
+                # Pin the single worker so nothing completes while the
+                # racers run: admission outcomes depend only on capacity.
+                pinned = service.submit(_one_cell(999, {"name": policy, "params": {"gate": "stress-pin"}}))
+                pin.wait_for_waiters(1)
+
+                accepted, rejected, unexpected = [], [], []
+                barrier = threading.Barrier(n_threads)
+
+                def _submit(seed: int) -> None:
+                    barrier.wait()
+                    try:
+                        job = service.submit(_one_cell(seed))
+                    except ServiceError as exc:
+                        if exc.status == 429 and exc.retry_after_s:
+                            rejected.append(seed)
+                        else:
+                            unexpected.append((seed, exc))
+                    else:
+                        accepted.append(job)
+
+                threads = [
+                    threading.Thread(target=_submit, args=(seed,))
+                    for seed in range(n_threads)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=60)
+                assert not any(t.is_alive() for t in threads)
+
+                assert unexpected == []
+                # The pinned cell holds 1 slot; exactly capacity-1 of the
+                # racers fit.  Never more, never fewer: the lock makes
+                # admission serial even when submits race.
+                assert len(accepted) == capacity - 1
+                assert len(rejected) == n_threads - (capacity - 1)
+                depth = service.manager.queue_info()["depth_cells"]
+                assert depth == capacity
+
+                counters = service.metrics_payload()["counters"]
+                assert counters["submits_rejected_total"] == len(rejected)
+                assert counters["jobs_submitted_total"] == len(accepted) + 1
+
+                pin.open()
+                for job in accepted + [pinned]:
+                    assert job.wait(timeout=120)
+                    assert job.state == "done"
+                assert service.manager.queue_info()["depth_cells"] == 0
+            finally:
+                pin.open()
+                service.drain()
+
+    def test_queue_depth_gauge_never_exceeds_capacity(self):
+        """Sampled continuously while jobs churn, depth stays bounded."""
+        capacity = 4
+        service = ScenarioService(
+            max_workers=2,
+            queue_capacity=capacity,
+            outcome_store=MemoryOutcomeStore(),
+        )
+        depth_gauge = service.metrics.gauge(
+            "queue_depth_cells", "scenario cells accepted but not completed"
+        )
+        overflow = []
+        stop = threading.Event()
+
+        def _watch() -> None:
+            while not stop.is_set():
+                value = depth_gauge.value
+                if value > capacity:
+                    overflow.append(value)
+
+        watcher = threading.Thread(target=_watch, daemon=True)
+        watcher.start()
+        try:
+            jobs = []
+            for seed in range(12):
+                try:
+                    jobs.append(service.submit(_one_cell(seed)))
+                except ServiceError as exc:
+                    assert exc.status == 429
+                    for job in jobs:
+                        job.wait(timeout=120)
+            for job in jobs:
+                assert job.wait(timeout=120)
+                assert job.state == "done"
+        finally:
+            stop.set()
+            watcher.join(timeout=10)
+            service.drain()
+        assert overflow == []
+
+    def test_shared_table_builds_exactly_once_under_contention(self):
+        """Concurrent protemp jobs over one table key build it once."""
+        store = MemoryOutcomeStore()
+        service = ScenarioService(max_workers=4, outcome_store=store)
+        try:
+            configs = [
+                {
+                    "base": {
+                        **BASE,
+                        "policy": {
+                            "name": "protemp",
+                            "params": dict(SMALL_TABLE_PARAMS),
+                        },
+                    },
+                    "grid": {"seed": [seed]},
+                }
+                for seed in range(4)
+            ]
+            jobs = []
+            errors = []
+
+            def _submit(config: dict) -> None:
+                try:
+                    jobs.append(service.submit(config))
+                except Exception as exc:  # noqa: BLE001 - collected below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=_submit, args=(c,)) for c in configs
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert errors == []
+            for job in jobs:
+                assert job.wait(timeout=300)
+                assert job.state == "done"
+            # Four jobs, one distinct (platform, table-params) key: the
+            # runner's table cache deduplicated the expensive build.
+            assert service.runner.tables_built == 1
+            counters = service.metrics_payload()["counters"]
+            assert counters["tables_built_total"] == 1
+            assert counters["scenarios_executed_total"] == 4
+            assert len(store) == 4
+        finally:
+            service.drain()
+
+    def test_rejected_submission_leaves_no_trace(self):
+        """A 429 creates no job, no journal row, no backlog charge."""
+        with gate("trace-pin") as pin, stalling_policy() as policy:
+            service = ScenarioService(max_workers=1, queue_capacity=1)
+            try:
+                service.submit(
+                    _one_cell(0, {"name": policy, "params": {"gate": "trace-pin"}})
+                )
+                pin.wait_for_waiters(1)
+                before = len(service.manager.jobs())
+                with pytest.raises(ServiceError):
+                    service.submit(_one_cell(1))
+                assert len(service.manager.jobs()) == before
+                assert service.manager.queue_info()["depth_cells"] == 1
+            finally:
+                pin.open()
+                service.drain()

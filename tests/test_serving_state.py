@@ -25,7 +25,11 @@ from repro.serving import (
     ServiceClient,
     make_server,
 )
-from repro.serving.state import STATE_SCHEMA_VERSION, canonical_config
+from repro.serving.state import (
+    STATE_MIGRATIONS,
+    STATE_SCHEMA_VERSION,
+    canonical_config,
+)
 from test_serving import FAST_CONFIG, _sanitize
 
 
@@ -359,4 +363,97 @@ class TestHTTPDurability:
         finally:
             server.shutdown()
             server.server_close()
+            second.drain()
+
+
+class TestSchemaMigration:
+    """The v1 -> v2 journal migration (per-job priority column)."""
+
+    @staticmethod
+    def _make_v1_journal(path, rows=()):
+        """Hand-build a schema-version-1 journal file (pre-priority).
+
+        Runs only the version-0 migration, stamps the meta table at 1,
+        and inserts rows through the v1 column set — exactly what a
+        pre-admission-control build would have left on disk.
+        """
+        connection = sqlite3.connect(path)
+        try:
+            STATE_MIGRATIONS[0](connection)
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS meta ("
+                " key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            connection.execute(
+                "INSERT INTO meta(key, value) VALUES('schema_version', '1')"
+            )
+            for row in rows:
+                connection.execute(
+                    "INSERT INTO jobs (job_id, config, idempotency_key,"
+                    " state, error, n_scenarios, scenarios_executed,"
+                    " outcomes_replayed, failed, created_at, finished_at)"
+                    " VALUES (?, ?, ?, ?, NULL, ?, ?, ?, ?, ?, ?)",
+                    row,
+                )
+            connection.commit()
+        finally:
+            connection.close()
+
+    def test_v1_journal_migrates_and_backfills_priority_zero(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        config = canonical_config(FAST_CONFIG)
+        self._make_v1_journal(
+            path,
+            rows=[
+                ("job-000001", config, "key-a", "done", 4, 4, 0, 0,
+                 time.time() - 60, time.time() - 30),
+                ("job-000002", config, None, "running", 4, 1, 0, 0,
+                 time.time() - 10, None),
+            ],
+        )
+        with JobJournal(path) as journal:
+            assert journal.schema_version() == STATE_SCHEMA_VERSION
+            entries = {e.job_id: e for e in journal.entries()}
+            assert set(entries) == {"job-000001", "job-000002"}
+            # Pre-priority jobs ran at the default; the backfill says so.
+            assert all(e.priority == 0 for e in entries.values())
+            # Pre-migration data survived untouched.
+            assert entries["job-000001"].state == "done"
+            assert entries["job-000001"].idempotency_key == "key-a"
+            assert entries["job-000002"].state == "running"
+            assert [e.job_id for e in journal.unfinished()] == ["job-000002"]
+
+    def test_priority_round_trips_through_migrated_journal(self, tmp_path):
+        """New writes to a migrated file carry real priorities."""
+        path = tmp_path / "old.sqlite"
+        self._make_v1_journal(path)
+        with JobJournal(path) as journal:
+            journal.record_submit(
+                "job-000001",
+                FAST_CONFIG,
+                idempotency_key=None,
+                n_scenarios=4,
+                created_at=time.time(),
+                priority=7,
+            )
+            entry = journal.entry("job-000001")
+            assert entry is not None and entry.priority == 7
+        # And the column survives close/reopen (it is in the file, not
+        # a connection-local default).
+        with JobJournal(path) as journal:
+            entry = journal.entry("job-000001")
+            assert entry is not None and entry.priority == 7
+
+    def test_recovered_job_keeps_journaled_priority(self, paths):
+        """A restart re-enqueues unfinished jobs at their old priority."""
+        service = durable_service(paths)
+        job, _ = service.submit_job(FAST_CONFIG, priority=3)
+        job.wait(60)
+        service.drain()
+        second = durable_service(paths)
+        try:
+            resurrected = second.manager.job(job.job_id)
+            assert resurrected.priority == 3
+            assert resurrected.status()["priority"] == 3
+        finally:
             second.drain()
