@@ -1,0 +1,386 @@
+"""Ranked head-to-head tournaments over policy x platform x workload grids.
+
+The paper's evaluation is one three-way comparison (No-TC / Basic-DFS /
+Pro-Temp); with the controller zoo registered, "compare every controller
+on every scenario" becomes a *tournament*: expand a scenario grid, run it
+through :class:`~repro.scenario.runner.ScenarioRunner` (so an outcome
+store makes re-runs replay with zero solves), then reduce the outcomes to
+
+* **per-policy standings** — violations, time above the 90 C band edge,
+  throughput, waiting, mean/max peak temperature, win/loss/tie record;
+* **a pairwise win matrix** — policies are compared *match by match*: a
+  match is one cell of the non-policy grid (platform x workload x seed x
+  simulation knobs), and policy A beats policy B on a match when A's
+  score tuple is strictly better (lexicographic on violation fraction,
+  throughput, mean wait, peak temperature — in that order, so thermal
+  safety dominates and raw speed only breaks ties);
+* **a ranking** — most match wins first, standings metrics as
+  tie-breakers, policy id as the final deterministic tie-breaker.
+
+Everything in the ``tournament`` section is a pure, deterministic function
+of the outcome rows: no wall times, no cache provenance, no iteration-
+order dependence (cells are sorted before reduction).  The same store
+therefore always renders the same ranking — byte-identical JSON — whether
+the cells were computed serially, in parallel, on another host, or
+replayed, which is what the CI tournament-smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+from repro.errors import ScenarioError
+from repro.scenario.specs import ScenarioSpec, _spec_hash
+from repro.sim.metrics import PAPER_BAND_EDGES, PAPER_BAND_LABELS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenario.runner import ScenarioOutcome, ScenarioRunner
+    from repro.scenario.store import OutcomeStore
+
+#: Version of the ``tournament`` report section (bump on shape changes).
+TOURNAMENT_SCHEMA_VERSION = 1
+
+#: Band edge (Celsius) above which time counts as "hot" in the standings.
+HOT_BAND_EDGE = 90.0
+
+
+def competitor_id(policy: Mapping[str, Any]) -> str:
+    """Stable competitor identity for a policy sub-spec dict.
+
+    The registry name alone would conflate two parameterizations of the
+    same policy (e.g. two ``protemp`` table resolutions in one grid), so
+    parameterized entries get a short params digest suffix.
+    """
+    params = dict(policy.get("params") or {})
+    if not params:
+        return str(policy["name"])
+    digest = _spec_hash({"name": policy["name"], "params": params})[:6]
+    return f"{policy['name']}#{digest}"
+
+
+def match_key(spec_dict: Mapping[str, Any]) -> str:
+    """The non-policy identity of a scenario cell.
+
+    Two cells belong to the same *match* when they agree on everything
+    except the policy under test (and the cosmetic ``name`` label).  Keyed
+    on the canonical hash payload, so trace-file workloads match across
+    file locations just as the outcome store does.
+    """
+    payload = dict(ScenarioSpec.from_dict(dict(spec_dict)).hash_dict())
+    payload.pop("policy", None)
+    payload.pop("name", None)
+    return _spec_hash(payload)
+
+
+def cell_score(summary: Mapping[str, Any]) -> tuple[float, float, float, float]:
+    """Lexicographic score of one cell — lower is better.
+
+    Order: violation fraction (thermal safety first), negated throughput
+    (completed/arrived), mean waiting time, peak temperature.
+    """
+    arrived = int(summary.get("arrived_tasks") or 0)
+    completed = int(summary.get("completed_tasks") or 0)
+    throughput = completed / arrived if arrived else 0.0
+    return (
+        float(summary["violation_fraction"]),
+        -throughput,
+        float(summary["mean_wait_s"]),
+        float(summary["peak_c"]),
+    )
+
+
+def _hot_fraction(summary: Mapping[str, Any]) -> float:
+    """Fraction of (core, step) time above :data:`HOT_BAND_EDGE`."""
+    fractions = summary.get("band_fractions") or []
+    hot = 0.0
+    for edge_low, fraction in zip((0.0,) + PAPER_BAND_EDGES, fractions):
+        if edge_low >= HOT_BAND_EDGE:
+            hot += float(fraction)
+    return hot
+
+
+def tournament_table(
+    cells: Iterable[tuple[Mapping[str, Any], Mapping[str, Any]]],
+) -> dict[str, Any]:
+    """Reduce ``(spec_dict, summary_row)`` cells to the tournament section.
+
+    Args:
+        cells: one entry per scenario cell — the spec's
+            :meth:`~repro.scenario.specs.ScenarioSpec.to_dict` payload and
+            its deterministic summary row
+            (:meth:`~repro.scenario.runner.ScenarioOutcome.data_row` /
+            ``StoredOutcome.summary``).
+
+    Returns:
+        The deterministic ``tournament`` report section: ``policies``
+        (standings in ranked order), ``ranking``, ``win_matrix``,
+        ``n_matches``, ``n_cells``.
+
+    Raises:
+        ScenarioError: with fewer than two distinct competitors (a
+            tournament needs opponents) or duplicate cells for one
+            (competitor, match) slot.
+    """
+    # (competitor, match) -> (score, summary, display label); sorted
+    # reduction order makes every float accumulation deterministic.
+    slots: dict[tuple[str, str], tuple[tuple, Mapping[str, Any]]] = {}
+    labels: dict[str, str] = {}
+    for spec_dict, summary in cells:
+        policy = dict(spec_dict.get("policy") or {"name": "?"})
+        competitor = competitor_id(policy)
+        key = (competitor, match_key(spec_dict))
+        if key in slots:
+            raise ScenarioError(
+                f"duplicate tournament cell for policy {competitor!r} "
+                "(same non-policy scenario twice; deduplicate the grid "
+                "or merge the stores first)"
+            )
+        slots[key] = (cell_score(summary), summary)
+        labels.setdefault(competitor, str(summary.get("policy", competitor)))
+
+    competitors = sorted({comp for comp, _ in slots})
+    if len(competitors) < 2:
+        raise ScenarioError(
+            f"a tournament needs at least two distinct policies, got "
+            f"{competitors or 'none'} (put a 'policy' axis in the grid)"
+        )
+    matches = sorted({match for _, match in slots})
+
+    standings: dict[str, dict[str, Any]] = {
+        comp: {
+            "policy": comp,
+            "label": labels[comp],
+            "cells": 0,
+            "wins": 0,
+            "losses": 0,
+            "ties": 0,
+            "violation_fraction": 0.0,
+            "time_above_90_fraction": 0.0,
+            "mean_wait_s": 0.0,
+            "completed_tasks": 0,
+            "arrived_tasks": 0,
+            "mean_peak_c": 0.0,
+            "max_peak_c": 0.0,
+        }
+        for comp in competitors
+    }
+    win_matrix: dict[str, dict[str, dict[str, int]]] = {
+        a: {
+            b: {"wins": 0, "ties": 0, "matches": 0}
+            for b in competitors
+            if b != a
+        }
+        for a in competitors
+    }
+
+    for comp in competitors:
+        for match in matches:
+            entry = slots.get((comp, match))
+            if entry is None:
+                continue
+            _, summary = entry
+            row = standings[comp]
+            row["cells"] += 1
+            row["violation_fraction"] += float(summary["violation_fraction"])
+            row["time_above_90_fraction"] += _hot_fraction(summary)
+            row["mean_wait_s"] += float(summary["mean_wait_s"])
+            row["completed_tasks"] += int(summary.get("completed_tasks") or 0)
+            row["arrived_tasks"] += int(summary.get("arrived_tasks") or 0)
+            peak = float(summary["peak_c"])
+            row["mean_peak_c"] += peak
+            if peak > row["max_peak_c"]:
+                row["max_peak_c"] = peak
+
+    for match in matches:
+        for i, a in enumerate(competitors):
+            entry_a = slots.get((a, match))
+            if entry_a is None:
+                continue
+            for b in competitors[i + 1 :]:
+                entry_b = slots.get((b, match))
+                if entry_b is None:
+                    continue
+                score_a, score_b = entry_a[0], entry_b[0]
+                win_matrix[a][b]["matches"] += 1
+                win_matrix[b][a]["matches"] += 1
+                if score_a < score_b:
+                    win_matrix[a][b]["wins"] += 1
+                    standings[a]["wins"] += 1
+                    standings[b]["losses"] += 1
+                elif score_b < score_a:
+                    win_matrix[b][a]["wins"] += 1
+                    standings[b]["wins"] += 1
+                    standings[a]["losses"] += 1
+                else:
+                    win_matrix[a][b]["ties"] += 1
+                    win_matrix[b][a]["ties"] += 1
+                    standings[a]["ties"] += 1
+                    standings[b]["ties"] += 1
+
+    for row in standings.values():
+        cells_n = row["cells"] or 1
+        row["violation_fraction"] /= cells_n
+        row["time_above_90_fraction"] /= cells_n
+        row["mean_wait_s"] /= cells_n
+        row["mean_peak_c"] /= cells_n
+        arrived = row["arrived_tasks"]
+        row["throughput"] = (
+            row["completed_tasks"] / arrived if arrived else 0.0
+        )
+
+    def rank_key(comp: str) -> tuple:
+        row = standings[comp]
+        return (
+            -row["wins"],
+            row["violation_fraction"],
+            -row["throughput"],
+            row["mean_wait_s"],
+            row["mean_peak_c"],
+            comp,
+        )
+
+    ranking = sorted(competitors, key=rank_key)
+    return {
+        "schema_version": TOURNAMENT_SCHEMA_VERSION,
+        "band_labels": list(PAPER_BAND_LABELS),
+        "n_cells": len(slots),
+        "n_matches": len(matches),
+        "ranking": ranking,
+        "policies": [standings[comp] for comp in ranking],
+        "win_matrix": win_matrix,
+    }
+
+
+def tournament_from_outcomes(
+    outcomes: "Sequence[ScenarioOutcome]",
+) -> dict[str, Any]:
+    """Tournament section from freshly run/replayed scenario outcomes."""
+    return tournament_table(
+        (outcome.spec.to_dict(), outcome.data_row()) for outcome in outcomes
+    )
+
+
+def tournament_from_records(
+    records: "Iterable[Any]",
+) -> dict[str, Any]:
+    """Tournament section from stored outcome records (``StoredOutcome``).
+
+    Records are deduplicated by spec hash (the first occurrence wins, so
+    reporting over a store plus its shard copies is fine) and sorted
+    before reduction, making the section a pure function of the record
+    *set* regardless of iteration order.
+    """
+    unique: dict[str, Any] = {}
+    for record in records:
+        unique.setdefault(record.spec_hash, record)
+    ordered = [unique[key] for key in sorted(unique)]
+    return tournament_table((r.spec, r.summary) for r in ordered)
+
+
+def tournament_from_store(store: "OutcomeStore") -> dict[str, Any]:
+    """Tournament section from a saved outcome store's records.
+
+    The same records always produce the same section, so ``protemp
+    report --tournament STORE`` renders exactly the ranking the original
+    ``protemp tournament`` run emitted.
+    """
+    return tournament_from_records(store.records())
+
+
+def run_tournament(
+    config: dict[str, Any] | str,
+    *,
+    runner: "ScenarioRunner",
+    shard_index: int | None = None,
+    shard_count: int | None = None,
+) -> dict[str, Any]:
+    """Run a tournament config through a runner and build the full report.
+
+    Args:
+        config: a scenario-grid config (the ``protemp run`` format; the
+            grid must contain a ``policy`` axis with >= 2 entries).
+        runner: the runner to execute through; give it an outcome store
+            to make warm re-runs replay with ``scenarios_executed == 0``.
+        shard_index: with `shard_count`, run only one deterministic shard
+            (for splitting the grid across hosts; ranking a single shard
+            only makes sense after merging stores).
+        shard_count: total number of shards.
+
+    Returns:
+        ``{"schema_version", "tournament", "run"}`` — ``tournament`` is
+        the deterministic section, ``run`` carries this call's cache
+        provenance (scenarios executed/replayed, tables built).
+    """
+    executed_before = runner.scenarios_executed
+    replayed_before = runner.outcomes_replayed
+    built_before = runner.tables_built
+    outcomes = runner.run_config(
+        config, shard_index=shard_index, shard_count=shard_count
+    )
+    section = tournament_from_outcomes(outcomes)
+    return {
+        "schema_version": TOURNAMENT_SCHEMA_VERSION,
+        "tournament": section,
+        "run": {
+            "scenarios": len(outcomes),
+            "scenarios_executed": runner.scenarios_executed - executed_before,
+            "outcomes_replayed": runner.outcomes_replayed - replayed_before,
+            "tables_built": runner.tables_built - built_before,
+        },
+    }
+
+
+def render_tournament(section: Mapping[str, Any]) -> str:
+    """Human-readable text rendering of a tournament section."""
+    lines: list[str] = [
+        f"tournament: {section['n_matches']} matches x "
+        f"{len(section['ranking'])} policies ({section['n_cells']} cells)"
+    ]
+    header = (
+        f"{'#':>2s}  {'policy':<24s} {'W-L-T':>9s} {'viol%':>7s} "
+        f"{'>90C%':>7s} {'thru%':>7s} {'wait ms':>8s} {'peak C':>7s} "
+        f"{'max C':>7s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for rank, row in enumerate(section["policies"], start=1):
+        record = f"{row['wins']}-{row['losses']}-{row['ties']}"
+        lines.append(
+            f"{rank:>2d}  {row['label'][:24]:<24s} {record:>9s} "
+            f"{row['violation_fraction'] * 100:6.2f}% "
+            f"{row['time_above_90_fraction'] * 100:6.2f}% "
+            f"{row['throughput'] * 100:6.1f}% "
+            f"{row['mean_wait_s'] * 1e3:8.1f} "
+            f"{row['mean_peak_c']:7.1f} {row['max_peak_c']:7.1f}"
+        )
+    ranking = section["ranking"]
+    matrix = section["win_matrix"]
+    lines.append("")
+    lines.append("head-to-head wins (row beats column):")
+    width = max(8, max(len(c) for c in ranking) + 1)
+    lines.append(
+        " " * width + "".join(f"{c[:width - 1]:>{width}s}" for c in ranking)
+    )
+    for a in ranking:
+        cells = []
+        for b in ranking:
+            if a == b:
+                cells.append(f"{'-':>{width}s}")
+            else:
+                pair = matrix[a][b]
+                cells.append(f"{pair['wins']:>{width}d}")
+        lines.append(f"{a[:width]:<{width}s}" + "".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def tournament_json(report: Mapping[str, Any]) -> str:
+    """Canonical JSON encoding of the full tournament report.
+
+    Sorted keys, ``allow_nan=False`` — the byte-identical artifact the CI
+    smoke job diffs between cold and warm runs (after dropping the
+    ``run`` provenance, which legitimately differs).
+    """
+    return json.dumps(
+        dict(report), indent=1, sort_keys=True, allow_nan=False
+    )

@@ -101,6 +101,7 @@ EXPERIMENTS = (
 #: Scenario-API commands sharing the positional slot with the experiments.
 COMMANDS = (
     "run",
+    "tournament",
     "merge",
     "migrate",
     "list",
@@ -182,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=EXPERIMENTS + COMMANDS,
         help=(
             "a paper experiment (figN), 'run' (execute a scenario config), "
+            "'tournament' (ranked head-to-head over a policy grid), "
             "'serve'/'submit' (the long-lived scenario service), "
             "'merge'/'migrate' (combine or convert outcome stores), "
             "'check' (static analysis), or 'list' (show registered "
@@ -193,8 +195,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help=(
-            "scenario config JSON file ('run'/'submit'), first "
-            "outcome store ('merge'), source store ('migrate'), or "
+            "scenario config JSON file ('run'/'tournament'/'submit'), "
+            "first outcome store ('merge'), source store ('migrate'), or "
             "first path to analyze ('check')"
         ),
     )
@@ -357,6 +359,15 @@ def build_parser() -> argparse.ArgumentParser:
             "into per-phase timing tables"
         ),
     )
+    parser.add_argument(
+        "--tournament",
+        action="store_true",
+        help=(
+            "'report' only: also reduce the given outcome stores into a "
+            "ranked head-to-head tournament (same reducer as 'protemp "
+            "tournament', so a saved store re-renders its ranking)"
+        ),
+    )
     return parser
 
 
@@ -489,6 +500,7 @@ def _run_command(args: argparse.Namespace) -> int:
             "--priority": args.priority,
             "--queue-capacity": args.queue_capacity,
             "--metrics": args.metrics,
+            "--tournament": args.tournament,
         },
     )
     if error:
@@ -524,6 +536,96 @@ def _run_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tournament_command(args: argparse.Namespace) -> int:
+    """``protemp tournament <config.json>``: ranked head-to-head run.
+
+    Expands the config's grid (which must carry a ``policy`` axis with at
+    least two entries), runs it through the scenario runner — with
+    ``--outcome-store`` a warm re-run replays every cell and re-ranks
+    with zero solves — and reduces the outcomes to standings, a pairwise
+    win matrix, and a ranking.  ``--json`` emits the versioned report:
+    its ``tournament`` section is a pure function of the outcomes (the CI
+    smoke job byte-compares it across cold/warm runs), while ``run``
+    carries this invocation's cache provenance.
+    """
+    from repro.analysis.tournament import (
+        render_tournament,
+        run_tournament,
+        tournament_json,
+    )
+
+    if args.config is None:
+        print(
+            "protemp tournament: a scenario config JSON path is required",
+            file=sys.stderr,
+        )
+        return 2
+    if args.stores:
+        print(
+            "protemp tournament: takes a single config "
+            f"(unexpected arguments: {args.stores})",
+            file=sys.stderr,
+        )
+        return 2
+    error = _reject_foreign_flags(
+        "tournament",
+        args,
+        {
+            "--output": args.output,
+            "--host": args.host,
+            "--port": args.port,
+            "--url": args.url,
+            "--stdin": args.stdin,
+            "--rule": args.rule,
+            "--state": args.state,
+            "--idempotency-key": args.idempotency_key,
+            "--priority": args.priority,
+            "--queue-capacity": args.queue_capacity,
+            "--metrics": args.metrics,
+            "--tournament": args.tournament,
+        },
+    )
+    if error:
+        hint = (
+            " ('tournament' already ranks; the flag belongs to 'report')"
+            if args.tournament
+            else ""
+        )
+        print(f"{error}{hint}", file=sys.stderr)
+        return 2
+    runner = ScenarioRunner(
+        n_workers=args.workers,
+        table_cache_dir=args.table_cache_dir,
+        outcome_store=args.outcome_store,
+    )
+    try:
+        shard_index = shard_count = None
+        if args.shard is not None:
+            shard_index, shard_count = _parse_shard(args.shard)
+        report = run_tournament(
+            args.config,
+            runner=runner,
+            shard_index=shard_index,
+            shard_count=shard_count,
+        )
+    except (ScenarioError, OutcomeStoreError) as exc:
+        print(f"protemp tournament: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(tournament_json(report))
+    else:
+        print(render_tournament(report["tournament"]), end="")
+    run_info = report["run"]
+    print(
+        f"[{run_info['scenarios']} cells "
+        f"({run_info['scenarios_executed']} executed, "
+        f"{run_info['outcomes_replayed']} from store), "
+        f"{run_info['tables_built']} tables built]",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _merge_command(args: argparse.Namespace) -> int:
     """``protemp merge <store>...``: union shard outcome sets.
 
@@ -549,6 +651,7 @@ def _merge_command(args: argparse.Namespace) -> int:
             "--priority": args.priority,
             "--queue-capacity": args.queue_capacity,
             "--metrics": args.metrics,
+            "--tournament": args.tournament,
         },
     )
     if error:
@@ -614,6 +717,7 @@ def _migrate_command(args: argparse.Namespace) -> int:
             "--priority": args.priority,
             "--queue-capacity": args.queue_capacity,
             "--metrics": args.metrics,
+            "--tournament": args.tournament,
         },
     )
     if error:
@@ -683,6 +787,7 @@ def _serve_command(args: argparse.Namespace) -> int:
             "--idempotency-key": args.idempotency_key,
             "--priority": args.priority,
             "--metrics": args.metrics,
+            "--tournament": args.tournament,
         },
     )
     if error:
@@ -733,6 +838,7 @@ def _submit_command(args: argparse.Namespace) -> int:
             "--state": args.state,
             "--queue-capacity": args.queue_capacity,
             "--metrics": args.metrics,
+            "--tournament": args.tournament,
         },
     )
     if error:
@@ -844,6 +950,7 @@ def _check_command(args: argparse.Namespace) -> int:
             "--priority": args.priority,
             "--queue-capacity": args.queue_capacity,
             "--metrics": args.metrics,
+            "--tournament": args.tournament,
         },
     )
     if error:
@@ -923,6 +1030,7 @@ def _report_command(args: argparse.Namespace) -> int:
             stores=store_paths or None,
             state=args.state,
             metrics=args.metrics,
+            tournament=args.tournament,
         )
     except (OutcomeStoreError, ScenarioError, ServiceError, OSError) as exc:
         print(f"protemp report: {exc}", file=sys.stderr)
@@ -959,6 +1067,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "run":
         code = _run_command(args)
         print(f"[run finished in {time.time() - started:.1f}s]",
+              file=sys.stderr)
+        return code
+    if args.experiment == "tournament":
+        code = _tournament_command(args)
+        print(f"[tournament finished in {time.time() - started:.1f}s]",
               file=sys.stderr)
         return code
     if args.experiment == "merge":

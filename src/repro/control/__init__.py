@@ -1,19 +1,25 @@
 """Run-time DFS policies and the thermal management unit."""
 
 from repro.control.basic_dfs import BasicDFSPolicy
+from repro.control.integral_regulator import IntegralRegulatorPolicy
 from repro.control.manager import (
     ThermalManagementUnit,
     required_average_frequency,
 )
+from repro.control.mpc import MPCPolicy
 from repro.control.policy import ControlContext, DFSPolicy, NoTCPolicy
 from repro.control.protemp_policy import ProTempPolicy
+from repro.control.state_space import StateSpacePolicy
 
 __all__ = [
     "BasicDFSPolicy",
     "ControlContext",
     "DFSPolicy",
+    "IntegralRegulatorPolicy",
+    "MPCPolicy",
     "NoTCPolicy",
     "ProTempPolicy",
+    "StateSpacePolicy",
     "ThermalManagementUnit",
     "required_average_frequency",
 ]

@@ -1,0 +1,74 @@
+"""Adjustable-gain integral thermal regulator (Rao et al. baseline).
+
+Rao et al. (arXiv:1507.06357) regulate core temperature with a per-core
+integral controller on a temperature *setpoint*: the commanded speed is the
+integral of the temperature error, so the core settles exactly at the
+setpoint under sustained load instead of oscillating around a trip
+threshold the way Basic-DFS does.
+
+The controlled variable here is the normalized frequency command
+``u_i in [u_min, 1]``::
+
+    u_i(k+1) = clip(u_i(k) + gain * (setpoint - T_i(k)), u_min, 1)
+    f_i(k)   = min(required_frequency, u_i(k) * f_max)
+
+The clip *is* the anti-windup: the integral state lives inside the
+actuator's feasible range, so after a long cool (or hot) stretch the
+controller responds immediately instead of first unwinding an unbounded
+accumulated error.  ``gain`` is the adjustable knob of the paper's title —
+larger values track the setpoint faster but overshoot more on the thermal
+lag of the RC network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control.policy import ControlContext, DFSPolicy
+from repro.errors import SimulationError
+
+
+class IntegralRegulatorPolicy(DFSPolicy):
+    """Per-core adjustable-gain integral regulator on a temperature setpoint.
+
+    Args:
+        setpoint: target core temperature (Celsius); defaults just under
+            the paper's ``t_max`` (100 C) at 95 C.
+        gain: integral gain in normalized-frequency units per Celsius of
+            error per DFS window.
+        u_min: floor of the normalized frequency command; 0 allows full
+            shutdown, a small positive value keeps cores trickling.
+    """
+
+    name = "Rao-Integral"
+
+    def __init__(
+        self,
+        setpoint: float = 95.0,
+        gain: float = 0.05,
+        u_min: float = 0.0,
+    ) -> None:
+        if gain <= 0:
+            raise SimulationError("integral gain must be positive")
+        if not 0.0 <= u_min <= 1.0:
+            raise SimulationError("u_min must lie in [0, 1]")
+        self.setpoint = float(setpoint)
+        self.gain = float(gain)
+        self.u_min = float(u_min)
+        self._u: np.ndarray | None = None  # lazily sized integral state
+
+    def reset(self) -> None:
+        self._u = None
+
+    def frequencies(self, context: ControlContext) -> np.ndarray:
+        temps = np.asarray(context.core_temperatures, dtype=float)
+        n = len(temps)
+        if self._u is None or len(self._u) != n:
+            # Start at full speed: a cold platform should not be throttled
+            # while the integrator charges up.
+            self._u = np.ones(n)
+        error = self.setpoint - temps
+        self._u = np.clip(self._u + self.gain * error, self.u_min, 1.0)
+        return np.minimum(
+            context.required_frequency, self._u * context.f_max
+        )

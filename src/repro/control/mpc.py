@@ -1,0 +1,115 @@
+"""Receding-horizon MPC baseline: re-solve the convex program every window.
+
+The paper avoids online optimization by precomputing the Phase-1 table and
+looking it up at run time (section 3.3).  This policy is the natural MPC
+comparison point: at every DFS boundary it re-solves the *same* convex
+program (`repro.core.protemp`) at the measured worst-case temperature and
+the current frequency demand, applies the first window of the plan, and
+repeats at the next boundary.
+
+It reuses the optimizer's accelerated machinery — compiled constraint
+stacks are platform-only and amortize across windows, and consecutive
+windows warm-start from the previous optimum — so the baseline reflects
+what online solving actually costs rather than a strawman cold solver.
+The per-start-temperature memoizations are cleared each window (every
+measured temperature is a fresh key; see
+:meth:`~repro.core.protemp.ProTempOptimizer.clear_start_caches`).
+
+With ``horizon_windows=1`` the program solved per window is *exactly* the
+table generator's per-cell program, so MPC at an on-grid state agrees with
+the table lookup to solver tolerance (a unit test pins this down).  Longer
+horizons hold the plan feasible across several windows — more conservative,
+the receding-horizon safety margin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control.policy import ControlContext, DFSPolicy
+from repro.core.protemp import FrequencyAssignment, ProTempOptimizer
+from repro.errors import SimulationError
+from repro.platform import Platform
+from repro.thermal.constants import PAPER_DFS_PERIOD
+
+
+class MPCPolicy(DFSPolicy):
+    """Online receding-horizon re-solve of the paper's convex program.
+
+    Args:
+        platform: the platform to optimize on (the scenario runner
+            injects it).
+        window: DFS period in seconds (the runner injects the scenario's).
+        horizon_windows: plan length in windows; the constraints cover
+            ``horizon_windows * window`` seconds but only the first window
+            is applied.
+        step_subsample: constrain every k-th thermal step (the sweep
+            default 5 keeps per-window solves fast; 1 is the paper's
+            exact formulation).
+        backend: convex backend, ``"barrier"`` or ``"scipy"``.
+    """
+
+    name = "MPC"
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        window: float = PAPER_DFS_PERIOD,
+        horizon_windows: int = 1,
+        step_subsample: int = 5,
+        backend: str = "barrier",
+    ) -> None:
+        if window <= 0:
+            raise SimulationError("window must be positive")
+        if horizon_windows < 1:
+            raise SimulationError("horizon_windows must be >= 1")
+        self.platform = platform
+        self.horizon_windows = int(horizon_windows)
+        self.optimizer = ProTempOptimizer(
+            platform,
+            horizon=float(window) * self.horizon_windows,
+            step_subsample=step_subsample,
+            backend=backend,  # type: ignore[arg-type]
+        )
+        self.solves = 0
+        self.backoff_windows = 0
+        self.shutdown_windows = 0
+        self._warm: FrequencyAssignment | None = None
+
+    def reset(self) -> None:
+        self.solves = 0
+        self.backoff_windows = 0
+        self.shutdown_windows = 0
+        self._warm = None
+        self.optimizer.clear_start_caches()
+
+    def frequencies(self, context: ControlContext) -> np.ndarray:
+        n = len(context.core_temperatures)
+        t_hot = float(np.max(context.core_temperatures))
+        # Same worst-case simplification as the table (paper section 3.2):
+        # a plan solved for a uniform start at the hottest reading
+        # dominates the true trajectory under the monotone thermal model.
+        self.optimizer.clear_start_caches()
+        assignment = self.optimizer.solve(
+            t_hot, context.required_frequency, warm_from=self._warm
+        )
+        self.solves += 1
+        if not assignment.feasible:
+            f_star = self.optimizer.max_feasible_target(t_hot)
+            if f_star <= 0.0:
+                self.shutdown_windows += 1
+                self._warm = None
+                return np.zeros(n)
+            # 0.5% under the bisected boundary: max_feasible_target is
+            # only accurate to its bisection tolerance (~1 MHz), so an
+            # epsilon-backoff can land on the infeasible side.
+            assignment = self.optimizer.solve(t_hot, f_star * 0.995)
+            self.solves += 1
+            if not assignment.feasible:
+                self.shutdown_windows += 1
+                self._warm = None
+                return np.zeros(n)
+            self.backoff_windows += 1
+        self._warm = assignment
+        return assignment.frequencies.copy()

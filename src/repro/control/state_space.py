@@ -1,0 +1,158 @@
+"""State-space thermal controller with an observer (Bhat et al. baseline).
+
+Bhat et al. (arXiv:2003.11081) control processor power and temperature
+with discrete linear state feedback on the thermal-model state.  This
+module instantiates that idea on the repo's calibrated RC model: the
+policy owns the platform's exact window-aggregated dynamics and solves,
+once per DFS window, for the core power vector that lands the predicted
+core temperatures on the setpoint at the *next* window boundary.
+
+With per-step dynamics ``t_{k+1} = A t_k + B p + c`` (`repro.thermal.model`)
+and ``m`` thermal steps per DFS window, holding the node power ``p`` fixed
+over a window gives the window-scale model::
+
+    x(w+1) = A_w x(w) + S (B p + c),   A_w = A^m,  S = sum_{i<m} A^i
+
+Node power is affine in core power (``p = M p_core``, the power model's
+injection matrix), so the core-row block ``G = (S B M)[cores]`` maps core
+power directly to next-boundary core temperatures.  The feedback law is
+deadbeat on the window scale: solve ``G p_core = setpoint - free-response``
+and clip into the actuator range ``[0, p_max]``; frequency follows from
+inverting Eq. 2.
+
+Only core temperatures are measured, so the full node state is maintained
+by a Luenberger-style observer: predict with the window model driven by
+the last commanded power, then correct the core entries toward the sensor
+readings with gain ``observer_gain`` (1.0 = trust the sensors outright).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control.policy import ControlContext, DFSPolicy
+from repro.errors import SimulationError
+from repro.platform import Platform
+from repro.thermal.constants import PAPER_DFS_PERIOD
+
+
+def window_dynamics(
+    a: np.ndarray, m: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Aggregate per-step dynamics over ``m`` steps.
+
+    Returns:
+        ``(A_w, S)`` with ``A_w = A^m`` and ``S = I + A + ... + A^(m-1)``,
+        so a constant per-step drive ``d`` accumulates to ``S d`` over the
+        window.
+    """
+    if m < 1:
+        raise SimulationError("window must cover at least one thermal step")
+    n = a.shape[0]
+    a_w = np.eye(n)
+    s = np.zeros((n, n))
+    for _ in range(m):
+        s = s + a_w
+        a_w = a_w @ a
+    return a_w, s
+
+
+class StateSpacePolicy(DFSPolicy):
+    """Window-scale deadbeat state feedback with a thermal-state observer.
+
+    Args:
+        platform: the platform whose thermal/power models define the
+            dynamics (the scenario runner injects it).
+        margin: setpoint is ``t_max - margin`` Celsius — the headroom
+            absorbs model aggregation error and mid-window overshoot
+            (temperatures are only regulated at window boundaries).
+        observer_gain: correction gain in (0, 1] applied to the core
+            entries of the state estimate each window.
+        window: DFS period in seconds (the runner injects the scenario's).
+    """
+
+    name = "Bhat-SS"
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        margin: float = 2.0,
+        observer_gain: float = 1.0,
+        window: float = PAPER_DFS_PERIOD,
+    ) -> None:
+        if margin < 0:
+            raise SimulationError("margin must be >= 0")
+        if not 0.0 < observer_gain <= 1.0:
+            raise SimulationError("observer_gain must lie in (0, 1]")
+        if window <= 0:
+            raise SimulationError("window must be positive")
+        self.platform = platform
+        self.margin = float(margin)
+        self.observer_gain = float(observer_gain)
+        self.window = float(window)
+
+        thermal = platform.thermal
+        steps = max(1, int(round(self.window / thermal.dt)))
+        a_w, s = window_dynamics(thermal.a_matrix, steps)
+        injection = platform.power.injection_matrix()
+        self._a_w = a_w
+        #: Window response of node temperatures to core power (n x cores).
+        self._w = (s * thermal.b_vector[None, :]) @ injection
+        self._s_c = s @ thermal.c_vector
+        self._cores = np.asarray(platform.core_indices, dtype=int)
+        self._g = self._w[self._cores, :]
+        self._x_hat: np.ndarray | None = None
+        self._p_applied = np.zeros(len(self._cores))
+
+    def reset(self) -> None:
+        self._x_hat = None
+        self._p_applied = np.zeros(len(self._cores))
+
+    def _observe(self, measured: np.ndarray) -> np.ndarray:
+        """Predict-correct the full node-state estimate."""
+        if self._x_hat is None:
+            # Cold observer: seed every node at the mean core reading (the
+            # simulator starts from a uniform temperature, so this is exact
+            # on the first window of a fresh run).
+            self._x_hat = np.full(self._a_w.shape[0], float(np.mean(measured)))
+        else:
+            self._x_hat = (
+                self._a_w @ self._x_hat
+                + self._w @ self._p_applied
+                + self._s_c
+            )
+        core_est = self._x_hat[self._cores]
+        self._x_hat[self._cores] = core_est + self.observer_gain * (
+            measured - core_est
+        )
+        return self._x_hat
+
+    def frequencies(self, context: ControlContext) -> np.ndarray:
+        measured = np.asarray(context.core_temperatures, dtype=float)
+        if len(measured) != len(self._cores):
+            raise SimulationError(
+                f"{self.name}: platform has {len(self._cores)} cores, "
+                f"sensor reported {len(measured)}"
+            )
+        x_hat = self._observe(measured)
+        setpoint = context.t_max - self.margin
+        # Free response: predicted next-boundary core temps at zero power.
+        free = (self._a_w @ x_hat + self._s_c)[self._cores]
+        try:
+            p_cmd = np.linalg.solve(self._g, setpoint - free)
+        except np.linalg.LinAlgError:
+            p_cmd, *_ = np.linalg.lstsq(self._g, setpoint - free, rcond=None)
+        scaling = self.platform.power.scaling
+        p_cmd = np.clip(p_cmd, 0.0, scaling.p_max)
+        f_allowed = np.asarray(
+            scaling.frequency_for_power(p_cmd), dtype=float
+        )
+        freqs = np.minimum(context.required_frequency, f_allowed)
+        # The observer propagates what we *command*; the busy/idle split is
+        # unknown to the controller, so assume busy (worst case, consistent
+        # with the setpoint margin).
+        self._p_applied = np.asarray(
+            scaling.power(freqs), dtype=float
+        )
+        return freqs

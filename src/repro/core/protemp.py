@@ -342,6 +342,19 @@ class ProTempOptimizer:
 
     # -- sweep caches ---------------------------------------------------------
 
+    def clear_start_caches(self) -> None:
+        """Drop the per-start-temperature memoizations.
+
+        Long-lived closed-loop users (the MPC policy re-solves at a fresh
+        measured temperature every DFS window) would otherwise grow the
+        per-start caches without bound — every window's start key is new.
+        The structure-level caches (compiled stacks, structure plans),
+        which depend only on the platform, are kept.
+        """
+        self._stacked_cache.clear()
+        self._gradient_cache.clear()
+        self._boundary_cache.clear()
+
     @staticmethod
     def _start_key(t_start: float | np.ndarray) -> object:
         if np.isscalar(t_start):

@@ -87,12 +87,15 @@ def _module_in(module: str | None, prefixes: tuple[str, ...]) -> bool:
 # -- PT001: determinism ----------------------------------------------------
 
 #: Packages whose results must replay bit-identically from the
-#: OutcomeStore: scenario execution, simulation, and the solver stack.
+#: OutcomeStore: scenario execution, simulation, workload generation
+#: (trace loading included — a trace that reads differently twice breaks
+#: replay), and the solver stack.
 DETERMINISTIC_PACKAGES = (
     "repro.scenario",
     "repro.sim",
     "repro.solver",
     "repro.core",
+    "repro.workloads",
 )
 
 #: Wall-clock calls that leak host time into deterministic code.
@@ -117,9 +120,9 @@ class DeterminismRule(Rule):
     rule_id = "PT001"
     title = "determinism"
     invariant = (
-        "repro.{scenario,sim,solver,core} replay bit-identically from the "
-        "OutcomeStore: randomness is seeded through derive_seed and no "
-        "wall clock influences results"
+        "repro.{scenario,sim,solver,core,workloads} replay bit-identically "
+        "from the OutcomeStore: randomness is seeded through derive_seed "
+        "and no wall clock influences results"
     )
 
     def applies_to(self, file: CheckedFile) -> bool:

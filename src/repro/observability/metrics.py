@@ -188,6 +188,12 @@ class MetricsRegistry:
             self._counters: dict[str, Counter] = {}
             self._gauges: dict[str, Gauge] = {}
             self._histograms: dict[str, Histogram] = {}
+            #: Labelled counter families: family name -> sorted label
+            #: items -> Counter (whose ``name`` is the full series name).
+            self._labelled_counters: dict[
+                str, dict[tuple[tuple[str, str], ...], Counter]
+            ] = {}
+            self._labelled_help: dict[str, str] = {}
             self._spans = SpanTracker(lock=self._lock, clock=self._clock)
 
     # -- instrument creation ------------------------------------------------
@@ -197,12 +203,47 @@ class MetricsRegistry:
             "counter": self._counters,
             "gauge": self._gauges,
             "histogram": self._histograms,
+            "labelled counter": self._labelled_counters,
         }
         for other_kind, table in owners.items():
             if other_kind != kind and name in table:
                 raise ValueError(
                     f"metric {name!r} already registered as a {other_kind}"
                 )
+
+    def labelled_counter(
+        self, name: str, help_text: str = "", **labels: str
+    ) -> Counter:
+        """Get-or-create one series of a labelled counter family.
+
+        Same monotone semantics as :meth:`counter`, but the family fans
+        out into one series per distinct label set (e.g. per-policy
+        tournament counters: ``scenarios_executed_by_policy{policy=...}``).
+        Series appear in :meth:`snapshot` under their full
+        ``name{key="value"}`` series name and render as proper Prometheus
+        labels.  A family name cannot collide with a plain metric.
+
+        Args:
+            name: family name (shared by all series).
+            help_text: family help text (first caller wins).
+            **labels: label key/value pairs; at least one required, values
+                are coerced to ``str``.
+        """
+        if not labels:
+            raise ValueError(
+                f"labelled counter {name!r} needs at least one label "
+                "(use counter() for unlabelled metrics)"
+            )
+        key = _label_key(name, labels)
+        with self._lock:
+            self._check_kind(name, "labelled counter")
+            family = self._labelled_counters.setdefault(name, {})
+            self._labelled_help.setdefault(name, help_text)
+            found = family.get(key)
+            if found is None:
+                found = Counter(_series_name(name, key), help_text, self._lock)
+                family[key] = found
+            return found
 
     def counter(self, name: str, help_text: str = "") -> Counter:
         with self._lock:
@@ -255,13 +296,22 @@ class MetricsRegistry:
     # -- export -------------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
-        """A consistent, JSON-serializable cut of every instrument."""
+        """A consistent, JSON-serializable cut of every instrument.
+
+        Labelled counter series appear in ``counters`` under their full
+        ``name{key="value"}`` series names, alongside plain counters (the
+        braces keep the namespaces disjoint).
+        """
         with self._lock:
+            counters = {
+                name: c.value for name, c in self._counters.items()
+            }
+            for family in self._labelled_counters.values():
+                for series in family.values():
+                    counters[series.name] = series.value
             return {
                 "schema_version": SNAPSHOT_SCHEMA_VERSION,
-                "counters": {
-                    name: c.value for name, c in sorted(self._counters.items())
-                },
+                "counters": dict(sorted(counters.items())),
                 "gauges": {
                     name: g.value for name, g in sorted(self._gauges.items())
                 },
@@ -282,6 +332,17 @@ class MetricsRegistry:
                     lines.append(f"# HELP {full} {counter.help_text}")
                 lines.append(f"# TYPE {full} counter")
                 lines.append(f"{full} {_format_value(counter.value)}")
+            for name, family in sorted(self._labelled_counters.items()):
+                full = f"protemp_{name}"
+                help_text = self._labelled_help.get(name, "")
+                if help_text:
+                    lines.append(f"# HELP {full} {help_text}")
+                lines.append(f"# TYPE {full} counter")
+                for key, series in sorted(family.items()):
+                    lines.append(
+                        f"protemp_{series.name} "
+                        f"{_format_value(series.value)}"
+                    )
             for name, gauge in sorted(self._gauges.items()):
                 full = f"protemp_{name}"
                 if gauge.help_text:
@@ -309,3 +370,29 @@ def _format_value(value: float) -> str:
     if value == int(value):
         return str(int(value))
     return repr(value)
+
+
+def _label_key(
+    name: str, labels: dict[str, str]
+) -> tuple[tuple[str, str], ...]:
+    """Validate and canonicalize a label mapping (sorted items)."""
+    items: list[tuple[str, str]] = []
+    for key in sorted(labels):
+        if not key.isidentifier():
+            raise ValueError(
+                f"metric {name!r}: label name {key!r} is not an identifier"
+            )
+        value = str(labels[key])
+        if any(ch in value for ch in ('"', "\\", "\n")):
+            raise ValueError(
+                f"metric {name!r}: label value {value!r} contains "
+                "a quote, backslash, or newline"
+            )
+        items.append((key, value))
+    return tuple(items)
+
+
+def _series_name(name: str, key: tuple[tuple[str, str], ...]) -> str:
+    """The full ``name{k="v",...}`` series name for a label key."""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return f"{name}{{{inner}}}"

@@ -153,6 +153,7 @@ def build_report(
     stores: list[str] | None = None,
     state: str | None = None,
     metrics: str | None = None,
+    tournament: bool = False,
 ) -> dict[str, Any]:
     """Assemble the full report from any subset of run artifacts.
 
@@ -161,15 +162,41 @@ def build_report(
             the store must already exist; a report never creates one).
         state: path of a `--state` job journal.
         metrics: path of a saved ``/metrics`` JSON snapshot.
+        tournament: also reduce the stores' records (all of them, pooled
+            and deduplicated) into a ranked head-to-head tournament
+            section; requires `stores` and at least two distinct policies
+            among the records.
+
+    Raises:
+        ScenarioError: `tournament` without stores, or with records that
+            do not form a tournament (fewer than two policies).
     """
     report: dict[str, Any] = {"schema_version": REPORT_SCHEMA_VERSION}
     if stores:
         summaries = []
+        opened = []
         for location in stores:
-            summary = store_report(open_existing_store(location))
+            store = open_existing_store(location)
+            opened.append(store)
+            summary = store_report(store)
             summary["store"] = str(location)
             summaries.append(summary)
         report["stores"] = summaries
+        if tournament:
+            # Lazy: the reducer pulls in the scenario-spec layer, which
+            # a journal/metrics-only report never needs.
+            from repro.analysis.tournament import tournament_from_records
+
+            report["tournament"] = tournament_from_records(
+                record for store in opened for record in store.records()
+            )
+    elif tournament:
+        from repro.errors import ScenarioError
+
+        raise ScenarioError(
+            "a tournament report needs at least one outcome store "
+            "(give store paths alongside --tournament)"
+        )
     if state is not None:
         report["journal"] = journal_report(state)
     if metrics is not None:
@@ -199,6 +226,12 @@ def _seconds(value: float | None) -> str:
 def render_report(report: dict[str, Any]) -> str:
     """Human-readable text rendering of :func:`build_report` output."""
     lines: list[str] = []
+    section = report.get("tournament")
+    if section is not None:
+        from repro.analysis.tournament import render_tournament
+
+        lines.append(render_tournament(section).rstrip())
+        lines.append("")
     for summary in report.get("stores", []):
         totals = summary["totals"]
         lines.append(f"outcome store: {summary['store']}")

@@ -19,7 +19,11 @@ Factory calling conventions (enforced by the runner):
   TaskTrace``;
 * **policies** — ``factory(**params) -> DFSPolicy``, or with
   ``needs_table=True``: ``factory(table, **params) -> DFSPolicy`` (the
-  runner builds/caches the Phase-1 table and passes it first);
+  runner builds/caches the Phase-1 table and passes it first); with
+  ``needs_platform=True``: ``factory(platform, **params) -> DFSPolicy``
+  (the runner passes the materialized platform first and injects
+  ``window=`` with the scenario's DFS period unless the spec pins one —
+  model-based controllers derive their dynamics from both);
 * **assignments** — ``factory(**params) -> AssignmentPolicy``; with
   ``needs_seed=True`` the runner injects ``seed=`` derived from the
   scenario seed;
@@ -32,8 +36,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.control import BasicDFSPolicy, NoTCPolicy, ProTempPolicy
-from repro.errors import ScenarioError
+from repro.control import (
+    BasicDFSPolicy,
+    IntegralRegulatorPolicy,
+    MPCPolicy,
+    NoTCPolicy,
+    ProTempPolicy,
+    StateSpacePolicy,
+)
+from repro.errors import ScenarioError, WorkloadError
 from repro.floorplan import core_grid, core_grid_with_cache_ring, core_row
 from repro.platform import Platform
 from repro.sim.queueing import (
@@ -46,6 +57,7 @@ from repro.workloads import (
     WorkloadDistribution,
     bursty_trace,
     compute_benchmark,
+    load_trace_file,
     mixed_benchmark,
     multimedia_benchmark,
     poisson_trace,
@@ -66,6 +78,11 @@ class RegistryEntry:
             Phase-1 :class:`~repro.core.table.FrequencyTable` as the first
             positional argument.
         needs_seed: the runner injects a derived ``seed=`` keyword.
+        needs_platform: policy factories only — the runner must supply
+            the materialized :class:`~repro.platform.Platform` as the
+            first positional argument and inject the scenario's DFS
+            ``window=`` (model-based controllers build their control law
+            from the platform's thermal/power models).
     """
 
     name: str
@@ -73,6 +90,7 @@ class RegistryEntry:
     description: str = ""
     needs_table: bool = False
     needs_seed: bool = False
+    needs_platform: bool = False
 
 
 class Registry:
@@ -104,6 +122,7 @@ class Registry:
         description: str = "",
         needs_table: bool = False,
         needs_seed: bool = False,
+        needs_platform: bool = False,
     ) -> Callable[..., Any]:
         """Register a factory under `name`; usable as a decorator.
 
@@ -122,6 +141,7 @@ class Registry:
                 description=description,
                 needs_table=needs_table,
                 needs_seed=needs_seed,
+                needs_platform=needs_platform,
             )
             return fn
 
@@ -300,6 +320,38 @@ def _bursty(
     )
 
 
+@register_workload(
+    "trace-file",
+    description="measured trace from a CSV/JSONL file (params: path, sha256)",
+)
+def _trace_file(
+    duration: float,
+    n_cores: int,
+    *,
+    seed: int = 0,
+    path: str | None = None,
+    sha256: str | None = None,
+    name: str | None = None,
+) -> object:
+    # `seed`/`n_cores` are part of the workload-factory calling convention
+    # but a measured trace is fixed data — both are ignored.
+    if path is None or sha256 is None:
+        raise WorkloadError(
+            "trace-file workload needs 'path' and 'sha256' params "
+            "(build them with repro.workloads.trace_file_params)"
+        )
+    if name is None and str(path).lower().endswith(".csv"):
+        # A CSV trace's natural name is the file stem — path-derived, so
+        # the same content loaded from two locations would produce
+        # different summary rows under one spec hash.  Default to a
+        # content-derived name instead (JSONL embeds its own name in the
+        # hashed bytes, so its default is already deterministic).
+        name = f"trace-{sha256[:10]}"
+    return load_trace_file(
+        path, sha256=sha256, max_duration=duration, name=name
+    )
+
+
 # -- built-in policies -----------------------------------------------------
 
 
@@ -328,6 +380,34 @@ def _basic_dfs(
 )
 def _protemp(table: Any, name: str | None = None) -> ProTempPolicy:
     return ProTempPolicy(table, name=name)
+
+
+@register_policy(
+    "rao-integral",
+    description="adjustable-gain integral setpoint regulator (Rao et al.)",
+)
+def _rao_integral(
+    setpoint: float = 95.0, gain: float = 0.05, u_min: float = 0.0
+) -> IntegralRegulatorPolicy:
+    return IntegralRegulatorPolicy(setpoint=setpoint, gain=gain, u_min=u_min)
+
+
+@register_policy(
+    "bhat-state-space",
+    needs_platform=True,
+    description="state feedback on the thermal state + observer (Bhat et al.)",
+)
+def _bhat_state_space(platform: Any, **params: Any) -> StateSpacePolicy:
+    return StateSpacePolicy(platform, **params)
+
+
+@register_policy(
+    "mpc",
+    needs_platform=True,
+    description="receding-horizon re-solve of the convex program each window",
+)
+def _mpc(platform: Any, **params: Any) -> MPCPolicy:
+    return MPCPolicy(platform, **params)
 
 
 # -- built-in assignments --------------------------------------------------

@@ -276,19 +276,27 @@ def build_trace(spec: ScenarioSpec, n_cores: int):
     )
 
 
-def build_policy(spec: ScenarioSpec, table: FrequencyTable | None):
-    """Materialize the scenario's DFS policy (table injected if needed).
+def build_policy(
+    spec: ScenarioSpec,
+    table: FrequencyTable | None,
+    platform: Platform | None = None,
+):
+    """Materialize the scenario's DFS policy (table/platform injected).
 
     Args:
         spec: the scenario whose policy sub-spec to resolve.
         table: the Phase-1 table for table-driven policies (None otherwise).
+        platform: the materialized platform for model-based policies
+            (``needs_platform`` registrations — the factory receives it
+            first, plus ``window=`` with the scenario's DFS period unless
+            the spec pins one).
 
     Returns:
         A ``DFSPolicy`` from the registered factory.
 
     Raises:
-        ScenarioError: for unknown policy names, or when a table-driven
-            policy is given no table.
+        ScenarioError: for unknown policy names, when a table-driven
+            policy is given no table, or a model-based one no platform.
     """
     entry = POLICIES.get(spec.policy.name)
     kwargs = spec.policy.factory_kwargs()
@@ -298,6 +306,13 @@ def build_policy(spec: ScenarioSpec, table: FrequencyTable | None):
                 f"policy {spec.policy.name!r} needs a frequency table"
             )
         return entry.factory(table, **kwargs)
+    if entry.needs_platform:
+        if platform is None:
+            raise ScenarioError(
+                f"policy {spec.policy.name!r} needs a materialized platform"
+            )
+        kwargs.setdefault("window", spec.window)
+        return entry.factory(platform, **kwargs)
     return entry.factory(**kwargs)
 
 
@@ -336,7 +351,7 @@ def execute_scenario(
         produce bit-identical results (every stochastic component is
         seeded from the spec).
     """
-    policy = build_policy(spec, table)
+    policy = build_policy(spec, table, platform)
     tmu = ThermalManagementUnit(
         policy=policy,
         f_max=platform.f_max,
@@ -661,10 +676,12 @@ class ScenarioRunner:
     def _store_lookup(self, spec: ScenarioSpec) -> ScenarioOutcome | None:
         """A replayed outcome for `spec`, or None on a store miss.
 
-        A hit is only accepted when the stored spec dict matches the
-        requested one exactly — a record whose 12-hex key matches but whose
-        spec differs is a hash collision and raises rather than silently
-        answering with another scenario's results.
+        A hit is only accepted when the stored spec is *hash-equivalent*
+        to the requested one (equal :meth:`ScenarioSpec.hash_dict`
+        payloads — identical up to hash-excluded location params such as a
+        trace file's path) — a record whose 12-hex key matches but whose
+        canonical payload differs is a hash collision and raises rather
+        than silently answering with another scenario's results.
 
         Raises:
             OutcomeStoreError: on a spec-hash collision or corrupt record.
@@ -675,7 +692,7 @@ class ScenarioRunner:
         record = self.outcome_store.get(spec.spec_hash)
         if record is None:
             return None
-        if record.spec != spec.to_dict():
+        if ScenarioSpec.from_dict(record.spec).hash_dict() != spec.hash_dict():
             raise OutcomeStoreError(
                 f"spec-hash collision on {spec.spec_hash}: the store holds a "
                 f"different spec under this key (requested {spec.label!r})"
@@ -684,6 +701,11 @@ class ScenarioRunner:
             self.outcomes_replayed += 1
         self.metrics.counter(
             "outcomes_replayed_total", "scenarios answered from the store"
+        ).inc()
+        self.metrics.labelled_counter(
+            "outcomes_replayed_by_policy",
+            "scenarios answered from the store, by policy",
+            policy=spec.policy.name,
         ).inc()
         return ScenarioOutcome(
             spec=spec,
@@ -720,12 +742,17 @@ class ScenarioRunner:
 
     # -- execution ---------------------------------------------------------
 
-    def _count_executed(self, wall: float) -> None:
+    def _count_executed(self, wall: float, spec: ScenarioSpec) -> None:
         """Record one freshly simulated scenario in both counter systems."""
         with self._lock:
             self.scenarios_executed += 1
         self.metrics.counter(
             "scenarios_executed_total", "scenarios actually simulated"
+        ).inc()
+        self.metrics.labelled_counter(
+            "scenarios_executed_by_policy",
+            "scenarios actually simulated, by policy",
+            policy=spec.policy.name,
         ).inc()
         self.metrics.histogram(
             "scenario_execute_seconds", "per-scenario simulation wall time"
@@ -746,7 +773,7 @@ class ScenarioRunner:
         with self.metrics.span("execute"):
             result = execute_scenario(spec, platform, table)
         wall = time.perf_counter() - started
-        self._count_executed(wall)
+        self._count_executed(wall, spec)
         outcome = ScenarioOutcome(
             spec=spec,
             spec_hash=spec.spec_hash,
@@ -797,7 +824,7 @@ class ScenarioRunner:
             # that completed before the interruption.
             i, spec = pending[slot]
             _, hit, key = resolved[slot]
-            self._count_executed(wall)
+            self._count_executed(wall, spec)
             outcome = ScenarioOutcome(
                 spec=spec,
                 spec_hash=spec.spec_hash,

@@ -21,10 +21,14 @@ bit-identical results with no reliance on global RNG state.
 
 **The spec-hash stability contract.**  :attr:`ScenarioSpec.spec_hash` is
 the first 12 hex digits of the SHA-256 of the canonical (sorted-key,
-NaN-free) JSON encoding of :meth:`ScenarioSpec.to_dict`.  It therefore
+NaN-free) JSON encoding of :meth:`ScenarioSpec.hash_dict` — which is
+:meth:`ScenarioSpec.to_dict` minus the few parameters that name *where*
+data lives rather than *what* it is (today: the ``path`` of a
+``trace-file`` workload, whose content is pinned by its ``sha256`` param
+instead; see :data:`WORKLOAD_HASH_EXCLUDED_PARAMS`).  The hash therefore
 depends only on the spec's *data* — never on process identity, dict
-insertion order, platform, or Python version — which is what lets it key
-persistent artifacts: Phase-1 table caches, outcome-store records, and the
+insertion order, platform, Python version, or file locations — which is
+what lets it key persistent artifacts: Phase-1 table caches, outcome-store records, and the
 deterministic shard assignment of :func:`shard_specs` all assume that the
 same spec hashes to the same string on every host, today and in future
 sessions.  Renaming or re-defaulting a spec *field* changes hashes and
@@ -57,6 +61,16 @@ DEFAULT_F_GRID = tuple(mhz(f) for f in range(50, 1001, 50))
 
 #: Default optimizer step subsampling shared by experiments and benchmarks.
 DEFAULT_STEP_SUBSAMPLE = 5
+
+#: Workload params excluded from the spec hash, per workload name.  These
+#: are *location* parameters: the data they point at is pinned by a
+#: separate content parameter that stays in the hash (``trace-file``
+#: excludes ``path`` because ``sha256`` covers the file's bytes).  This
+#: table is static — defined here, not at registration time — so a spec's
+#: hash never depends on which plugins happen to be imported.
+WORKLOAD_HASH_EXCLUDED_PARAMS: dict[str, tuple[str, ...]] = {
+    "trace-file": ("path",),
+}
 
 
 def derive_seed(master: int, stream: str) -> int:
@@ -208,6 +222,21 @@ class WorkloadSpec:
         }
         if self.seed is not None:
             data["seed"] = self.seed
+        return data
+
+    def hash_dict(self) -> dict[str, Any]:
+        """:meth:`to_dict` minus hash-excluded (location) parameters.
+
+        For every built-in generator this equals :meth:`to_dict`;
+        ``trace-file`` drops ``path`` so the spec hash follows the file's
+        *content* (its ``sha256`` param), not its location.
+        """
+        data = self.to_dict()
+        excluded = WORKLOAD_HASH_EXCLUDED_PARAMS.get(self.name)
+        if excluded:
+            data["params"] = {
+                k: v for k, v in data["params"].items() if k not in excluded
+            }
         return data
 
     @classmethod
@@ -467,10 +496,28 @@ class ScenarioSpec:
 
     @property
     def spec_hash(self) -> str:
-        """Stable 12-hex-digit hash of the full spec (provenance key)."""
-        return _spec_hash(self.to_dict())
+        """Stable 12-hex-digit hash of the full spec (provenance key).
+
+        Computed over :meth:`hash_dict`, so two specs that differ only in
+        hash-excluded location parameters (a ``trace-file`` workload's
+        ``path``) share a hash — and an outcome-store record computed from
+        one location replays for the other.
+        """
+        return _spec_hash(self.hash_dict())
 
     # -- serialization -----------------------------------------------------
+
+    def hash_dict(self) -> dict[str, Any]:
+        """The canonical payload :attr:`spec_hash` is computed over.
+
+        :meth:`to_dict` with the workload sub-dict replaced by
+        :meth:`WorkloadSpec.hash_dict`.  Two specs are *hash-equivalent*
+        (same scenario for store/cache purposes) exactly when their
+        ``hash_dict`` payloads are equal.
+        """
+        data = self.to_dict()
+        data["workload"] = self.workload.hash_dict()
+        return data
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-data (JSON-compatible) representation."""

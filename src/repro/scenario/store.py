@@ -51,8 +51,8 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
-from repro.errors import OutcomeStoreError
-from repro.scenario.specs import _spec_hash
+from repro.errors import OutcomeStoreError, ScenarioError
+from repro.scenario.specs import ScenarioSpec, _spec_hash
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
     from repro.observability import MetricsRegistry
@@ -156,7 +156,7 @@ class StoredOutcome:
             )
         except (KeyError, TypeError) as exc:
             raise OutcomeStoreError(f"malformed outcome {source}: {exc}") from exc
-        actual = _spec_hash(record.spec)
+        actual = _spec_hash(_hash_payload(record.spec, source=source))
         if actual != record.spec_hash:
             raise OutcomeStoreError(
                 f"corrupt outcome {source}: stored spec hashes to {actual}, "
@@ -176,18 +176,42 @@ class StoredOutcome:
 
         Two shards computing the same cell legitimately differ in wall
         times and timestamps; those duplicates are benign and deduplicate
-        to one record.
+        to one record.  Specs are compared by their *hash payload*, so two
+        records for the same trace-file workload loaded from different
+        file locations agree (the path is excluded from the identity,
+        just as it is from the key).
         """
         return (
             self.spec_hash == other.spec_hash
-            and _canonical(self.spec) == _canonical(other.spec)
+            and _canonical(_hash_payload(self.spec))
+            == _canonical(_hash_payload(other.spec))
             and _canonical(self.summary) == _canonical(other.summary)
         )
 
 
+def _hash_payload(
+    spec: dict[str, Any], *, source: str = "record"
+) -> dict[str, Any]:
+    """The canonical hash payload of a stored spec dict.
+
+    Records are keyed by :attr:`ScenarioSpec.spec_hash`, which hashes
+    :meth:`ScenarioSpec.hash_dict` (stability-filtered: e.g. trace-file
+    workload paths are excluded), not the raw ``to_dict`` payload — so
+    validation and content comparison must go through the same filter.
+    """
+    try:
+        return ScenarioSpec.from_dict(dict(spec)).hash_dict()
+    except ScenarioError as exc:
+        raise OutcomeStoreError(
+            f"corrupt outcome {source}: stored spec does not parse: {exc}"
+        ) from exc
+
+
 def _describe_mismatch(existing: StoredOutcome, new: StoredOutcome) -> str:
     """Classify a same-key disagreement for error messages."""
-    if _canonical(existing.spec) != _canonical(new.spec):
+    if _canonical(_hash_payload(existing.spec)) != _canonical(
+        _hash_payload(new.spec)
+    ):
         return (
             f"spec-hash collision on {new.spec_hash}: two different specs "
             f"share the key (labels {existing.spec.get('name')!r} vs "

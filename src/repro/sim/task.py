@@ -9,6 +9,7 @@ trace of ~60,000 tasks covering several hundred seconds.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,10 +38,19 @@ class Task:
     core: int | None = None
 
     def __post_init__(self) -> None:
-        if self.arrival < 0:
-            raise WorkloadError("task arrival must be >= 0")
-        if self.workload <= 0:
-            raise WorkloadError("task workload must be positive")
+        # Finiteness first: NaN slips through ordering comparisons (both
+        # `NaN < 0` and `NaN <= 0` are False), so a NaN-poisoned trace
+        # would otherwise validate and then corrupt every simulator
+        # aggregate it touches.
+        if not math.isfinite(self.arrival) or self.arrival < 0:
+            raise WorkloadError(
+                f"task arrival must be finite and >= 0, got {self.arrival!r}"
+            )
+        if not math.isfinite(self.workload) or self.workload <= 0:
+            raise WorkloadError(
+                f"task workload must be finite and positive, "
+                f"got {self.workload!r}"
+            )
 
     @property
     def waiting_time(self) -> float | None:

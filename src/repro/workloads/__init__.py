@@ -16,10 +16,13 @@ from repro.workloads.trace_gen import (
     poisson_trace,
 )
 from repro.workloads.trace_io import (
+    file_sha256,
     load_trace_csv,
+    load_trace_file,
     load_trace_jsonl,
     save_trace_csv,
     save_trace_jsonl,
+    trace_file_params,
 )
 
 __all__ = [
@@ -27,7 +30,9 @@ __all__ = [
     "arrival_rate_for_load",
     "bursty_trace",
     "compute_benchmark",
+    "file_sha256",
     "load_trace_csv",
+    "load_trace_file",
     "load_trace_jsonl",
     "merge_traces",
     "mixed_benchmark",
@@ -37,5 +42,6 @@ __all__ = [
     "save_trace_csv",
     "save_trace_jsonl",
     "server_benchmark",
+    "trace_file_params",
     "web_benchmark",
 ]

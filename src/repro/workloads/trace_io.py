@@ -8,12 +8,26 @@ arrival/workload pairs) drive the simulator.  Two formats:
   spreadsheets and awk;
 * **JSONL** — one JSON object per line, with a leading metadata line
   carrying the trace name (richer, still streamable).
+
+Both formats share the table layer's float-hygiene contract: non-finite
+values (NaN, +/-inf) are **rejected at save time** — ``repr(nan)`` would
+happily round-trip through CSV and a NaN arrival defeats every ordering
+check downstream (NaN comparisons are all False).  The JSONL writer uses
+``allow_nan=False`` for the same reason; there is no -inf encoding because
+no trace field legitimately takes one.
+
+:func:`load_trace_file` is the scenario-facing entry point: it dispatches
+on the file suffix and verifies the content's SHA-256 against the hash
+recorded in the scenario spec, so outcome stores stay honest when a file
+is moved (same hash) or edited in place (hash mismatch fails loudly).
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
+import math
 from pathlib import Path
 
 from repro.errors import WorkloadError
@@ -21,10 +35,29 @@ from repro.sim.task import Task, TaskTrace
 
 CSV_HEADER = ("task_id", "arrival_s", "workload_s")
 
+#: File suffixes :func:`load_trace_file` understands, mapped to loaders.
+TRACE_SUFFIXES = (".csv", ".jsonl")
+
+
+def _check_finite(task: Task, path: Path) -> None:
+    if not math.isfinite(task.arrival) or not math.isfinite(task.workload):
+        raise WorkloadError(
+            f"{path}: task {task.task_id} has a non-finite field "
+            f"(arrival={task.arrival!r}, workload={task.workload!r}); "
+            "traces must contain finite values only"
+        )
+
 
 def save_trace_csv(trace: TaskTrace, path: str | Path) -> None:
-    """Write a trace as CSV (see module docstring for the schema)."""
+    """Write a trace as CSV (see module docstring for the schema).
+
+    Raises:
+        WorkloadError: when a task carries a non-finite arrival or
+            workload (nothing is written in that case).
+    """
     path = Path(path)
+    for task in trace:
+        _check_finite(task, path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
@@ -73,8 +106,16 @@ def load_trace_csv(path: str | Path, *, name: str | None = None) -> TaskTrace:
 
 
 def save_trace_jsonl(trace: TaskTrace, path: str | Path) -> None:
-    """Write a trace as JSON lines with a metadata header line."""
+    """Write a trace as JSON lines with a metadata header line.
+
+    Raises:
+        WorkloadError: when a task carries a non-finite arrival or
+            workload (nothing is written; ``allow_nan=False`` below is the
+            backstop, this check gives the actionable message).
+    """
     path = Path(path)
+    for task in trace:
+        _check_finite(task, path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w") as handle:
         handle.write(
@@ -132,3 +173,87 @@ def load_trace_jsonl(path: str | Path) -> TaskTrace:
                     f"{path}:{line_num}: bad task record: {exc}"
                 ) from exc
     return TaskTrace(tasks=tasks, name=name)
+
+
+# -- content-addressed loading (the "trace-file" workload) -------------------
+
+
+def file_sha256(path: str | Path) -> str:
+    """Hex SHA-256 of a file's bytes (the trace-file content hash).
+
+    Raises:
+        WorkloadError: when the file does not exist.
+    """
+    path = Path(path)
+    try:
+        digest = hashlib.sha256()
+        with path.open("rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 16), b""):
+                digest.update(chunk)
+    except OSError as exc:
+        raise WorkloadError(f"cannot hash trace file {path}: {exc}") from exc
+    return digest.hexdigest()
+
+
+def trace_file_params(path: str | Path) -> dict[str, str]:
+    """Workload params for a ``trace-file`` scenario spec.
+
+    Returns ``{"path": ..., "sha256": ...}`` — the shape the registered
+    ``trace-file`` workload factory expects.  The spec hash covers the
+    ``sha256`` (the content) but deliberately *not* the ``path``, so the
+    same measured trace keyed from two locations replays from one outcome-
+    store record, while an edited file changes the hash and re-runs.
+    """
+    return {"path": str(path), "sha256": file_sha256(path)}
+
+
+def load_trace_file(
+    path: str | Path,
+    *,
+    sha256: str | None = None,
+    max_duration: float | None = None,
+    name: str | None = None,
+) -> TaskTrace:
+    """Load a CSV/JSONL trace with optional content verification.
+
+    Args:
+        path: trace file; the suffix picks the format (see
+            :data:`TRACE_SUFFIXES`).
+        sha256: expected content hash; a mismatch (file edited since the
+            spec was built) raises instead of silently simulating
+            different work under the old spec hash.
+        max_duration: drop tasks arriving after this time (s) — the
+            scenario's workload ``duration`` caps a longer measured trace.
+        name: trace name override (defaults to the file's own).
+
+    Raises:
+        WorkloadError: on unknown suffixes, missing files, malformed
+            content, or a content-hash mismatch.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"no such trace file: {path}")
+    if sha256 is not None:
+        actual = file_sha256(path)
+        if actual != sha256:
+            raise WorkloadError(
+                f"trace file {path} content hash mismatch: spec expects "
+                f"{sha256}, file has {actual} (the file changed since the "
+                "spec was built; refresh the spec with trace_file_params)"
+            )
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        trace = load_trace_csv(path, name=name)
+    elif suffix == ".jsonl":
+        trace = load_trace_jsonl(path)
+        if name is not None:
+            trace = TaskTrace(tasks=trace.tasks, name=name)
+    else:
+        raise WorkloadError(
+            f"unknown trace file suffix {path.suffix!r} for {path}; "
+            f"expected one of {TRACE_SUFFIXES}"
+        )
+    if max_duration is not None:
+        kept = [t for t in trace.tasks if t.arrival <= max_duration]
+        trace = TaskTrace(tasks=kept, name=trace.name)
+    return trace

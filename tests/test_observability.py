@@ -265,3 +265,81 @@ class TestReconciliation:
             assert "job_cell/scenario/execute" in text
         finally:
             service.drain()
+
+
+class TestLabelledCounters:
+    def test_series_are_get_or_create_per_label_set(self):
+        registry = MetricsRegistry()
+        a = registry.labelled_counter("runs", "per-policy runs", policy="a")
+        b = registry.labelled_counter("runs", policy="b")
+        again = registry.labelled_counter("runs", policy="a")
+        assert again is a and b is not a
+        a.inc(2)
+        b.inc()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]['runs{policy="a"}'] == 2.0
+        assert snapshot["counters"]['runs{policy="b"}'] == 1.0
+
+    def test_label_order_does_not_split_series(self):
+        registry = MetricsRegistry()
+        a = registry.labelled_counter("cells", x="1", y="2")
+        b = registry.labelled_counter("cells", y="2", x="1")
+        assert b is a
+        assert a.name == 'cells{x="1",y="2"}'
+
+    def test_family_needs_a_label_and_a_free_name(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="at least one label"):
+            registry.labelled_counter("bare")
+        registry.counter("taken")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.labelled_counter("taken", policy="a")
+        registry.labelled_counter("family", policy="a")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("family")
+
+    def test_label_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="identifier"):
+            registry.labelled_counter("runs", **{"bad-key": "v"})
+        with pytest.raises(ValueError, match="quote"):
+            registry.labelled_counter("runs", policy='a"b')
+
+    def test_prometheus_rendering_groups_the_family(self):
+        registry = MetricsRegistry()
+        registry.labelled_counter(
+            "runs", "per-policy runs", policy="no-tc"
+        ).inc(3)
+        registry.labelled_counter("runs", policy="protemp").inc()
+        text = registry.render_prometheus()
+        assert "# HELP protemp_runs per-policy runs" in text
+        assert text.count("# TYPE protemp_runs counter") == 1
+        assert 'protemp_runs{policy="no-tc"} 3' in text
+        assert 'protemp_runs{policy="protemp"} 1' in text
+
+    def test_runner_counts_per_policy(self):
+        from repro.scenario import ScenarioRunner
+
+        config = {
+            "base": {
+                "platform": {"name": "core-row", "params": {"n_cores": 2}},
+                "workload": {"name": "poisson", "duration": 1.0,
+                             "params": {"offered_load": 0.4}},
+                "t_initial": 60.0,
+                "max_time": 1.0,
+            },
+            "grid": {"policy": ["no-tc", "basic-dfs"]},
+        }
+        registry = MetricsRegistry()
+        store = MemoryOutcomeStore()
+        runner = ScenarioRunner(metrics=registry, outcome_store=store)
+        runner.run_config(config)
+        counters = registry.snapshot()["counters"]
+        assert counters['scenarios_executed_by_policy{policy="no-tc"}'] == 1.0
+        assert (
+            counters['scenarios_executed_by_policy{policy="basic-dfs"}'] == 1.0
+        )
+        ScenarioRunner(metrics=registry, outcome_store=store).run_config(config)
+        counters = registry.snapshot()["counters"]
+        assert counters['outcomes_replayed_by_policy{policy="no-tc"}'] == 1.0
+        assert counters['scenarios_executed_by_policy{policy="no-tc"}'] == 1.0

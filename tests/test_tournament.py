@@ -1,0 +1,280 @@
+"""Tests for the tournament reducer, CLI command, and report section."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.tournament import (
+    TOURNAMENT_SCHEMA_VERSION,
+    cell_score,
+    competitor_id,
+    match_key,
+    render_tournament,
+    run_tournament,
+    tournament_from_outcomes,
+    tournament_from_store,
+    tournament_json,
+    tournament_table,
+)
+from repro.cli import main
+from repro.errors import ScenarioError
+from repro.scenario import ScenarioRunner
+from repro.scenario.store import MemoryOutcomeStore
+
+CONFIG = {
+    "base": {
+        "platform": {"name": "core-row", "params": {"n_cores": 2}},
+        "t_initial": 60.0,
+        "max_time": 1.0,
+    },
+    "grid": {
+        "policy": ["basic-dfs", "rao-integral", "no-tc"],
+        "workload": [
+            {"name": "poisson", "duration": 1.0,
+             "params": {"offered_load": 0.4}},
+            {"name": "poisson", "duration": 1.0,
+             "params": {"offered_load": 1.2}},
+        ],
+    },
+}
+
+
+def _spec_dict(policy, seed=0, load=0.4, name=None):
+    return {
+        "name": name,
+        "platform": {"name": "core-row", "params": {"n_cores": 2}},
+        "workload": {"name": "poisson", "duration": 1.0,
+                     "params": {"offered_load": load}, "seed": 0},
+        "policy": policy if isinstance(policy, dict) else {"name": policy},
+        "seed": seed,
+    }
+
+
+def _summary(policy="Basic-DFS", violations=0.1, completed=8, arrived=10,
+             wait=0.02, peak=95.0):
+    return {
+        "policy": policy,
+        "violation_fraction": violations,
+        "completed_tasks": completed,
+        "arrived_tasks": arrived,
+        "mean_wait_s": wait,
+        "peak_c": peak,
+        "band_fractions": [0.5, 0.3, 0.15, 0.05],
+    }
+
+
+class TestIdentities:
+    def test_competitor_id_is_registry_name_without_params(self):
+        assert competitor_id({"name": "basic-dfs", "params": {}}) == "basic-dfs"
+
+    def test_competitor_id_disambiguates_params(self):
+        a = competitor_id({"name": "protemp", "params": {"t_grid": [70.0]}})
+        b = competitor_id({"name": "protemp", "params": {"t_grid": [80.0]}})
+        assert a != b
+        assert a.startswith("protemp#") and b.startswith("protemp#")
+
+    def test_match_key_ignores_policy_and_label(self):
+        base = match_key(_spec_dict("basic-dfs"))
+        assert match_key(_spec_dict("no-tc")) == base
+        assert match_key(_spec_dict("basic-dfs", name="labelled")) == base
+
+    def test_match_key_separates_scenarios(self):
+        assert match_key(_spec_dict("no-tc", seed=0)) != match_key(
+            _spec_dict("no-tc", seed=1)
+        )
+        assert match_key(_spec_dict("no-tc", load=0.4)) != match_key(
+            _spec_dict("no-tc", load=1.2)
+        )
+
+    def test_cell_score_orders_safety_first(self):
+        safe = cell_score(_summary(violations=0.0, completed=1, arrived=10))
+        fast = cell_score(_summary(violations=0.5, completed=10, arrived=10))
+        assert safe < fast
+
+
+class TestReducer:
+    def _cells(self):
+        cells = []
+        for load in (0.4, 1.2):
+            cells.append((_spec_dict("no-tc", load=load),
+                          _summary("No-TC", violations=0.4, completed=10)))
+            cells.append((_spec_dict("basic-dfs", load=load),
+                          _summary("Basic-DFS", violations=0.1, completed=7)))
+        return cells
+
+    def test_ranking_and_standings(self):
+        section = tournament_table(self._cells())
+        assert section["schema_version"] == TOURNAMENT_SCHEMA_VERSION
+        assert section["ranking"] == ["basic-dfs", "no-tc"]
+        assert section["n_matches"] == 2
+        assert section["n_cells"] == 4
+        winner = section["policies"][0]
+        assert winner["policy"] == "basic-dfs"
+        assert winner["wins"] == 2 and winner["losses"] == 0
+        assert section["win_matrix"]["basic-dfs"]["no-tc"]["wins"] == 2
+        assert section["win_matrix"]["no-tc"]["basic-dfs"]["wins"] == 0
+        assert section["win_matrix"]["no-tc"]["basic-dfs"]["matches"] == 2
+
+    def test_time_above_90_uses_last_two_bands(self):
+        section = tournament_table(self._cells())
+        row = section["policies"][0]
+        assert row["time_above_90_fraction"] == pytest.approx(0.2)
+
+    def test_order_invariant(self):
+        cells = self._cells()
+        forward = tournament_table(list(cells))
+        backward = tournament_table(list(reversed(cells)))
+        assert json.dumps(forward, sort_keys=True) == json.dumps(
+            backward, sort_keys=True
+        )
+
+    def test_identical_scores_tie(self):
+        cells = [
+            (_spec_dict("no-tc"), _summary("No-TC")),
+            (_spec_dict("basic-dfs"), _summary("Basic-DFS")),
+        ]
+        section = tournament_table(cells)
+        assert section["policies"][0]["ties"] == 1
+        assert section["win_matrix"]["no-tc"]["basic-dfs"]["ties"] == 1
+
+    def test_single_policy_rejected(self):
+        with pytest.raises(ScenarioError, match="two distinct"):
+            tournament_table([(_spec_dict("no-tc"), _summary("No-TC"))])
+
+    def test_duplicate_cell_rejected(self):
+        cells = [
+            (_spec_dict("no-tc"), _summary("No-TC")),
+            (_spec_dict("no-tc", name="again"), _summary("No-TC")),
+            (_spec_dict("basic-dfs"), _summary("Basic-DFS")),
+        ]
+        with pytest.raises(ScenarioError, match="duplicate"):
+            tournament_table(cells)
+
+    def test_incomplete_grid_scores_present_pairs_only(self):
+        cells = self._cells()[:-1]  # basic-dfs missing from the 1.2 match
+        section = tournament_table(cells)
+        assert section["n_cells"] == 3
+        assert section["win_matrix"]["basic-dfs"]["no-tc"]["matches"] == 1
+
+    def test_render_text(self):
+        text = render_tournament(tournament_table(self._cells()))
+        assert "head-to-head wins" in text
+        assert "basic-dfs" in text and "no-tc" in text
+
+
+class TestEndToEnd:
+    def test_parallel_equals_serial(self):
+        serial = tournament_from_outcomes(
+            ScenarioRunner().run_config(CONFIG)
+        )
+        parallel = tournament_from_outcomes(
+            ScenarioRunner(n_workers=2).run_config(CONFIG)
+        )
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            parallel, sort_keys=True
+        )
+
+    def test_store_replay_reranks_identically(self):
+        store = MemoryOutcomeStore()
+        cold_runner = ScenarioRunner(outcome_store=store)
+        cold = run_tournament(CONFIG, runner=cold_runner)
+        assert cold["run"]["scenarios_executed"] == 6
+        warm_runner = ScenarioRunner(outcome_store=store)
+        warm = run_tournament(CONFIG, runner=warm_runner)
+        assert warm["run"]["scenarios_executed"] == 0
+        assert warm["run"]["outcomes_replayed"] == 6
+        assert json.dumps(cold["tournament"], sort_keys=True) == json.dumps(
+            warm["tournament"], sort_keys=True
+        )
+        assert json.dumps(
+            tournament_from_store(store), sort_keys=True
+        ) == json.dumps(cold["tournament"], sort_keys=True)
+
+    def test_tournament_json_is_canonical(self):
+        store = MemoryOutcomeStore()
+        report = run_tournament(CONFIG, runner=ScenarioRunner(outcome_store=store))
+        text = tournament_json(report)
+        assert json.loads(text)["schema_version"] == TOURNAMENT_SCHEMA_VERSION
+        assert tournament_json(report) == text
+
+
+class TestCli:
+    def _write_config(self, tmp_path):
+        path = tmp_path / "tournament.json"
+        path.write_text(json.dumps(CONFIG))
+        return str(path)
+
+    def test_requires_config(self, capsys):
+        assert main(["tournament"]) == 2
+        assert "config" in capsys.readouterr().err
+
+    def test_cold_then_warm_byte_identical(self, tmp_path, capsys):
+        config = self._write_config(tmp_path)
+        store = str(tmp_path / "store")
+        assert main(["tournament", config, "--outcome-store", store,
+                     "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["run"]["scenarios_executed"] == 6
+        assert main(["tournament", config, "--outcome-store", store,
+                     "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["run"]["scenarios_executed"] == 0
+        assert json.dumps(cold["tournament"], sort_keys=True) == json.dumps(
+            warm["tournament"], sort_keys=True
+        )
+
+    def test_text_output_ranks(self, tmp_path, capsys):
+        assert main(["tournament", self._write_config(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "head-to-head wins" in out
+        assert "rao-integral" in out
+
+    def test_rejects_foreign_flags(self, tmp_path, capsys):
+        config = self._write_config(tmp_path)
+        assert main(["tournament", config, "--output", "x"]) == 2
+        assert "not valid" in capsys.readouterr().err
+        assert main(["tournament", config, "--tournament"]) == 2
+        assert "report" in capsys.readouterr().err
+
+    def test_single_policy_config_fails_cleanly(self, tmp_path, capsys):
+        config = dict(CONFIG, grid={"policy": ["no-tc"]})
+        path = tmp_path / "single.json"
+        path.write_text(json.dumps(config))
+        assert main(["tournament", str(path)]) == 2
+        assert "two distinct" in capsys.readouterr().err
+
+    def test_report_tournament_renders_from_store(self, tmp_path, capsys):
+        config = self._write_config(tmp_path)
+        store = str(tmp_path / "store")
+        assert main(["tournament", config, "--outcome-store", store]) == 0
+        capsys.readouterr()
+        assert main(["report", store, "--tournament"]) == 0
+        out = capsys.readouterr().out
+        assert "head-to-head wins" in out
+        assert "outcome store:" in out
+
+    def test_report_tournament_json_section_matches_run(
+        self, tmp_path, capsys
+    ):
+        config = self._write_config(tmp_path)
+        store = str(tmp_path / "store")
+        assert main(["tournament", config, "--outcome-store", store,
+                     "--json"]) == 0
+        run_section = json.loads(capsys.readouterr().out)["tournament"]
+        assert main(["report", store, "--tournament", "--json"]) == 0
+        report_section = json.loads(capsys.readouterr().out)["tournament"]
+        assert json.dumps(run_section, sort_keys=True) == json.dumps(
+            report_section, sort_keys=True
+        )
+
+    def test_report_tournament_without_store_fails(self, tmp_path, capsys):
+        snapshot = tmp_path / "metrics.json"
+        snapshot.write_text(json.dumps(
+            {"schema_version": 1, "counters": {}, "gauges": {},
+             "histograms": {}, "spans": {}}
+        ))
+        assert main(["report", "--metrics", str(snapshot),
+                     "--tournament"]) == 2
+        assert "outcome store" in capsys.readouterr().err

@@ -5,12 +5,16 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import WorkloadError
+from repro.sim.task import Task, TaskTrace
 from repro.workloads import poisson_trace
 from repro.workloads.trace_io import (
+    file_sha256,
     load_trace_csv,
+    load_trace_file,
     load_trace_jsonl,
     save_trace_csv,
     save_trace_jsonl,
+    trace_file_params,
 )
 
 
@@ -92,3 +96,136 @@ class TestJsonl:
         path.write_text('{"id": 1, "arrival": 0.5}\n')
         with pytest.raises(WorkloadError, match="bad task record"):
             load_trace_jsonl(path)
+
+
+class TestFloatHygiene:
+    def test_task_rejects_nan_arrival(self):
+        with pytest.raises(WorkloadError, match="finite"):
+            Task(task_id=0, arrival=float("nan"), workload=0.1)
+
+    def test_task_rejects_nan_and_inf_workload(self):
+        with pytest.raises(WorkloadError, match="finite"):
+            Task(task_id=0, arrival=0.0, workload=float("nan"))
+        with pytest.raises(WorkloadError, match="finite"):
+            Task(task_id=0, arrival=0.0, workload=float("-inf"))
+
+    def test_loading_nan_row_rejected(self, tmp_path):
+        path = tmp_path / "nan.csv"
+        path.write_text("task_id,arrival_s,workload_s\n1,nan,0.5\n")
+        with pytest.raises(WorkloadError, match="bad trace row"):
+            load_trace_csv(path)
+
+    def test_savers_reject_poisoned_tasks_before_writing(self, trace, tmp_path):
+        # Defense in depth: a Task forged past __post_init__ (field
+        # mutation after construction) must still be caught at save time,
+        # and nothing may be written.
+        bad = trace.tasks[0].fresh_copy()
+        bad.arrival = float("nan")
+        poisoned = TaskTrace(tasks=[bad], name="poisoned")
+        for saver, filename in (
+            (save_trace_csv, "p.csv"), (save_trace_jsonl, "p.jsonl")
+        ):
+            path = tmp_path / filename
+            with pytest.raises(WorkloadError, match="non-finite"):
+                saver(poisoned, path)
+            assert not path.exists()
+
+
+class TestTraceFileLoading:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError, match="no such trace file"):
+            load_trace_file(tmp_path / "gone.csv")
+
+    def test_unknown_suffix(self, tmp_path):
+        path = tmp_path / "trace.parquet"
+        path.write_text("x")
+        with pytest.raises(WorkloadError, match="suffix"):
+            load_trace_file(path)
+
+    def test_hash_verified_load(self, trace, tmp_path):
+        path = tmp_path / "t.csv"
+        save_trace_csv(trace, path)
+        params = trace_file_params(path)
+        loaded = load_trace_file(path, sha256=params["sha256"])
+        assert traces_equal(trace, loaded)
+
+    def test_edited_file_fails_hash_check(self, trace, tmp_path):
+        path = tmp_path / "t.csv"
+        save_trace_csv(trace, path)
+        expected = file_sha256(path)
+        path.write_text(path.read_text() + "99,4.9,0.01\n")
+        with pytest.raises(WorkloadError, match="hash mismatch"):
+            load_trace_file(path, sha256=expected)
+
+    def test_max_duration_caps_the_trace(self, trace, tmp_path):
+        path = tmp_path / "t.jsonl"
+        save_trace_jsonl(trace, path)
+        capped = load_trace_file(path, max_duration=1.0)
+        assert len(capped) < len(trace)
+        assert all(t.arrival <= 1.0 for t in capped)
+
+
+class TestTraceFileSpecHash:
+    def _spec(self, path):
+        from repro.scenario.specs import ScenarioSpec, WorkloadSpec
+
+        return ScenarioSpec(
+            workload=WorkloadSpec(
+                name="trace-file",
+                duration=5.0,
+                params=trace_file_params(path),
+            )
+        )
+
+    def test_same_content_different_path_same_hash(self, trace, tmp_path):
+        a, b = tmp_path / "a" / "t.csv", tmp_path / "b" / "renamed.csv"
+        save_trace_csv(trace, a)
+        save_trace_csv(trace, b)
+        spec_a, spec_b = self._spec(a), self._spec(b)
+        assert spec_a.spec_hash == spec_b.spec_hash
+        assert spec_a.to_dict() != spec_b.to_dict()  # path still recorded
+
+    def test_changed_content_changes_hash(self, trace, tmp_path):
+        path = tmp_path / "t.csv"
+        save_trace_csv(trace, path)
+        before = self._spec(path).spec_hash
+        path.write_text(path.read_text() + "99,4.9,0.01\n")
+        assert self._spec(path).spec_hash != before
+
+    def test_hash_dict_drops_path_but_to_dict_keeps_it(self, trace, tmp_path):
+        path = tmp_path / "t.csv"
+        save_trace_csv(trace, path)
+        spec = self._spec(path)
+        assert "path" in spec.to_dict()["workload"]["params"]
+        assert "path" not in spec.hash_dict()["workload"]["params"]
+
+    def test_store_replays_across_paths(self, trace, tmp_path):
+        from repro.scenario import ScenarioRunner
+        from repro.scenario.store import MemoryOutcomeStore
+        from repro.scenario.specs import (
+            PlatformSpec, PolicySpec, ScenarioSpec, WorkloadSpec,
+        )
+
+        a, b = tmp_path / "a" / "t.csv", tmp_path / "b" / "t.csv"
+        save_trace_csv(trace, a)
+        save_trace_csv(trace, b)
+
+        def spec_for(path):
+            return ScenarioSpec(
+                platform=PlatformSpec("core-row", {"n_cores": 2}),
+                workload=WorkloadSpec(
+                    name="trace-file", duration=5.0,
+                    params=trace_file_params(path),
+                ),
+                policy=PolicySpec("basic-dfs"),
+                max_time=1.0,
+            )
+
+        store = MemoryOutcomeStore()
+        runner = ScenarioRunner(outcome_store=store)
+        first = runner.run_many([spec_for(a)])
+        assert runner.scenarios_executed == 1
+        second = runner.run_many([spec_for(b)])
+        assert runner.scenarios_executed == 1  # replayed, not re-run
+        assert runner.outcomes_replayed == 1
+        assert first[0].data_row() == second[0].data_row()
